@@ -1,0 +1,151 @@
+// Ablation studies for the design choices DESIGN.md calls out: the service
+// accessor's resolution cache, the CSP's collection strategy, and the
+// lookup service's expiry-sweep period. Each knob is toggled with the rest
+// of the stack held fixed.
+
+#include <cstdio>
+
+#include "util/strings.h"
+#include "core/deployment.h"
+
+using namespace sensorcer;
+
+namespace {
+
+void cache_ablation() {
+  std::puts("A. ServiceAccessor resolution cache (64-sensor composite, "
+            "100 reads):");
+  std::vector<std::vector<std::string>> rows;
+  for (bool cached : {true, false}) {
+    core::DeploymentConfig config;
+    config.sampling.sample_period = 0;
+    config.worker_threads = 0;
+    core::Deployment lab(config);
+    lab.accessor().set_caching(cached);
+    for (int i = 0; i < 64; ++i) {
+      lab.add_temperature_sensor("s" + std::to_string(i));
+    }
+    auto csp = lab.manager().create_composite("C");
+    for (int i = 0; i < 64; ++i) {
+      (void)csp->add_component("s" + std::to_string(i));
+    }
+
+    const auto lookups_before = lab.lookups()[0]->lookup_count();
+    for (int read = 0; read < 100; ++read) (void)csp->get_value();
+    const auto lookups = lab.lookups()[0]->lookup_count() - lookups_before;
+
+    rows.push_back({cached ? "enabled" : "disabled",
+                    std::to_string(lookups),
+                    std::to_string(lab.accessor().cache_hits()),
+                    std::to_string(lab.accessor().cache_misses())});
+  }
+  std::puts(util::render_table(
+                {"cache", "registry lookups", "cache hits", "cache misses"},
+                rows)
+                .c_str());
+  std::puts("Without the cache every child resolution is a registry round "
+            "trip; with it the steady state costs ~one validation per "
+            "binding.\n");
+}
+
+void collection_ablation() {
+  std::puts("B. CSP collection strategy (64 sensors, one read):");
+  struct Case {
+    const char* label;
+    sorcer::Flow flow;
+    sorcer::Access access;
+  };
+  const Case cases[] = {
+      {"parallel push (Jobber)", sorcer::Flow::kParallel,
+       sorcer::Access::kPush},
+      {"sequence push (Jobber)", sorcer::Flow::kSequence,
+       sorcer::Access::kPush},
+      {"parallel pull (Spacer, 4 workers)", sorcer::Flow::kParallel,
+       sorcer::Access::kPull},
+  };
+  std::vector<std::vector<std::string>> rows;
+  for (const Case& c : cases) {
+    core::DeploymentConfig config;
+    config.sampling.sample_period = 0;
+    config.worker_threads = 0;
+    config.collection.strategy = {c.flow, c.access, true};
+    core::Deployment lab(config);
+    for (int i = 0; i < 64; ++i) {
+      lab.add_temperature_sensor("s" + std::to_string(i));
+    }
+    auto csp = lab.manager().create_composite("C");
+    for (int i = 0; i < 64; ++i) {
+      (void)csp->add_component("s" + std::to_string(i));
+    }
+    auto task = sorcer::Task::make(
+        "read", sorcer::Signature{core::kSensorDataAccessorType,
+                                  core::op::kGetValue, "C"});
+    (void)sorcer::exert(task, lab.accessor());
+    rows.push_back({c.label,
+                    task->status() == sorcer::ExertStatus::kDone ? "OK"
+                                                                 : "FAIL",
+                    util::format_duration(task->latency())});
+  }
+  std::puts(util::render_table({"strategy", "status", "read latency"}, rows)
+                .c_str());
+  std::puts("The default (parallel push) pays one fan-out level; sequence "
+            "pays the sum; pull sits between, set by the worker crew.\n");
+}
+
+void sweep_period_ablation() {
+  std::puts("C. LUS expiry-sweep period (crashed service, 2s lease):");
+  std::vector<std::vector<std::string>> rows;
+  for (util::SimDuration sweep :
+       {10 * util::kMillisecond, 100 * util::kMillisecond,
+        1 * util::kSecond, 5 * util::kSecond}) {
+    util::Scheduler sched;
+    auto lus =
+        std::make_shared<registry::LookupService>("lus", sched, nullptr, sweep);
+    registry::LeaseRenewalManager lrm(sched);
+    sorcer::ServiceAccessor accessor;
+    accessor.add_lookup(lus);
+
+    auto victim = std::make_shared<sorcer::Tasker>("Victim");
+    victim->add_operation("noop", [](sorcer::ServiceContext&) {
+      return util::Status::ok();
+    });
+    (void)victim->join(lus, lrm, 2 * util::kSecond);
+    victim->crash();
+    const util::SimTime crashed_at = sched.now();
+
+    util::SimDuration disposal = -1;
+    while (sched.now() - crashed_at < 60 * util::kSecond) {
+      sched.run_for(util::kMillisecond);
+      if (!lus->contains(victim->service_id())) {
+        disposal = sched.now() - crashed_at;
+        break;
+      }
+    }
+    // Sweep-timer firings over a fixed horizon measure the idle overhead.
+    const auto fired_before = sched.fired_count();
+    sched.run_for(60 * util::kSecond);
+    const auto sweeps_per_min = sched.fired_count() - fired_before;
+
+    rows.push_back({util::format_duration(sweep),
+                    util::format_duration(disposal),
+                    std::to_string(sweeps_per_min)});
+  }
+  std::puts(util::render_table(
+                {"sweep period", "disposal latency", "sweeps per minute"},
+                rows)
+                .c_str());
+  std::puts("Disposal latency = lease remainder rounded up to the next "
+            "sweep; shorter sweeps buy freshness with idle work. 100ms (the "
+            "default) adds at most 5% to a 2s lease.");
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== Ablations: accessor cache / collection strategy / "
+            "sweep period ===\n");
+  cache_ablation();
+  collection_ablation();
+  sweep_period_ablation();
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Experiment CLM-2 (§VII): "addition of new sensor services does not
+// necessarily affect the performance of the system" — registry operations
+// must stay fast as the network grows.
+//
+// google-benchmark microbenchmarks of the lookup service: registration,
+// template lookup (by type, by name, by id) and renewal, swept over registry
+// population. Expected shape: near-flat renewal/by-id cost; lookup-by-
+// template grows linearly with population (it is a scan) but stays in the
+// microsecond range at thousands of services.
+
+#include <benchmark/benchmark.h>
+
+#include "registry/lookup.h"
+#include "util/scheduler.h"
+
+using namespace sensorcer;
+using registry::Entry;
+using registry::LookupService;
+using registry::ServiceItem;
+using registry::ServiceTemplate;
+
+namespace {
+
+class NullProxy : public registry::ServiceProxy {};
+
+ServiceItem make_item(const std::string& name, const char* type) {
+  ServiceItem item;
+  item.id = util::new_uuid();
+  item.proxy = std::make_shared<NullProxy>();
+  item.types = {"Servicer", type};
+  item.attributes.set(registry::attr::kName, name);
+  return item;
+}
+
+/// A registry pre-populated with `n` sensor services.
+struct Populated {
+  util::Scheduler sched;
+  LookupService lus{"bench", sched};
+  std::vector<registry::ServiceRegistration> regs;
+
+  explicit Populated(std::int64_t n) {
+    regs.reserve(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      regs.push_back(lus.register_service(
+          make_item("sensor-" + std::to_string(i), "SensorDataAccessor"),
+          3600 * util::kSecond));
+    }
+  }
+};
+
+void BM_Register(benchmark::State& state) {
+  Populated pop(state.range(0));
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    auto reg = pop.lus.register_service(
+        make_item("new-" + std::to_string(i++), "SensorDataAccessor"),
+        3600 * util::kSecond);
+    benchmark::DoNotOptimize(reg);
+  }
+}
+BENCHMARK(BM_Register)->Range(16, 8192);
+
+void BM_LookupByType(benchmark::State& state) {
+  Populated pop(state.range(0));
+  const auto tmpl = ServiceTemplate::by_type("SensorDataAccessor");
+  for (auto _ : state) {
+    auto item = pop.lus.lookup_one(tmpl);
+    benchmark::DoNotOptimize(item);
+  }
+}
+BENCHMARK(BM_LookupByType)->Range(16, 8192);
+
+void BM_LookupByName(benchmark::State& state) {
+  Populated pop(state.range(0));
+  const auto tmpl = ServiceTemplate::by_name(
+      "SensorDataAccessor",
+      "sensor-" + std::to_string(state.range(0) / 2));
+  for (auto _ : state) {
+    auto item = pop.lus.lookup_one(tmpl);
+    benchmark::DoNotOptimize(item);
+  }
+}
+BENCHMARK(BM_LookupByName)->Range(16, 8192);
+
+void BM_LookupById(benchmark::State& state) {
+  Populated pop(state.range(0));
+  const auto tmpl = ServiceTemplate::by_id(
+      pop.regs[pop.regs.size() / 2].service_id);
+  for (auto _ : state) {
+    auto item = pop.lus.lookup_one(tmpl);
+    benchmark::DoNotOptimize(item);
+  }
+}
+BENCHMARK(BM_LookupById)->Range(16, 8192);
+
+void BM_RenewLease(benchmark::State& state) {
+  Populated pop(state.range(0));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto status = pop.lus.renew_lease(
+        pop.regs[i++ % pop.regs.size()].lease.id, 3600 * util::kSecond);
+    benchmark::DoNotOptimize(status);
+  }
+}
+BENCHMARK(BM_RenewLease)->Range(16, 8192);
+
+void BM_LookupAllMatches(benchmark::State& state) {
+  Populated pop(state.range(0));
+  const auto tmpl = ServiceTemplate::by_type("SensorDataAccessor");
+  for (auto _ : state) {
+    auto items = pop.lus.lookup(tmpl);
+    benchmark::DoNotOptimize(items);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LookupAllMatches)->Range(16, 4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,130 @@
+// Experiment CLM-8 (§V.A): "the dynamically typed language Groovy provides
+// the runtime computing mechanism involving variables of sensor services."
+//
+// google-benchmark throughput of our from-scratch substitute: tokenizing,
+// parsing, compiling and evaluating compute-expressions of growing size,
+// plus the re-bind-and-evaluate cycle a composite provider performs on
+// every read. Expected shape: parse cost linear in expression length;
+// evaluation orders of magnitude cheaper than any network hop, so runtime
+// expressions are never the bottleneck of a composite read.
+
+#include <benchmark/benchmark.h>
+
+#include "core/sensor_computation.h"
+#include "expr/evaluator.h"
+#include "expr/lexer.h"
+#include "expr/parser.h"
+
+using namespace sensorcer;
+using namespace sensorcer::expr;
+
+namespace {
+
+/// "(a + b + c + ...) / n" over n variables — the paper's aggregate shape.
+std::string average_expression(std::size_t n) {
+  std::string out = "(";
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i) out += " + ";
+    out += core::component_variable_name(i);
+  }
+  out += ") / " + std::to_string(n);
+  return out;
+}
+
+/// Deeply mixed expression exercising every operator class.
+std::string mixed_expression(std::size_t n) {
+  std::string out = "0";
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string v = core::component_variable_name(i);
+    out = "max(" + out + ", " + v + " * 1.5 - min(" + v + ", 2) ^ 2) + (" +
+          v + " > 0 ? " + v + " : 0)";
+  }
+  return out;
+}
+
+Environment bound_env(std::size_t n) {
+  Environment env;
+  for (std::size_t i = 0; i < n; ++i) {
+    env.set(core::component_variable_name(i), 20.0 + 0.1 * static_cast<double>(i));
+  }
+  return env;
+}
+
+void BM_Tokenize(benchmark::State& state) {
+  const std::string src = average_expression(
+      static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto tokens = tokenize(src);
+    benchmark::DoNotOptimize(tokens);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(src.size()));
+}
+BENCHMARK(BM_Tokenize)->RangeMultiplier(4)->Range(2, 128);
+
+void BM_Parse(benchmark::State& state) {
+  const std::string src = average_expression(
+      static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto ast = parse(src);
+    benchmark::DoNotOptimize(ast);
+  }
+}
+BENCHMARK(BM_Parse)->RangeMultiplier(4)->Range(2, 128);
+
+void BM_EvaluateAverage(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto compiled = Expression::compile(average_expression(n));
+  const Environment env = bound_env(n);
+  for (auto _ : state) {
+    auto v = compiled.value().evaluate(env);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_EvaluateAverage)->RangeMultiplier(4)->Range(2, 128);
+
+void BM_EvaluateMixed(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto compiled = Expression::compile(mixed_expression(n));
+  const Environment env = bound_env(n);
+  for (auto _ : state) {
+    auto v = compiled.value().evaluate(env);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_EvaluateMixed)->RangeMultiplier(4)->Range(2, 32);
+
+// The full per-read cycle of a composite: fresh variable binding + eval.
+void BM_RebindAndEvaluate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::SensorComputation comp;
+  std::vector<std::string> vars;
+  for (std::size_t i = 0; i < n; ++i) {
+    vars.push_back(core::component_variable_name(i));
+  }
+  (void)comp.set_expression(average_expression(n), vars);
+  std::vector<double> values(n, 21.0);
+  for (auto _ : state) {
+    values[0] += 0.001;  // fresh sensor data every read
+    auto v = comp.evaluate(values);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_RebindAndEvaluate)->RangeMultiplier(4)->Range(2, 128);
+
+// Compile-each-time (the anti-pattern a naive integration would hit).
+void BM_CompileAndEvaluate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::string src = average_expression(n);
+  const Environment env = bound_env(n);
+  for (auto _ : state) {
+    auto compiled = Expression::compile(src);
+    auto v = compiled.value().evaluate(env);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_CompileAndEvaluate)->RangeMultiplier(4)->Range(2, 32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,150 @@
+// Experiment CLM-3 (§IV.B): "This mechanism of leasing keeps the sensor
+// network healthy and robust ... the existing services that are disabled are
+// automatically disposed from the sensor network."
+//
+// Simulates a churning population of sensor services: services join, live
+// for a random time, then either leave cleanly or crash (stop renewing).
+// Sweeps the lease duration and reports, per setting: how long crashed
+// services lingered as stale registry entries (detection latency), and the
+// renewal traffic paid for freshness. Expected shape: stale time ~ lease
+// duration (bounded by lease + sweep), renewal message rate ~ 1/duration —
+// the classic leasing freshness/traffic trade-off.
+
+#include <cstdio>
+#include <limits>
+
+#include "registry/lookup.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/strings.h"
+
+using namespace sensorcer;
+using registry::LookupService;
+
+namespace {
+
+class NullProxy : public registry::ServiceProxy {};
+
+registry::ServiceItem make_item(const std::string& name) {
+  registry::ServiceItem item;
+  item.id = util::new_uuid();
+  item.proxy = std::make_shared<NullProxy>();
+  item.types = {"Servicer", "SensorDataAccessor"};
+  item.attributes.set(registry::attr::kName, name);
+  return item;
+}
+
+struct ChurnResult {
+  util::StatAccumulator stale_time;   // crash -> disposed (seconds)
+  std::uint64_t renewals = 0;
+  std::size_t final_population = 0;
+  std::size_t expected_population = 0;
+};
+
+ChurnResult run_churn(util::SimDuration lease) {
+  util::Scheduler sched;
+  LookupService lus("lus", sched);
+  util::Rng rng(static_cast<std::uint64_t>(lease) * 7919 + 1);
+
+  ChurnResult result;
+  struct Crashed {
+    registry::ServiceId id;
+    util::SimTime crashed_at;
+  };
+  std::vector<Crashed> crashed;
+
+  // Watch disposals to time stale entries.
+  lus.notify(
+      registry::ServiceTemplate{},
+      static_cast<unsigned>(registry::Transition::kMatchToNoMatch),
+      [&](const registry::ServiceEvent& ev) {
+        for (auto it = crashed.begin(); it != crashed.end(); ++it) {
+          if (it->id == ev.item.id) {
+            result.stale_time.add(
+                static_cast<double>(ev.timestamp - it->crashed_at) /
+                util::kSecond);
+            crashed.erase(it);
+            return;
+          }
+        }
+      },
+      3600 * util::kSecond);
+
+  constexpr int kServices = 300;
+  std::size_t alive_forever = 0;
+  for (int i = 0; i < kServices; ++i) {
+    auto reg =
+        lus.register_service(make_item("s" + std::to_string(i)), lease);
+
+    // Fate: 60% crash at a random time, 20% leave cleanly, 20% live on.
+    const double fate = rng.next_double();
+    const auto lifetime = static_cast<util::SimDuration>(
+        rng.between(1, 60)) * util::kSecond;
+    // Each service renews its own lease at half-life (the harness plays the
+    // provider's LeaseRenewalManager so renewals can be counted).
+    auto renew_loop = std::make_shared<std::function<void()>>();
+    const auto lease_id = reg.lease.id;
+    const auto stop_at = fate < 0.8
+                             ? sched.now() + lifetime
+                             : std::numeric_limits<util::SimTime>::max();
+    *renew_loop = [&lus, &sched, &result, lease_id, lease, stop_at,
+                   renew_loop] {
+      if (sched.now() >= stop_at) return;  // dead: no more renewals
+      if (lus.renew_lease(lease_id, lease).is_ok()) {
+        ++result.renewals;
+        sched.schedule_after(lease / 2, *renew_loop);
+      }
+    };
+    sched.schedule_after(lease / 2, *renew_loop);
+
+    if (fate < 0.6) {
+      // Crash: mark for stale-time measurement at the moment renewals stop.
+      sched.schedule_at(stop_at, [&crashed, &sched, id = reg.service_id] {
+        crashed.push_back({id, sched.now()});
+      });
+    } else if (fate < 0.8) {
+      // Clean leave: cancel the lease at end of life.
+      sched.schedule_at(stop_at, [&lus, lease_id] {
+        (void)lus.cancel_lease(lease_id);
+      });
+    } else {
+      ++alive_forever;
+    }
+    sched.run_for(100 * util::kMillisecond);  // staggered joins
+  }
+
+  sched.run_for(120 * util::kSecond);  // all lifetimes + leases settle
+  result.final_population = lus.service_count();
+  result.expected_population = alive_forever;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== CLM-3: leasing keeps the network healthy (§IV.B) ===\n");
+  std::puts("300 services; 60% crash, 20% leave cleanly, 20% stay; "
+            "virtual-time simulation.\n");
+  std::vector<std::vector<std::string>> rows;
+  for (util::SimDuration lease :
+       {1 * util::kSecond, 2 * util::kSecond, 5 * util::kSecond,
+        10 * util::kSecond, 30 * util::kSecond}) {
+    const ChurnResult r = run_churn(lease);
+    rows.push_back({
+        util::format_duration(lease),
+        util::format("%.2fs", r.stale_time.mean()),
+        util::format("%.2fs", r.stale_time.max()),
+        std::to_string(r.renewals),
+        util::format("%zu / %zu", r.final_population,
+                     r.expected_population),
+    });
+  }
+  std::puts(util::render_table({"lease", "mean stale", "max stale",
+                                "renewal msgs", "final pop (got/want)"},
+                               rows)
+                .c_str());
+  std::puts("Expected shape: stale window grows with lease duration; renewal "
+            "traffic shrinks with it; the registry always converges to "
+            "exactly the still-alive population (self-healing).");
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Browser shell — a line-oriented stand-in for the paper's zero-install
+// Sensor Browser service UI (§V.B, §VII): "the service UI just takes the
+// input from the user and gives back result from the SenSORCER network."
+//
+// Reads commands from stdin (pipe a script or drive it interactively):
+//   list                       all sensor services
+//   services                   full registry roster
+//   value <name>               read a sensor service
+//   info <name>                information card + entry attributes
+//   create <name>              new local composite
+//   provision <name>           new composite via Rio
+//   compose <csp> <child...>   add children to a composite
+//   expr <csp> <expression>    attach a compute expression
+//   tree <name>                containment tree with live values
+//   pump <seconds>             advance virtual time
+//   help / quit
+//
+// With no stdin input it runs a short scripted demo.
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "core/deployment.h"
+#include "util/strings.h"
+
+using namespace sensorcer;
+
+namespace {
+
+void print_help() {
+  std::puts(
+      "commands: list | services | value <name> | info <name> | "
+      "create <name> |\n          provision <name> | compose <csp> "
+      "<child...> | expr <csp> <expression> |\n          tree <name> | "
+      "pump <seconds> | help | quit");
+}
+
+/// Executes one command line; returns false on quit.
+bool execute(core::Deployment& lab, const std::string& line) {
+  std::istringstream in(line);
+  std::string cmd;
+  in >> cmd;
+  if (cmd.empty() || cmd[0] == '#') return true;
+
+  core::SensorcerFacade& facade = lab.facade();
+  if (cmd == "quit" || cmd == "exit") return false;
+  if (cmd == "help") {
+    print_help();
+  } else if (cmd == "list") {
+    for (const auto& info : facade.get_sensor_list()) {
+      std::printf("  %-28s %s\n", info.name.c_str(),
+                  core::sensor_service_kind_name(info.kind));
+    }
+  } else if (cmd == "services") {
+    lab.browser().refresh();
+    std::fputs(lab.browser().render_services().c_str(), stdout);
+  } else if (cmd == "value") {
+    std::string name;
+    in >> name;
+    auto value = facade.get_value(name);
+    if (value.is_ok()) {
+      std::printf("  %s = %.3f\n", name.c_str(), value.value());
+    } else {
+      std::printf("  error: %s\n", value.status().to_string().c_str());
+    }
+  } else if (cmd == "info") {
+    std::string name;
+    in >> name;
+    if (lab.browser().select(name).is_ok()) {
+      std::fputs(lab.browser().render_information().c_str(), stdout);
+      std::fputs(lab.browser().render_entries().c_str(), stdout);
+    } else {
+      std::printf("  no service named '%s'\n", name.c_str());
+    }
+  } else if (cmd == "create") {
+    std::string name;
+    in >> name;
+    facade.create_local_service(name);
+    std::printf("  created composite '%s'\n", name.c_str());
+  } else if (cmd == "provision") {
+    std::string name;
+    in >> name;
+    auto status = facade.create_service(name);
+    if (status.is_ok()) lab.pump(util::kSecond);  // activation
+    std::printf("  %s\n", status.to_string().c_str());
+  } else if (cmd == "compose") {
+    std::string csp, child;
+    in >> csp;
+    std::vector<std::string> children;
+    while (in >> child) children.push_back(child);
+    std::printf("  %s\n",
+                facade.compose_service(csp, children).to_string().c_str());
+  } else if (cmd == "expr") {
+    std::string csp;
+    in >> csp;
+    std::string expression;
+    std::getline(in, expression);
+    std::printf("  %s\n",
+                facade
+                    .add_expression(csp, std::string(util::trim(expression)))
+                    .to_string()
+                    .c_str());
+  } else if (cmd == "tree") {
+    std::string name;
+    in >> name;
+    std::fputs(facade.topology(name, true).c_str(), stdout);
+  } else if (cmd == "pump") {
+    double seconds = 1;
+    in >> seconds;
+    lab.pump(static_cast<util::SimDuration>(seconds * util::kSecond));
+    std::printf("  advanced %.3fs (now %s)\n", seconds,
+                util::format_duration(lab.now()).c_str());
+  } else {
+    std::printf("  unknown command '%s' (try 'help')\n", cmd.c_str());
+  }
+  return true;
+}
+
+constexpr const char* kDemoScript = R"(# scripted demo (no stdin supplied)
+list
+create Demo-Composite
+compose Demo-Composite Neem-Sensor Jade-Sensor
+expr Demo-Composite (a + b) / 2
+value Demo-Composite
+tree Demo-Composite
+info Demo-Composite
+pump 5
+value Demo-Composite
+)";
+
+}  // namespace
+
+int main() {
+  core::Deployment lab;
+  lab.add_temperature_sensor("Neem-Sensor", 21.5);
+  lab.add_temperature_sensor("Jade-Sensor", 22.4);
+  lab.pump(util::kSecond);
+
+  std::puts("SenSORCER browser shell (zero-install service UI). 'help' for "
+            "commands.\n");
+
+  std::string line;
+  if (std::cin.peek() == std::char_traits<char>::eof()) {
+    // Not driven by a pipe/terminal input: run the demo script.
+    std::istringstream demo(kDemoScript);
+    while (std::getline(demo, line)) {
+      std::printf("sensorcer> %s\n", line.c_str());
+      if (!execute(lab, line)) break;
+    }
+    return 0;
+  }
+  while (std::getline(std::cin, line)) {
+    if (!execute(lab, line)) break;
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Fault injection tour — the self-healing behaviours of §IV.B and §IV.C,
+// narrated: sensor hardware faults (stuck-at, spike, bias, dropout), a
+// crashed service disposed by lease expiry, and a cybernode failure healed
+// by the provision monitor.
+
+#include <cstdio>
+
+#include "core/deployment.h"
+
+using namespace sensorcer;
+
+namespace {
+
+sensor::SimulatedProbe& probe_of(core::ElementarySensorProvider& esp) {
+  return dynamic_cast<sensor::SimulatedProbe&>(esp.probe());
+}
+
+void show(core::Deployment& lab, const char* label) {
+  lab.browser().refresh();
+  lab.browser().read_values();
+  std::printf("--- %s ---\n%s\n", label,
+              lab.browser().render_values().c_str());
+}
+
+}  // namespace
+
+int main() {
+  core::DeploymentConfig config;
+  config.lease_duration = 3 * util::kSecond;
+  core::Deployment lab(config);
+
+  auto healthy = lab.add_temperature_sensor("Healthy", 21.0);
+  auto stuck = lab.add_temperature_sensor("Stuck", 22.0);
+  auto spiky = lab.add_temperature_sensor("Spiky", 23.0);
+  auto biased = lab.add_temperature_sensor("Biased", 24.0);
+  lab.pump(2 * util::kSecond);
+
+  std::puts("=== Fault-injection tour ===\n");
+  show(lab, "all sensors healthy");
+
+  // Hardware fault modes: the probes keep answering, the values tell the
+  // story (detecting them is an application concern; the framework keeps
+  // the data flowing).
+  probe_of(*stuck).device().inject_fault(sensor::FaultMode::kStuckAt);
+  probe_of(*spiky).device().inject_fault(sensor::FaultMode::kSpike, 40.0);
+  probe_of(*biased).device().inject_fault(sensor::FaultMode::kBias, 10.0);
+  lab.pump(util::kSecond);
+  show(lab, "stuck-at / spike(+-40) / bias(+10) injected");
+
+  // Dropout: the ESP serves the last good value from its local store,
+  // flagged SUSPECT.
+  probe_of(*healthy).device().inject_fault(sensor::FaultMode::kDropout);
+  auto reading = healthy->get_reading();
+  if (reading.is_ok()) {
+    std::printf("'Healthy' during dropout: value=%.2f quality=%s "
+                "(from the local data log)\n\n",
+                reading.value().value,
+                sensor::quality_name(reading.value().quality));
+  }
+  probe_of(*healthy).device().clear_fault();
+
+  // Service crash: renewals stop, the lease lapses, the LUS disposes it —
+  // nobody has to clean up by hand (§IV.B).
+  std::puts("'Spiky' crashes (stops renewing its lease)...");
+  spiky->crash();
+  std::printf("immediately after crash : %s\n",
+              lab.facade().get_value("Spiky").is_ok()
+                  ? "still listed (lease not yet expired)"
+                  : "gone");
+  lab.pump(2 * config.lease_duration);
+  std::printf("after lease expiry      : %s\n\n",
+              lab.facade().get_value("Spiky").is_ok()
+                  ? "STILL LISTED (bug!)"
+                  : "disposed from the registry automatically");
+
+  // Cybernode failure: the provision monitor replaces the instance (§IV.C).
+  std::puts("Provisioning a composite, then killing its cybernode...");
+  (void)lab.facade().create_service("Watcher");
+  lab.pump(util::kSecond);
+  (void)lab.facade().compose_service("Watcher", {"Healthy", "Biased"});
+  for (const auto& node : lab.cybernodes()) {
+    if (node->hosted_count() > 0) {
+      std::printf("killing '%s'\n", node->provider_name().c_str());
+      node->fail();
+    }
+  }
+  lab.pump(10 * util::kSecond);
+  std::printf("re-provisions: %llu; 'Watcher' %s\n",
+              static_cast<unsigned long long>(
+                  lab.monitor().reprovision_count()),
+              lab.facade().service_information("Watcher").is_ok()
+                  ? "is back on a surviving cybernode"
+                  : "was lost (bug!)");
+  return 0;
+}

@@ -1,0 +1,126 @@
+#include "core/browser.h"
+
+#include "util/strings.h"
+
+namespace sensorcer::core {
+
+void SensorBrowser::refresh() {
+  model_.registries.clear();
+  model_.sensor_services.clear();
+
+  for (const auto& lus : facade_.accessor().lookups()) {
+    BrowserModel::LusListing listing;
+    listing.lus_name = lus->name();
+    for (const auto& item : lus->all_services()) {
+      listing.services.emplace_back(
+          item.attributes.get_string(registry::attr::kName, "<unnamed>"),
+          util::join(item.types, ", "));
+    }
+    model_.registries.push_back(std::move(listing));
+  }
+
+  for (const auto& info : facade_.get_sensor_list()) {
+    model_.sensor_services.push_back(info.name);
+  }
+}
+
+util::Status SensorBrowser::select(const std::string& service_name) {
+  auto info = facade_.service_information(service_name);
+  if (!info.is_ok()) {
+    model_.selection.reset();
+    model_.selection_attributes.clear();
+    return info.status();
+  }
+  model_.selection = info.value();
+
+  // Entry Value pane: fetch the registered attributes of the selection.
+  model_.selection_attributes.clear();
+  auto item = facade_.accessor().find_item(
+      registry::ServiceTemplate::by_id(info.value().id));
+  if (item.is_ok()) {
+    for (const auto& [key, value] : item.value().attributes) {
+      model_.selection_attributes.emplace_back(
+          key, registry::entry_value_to_string(value));
+    }
+  }
+  return util::Status::ok();
+}
+
+void SensorBrowser::read_values() {
+  model_.values.clear();
+  for (const auto& name : model_.sensor_services) {
+    BrowserModel::ValueRow row;
+    row.name = name;
+    auto value = facade_.get_value(name);
+    if (value.is_ok()) {
+      row.ok = true;
+      row.value = value.value();
+    } else {
+      row.error = value.status().to_string();
+    }
+    model_.values.push_back(std::move(row));
+  }
+}
+
+std::string SensorBrowser::render_services() const {
+  std::string out = "Services\n========\n";
+  for (const auto& listing : model_.registries) {
+    out += "Lookup service " + listing.lus_name + "\n";
+    for (const auto& [name, types] : listing.services) {
+      out += "  - " + name + "  [" + types + "]\n";
+    }
+  }
+  return out;
+}
+
+std::string SensorBrowser::render_information() const {
+  std::string out = "Sensor Service Information\n==========================\n";
+  if (!model_.selection) {
+    return out + "(no service selected)\n";
+  }
+  const SensorInfo& info = *model_.selection;
+  out += "Sensor Name:: " + info.name + "\n";
+  out += std::string("Service Type:: ") + sensor_service_kind_name(info.kind) +
+         "\n";
+  out += "Service ID:: " + info.id.to_string() + "\n";
+  if (!info.measurement.empty() && info.kind == SensorServiceKind::kElementary) {
+    out += "Measurement:: " + info.measurement + " (" + info.unit + ")\n";
+  }
+  if (!info.location.empty()) out += "Location:: " + info.location + "\n";
+  if (info.kind == SensorServiceKind::kComposite) {
+    out += "Contained Services: " + util::join(info.contained, ", ") + "\n";
+    out += "Compute Expression: " +
+           (info.expression.empty() ? std::string("(default: average)")
+                                    : info.expression) +
+           "\n";
+  }
+  return out;
+}
+
+std::string SensorBrowser::render_entries() const {
+  std::string out = "Entry Value\n===========\n";
+  if (model_.selection_attributes.empty()) return out + "(none)\n";
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& [key, value] : model_.selection_attributes) {
+    rows.push_back({key, value});
+  }
+  return out + util::render_table({"Entry", "Value"}, rows);
+}
+
+std::string SensorBrowser::render_values() const {
+  std::string out = "Sensor Value\n============\n";
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& row : model_.values) {
+    rows.push_back({row.name, row.ok ? util::format("%.3f", row.value)
+                                     : "<" + row.error + ">"});
+  }
+  out += util::render_table({"Service", "Value"}, rows);
+  return out;
+}
+
+std::string SensorBrowser::render() const {
+  return render_services() + "\n" + render_information() + "\n" +
+         render_entries() + "\n" + render_values();
+}
+
+}  // namespace sensorcer::core

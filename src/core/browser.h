@@ -1,0 +1,85 @@
+#pragma once
+// Sensor Browser — the zero-install service UI of §V.B/§VII, rendered as
+// text (our substitute for the Inca X screenshots in Fig 2/3). Follows the
+// MVC pattern the paper prescribes: the model snapshots the network
+// configuration, views render the panes, and the controller maps user
+// operations onto the façade.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/facade.h"
+
+namespace sensorcer::core {
+
+/// The browser's model: a snapshot of what the panes display.
+struct BrowserModel {
+  /// Left pane: one block per lookup service, with all registered services.
+  struct LusListing {
+    std::string lus_name;
+    /// (service name, comma-joined interface types).
+    std::vector<std::pair<std::string, std::string>> services;
+  };
+  std::vector<LusListing> registries;
+
+  /// Middle pane: names of sensor services ("Get Sensor List").
+  std::vector<std::string> sensor_services;
+
+  /// Right pane: "Sensor Service Information" for the selection.
+  std::optional<SensorInfo> selection;
+
+  /// Fig 2's bottom-left "Entry Value" table: the selected service's
+  /// registry attributes, as (key, rendered value) pairs.
+  std::vector<std::pair<std::string, std::string>> selection_attributes;
+
+  /// "Sensor Value" pane: per-service readouts.
+  struct ValueRow {
+    std::string name;
+    bool ok = false;
+    double value = 0.0;
+    std::string error;  // when !ok
+  };
+  std::vector<ValueRow> values;
+};
+
+class SensorBrowser {
+ public:
+  explicit SensorBrowser(SensorcerFacade& facade) : facade_(facade) {}
+
+  // --- controller -----------------------------------------------------------
+
+  /// Rebuild the registry and sensor-service listings.
+  void refresh();
+
+  /// Select a service for the information pane.
+  util::Status select(const std::string& service_name);
+
+  /// Read the current value of every sensor service into the value pane.
+  void read_values();
+
+  // --- views ------------------------------------------------------------------
+
+  /// The left "Services" pane (Fig 2's service tree).
+  [[nodiscard]] std::string render_services() const;
+
+  /// The "Sensor Service Information" card for the selection.
+  [[nodiscard]] std::string render_information() const;
+
+  /// The "Entry Value" attribute table for the selection (Fig 2).
+  [[nodiscard]] std::string render_entries() const;
+
+  /// The "Sensor Value" pane.
+  [[nodiscard]] std::string render_values() const;
+
+  /// All panes combined.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] const BrowserModel& model() const { return model_; }
+
+ private:
+  SensorcerFacade& facade_;
+  BrowserModel model_;
+};
+
+}  // namespace sensorcer::core

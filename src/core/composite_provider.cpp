@@ -1,0 +1,274 @@
+#include "core/composite_provider.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace sensorcer::core {
+
+CompositeSensorProvider::CompositeSensorProvider(
+    std::string name, sorcer::ServiceAccessor& accessor,
+    util::Scheduler& scheduler, CollectionPolicy policy)
+    : ServiceProvider(std::move(name),
+                      {kSensorDataAccessorType, kCompositeServiceType}),
+      accessor_(accessor),
+      scheduler_(scheduler),
+      policy_(policy) {
+  registry::Entry attrs;
+  attrs.set(registry::attr::kServiceType,
+            std::string(sensor_service_kind_name(SensorServiceKind::kComposite)));
+  set_attributes(attrs);
+  install_operations();
+}
+
+bool CompositeSensorProvider::would_cycle(
+    const SensorDataAccessor& candidate) const {
+  if (&candidate == static_cast<const SensorDataAccessor*>(this)) return true;
+  const auto* composite =
+      dynamic_cast<const CompositeSensorProvider*>(&candidate);
+  if (composite == nullptr) return false;
+  for (const auto& comp : composite->components_) {
+    auto item = const_cast<sorcer::ServiceAccessor&>(accessor_).find_item(
+        registry::ServiceTemplate::by_id(comp.id));
+    if (!item.is_ok()) continue;
+    auto child = registry::proxy_cast<SensorDataAccessor>(item.value().proxy);
+    if (child && would_cycle(*child)) return true;
+  }
+  return false;
+}
+
+util::Status CompositeSensorProvider::add_component(
+    const std::string& service_name) {
+  if (service_name == provider_name()) {
+    return {util::ErrorCode::kInvalidArgument,
+            "a composite cannot contain itself"};
+  }
+  for (const auto& comp : components_) {
+    if (comp.name == service_name) {
+      return {util::ErrorCode::kFailedPrecondition,
+              "'" + service_name + "' is already composed"};
+    }
+  }
+  auto item = accessor_.find_item(registry::ServiceTemplate::by_name(
+      kSensorDataAccessorType, service_name));
+  if (!item.is_ok()) {
+    return {util::ErrorCode::kNotFound,
+            "no sensor service named '" + service_name + "' on the network"};
+  }
+  auto child = registry::proxy_cast<SensorDataAccessor>(item.value().proxy);
+  if (!child) {
+    return {util::ErrorCode::kInvalidArgument,
+            "'" + service_name + "' does not implement SensorDataAccessor"};
+  }
+  if (would_cycle(*child)) {
+    return {util::ErrorCode::kInvalidArgument,
+            "composing '" + service_name + "' would create a containment cycle"};
+  }
+  // Dynamic variable creation: the new component binds the next free letter.
+  components_.push_back(Component{item.value().id, service_name,
+                                  component_variable_name(next_variable_++)});
+  return util::Status::ok();
+}
+
+util::Status CompositeSensorProvider::remove_component(
+    const std::string& service_name) {
+  auto it = std::find_if(components_.begin(), components_.end(),
+                         [&](const Component& c) {
+                           return c.name == service_name;
+                         });
+  if (it == components_.end()) {
+    return {util::ErrorCode::kNotFound,
+            "'" + service_name + "' is not composed here"};
+  }
+  const std::string freed_variable = it->variable;
+  components_.erase(it);
+
+  if (computation_.has_expression()) {
+    auto compiled = expr::Expression::compile(computation_.expression_source());
+    if (compiled.is_ok() &&
+        compiled.value().variables().contains(freed_variable)) {
+      // The expression referenced the removed service; it can no longer be
+      // evaluated, so fall back to the default aggregate.
+      computation_.clear_expression();
+    }
+  }
+  return util::Status::ok();
+}
+
+std::vector<std::string> CompositeSensorProvider::component_names() const {
+  std::vector<std::string> out;
+  out.reserve(components_.size());
+  for (const auto& c : components_) out.push_back(c.name);
+  return out;
+}
+
+std::vector<std::string> CompositeSensorProvider::component_variables() const {
+  std::vector<std::string> out;
+  out.reserve(components_.size());
+  for (const auto& c : components_) out.push_back(c.variable);
+  return out;
+}
+
+util::Status CompositeSensorProvider::set_expression(
+    const std::string& source) {
+  return computation_.set_expression(source, component_variables());
+}
+
+std::vector<std::optional<double>> CompositeSensorProvider::collect() {
+  std::vector<std::shared_ptr<sorcer::Task>> tasks;
+  tasks.reserve(components_.size());
+  for (const auto& comp : components_) {
+    tasks.push_back(sorcer::Task::make(
+        comp.variable,
+        sorcer::Signature{kSensorDataAccessorType, op::kGetValue, comp.name}));
+  }
+
+  // Prefer the federation: a rendezvous peer coordinates the fan-out.
+  bool federated = false;
+  if (!tasks.empty()) {
+    // Lenient collection must not abort on the first unreachable child;
+    // strictness is enforced after the fan-out, per component.
+    auto strategy = policy_.strategy;
+    strategy.fail_fast = false;
+    auto job = sorcer::Job::make(provider_name() + ".collect", strategy);
+    for (const auto& t : tasks) job->add(t);
+    (void)sorcer::exert(job, accessor_);
+    federated = job->error().code() != util::ErrorCode::kNotFound ||
+                job->status() != sorcer::ExertStatus::kFailed;
+    if (federated) last_collection_latency_ = job->latency();
+  }
+  if (!federated) {
+    // No rendezvous peer on the network: invoke components directly,
+    // sequentially — the collection then costs the sum of child latencies.
+    util::SimDuration total = 0;
+    for (const auto& task : tasks) {
+      auto servicer = accessor_.find_servicer(task->signature());
+      if (servicer.is_ok()) (void)servicer.value()->service(task, nullptr);
+      total += task->latency();
+    }
+    last_collection_latency_ = total;
+  }
+
+  std::vector<std::optional<double>> out;
+  out.reserve(tasks.size());
+  for (const auto& task : tasks) {
+    auto v = task->context().get_double(path::kValue);
+    if (task->status() == sorcer::ExertStatus::kDone && v.is_ok()) {
+      out.emplace_back(v.value());
+    } else {
+      out.emplace_back(std::nullopt);
+    }
+  }
+  return out;
+}
+
+util::Result<double> CompositeSensorProvider::get_value() {
+  if (components_.empty()) {
+    return util::Status{util::ErrorCode::kFailedPrecondition,
+                        "composite '" + provider_name() +
+                            "' has no composed services"};
+  }
+  const auto collected = collect();
+
+  std::vector<double> values;
+  values.reserve(collected.size());
+  for (std::size_t i = 0; i < collected.size(); ++i) {
+    if (collected[i]) {
+      values.push_back(*collected[i]);
+    } else if (policy_.strict || computation_.has_expression()) {
+      return util::Status{
+          util::ErrorCode::kUnavailable,
+          util::format("component '%s' (variable %s) is unreachable",
+                       components_[i].name.c_str(),
+                       components_[i].variable.c_str())};
+    }
+  }
+  if (values.empty()) {
+    return util::Status{util::ErrorCode::kUnavailable,
+                        "no composed service is reachable"};
+  }
+  ++reads_;
+  return computation_.evaluate(values);
+}
+
+util::Result<sensor::Reading> CompositeSensorProvider::get_reading() {
+  auto value = get_value();
+  if (!value.is_ok()) return value.status();
+  sensor::Reading reading;
+  reading.timestamp = scheduler_.now();
+  reading.value = value.value();
+  reading.quality = sensor::Quality::kGood;
+  reading.sequence = reads_;
+  return reading;
+}
+
+SensorInfo CompositeSensorProvider::info() const {
+  SensorInfo out;
+  out.name = provider_name();
+  out.kind = SensorServiceKind::kComposite;
+  out.id = service_id();
+  out.measurement = "composite";
+  out.contained = component_names();
+  out.expression = computation_.expression_source();
+  return out;
+}
+
+void CompositeSensorProvider::install_operations() {
+  add_operation(
+      op::kGetValue,
+      [this](sorcer::ServiceContext& ctx) -> util::Status {
+        auto reading = get_reading();
+        if (!reading.is_ok()) return reading.status();
+        ctx.put(path::kValue, reading.value().value,
+                sorcer::PathDirection::kOut);
+        ctx.put(path::kTimestamp,
+                static_cast<std::int64_t>(reading.value().timestamp),
+                sorcer::PathDirection::kOut);
+        ctx.put(path::kQuality,
+                std::string(sensor::quality_name(reading.value().quality)),
+                sorcer::PathDirection::kOut);
+        return util::Status::ok();
+      },
+      1 * util::kMillisecond);
+
+  add_operation(
+      op::kGetInfo,
+      [this](sorcer::ServiceContext& ctx) -> util::Status {
+        const SensorInfo i = info();
+        ctx.put(path::kInfoName, i.name, sorcer::PathDirection::kOut);
+        ctx.put(path::kInfoKind, std::string(sensor_service_kind_name(i.kind)),
+                sorcer::PathDirection::kOut);
+        ctx.put(path::kExpression, i.expression, sorcer::PathDirection::kOut);
+        return util::Status::ok();
+      },
+      200 * util::kMicrosecond);
+
+  add_operation(
+      op::kAddComponent,
+      [this](sorcer::ServiceContext& ctx) -> util::Status {
+        auto name = ctx.get_string(path::kComponentName);
+        if (!name.is_ok()) return name.status();
+        return add_component(name.value());
+      },
+      500 * util::kMicrosecond);
+
+  add_operation(
+      op::kRemoveComponent,
+      [this](sorcer::ServiceContext& ctx) -> util::Status {
+        auto name = ctx.get_string(path::kComponentName);
+        if (!name.is_ok()) return name.status();
+        return remove_component(name.value());
+      },
+      500 * util::kMicrosecond);
+
+  add_operation(
+      op::kSetExpression,
+      [this](sorcer::ServiceContext& ctx) -> util::Status {
+        auto source = ctx.get_string(path::kExpression);
+        if (!source.is_ok()) return source.status();
+        return set_expression(source.value());
+      },
+      500 * util::kMicrosecond);
+}
+
+}  // namespace sensorcer::core

@@ -1,0 +1,116 @@
+#pragma once
+// Composite Sensor Provider (CSP) — the aggregate of §V.B.
+//
+// A CSP composes elementary and other composite sensor services, binds each
+// component to a dynamically created expression variable (a, b, c, ... in
+// composition order), collects component values through the exertion
+// federation, and computes its own value from them. Because a CSP can
+// contain CSPs, logical sensor networking — and all of network management —
+// "is reduced to the management of a single CSP".
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/interfaces.h"
+#include "core/sensor_computation.h"
+#include "sorcer/accessor.h"
+#include "sorcer/exert.h"
+#include "sorcer/provider.h"
+#include "util/scheduler.h"
+
+namespace sensorcer::core {
+
+/// How a CSP gathers component values.
+struct CollectionPolicy {
+  /// Child requests federate through a rendezvous peer when one is on the
+  /// network (parallel push by default); with no rendezvous available the
+  /// CSP degrades to direct sequential invocation.
+  sorcer::ControlStrategy strategy{sorcer::Flow::kParallel,
+                                   sorcer::Access::kPush, true};
+  /// Strict: any unreachable component fails the read. Lenient: missing
+  /// components are skipped — but only for the default (average)
+  /// computation, since an expression needs every variable bound.
+  bool strict = true;
+};
+
+class CompositeSensorProvider : public sorcer::ServiceProvider,
+                                public SensorDataAccessor {
+ public:
+  CompositeSensorProvider(std::string name, sorcer::ServiceAccessor& accessor,
+                          util::Scheduler& scheduler,
+                          CollectionPolicy policy = {});
+
+  // --- composition ---------------------------------------------------------
+
+  /// Compose the sensor service registered under `service_name`. The
+  /// component gets the next free variable ('a', 'b', ...). Fails when the
+  /// service cannot be found, is not a SensorDataAccessor, or would create
+  /// a containment cycle.
+  util::Status add_component(const std::string& service_name);
+
+  /// Remove a composed component by service name. Remaining components keep
+  /// their variables; the expression is cleared if it referenced the freed
+  /// variable.
+  util::Status remove_component(const std::string& service_name);
+
+  [[nodiscard]] std::size_t component_count() const {
+    return components_.size();
+  }
+  [[nodiscard]] std::vector<std::string> component_names() const;
+  [[nodiscard]] std::vector<std::string> component_variables() const;
+
+  // --- computation -----------------------------------------------------------
+
+  /// Attach a compute expression over the component variables.
+  util::Status set_expression(const std::string& source);
+  [[nodiscard]] std::string expression() const {
+    return computation_.expression_source();
+  }
+
+  // --- SensorDataAccessor ------------------------------------------------------
+
+  util::Result<double> get_value() override;
+  util::Result<sensor::Reading> get_reading() override;
+  [[nodiscard]] SensorInfo info() const override;
+
+  /// Modeled latency of the most recent component collection (federated job
+  /// or direct fan-out). Charged on top of the getValue operation when the
+  /// composite is read through an exertion.
+  [[nodiscard]] util::SimDuration last_collection_latency() const {
+    return last_collection_latency_;
+  }
+
+ protected:
+  util::SimDuration extra_invocation_latency(
+      const std::string& selector) const override {
+    return selector == op::kGetValue ? last_collection_latency_ : 0;
+  }
+
+ private:
+  struct Component {
+    registry::ServiceId id;
+    std::string name;
+    std::string variable;
+  };
+
+  void install_operations();
+
+  /// Collect current values of all components (federated). Returns one
+  /// optional per component, in order; nullopt = unreachable/failed.
+  std::vector<std::optional<double>> collect();
+
+  /// True if `candidate` (a composite) contains *this transitively.
+  bool would_cycle(const SensorDataAccessor& candidate) const;
+
+  sorcer::ServiceAccessor& accessor_;
+  util::Scheduler& scheduler_;
+  CollectionPolicy policy_;
+  std::vector<Component> components_;
+  SensorComputation computation_;
+  std::size_t next_variable_ = 0;
+  std::uint64_t reads_ = 0;
+  util::SimDuration last_collection_latency_ = 0;
+};
+
+}  // namespace sensorcer::core

@@ -1,0 +1,138 @@
+#include "core/config_store.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace sensorcer::core {
+
+NetworkDescription describe(SensorNetworkManager& manager) {
+  NetworkDescription out;
+  for (const auto& info : manager.list_services()) {
+    if (info.kind != SensorServiceKind::kComposite) continue;
+    out.composites.push_back(
+        CompositeConfig{info.name, info.contained, info.expression});
+  }
+  // list_services() is already name-sorted; keep that as the canonical order.
+  return out;
+}
+
+std::string to_text(const NetworkDescription& description) {
+  std::string out;
+  for (const auto& composite : description.composites) {
+    out += "composite " + composite.name + "\n";
+    for (const auto& component : composite.components) {
+      out += "  component " + component + "\n";
+    }
+    if (!composite.expression.empty()) {
+      out += "  expression " + composite.expression + "\n";
+    }
+    out += "end\n";
+  }
+  return out;
+}
+
+util::Result<NetworkDescription> parse_description(const std::string& text) {
+  NetworkDescription out;
+  CompositeConfig current;
+  bool in_composite = false;
+  std::size_t line_number = 0;
+
+  for (const std::string& raw : util::split(text, '\n')) {
+    ++line_number;
+    const std::string_view line = util::trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+
+    const auto error = [&](const char* message) {
+      return util::Status{
+          util::ErrorCode::kInvalidArgument,
+          util::format("%s at line %zu", message, line_number)};
+    };
+
+    if (util::starts_with(line, "composite ")) {
+      if (in_composite) return error("nested 'composite'");
+      current = CompositeConfig{};
+      current.name = std::string(util::trim(line.substr(10)));
+      if (current.name.empty()) return error("composite without a name");
+      in_composite = true;
+    } else if (line == "end") {
+      if (!in_composite) return error("'end' outside a composite");
+      out.composites.push_back(std::move(current));
+      in_composite = false;
+    } else if (util::starts_with(line, "component ")) {
+      if (!in_composite) return error("'component' outside a composite");
+      std::string name(util::trim(line.substr(10)));
+      if (name.empty()) return error("component without a name");
+      current.components.push_back(std::move(name));
+    } else if (util::starts_with(line, "expression ")) {
+      if (!in_composite) return error("'expression' outside a composite");
+      current.expression = std::string(util::trim(line.substr(11)));
+    } else {
+      return error("unrecognized directive");
+    }
+  }
+  if (in_composite) {
+    return util::Status{util::ErrorCode::kInvalidArgument,
+                        "unterminated composite (missing 'end')"};
+  }
+  return out;
+}
+
+ApplyReport apply_description(SensorcerFacade& facade,
+                              const NetworkDescription& description) {
+  ApplyReport report;
+  // Pass 1: make sure every described composite exists, so wiring in pass 2
+  // is independent of the order composites appear in the description.
+  std::vector<const CompositeConfig*> wireable;
+  for (const auto& composite : description.composites) {
+    auto existing = facade.service_information(composite.name);
+    if (!existing.is_ok()) {
+      facade.create_local_service(composite.name);
+      ++report.composites_created;
+    } else if (existing.value().kind != SensorServiceKind::kComposite) {
+      report.errors.push_back("'" + composite.name +
+                              "' exists but is not a composite");
+      continue;
+    }
+    wireable.push_back(&composite);
+  }
+
+  // Pass 2: restore components and expressions.
+  for (const CompositeConfig* target : wireable) {
+    const CompositeConfig& composite = *target;
+    std::vector<std::string> present;
+    if (auto info = facade.service_information(composite.name);
+        info.is_ok()) {
+      present = info.value().contained;
+    }
+
+    for (const auto& component : composite.components) {
+      if (std::find(present.begin(), present.end(), component) !=
+          present.end()) {
+        continue;  // already wired
+      }
+      if (util::Status added =
+              facade.compose_service(composite.name, {component});
+          added.is_ok()) {
+        ++report.components_added;
+      } else {
+        report.errors.push_back(composite.name + " <- " + component + ": " +
+                                added.to_string());
+      }
+    }
+
+    if (!composite.expression.empty()) {
+      if (util::Status set =
+              facade.add_expression(composite.name, composite.expression);
+          set.is_ok()) {
+        ++report.expressions_set;
+      } else {
+        report.errors.push_back(composite.name + " expression: " +
+                                set.to_string());
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace sensorcer::core

@@ -1,0 +1,69 @@
+#pragma once
+// Sensor-network configuration snapshots.
+//
+// The browser's MVC model "contains the data of the sensor network
+// configuration" (§V.B). This module makes that configuration a first-class
+// artifact: describe() captures every composite's children and expression,
+// the text form round-trips for storage/transport, and apply() rebuilds the
+// logical network — e.g. re-composing a composite that Rio re-provisioned
+// as a fresh (empty) instance after a cybernode failure.
+
+#include <string>
+#include <vector>
+
+#include "core/facade.h"
+
+namespace sensorcer::core {
+
+/// One composite's logical wiring.
+struct CompositeConfig {
+  std::string name;
+  std::vector<std::string> components;  // composition order = variable order
+  std::string expression;               // empty = default average
+
+  friend bool operator==(const CompositeConfig&,
+                         const CompositeConfig&) = default;
+};
+
+/// The logical sensor-network configuration (composites only; elementary
+/// services are physical resources, not configuration).
+struct NetworkDescription {
+  std::vector<CompositeConfig> composites;
+
+  friend bool operator==(const NetworkDescription&,
+                         const NetworkDescription&) = default;
+};
+
+/// Snapshot the current network: every composite service reachable through
+/// the manager, sorted by name, children in composition order.
+NetworkDescription describe(SensorNetworkManager& manager);
+
+/// Line-based text form:
+///   composite <name>
+///     component <child-name>
+///     expression <source>
+///   end
+std::string to_text(const NetworkDescription& description);
+
+/// Parse the text form; malformed input reports the offending line.
+util::Result<NetworkDescription> parse_description(const std::string& text);
+
+/// Result of applying a description.
+struct ApplyReport {
+  std::size_t composites_created = 0;   // missing composites instantiated
+  std::size_t components_added = 0;     // wiring restored
+  std::size_t expressions_set = 0;
+  std::vector<std::string> errors;      // per-item failures (apply continues)
+
+  [[nodiscard]] bool ok() const { return errors.empty(); }
+};
+
+/// Re-establish `description` through the façade: create absent composites
+/// locally, add missing components (present ones are left alone), and set
+/// expressions. Application is best-effort; failures are reported per item.
+/// (Named apply_description, not apply: ADL via std base classes would
+/// otherwise drag std::apply into the overload set.)
+ApplyReport apply_description(SensorcerFacade& facade,
+                              const NetworkDescription& description);
+
+}  // namespace sensorcer::core

@@ -1,0 +1,93 @@
+#include "core/deployment.h"
+
+#include "util/strings.h"
+
+namespace sensorcer::core {
+
+Deployment::Deployment(DeploymentConfig config)
+    : config_(config),
+      network_(scheduler_, config.seed),
+      lrm_(scheduler_),
+      txn_manager_(scheduler_),
+      discovery_(network_, scheduler_) {
+  network_.set_latency(config_.network_latency);
+
+  // Lookup services: advertised over multicast discovery and also handed to
+  // the accessor directly (unicast discovery), so clients work immediately.
+  for (std::size_t i = 0; i < config_.lookup_services; ++i) {
+    auto lus = std::make_shared<registry::LookupService>(
+        util::format("lus-%zu", i), scheduler_, &network_);
+    discovery_.advertise(lus);
+    accessor_.add_lookup(lus);
+    lookups_.push_back(std::move(lus));
+  }
+
+  if (config_.worker_threads > 0) {
+    pool_ = std::make_unique<util::ThreadPool>(config_.worker_threads);
+  }
+
+  if (config_.with_jobber) {
+    jobber_ = std::make_shared<sorcer::Jobber>("Jobber", accessor_,
+                                               pool_.get());
+    for (const auto& lus : lookups_) {
+      (void)jobber_->join(lus, lrm_, config_.lease_duration);
+    }
+  }
+  if (config_.with_spacer) {
+    spacer_ = std::make_shared<sorcer::Spacer>(
+        "Spacer", accessor_, space_, config_.spacer_workers, pool_.get());
+    for (const auto& lus : lookups_) {
+      (void)spacer_->join(lus, lrm_, config_.lease_duration);
+    }
+  }
+
+  for (std::size_t i = 0; i < config_.cybernodes; ++i) {
+    auto node = std::make_shared<rio::Cybernode>(
+        util::format("Cybernode-%zu", i + 1), config_.cybernode_capability);
+    for (const auto& lus : lookups_) {
+      (void)node->join(lus, lrm_, config_.lease_duration);
+    }
+    cybernodes_.push_back(std::move(node));
+  }
+
+  rio::MonitorConfig monitor_config = config_.monitor;
+  monitor_config.service_lease = config_.lease_duration;
+  monitor_ = std::make_shared<rio::ProvisionMonitor>(
+      "Monitor", accessor_, lrm_, scheduler_, monitor_config);
+  for (const auto& lus : lookups_) {
+    (void)monitor_->join(lus, lrm_, config_.lease_duration);
+  }
+
+  ManagerConfig manager_config;
+  manager_config.lease_duration = config_.lease_duration;
+  manager_config.collection = config_.collection;
+  manager_config.sampling = config_.sampling;
+  manager_ = std::make_unique<SensorNetworkManager>(accessor_, scheduler_,
+                                                    lrm_, manager_config);
+  provisioner_ = std::make_unique<SensorServiceProvisioner>(
+      *monitor_, accessor_, scheduler_, config_.collection, config_.sampling);
+  facade_ = std::make_shared<SensorcerFacade>(
+      "SenSORCER Facade", accessor_, *manager_, provisioner_.get());
+  for (const auto& lus : lookups_) {
+    (void)facade_->join(lus, lrm_, config_.lease_duration);
+  }
+  browser_ = std::make_unique<SensorBrowser>(*facade_);
+}
+
+Deployment::~Deployment() = default;
+
+std::shared_ptr<ElementarySensorProvider> Deployment::add_temperature_sensor(
+    const std::string& name, double base_celsius,
+    const std::string& location) {
+  return add_sensor(
+      name, sensor::make_temperature_probe(name, ++sensor_seed_, base_celsius),
+      location);
+}
+
+std::shared_ptr<ElementarySensorProvider> Deployment::add_sensor(
+    const std::string& name, sensor::ProbePtr probe,
+    const std::string& location) {
+  return manager_->register_elementary(name, std::move(probe), location);
+}
+
+}  // namespace sensorcer::core

@@ -1,0 +1,146 @@
+#include "core/elementary_provider.h"
+
+#include "util/strings.h"
+
+namespace sensorcer::core {
+
+const char* sensor_service_kind_name(SensorServiceKind kind) {
+  switch (kind) {
+    case SensorServiceKind::kElementary: return "ELEMENTARY";
+    case SensorServiceKind::kComposite: return "COMPOSITE";
+  }
+  return "?";
+}
+
+ElementarySensorProvider::ElementarySensorProvider(std::string name,
+                                                   sensor::ProbePtr probe,
+                                                   util::Scheduler& scheduler,
+                                                   SamplingPolicy policy)
+    : ServiceProvider(std::move(name),
+                      {kSensorDataAccessorType, kElementaryServiceType}),
+      probe_(std::move(probe)),
+      scheduler_(scheduler),
+      policy_(policy),
+      log_(policy.log_capacity) {
+  (void)probe_->connect();
+
+  registry::Entry attrs;
+  attrs.set(registry::attr::kServiceType,
+            std::string(sensor_service_kind_name(SensorServiceKind::kElementary)));
+  attrs.set(registry::attr::kSensorKind,
+            std::string(sensor::sensor_kind_name(probe_->teds().kind)));
+  attrs.set(registry::attr::kUnit,
+            std::string(sensor::sensor_kind_unit(probe_->teds().kind)));
+  set_attributes(attrs);
+
+  install_operations();
+
+  if (policy_.sample_period > 0) {
+    sample_timer_ = scheduler_.schedule_every(policy_.sample_period,
+                                              [this] { sample_once(); });
+  }
+}
+
+ElementarySensorProvider::~ElementarySensorProvider() {
+  scheduler_.cancel(sample_timer_);
+  probe_->disconnect();
+}
+
+void ElementarySensorProvider::set_location(const std::string& location) {
+  location_ = location;
+  registry::Entry attrs = attributes();
+  attrs.set(registry::attr::kLocation, location);
+  set_attributes(attrs);
+}
+
+void ElementarySensorProvider::sample_once() {
+  auto reading = probe_->read(scheduler_.now());
+  if (reading.is_ok()) log_.append(reading.value());
+}
+
+util::Result<sensor::Reading> ElementarySensorProvider::get_reading() {
+  auto reading = probe_->read(scheduler_.now());
+  if (!reading.is_ok()) {
+    // Device trouble: fall back to the local store if it has anything —
+    // the log is exactly what lets a service answer while the device blips.
+    if (!log_.empty()) {
+      sensor::Reading stale = log_.latest();
+      stale.quality = sensor::Quality::kSuspect;
+      return stale;
+    }
+    return reading.status();
+  }
+  log_.append(reading.value());
+  return reading;
+}
+
+util::Result<double> ElementarySensorProvider::get_value() {
+  auto reading = get_reading();
+  if (!reading.is_ok()) return reading.status();
+  return reading.value().value;
+}
+
+SensorInfo ElementarySensorProvider::info() const {
+  SensorInfo out;
+  out.name = provider_name();
+  out.kind = SensorServiceKind::kElementary;
+  out.id = service_id();
+  out.measurement = sensor::sensor_kind_name(probe_->teds().kind);
+  out.unit = sensor::sensor_kind_unit(probe_->teds().kind);
+  out.location = location_;
+  return out;
+}
+
+void ElementarySensorProvider::install_operations() {
+  add_operation(
+      op::kGetValue,
+      [this](sorcer::ServiceContext& ctx) -> util::Status {
+        auto reading = get_reading();
+        if (!reading.is_ok()) return reading.status();
+        ctx.put(path::kValue, reading.value().value,
+                sorcer::PathDirection::kOut);
+        ctx.put(path::kTimestamp,
+                static_cast<std::int64_t>(reading.value().timestamp),
+                sorcer::PathDirection::kOut);
+        ctx.put(path::kQuality,
+                std::string(sensor::quality_name(reading.value().quality)),
+                sorcer::PathDirection::kOut);
+        ctx.put(path::kUnit,
+                std::string(sensor::sensor_kind_unit(probe_->teds().kind)),
+                sorcer::PathDirection::kOut);
+        return util::Status::ok();
+      },
+      500 * util::kMicrosecond);
+
+  add_operation(
+      op::kGetLog,
+      [this](sorcer::ServiceContext& ctx) -> util::Status {
+        util::SimTime since = 0;
+        if (ctx.has(path::kLogSince)) {
+          auto s = ctx.get_double(path::kLogSince);
+          if (s.is_ok()) since = static_cast<util::SimTime>(s.value());
+        }
+        std::vector<double> values;
+        for (const auto& r : log_.window(since)) values.push_back(r.value);
+        ctx.put(path::kLogValues, std::move(values),
+                sorcer::PathDirection::kOut);
+        return util::Status::ok();
+      },
+      2 * util::kMillisecond);
+
+  add_operation(
+      op::kGetInfo,
+      [this](sorcer::ServiceContext& ctx) -> util::Status {
+        const SensorInfo i = info();
+        ctx.put(path::kInfoName, i.name, sorcer::PathDirection::kOut);
+        ctx.put(path::kInfoKind,
+                std::string(sensor_service_kind_name(i.kind)),
+                sorcer::PathDirection::kOut);
+        ctx.put(path::kInfoMeasurement, i.measurement,
+                sorcer::PathDirection::kOut);
+        return util::Status::ok();
+      },
+      200 * util::kMicrosecond);
+}
+
+}  // namespace sensorcer::core

@@ -1,0 +1,65 @@
+#pragma once
+// Elementary Sensor Provider (ESP) — "the basic building block of this
+// framework" (§V.B). Wraps one sensor probe, samples it on a schedule into
+// a local DataLog (the data-flow-reversal buffer of §II), and serves values
+// through both the SensorDataAccessor interface and exertion operations.
+
+#include <memory>
+
+#include "core/interfaces.h"
+#include "sensor/data_log.h"
+#include "sensor/probe.h"
+#include "sorcer/provider.h"
+#include "util/scheduler.h"
+
+namespace sensorcer::core {
+
+/// ESP sampling configuration.
+struct SamplingPolicy {
+  /// Period of autonomous probe sampling into the log; 0 disables
+  /// background sampling (values then come from on-demand reads only).
+  util::SimDuration sample_period = 1 * util::kSecond;
+  std::size_t log_capacity = 1024;
+};
+
+class ElementarySensorProvider : public sorcer::ServiceProvider,
+                                 public SensorDataAccessor {
+ public:
+  /// Takes ownership of the probe and connects it. Background sampling
+  /// starts immediately when the policy enables it.
+  ElementarySensorProvider(std::string name, sensor::ProbePtr probe,
+                           util::Scheduler& scheduler,
+                           SamplingPolicy policy = {});
+
+  ~ElementarySensorProvider() override;
+
+  // --- SensorDataAccessor -----------------------------------------------------
+
+  util::Result<double> get_value() override;
+  util::Result<sensor::Reading> get_reading() override;
+  [[nodiscard]] SensorInfo info() const override;
+
+  // --- local store --------------------------------------------------------------
+
+  [[nodiscard]] const sensor::DataLog& log() const { return log_; }
+
+  /// Take one sample into the log right now (also used by the timer).
+  void sample_once();
+
+  /// The probe (fault injection in tests/examples).
+  sensor::SensorProbe& probe() { return *probe_; }
+
+  void set_location(const std::string& location);
+
+ private:
+  void install_operations();
+
+  sensor::ProbePtr probe_;
+  util::Scheduler& scheduler_;
+  SamplingPolicy policy_;
+  sensor::DataLog log_;
+  util::TimerId sample_timer_ = 0;
+  std::string location_;
+};
+
+}  // namespace sensorcer::core

@@ -1,0 +1,65 @@
+#include "core/facade.h"
+
+namespace sensorcer::core {
+
+SensorcerFacade::SensorcerFacade(std::string name,
+                                 sorcer::ServiceAccessor& accessor,
+                                 SensorNetworkManager& manager,
+                                 SensorServiceProvisioner* provisioner)
+    : ServiceProvider(std::move(name), {kFacadeType}),
+      accessor_(accessor),
+      manager_(manager),
+      provisioner_(provisioner) {
+  registry::Entry attrs;
+  attrs.set(registry::attr::kComment, "SenSORCER Facade");
+  set_attributes(attrs);
+}
+
+std::vector<SensorInfo> SensorcerFacade::get_sensor_list() {
+  return manager_.list_services();
+}
+
+util::Result<double> SensorcerFacade::get_value(
+    const std::string& service_name) {
+  auto sensor = manager_.find_sensor(service_name);
+  if (!sensor.is_ok()) return sensor.status();
+  return sensor.value()->get_value();
+}
+
+util::Status SensorcerFacade::compose_service(
+    const std::string& composite, const std::vector<std::string>& children) {
+  return manager_.compose(composite, children);
+}
+
+util::Status SensorcerFacade::add_expression(const std::string& composite,
+                                             const std::string& expression) {
+  return manager_.set_expression(composite, expression);
+}
+
+util::Status SensorcerFacade::create_service(const std::string& name,
+                                             const rio::QosRequirement& qos) {
+  if (provisioner_ == nullptr) {
+    return {util::ErrorCode::kUnavailable,
+            "no provisioning service is deployed"};
+  }
+  return provisioner_->provision_composite(name, qos);
+}
+
+std::shared_ptr<CompositeSensorProvider> SensorcerFacade::create_local_service(
+    const std::string& name) {
+  return manager_.create_composite(name);
+}
+
+util::Result<SensorInfo> SensorcerFacade::service_information(
+    const std::string& name) {
+  auto sensor = manager_.find_sensor(name);
+  if (!sensor.is_ok()) return sensor.status();
+  return sensor.value()->info();
+}
+
+std::string SensorcerFacade::topology(const std::string& root,
+                                      bool with_values) {
+  return manager_.render_tree(root, with_values);
+}
+
+}  // namespace sensorcer::core

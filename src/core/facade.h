@@ -1,0 +1,66 @@
+#pragma once
+// Sensorcer Façade — "the single entry point of the SenSORCER system" (§V.B).
+// It bundles the Sensor Network Manager, the Service Accessor and the Sensor
+// Service Provisioner behind the uniform operations the Sensor Browser's
+// buttons map to: Get Sensor List / Get Value / Compose Service /
+// Add Expression / Create Service.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/network_manager.h"
+#include "core/provisioner.h"
+#include "sorcer/provider.h"
+
+namespace sensorcer::core {
+
+class SensorcerFacade : public sorcer::ServiceProvider {
+ public:
+  /// `provisioner` may be null when the deployment has no Rio monitor; the
+  /// Create Service (provision) operation then fails with kUnavailable.
+  SensorcerFacade(std::string name, sorcer::ServiceAccessor& accessor,
+                  SensorNetworkManager& manager,
+                  SensorServiceProvisioner* provisioner = nullptr);
+
+  // --- browser-button operations ------------------------------------------------
+
+  /// "Get Sensor List": every sensor service on the network.
+  std::vector<SensorInfo> get_sensor_list();
+
+  /// "Get Value": current value of the named sensor service.
+  util::Result<double> get_value(const std::string& service_name);
+
+  /// "Compose Service": add child services to a composite.
+  util::Status compose_service(const std::string& composite,
+                               const std::vector<std::string>& children);
+
+  /// "Add Expression": attach a compute expression to a composite.
+  util::Status add_expression(const std::string& composite,
+                              const std::string& expression);
+
+  /// "Create Service": provision a new composite onto a QoS-matching
+  /// cybernode through Rio.
+  util::Status create_service(const std::string& name,
+                              const rio::QosRequirement& qos = {});
+
+  /// Create a composite hosted locally (no provisioning).
+  std::shared_ptr<CompositeSensorProvider> create_local_service(
+      const std::string& name);
+
+  /// Info card for the browser's "Sensor Service Information" pane.
+  util::Result<SensorInfo> service_information(const std::string& name);
+
+  /// Containment tree (Fig 3) rooted at a composite.
+  std::string topology(const std::string& root, bool with_values = false);
+
+  [[nodiscard]] SensorNetworkManager& manager() { return manager_; }
+  [[nodiscard]] sorcer::ServiceAccessor& accessor() { return accessor_; }
+
+ private:
+  sorcer::ServiceAccessor& accessor_;
+  SensorNetworkManager& manager_;
+  SensorServiceProvisioner* provisioner_;
+};
+
+}  // namespace sensorcer::core

@@ -1,0 +1,42 @@
+#include "core/provisioner.h"
+
+namespace sensorcer::core {
+
+util::Status SensorServiceProvisioner::provision_composite(
+    const std::string& name, const rio::QosRequirement& qos) {
+  rio::OperationalString opstring;
+  opstring.name = name;
+  rio::ServiceElement element;
+  element.name = name;
+  element.qos = qos;
+  element.planned = 1;
+  element.factory = [this](const std::string& instance_name)
+      -> std::shared_ptr<sorcer::ServiceProvider> {
+    return std::make_shared<CompositeSensorProvider>(
+        instance_name, accessor_, scheduler_, collection_);
+  };
+  opstring.elements.push_back(std::move(element));
+  return monitor_.deploy(std::move(opstring));
+}
+
+util::Status SensorServiceProvisioner::provision_elementary(
+    const std::string& name,
+    std::function<sensor::ProbePtr(const std::string&)> probe_factory,
+    const rio::QosRequirement& qos, std::size_t replicas) {
+  rio::OperationalString opstring;
+  opstring.name = name;
+  rio::ServiceElement element;
+  element.name = name;
+  element.qos = qos;
+  element.planned = replicas;
+  element.factory = [this, probe_factory = std::move(probe_factory)](
+                        const std::string& instance_name)
+      -> std::shared_ptr<sorcer::ServiceProvider> {
+    return std::make_shared<ElementarySensorProvider>(
+        instance_name, probe_factory(instance_name), scheduler_, sampling_);
+  };
+  opstring.elements.push_back(std::move(element));
+  return monitor_.deploy(std::move(opstring));
+}
+
+}  // namespace sensorcer::core

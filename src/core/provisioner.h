@@ -1,0 +1,59 @@
+#pragma once
+// Sensor Service Provisioner — the façade's bridge to Rio (§V.B): "dynamic
+// network formation of sensors in SenSORCER dynamically allocates a CSP to
+// the capable cybernode with operational specifications provided by the
+// requestor."
+
+#include <memory>
+#include <string>
+
+#include "core/composite_provider.h"
+#include "core/elementary_provider.h"
+#include "rio/monitor.h"
+#include "sensor/probe.h"
+
+namespace sensorcer::core {
+
+class SensorServiceProvisioner {
+ public:
+  SensorServiceProvisioner(rio::ProvisionMonitor& monitor,
+                           sorcer::ServiceAccessor& accessor,
+                           util::Scheduler& scheduler,
+                           CollectionPolicy collection = {},
+                           SamplingPolicy sampling = {})
+      : monitor_(monitor),
+        accessor_(accessor),
+        scheduler_(scheduler),
+        collection_(collection),
+        sampling_(sampling) {}
+
+  /// Provision a new composite sensor service named `name` onto a cybernode
+  /// satisfying `qos` (the paper's step 3: "Provisioned a new composite
+  /// service on to the network"). The instance becomes discoverable after
+  /// the monitor's activation delay.
+  util::Status provision_composite(const std::string& name,
+                                   const rio::QosRequirement& qos);
+
+  /// Provision an elementary sensor service around probes produced by
+  /// `probe_factory` (one per replica).
+  util::Status provision_elementary(
+      const std::string& name,
+      std::function<sensor::ProbePtr(const std::string&)> probe_factory,
+      const rio::QosRequirement& qos, std::size_t replicas = 1);
+
+  /// Tear down a previously provisioned service.
+  util::Status unprovision(const std::string& name) {
+    return monitor_.undeploy(name);
+  }
+
+  [[nodiscard]] rio::ProvisionMonitor& monitor() { return monitor_; }
+
+ private:
+  rio::ProvisionMonitor& monitor_;
+  sorcer::ServiceAccessor& accessor_;
+  util::Scheduler& scheduler_;
+  CollectionPolicy collection_;
+  SamplingPolicy sampling_;
+};
+
+}  // namespace sensorcer::core

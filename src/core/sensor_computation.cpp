@@ -1,0 +1,57 @@
+#include "core/sensor_computation.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace sensorcer::core {
+
+std::string component_variable_name(std::size_t index) {
+  std::string name;
+  std::size_t n = index;
+  while (true) {
+    name.insert(name.begin(), static_cast<char>('a' + n % 26));
+    if (n < 26) break;
+    n = n / 26 - 1;
+  }
+  return name;
+}
+
+util::Status SensorComputation::set_expression(
+    const std::string& source,
+    const std::vector<std::string>& bound_variables) {
+  auto compiled = expr::Expression::compile(source);
+  if (!compiled.is_ok()) return compiled.status();
+
+  for (const auto& var : compiled.value().variables()) {
+    if (std::find(bound_variables.begin(), bound_variables.end(), var) ==
+        bound_variables.end()) {
+      return {util::ErrorCode::kInvalidArgument,
+              util::format("expression uses variable '%s' but only %zu "
+                           "component service(s) are composed",
+                           var.c_str(), bound_variables.size())};
+    }
+  }
+  expression_ = std::move(compiled).value();
+  return util::Status::ok();
+}
+
+util::Result<double> SensorComputation::evaluate(
+    const std::vector<double>& values) const {
+  if (!expression_.is_valid()) {
+    if (values.empty()) {
+      return util::Status{util::ErrorCode::kFailedPrecondition,
+                          "composite has no components to aggregate"};
+    }
+    double sum = 0;
+    for (double v : values) sum += v;
+    return sum / static_cast<double>(values.size());
+  }
+  expr::Environment env;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    env.set(component_variable_name(i), values[i]);
+  }
+  return expression_.evaluate(env);
+}
+
+}  // namespace sensorcer::core

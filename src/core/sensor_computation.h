@@ -1,0 +1,46 @@
+#pragma once
+// Sensor Computation — "provides capabilities of specifying required
+// computing power to CSPs ... The user can provide expressions, treating
+// services as the variables inside the CSP expression" (§V.B).
+//
+// Variables are allotted dynamically in insertion order: the first composed
+// service becomes 'a', the second 'b', and so on (after 'z': 'aa', 'ab', …),
+// exactly as the paper's Fig 3 describes.
+
+#include <string>
+#include <vector>
+
+#include "expr/evaluator.h"
+#include "util/status.h"
+
+namespace sensorcer::core {
+
+/// The variable name for component index `i`: 0→"a", 25→"z", 26→"aa".
+std::string component_variable_name(std::size_t index);
+
+class SensorComputation {
+ public:
+  SensorComputation() = default;
+
+  /// Install a compute expression. Fails on syntax errors, or when the
+  /// expression references variables beyond the `bound_variables` the
+  /// composite currently defines.
+  util::Status set_expression(const std::string& source,
+                              const std::vector<std::string>& bound_variables);
+
+  void clear_expression() { expression_ = expr::Expression{}; }
+  [[nodiscard]] bool has_expression() const { return expression_.is_valid(); }
+  [[nodiscard]] const std::string& expression_source() const {
+    return expression_.source();
+  }
+
+  /// Evaluate against component values (`values[i]` binds to variable i).
+  /// Without an expression, the default computation is the component
+  /// average — the natural aggregate for a sensor subnet.
+  util::Result<double> evaluate(const std::vector<double>& values) const;
+
+ private:
+  expr::Expression expression_;
+};
+
+}  // namespace sensorcer::core

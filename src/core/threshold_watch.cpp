@@ -1,0 +1,129 @@
+#include "core/threshold_watch.h"
+
+#include "sorcer/exert.h"
+#include "util/strings.h"
+
+namespace sensorcer::core {
+
+const char* alarm_kind_name(AlarmKind kind) {
+  switch (kind) {
+    case AlarmKind::kLow: return "LOW";
+    case AlarmKind::kHigh: return "HIGH";
+    case AlarmKind::kUnreachable: return "UNREACHABLE";
+    case AlarmKind::kRecovered: return "RECOVERED";
+  }
+  return "?";
+}
+
+std::string Alarm::to_string() const {
+  if (kind == AlarmKind::kUnreachable) {
+    return util::format("[%s] %s: %s", util::format_duration(when).c_str(),
+                        sensor.c_str(), alarm_kind_name(kind));
+  }
+  return util::format("[%s] %s: %s (value %.3f)",
+                      util::format_duration(when).c_str(), sensor.c_str(),
+                      alarm_kind_name(kind), value);
+}
+
+ThresholdWatch::ThresholdWatch(std::string name,
+                               sorcer::ServiceAccessor& accessor,
+                               util::Scheduler& scheduler,
+                               util::SimDuration period,
+                               std::size_t history_capacity)
+    : ServiceProvider(std::move(name), {"ThresholdWatch"}),
+      accessor_(accessor),
+      scheduler_(scheduler),
+      history_capacity_(history_capacity ? history_capacity : 1) {
+  poll_timer_ = scheduler_.schedule_every(period, [this] { poll_once(); });
+
+  add_operation(
+      "getAlarms",
+      [this](sorcer::ServiceContext& ctx) -> util::Status {
+        std::vector<double> values;
+        std::string rendered;
+        for (const auto& alarm : history_) {
+          values.push_back(alarm.value);
+          rendered += alarm.to_string() + "\n";
+        }
+        ctx.put("watch/alarms/count",
+                static_cast<std::int64_t>(history_.size()),
+                sorcer::PathDirection::kOut);
+        ctx.put("watch/alarms/values", std::move(values),
+                sorcer::PathDirection::kOut);
+        ctx.put("watch/alarms/log", std::move(rendered),
+                sorcer::PathDirection::kOut);
+        return util::Status::ok();
+      },
+      500 * util::kMicrosecond);
+}
+
+ThresholdWatch::~ThresholdWatch() { scheduler_.cancel(poll_timer_); }
+
+void ThresholdWatch::watch(AlarmRule rule) {
+  const std::string sensor = rule.sensor;
+  rules_[sensor] = Watched{std::move(rule), SensorState::kNormal};
+}
+
+void ThresholdWatch::unwatch(const std::string& sensor) {
+  rules_.erase(sensor);
+}
+
+void ThresholdWatch::raise(const std::string& sensor, AlarmKind kind,
+                           double value) {
+  Alarm alarm{scheduler_.now(), sensor, kind, value};
+  if (history_.size() >= history_capacity_) history_.pop_front();
+  history_.push_back(alarm);
+  if (listener_) listener_(alarm);
+}
+
+void ThresholdWatch::poll_once() {
+  for (auto& [sensor, watched] : rules_) {
+    // Read through the federation, like any requestor would.
+    auto task = sorcer::Task::make(
+        "watch.read",
+        sorcer::Signature{kSensorDataAccessorType, op::kGetValue, sensor});
+    (void)sorcer::exert(task, accessor_);
+
+    SensorState next;
+    double value = 0.0;
+    if (task->status() != sorcer::ExertStatus::kDone) {
+      next = SensorState::kUnreachable;
+    } else {
+      value = task->context().get_double(path::kValue).value_or(0.0);
+      if (value < watched.rule.low) {
+        next = SensorState::kLow;
+      } else if (value > watched.rule.high) {
+        next = SensorState::kHigh;
+      } else {
+        next = SensorState::kNormal;
+      }
+    }
+
+    if (next == watched.state) continue;  // alarms fire on transitions only
+    switch (next) {
+      case SensorState::kLow:
+        raise(sensor, AlarmKind::kLow, value);
+        break;
+      case SensorState::kHigh:
+        raise(sensor, AlarmKind::kHigh, value);
+        break;
+      case SensorState::kUnreachable:
+        raise(sensor, AlarmKind::kUnreachable, 0.0);
+        break;
+      case SensorState::kNormal:
+        raise(sensor, AlarmKind::kRecovered, value);
+        break;
+    }
+    watched.state = next;
+  }
+}
+
+std::size_t ThresholdWatch::active_alarm_count() const {
+  std::size_t n = 0;
+  for (const auto& [sensor, watched] : rules_) {
+    if (watched.state != SensorState::kNormal) ++n;
+  }
+  return n;
+}
+
+}  // namespace sensorcer::core

@@ -1,0 +1,107 @@
+#pragma once
+// Threshold Watch — remote sensor status without a site visit.
+//
+// Motivation §II.2: "In adverse weather conditions, there are no solid
+// tools available for him, which can give the status information of the
+// sensor in place." This provider watches sensor services through the
+// federation, raises alarms when a value leaves its configured band, when a
+// service becomes unreachable, and when it recovers — delivering them to a
+// listener (e.g. an EventMailbox for intermittently connected browsers) and
+// keeping a bounded history.
+
+#include <deque>
+#include <functional>
+#include <map>
+
+#include "core/interfaces.h"
+#include "sorcer/accessor.h"
+#include "sorcer/provider.h"
+#include "util/scheduler.h"
+
+namespace sensorcer::core {
+
+/// Permitted value band for one watched sensor service.
+struct AlarmRule {
+  std::string sensor;
+  double low = -1e300;
+  double high = 1e300;
+};
+
+enum class AlarmKind {
+  kLow,          // value fell below the band
+  kHigh,         // value rose above the band
+  kUnreachable,  // the service cannot be read
+  kRecovered,    // back in band / reachable again
+};
+
+const char* alarm_kind_name(AlarmKind kind);
+
+/// One raised alarm.
+struct Alarm {
+  util::SimTime when = 0;
+  std::string sensor;
+  AlarmKind kind = AlarmKind::kRecovered;
+  double value = 0.0;  // meaningless for kUnreachable
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+using AlarmListener = std::function<void(const Alarm&)>;
+
+class ThresholdWatch : public sorcer::ServiceProvider {
+ public:
+  /// Polls every `period` of virtual time; `history_capacity` bounds the
+  /// retained alarm log.
+  ThresholdWatch(std::string name, sorcer::ServiceAccessor& accessor,
+                 util::Scheduler& scheduler,
+                 util::SimDuration period = util::kSecond,
+                 std::size_t history_capacity = 1024);
+
+  ~ThresholdWatch() override;
+
+  // --- configuration ---------------------------------------------------------
+
+  /// Watch (or re-band) a sensor service. Alarms fire on state *changes*,
+  /// so a sensor already out of band alarms once, not every poll.
+  void watch(AlarmRule rule);
+
+  /// Stop watching; any active alarm for it is dropped silently.
+  void unwatch(const std::string& sensor);
+
+  void set_listener(AlarmListener listener) {
+    listener_ = std::move(listener);
+  }
+
+  // --- state -----------------------------------------------------------------
+
+  /// Evaluate every rule now (also runs automatically on the period).
+  void poll_once();
+
+  /// Sensors currently out of band or unreachable.
+  [[nodiscard]] std::size_t active_alarm_count() const;
+
+  /// Raised alarms, oldest first (bounded by history_capacity).
+  [[nodiscard]] const std::deque<Alarm>& history() const { return history_; }
+
+  [[nodiscard]] std::size_t watched_count() const { return rules_.size(); }
+
+ private:
+  enum class SensorState { kNormal, kLow, kHigh, kUnreachable };
+
+  struct Watched {
+    AlarmRule rule;
+    SensorState state = SensorState::kNormal;
+  };
+
+  void raise(const std::string& sensor, AlarmKind kind, double value);
+
+  sorcer::ServiceAccessor& accessor_;
+  util::Scheduler& scheduler_;
+  std::size_t history_capacity_;
+  util::TimerId poll_timer_ = 0;
+  std::map<std::string, Watched> rules_;
+  AlarmListener listener_;
+  std::deque<Alarm> history_;
+};
+
+}  // namespace sensorcer::core

@@ -1,0 +1,138 @@
+#include "expr/ast.h"
+
+#include <cstdio>
+
+namespace sensorcer::expr {
+
+const char* binary_op_symbol(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kPow: return "^";
+    case BinaryOp::kLess: return "<";
+    case BinaryOp::kLessEq: return "<=";
+    case BinaryOp::kGreater: return ">";
+    case BinaryOp::kGreaterEq: return ">=";
+    case BinaryOp::kEq: return "==";
+    case BinaryOp::kNotEq: return "!=";
+    case BinaryOp::kAnd: return "&&";
+    case BinaryOp::kOr: return "||";
+  }
+  return "?";
+}
+
+NodePtr Node::make_number(double value) {
+  auto n = std::make_unique<Node>();
+  n->kind = NodeKind::kNumber;
+  n->number = value;
+  return n;
+}
+
+NodePtr Node::make_variable(std::string name) {
+  auto n = std::make_unique<Node>();
+  n->kind = NodeKind::kVariable;
+  n->name = std::move(name);
+  return n;
+}
+
+NodePtr Node::make_unary(UnaryOp op, NodePtr operand) {
+  auto n = std::make_unique<Node>();
+  n->kind = NodeKind::kUnary;
+  n->unary_op = op;
+  n->children.push_back(std::move(operand));
+  return n;
+}
+
+NodePtr Node::make_binary(BinaryOp op, NodePtr lhs, NodePtr rhs) {
+  auto n = std::make_unique<Node>();
+  n->kind = NodeKind::kBinary;
+  n->binary_op = op;
+  n->children.push_back(std::move(lhs));
+  n->children.push_back(std::move(rhs));
+  return n;
+}
+
+NodePtr Node::make_call(std::string name, std::vector<NodePtr> args) {
+  auto n = std::make_unique<Node>();
+  n->kind = NodeKind::kCall;
+  n->name = std::move(name);
+  n->children = std::move(args);
+  return n;
+}
+
+NodePtr Node::make_conditional(NodePtr cond, NodePtr then_e, NodePtr else_e) {
+  auto n = std::make_unique<Node>();
+  n->kind = NodeKind::kConditional;
+  n->children.push_back(std::move(cond));
+  n->children.push_back(std::move(then_e));
+  n->children.push_back(std::move(else_e));
+  return n;
+}
+
+std::string to_string(const Node& node) {
+  switch (node.kind) {
+    case NodeKind::kNumber: {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%g", node.number);
+      return buf;
+    }
+    case NodeKind::kVariable:
+      return node.name;
+    case NodeKind::kUnary:
+      return std::string(node.unary_op == UnaryOp::kNegate ? "(-" : "(!") +
+             to_string(*node.children[0]) + ")";
+    case NodeKind::kBinary:
+      return "(" + to_string(*node.children[0]) + " " +
+             binary_op_symbol(node.binary_op) + " " +
+             to_string(*node.children[1]) + ")";
+    case NodeKind::kCall: {
+      std::string out = node.name + "(";
+      for (std::size_t i = 0; i < node.children.size(); ++i) {
+        if (i) out += ", ";
+        out += to_string(*node.children[i]);
+      }
+      return out + ")";
+    }
+    case NodeKind::kConditional:
+      return "(" + to_string(*node.children[0]) + " ? " +
+             to_string(*node.children[1]) + " : " +
+             to_string(*node.children[2]) + ")";
+  }
+  return "?";
+}
+
+namespace {
+void collect_variables(const Node& node, std::set<std::string>& out) {
+  if (node.kind == NodeKind::kVariable) out.insert(node.name);
+  for (const auto& child : node.children) collect_variables(*child, out);
+}
+}  // namespace
+
+std::set<std::string> variables(const Node& node) {
+  std::set<std::string> out;
+  collect_variables(node, out);
+  return out;
+}
+
+std::size_t node_count(const Node& node) {
+  std::size_t n = 1;
+  for (const auto& child : node.children) n += node_count(*child);
+  return n;
+}
+
+NodePtr clone(const Node& node) {
+  auto n = std::make_unique<Node>();
+  n->kind = node.kind;
+  n->number = node.number;
+  n->name = node.name;
+  n->unary_op = node.unary_op;
+  n->binary_op = node.binary_op;
+  n->children.reserve(node.children.size());
+  for (const auto& child : node.children) n->children.push_back(clone(*child));
+  return n;
+}
+
+}  // namespace sensorcer::expr

@@ -1,0 +1,64 @@
+#pragma once
+// AST for compute-expressions.
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace sensorcer::expr {
+
+enum class NodeKind {
+  kNumber,
+  kVariable,
+  kUnary,
+  kBinary,
+  kCall,
+  kConditional,
+};
+
+enum class UnaryOp { kNegate, kNot };
+
+enum class BinaryOp {
+  kAdd, kSub, kMul, kDiv, kMod, kPow,
+  kLess, kLessEq, kGreater, kGreaterEq, kEq, kNotEq,
+  kAnd, kOr,
+};
+
+/// Operator spelling, e.g. "+" or "&&".
+const char* binary_op_symbol(BinaryOp op);
+
+struct Node;
+using NodePtr = std::unique_ptr<Node>;
+
+/// A single AST node; the active fields depend on `kind`.
+struct Node {
+  NodeKind kind;
+
+  double number = 0.0;                 // kNumber
+  std::string name;                    // kVariable, kCall (function name)
+  UnaryOp unary_op = UnaryOp::kNegate; // kUnary
+  BinaryOp binary_op = BinaryOp::kAdd; // kBinary
+  std::vector<NodePtr> children;       // operands / call args / cond-then-else
+
+  static NodePtr make_number(double value);
+  static NodePtr make_variable(std::string name);
+  static NodePtr make_unary(UnaryOp op, NodePtr operand);
+  static NodePtr make_binary(BinaryOp op, NodePtr lhs, NodePtr rhs);
+  static NodePtr make_call(std::string name, std::vector<NodePtr> args);
+  static NodePtr make_conditional(NodePtr cond, NodePtr then_e, NodePtr else_e);
+};
+
+/// Fully parenthesized canonical rendering (stable for tests / display).
+std::string to_string(const Node& node);
+
+/// Free variables referenced anywhere in the expression, sorted.
+std::set<std::string> variables(const Node& node);
+
+/// Deep copy.
+NodePtr clone(const Node& node);
+
+/// Total node count (complexity metric for folding tests and benches).
+std::size_t node_count(const Node& node);
+
+}  // namespace sensorcer::expr

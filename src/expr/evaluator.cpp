@@ -1,0 +1,270 @@
+#include "expr/evaluator.h"
+
+#include <array>
+#include <cmath>
+
+#include "expr/parser.h"
+#include "util/strings.h"
+
+namespace sensorcer::expr {
+namespace {
+
+util::Status arity_error(const char* name, std::size_t want, std::size_t got) {
+  return {util::ErrorCode::kInvalidArgument,
+          util::format("%s expects %zu argument(s), got %zu", name, want, got)};
+}
+
+util::Result<double> require1(const char* name, std::span<const double> args,
+                              double (*fn)(double)) {
+  if (args.size() != 1) return arity_error(name, 1, args.size());
+  return fn(args[0]);
+}
+
+util::Result<double> require2(const char* name, std::span<const double> args,
+                              double (*fn)(double, double)) {
+  if (args.size() != 2) return arity_error(name, 2, args.size());
+  return fn(args[0], args[1]);
+}
+
+constexpr std::array<std::string_view, 18> kBuiltinNames = {
+    "abs", "sqrt", "pow", "exp", "log", "log10", "sin", "cos", "tan",
+    "floor", "ceil", "round", "min", "max", "avg", "sum", "clamp", "hypot"};
+
+}  // namespace
+
+std::span<const std::string_view> builtin_names() { return kBuiltinNames; }
+
+Environment::Environment() {
+  define("abs", [](std::span<const double> a) { return require1("abs", a, std::fabs); });
+  define("sqrt", [](std::span<const double> a) -> util::Result<double> {
+    if (a.size() != 1) return arity_error("sqrt", 1, a.size());
+    if (a[0] < 0) {
+      return util::Status{util::ErrorCode::kInvalidArgument,
+                          "sqrt of negative value"};
+    }
+    return std::sqrt(a[0]);
+  });
+  define("pow", [](std::span<const double> a) { return require2("pow", a, std::pow); });
+  define("exp", [](std::span<const double> a) { return require1("exp", a, std::exp); });
+  define("log", [](std::span<const double> a) -> util::Result<double> {
+    if (a.size() != 1) return arity_error("log", 1, a.size());
+    if (a[0] <= 0) {
+      return util::Status{util::ErrorCode::kInvalidArgument,
+                          "log of non-positive value"};
+    }
+    return std::log(a[0]);
+  });
+  define("log10", [](std::span<const double> a) -> util::Result<double> {
+    if (a.size() != 1) return arity_error("log10", 1, a.size());
+    if (a[0] <= 0) {
+      return util::Status{util::ErrorCode::kInvalidArgument,
+                          "log10 of non-positive value"};
+    }
+    return std::log10(a[0]);
+  });
+  define("sin", [](std::span<const double> a) { return require1("sin", a, std::sin); });
+  define("cos", [](std::span<const double> a) { return require1("cos", a, std::cos); });
+  define("tan", [](std::span<const double> a) { return require1("tan", a, std::tan); });
+  define("floor", [](std::span<const double> a) { return require1("floor", a, std::floor); });
+  define("ceil", [](std::span<const double> a) { return require1("ceil", a, std::ceil); });
+  define("round", [](std::span<const double> a) { return require1("round", a, std::round); });
+  define("hypot", [](std::span<const double> a) { return require2("hypot", a, std::hypot); });
+  define("min", [](std::span<const double> a) -> util::Result<double> {
+    if (a.empty()) return arity_error("min", 1, 0);
+    double m = a[0];
+    for (double x : a) m = std::min(m, x);
+    return m;
+  });
+  define("max", [](std::span<const double> a) -> util::Result<double> {
+    if (a.empty()) return arity_error("max", 1, 0);
+    double m = a[0];
+    for (double x : a) m = std::max(m, x);
+    return m;
+  });
+  define("sum", [](std::span<const double> a) -> util::Result<double> {
+    double s = 0;
+    for (double x : a) s += x;
+    return s;
+  });
+  define("avg", [](std::span<const double> a) -> util::Result<double> {
+    if (a.empty()) return arity_error("avg", 1, 0);
+    double s = 0;
+    for (double x : a) s += x;
+    return s / static_cast<double>(a.size());
+  });
+  define("clamp", [](std::span<const double> a) -> util::Result<double> {
+    if (a.size() != 3) return arity_error("clamp", 3, a.size());
+    return std::clamp(a[0], a[1], a[2]);
+  });
+}
+
+util::Result<double> Environment::lookup_var(const std::string& name) const {
+  auto it = vars_.find(name);
+  if (it == vars_.end()) {
+    return util::Status{util::ErrorCode::kNotFound,
+                        util::format("unbound variable '%s'", name.c_str())};
+  }
+  return it->second;
+}
+
+const Builtin* Environment::lookup_func(const std::string& name) const {
+  auto it = funcs_.find(name);
+  return it == funcs_.end() ? nullptr : &it->second;
+}
+
+util::Result<double> evaluate(const Node& node, const Environment& env) {
+  switch (node.kind) {
+    case NodeKind::kNumber:
+      return node.number;
+    case NodeKind::kVariable:
+      return env.lookup_var(node.name);
+    case NodeKind::kUnary: {
+      auto v = evaluate(*node.children[0], env);
+      if (!v.is_ok()) return v;
+      return node.unary_op == UnaryOp::kNegate
+                 ? -v.value()
+                 : (v.value() == 0.0 ? 1.0 : 0.0);
+    }
+    case NodeKind::kBinary: {
+      // Short-circuit logical operators before evaluating the right side.
+      if (node.binary_op == BinaryOp::kAnd || node.binary_op == BinaryOp::kOr) {
+        auto lhs = evaluate(*node.children[0], env);
+        if (!lhs.is_ok()) return lhs;
+        const bool lhs_true = lhs.value() != 0.0;
+        if (node.binary_op == BinaryOp::kAnd && !lhs_true) return 0.0;
+        if (node.binary_op == BinaryOp::kOr && lhs_true) return 1.0;
+        auto rhs = evaluate(*node.children[1], env);
+        if (!rhs.is_ok()) return rhs;
+        return rhs.value() != 0.0 ? 1.0 : 0.0;
+      }
+      auto lhs = evaluate(*node.children[0], env);
+      if (!lhs.is_ok()) return lhs;
+      auto rhs = evaluate(*node.children[1], env);
+      if (!rhs.is_ok()) return rhs;
+      const double a = lhs.value();
+      const double b = rhs.value();
+      switch (node.binary_op) {
+        case BinaryOp::kAdd: return a + b;
+        case BinaryOp::kSub: return a - b;
+        case BinaryOp::kMul: return a * b;
+        case BinaryOp::kDiv:
+          if (b == 0.0) {
+            return util::Status{util::ErrorCode::kInvalidArgument,
+                                "division by zero"};
+          }
+          return a / b;
+        case BinaryOp::kMod:
+          if (b == 0.0) {
+            return util::Status{util::ErrorCode::kInvalidArgument,
+                                "modulo by zero"};
+          }
+          return std::fmod(a, b);
+        case BinaryOp::kPow: return std::pow(a, b);
+        case BinaryOp::kLess: return a < b ? 1.0 : 0.0;
+        case BinaryOp::kLessEq: return a <= b ? 1.0 : 0.0;
+        case BinaryOp::kGreater: return a > b ? 1.0 : 0.0;
+        case BinaryOp::kGreaterEq: return a >= b ? 1.0 : 0.0;
+        case BinaryOp::kEq: return a == b ? 1.0 : 0.0;
+        case BinaryOp::kNotEq: return a != b ? 1.0 : 0.0;
+        case BinaryOp::kAnd:
+        case BinaryOp::kOr:
+          break;  // handled above
+      }
+      return util::Status{util::ErrorCode::kInternal, "unhandled operator"};
+    }
+    case NodeKind::kCall: {
+      const Builtin* fn = env.lookup_func(node.name);
+      if (fn == nullptr) {
+        return util::Status{
+            util::ErrorCode::kNotFound,
+            util::format("unknown function '%s'", node.name.c_str())};
+      }
+      std::vector<double> args;
+      args.reserve(node.children.size());
+      for (const auto& child : node.children) {
+        auto v = evaluate(*child, env);
+        if (!v.is_ok()) return v;
+        args.push_back(v.value());
+      }
+      return (*fn)(args);
+    }
+    case NodeKind::kConditional: {
+      auto cond = evaluate(*node.children[0], env);
+      if (!cond.is_ok()) return cond;
+      return evaluate(*node.children[cond.value() != 0.0 ? 1 : 2], env);
+    }
+  }
+  return util::Status{util::ErrorCode::kInternal, "unhandled node kind"};
+}
+
+NodePtr fold_constants(const Node& node, const Environment& env) {
+  // Fold children first, then this node if every operand became a literal.
+  auto folded = std::make_unique<Node>();
+  folded->kind = node.kind;
+  folded->number = node.number;
+  folded->name = node.name;
+  folded->unary_op = node.unary_op;
+  folded->binary_op = node.binary_op;
+  folded->children.reserve(node.children.size());
+  bool all_literal = true;
+  for (const auto& child : node.children) {
+    folded->children.push_back(fold_constants(*child, env));
+    all_literal &= folded->children.back()->kind == NodeKind::kNumber;
+  }
+
+  switch (node.kind) {
+    case NodeKind::kNumber:
+      return folded;
+    case NodeKind::kVariable:
+      return folded;  // variables stay dynamic, even if bound in env
+    case NodeKind::kUnary:
+    case NodeKind::kBinary:
+    case NodeKind::kCall:
+    case NodeKind::kConditional:
+      break;
+  }
+  if (!all_literal) return folded;
+
+  // Evaluate against an empty-variable environment: only literals and
+  // builtins are involved. A failure (domain error, unknown function)
+  // leaves the node unfolded so the same error surfaces at evaluation.
+  auto value = evaluate(*folded, env);
+  if (!value.is_ok()) return folded;
+  return Node::make_number(value.value());
+}
+
+util::Result<Expression> Expression::compile(std::string_view source) {
+  auto parsed = parse(source);
+  if (!parsed.is_ok()) return parsed.status();
+  // Constant subexpressions are folded once here; composites re-evaluate
+  // the expression on every read, so this pays off immediately.
+  static const Environment kBuiltins;
+  NodePtr folded = fold_constants(*parsed.value(), kBuiltins);
+  return Expression{std::move(folded), std::string(source)};
+}
+
+std::set<std::string> Expression::variables() const {
+  return root_ ? expr::variables(*root_) : std::set<std::string>{};
+}
+
+util::Result<double> Expression::evaluate(const Environment& env) const {
+  if (!root_) {
+    return util::Status{util::ErrorCode::kFailedPrecondition,
+                        "evaluating an empty expression"};
+  }
+  return expr::evaluate(*root_, env);
+}
+
+Expression::Expression(const Expression& other)
+    : root_(other.root_ ? clone(*other.root_) : nullptr),
+      source_(other.source_) {}
+
+Expression& Expression::operator=(const Expression& other) {
+  if (this != &other) {
+    root_ = other.root_ ? clone(*other.root_) : nullptr;
+    source_ = other.source_;
+  }
+  return *this;
+}
+
+}  // namespace sensorcer::expr

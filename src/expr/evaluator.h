@@ -1,0 +1,97 @@
+#pragma once
+// Evaluator for compute-expressions, plus the compiled Expression facade the
+// rest of the framework uses.
+//
+// Variables are resolved through an Environment. Composite sensor providers
+// bind variables a, b, c, ... to their child services' live values before
+// each evaluation — this is the runtime "sensor computation" mechanism the
+// paper delegates to Groovy.
+
+#include <functional>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "expr/ast.h"
+#include "util/status.h"
+
+namespace sensorcer::expr {
+
+/// A builtin function: takes the evaluated argument values.
+using Builtin = std::function<util::Result<double>(std::span<const double>)>;
+
+/// Variable and function bindings.
+class Environment {
+ public:
+  /// Starts with the standard builtin library (see builtins()).
+  Environment();
+
+  void set(const std::string& name, double value) { vars_[name] = value; }
+  void unset(const std::string& name) { vars_.erase(name); }
+  void clear_vars() { vars_.clear(); }
+  [[nodiscard]] bool has(const std::string& name) const {
+    return vars_.contains(name);
+  }
+
+  /// Register or replace a function.
+  void define(const std::string& name, Builtin fn) {
+    funcs_[name] = std::move(fn);
+  }
+
+  [[nodiscard]] util::Result<double> lookup_var(const std::string& name) const;
+  [[nodiscard]] const Builtin* lookup_func(const std::string& name) const;
+
+ private:
+  std::map<std::string, double> vars_;
+  std::map<std::string, Builtin> funcs_;
+};
+
+/// Names of the standard builtins: abs, sqrt, pow, exp, log, log10, sin,
+/// cos, tan, floor, ceil, round, min, max, avg, sum, clamp, hypot.
+std::span<const std::string_view> builtin_names();
+
+/// Evaluate an AST against an environment.
+util::Result<double> evaluate(const Node& node, const Environment& env);
+
+/// Constant folding: collapse every subtree with no free variables into a
+/// number, using `env` for builtin functions (variables in `env` are NOT
+/// substituted — they stay dynamic). Subtrees whose evaluation would fail
+/// (1/0, sqrt(-1)) are left unfolded so the error still surfaces at run
+/// time. Composites fold their expression once at set_expression() time,
+/// because they re-evaluate on every sensor read.
+NodePtr fold_constants(const Node& node, const Environment& env);
+
+/// A parsed, reusable expression. This is the type stored on composite
+/// sensor providers.
+class Expression {
+ public:
+  Expression() = default;
+
+  /// Parse `source`; invalid input yields an error Result.
+  static util::Result<Expression> compile(std::string_view source);
+
+  [[nodiscard]] bool is_valid() const { return root_ != nullptr; }
+  [[nodiscard]] const std::string& source() const { return source_; }
+
+  /// Free variables, sorted (used by CSPs to check binding coverage).
+  [[nodiscard]] std::set<std::string> variables() const;
+
+  /// Evaluate against `env`; unbound variables produce kNotFound.
+  [[nodiscard]] util::Result<double> evaluate(const Environment& env) const;
+
+  Expression(const Expression& other);
+  Expression& operator=(const Expression& other);
+  Expression(Expression&&) noexcept = default;
+  Expression& operator=(Expression&&) noexcept = default;
+  ~Expression() = default;
+
+ private:
+  Expression(NodePtr root, std::string source)
+      : root_(std::move(root)), source_(std::move(source)) {}
+
+  NodePtr root_;
+  std::string source_;
+};
+
+}  // namespace sensorcer::expr

@@ -1,0 +1,150 @@
+#include "expr/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace sensorcer::expr {
+
+const char* token_kind_name(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+    case TokenKind::kCaret: return "'^'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kLess: return "'<'";
+    case TokenKind::kLessEq: return "'<='";
+    case TokenKind::kGreater: return "'>'";
+    case TokenKind::kGreaterEq: return "'>='";
+    case TokenKind::kEqEq: return "'=='";
+    case TokenKind::kBangEq: return "'!='";
+    case TokenKind::kAndAnd: return "'&&'";
+    case TokenKind::kOrOr: return "'||'";
+    case TokenKind::kBang: return "'!'";
+    case TokenKind::kQuestion: return "'?'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kEnd: return "end of expression";
+    case TokenKind::kError: return "error";
+  }
+  return "?";
+}
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+util::Result<std::vector<Token>> tokenize(std::string_view source) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+
+  const auto simple = [&](TokenKind kind, std::size_t len) {
+    out.push_back({kind, std::string(source.substr(i, len)), 0.0, i});
+    i += len;
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      ++i;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      const char* begin = source.data() + i;
+      char* end = nullptr;
+      const double value = std::strtod(begin, &end);
+      if (end == begin) {
+        return util::Status{util::ErrorCode::kInvalidArgument,
+                            util::format("malformed number at position %zu", i)};
+      }
+      const auto len = static_cast<std::size_t>(end - begin);
+      out.push_back({TokenKind::kNumber, std::string(source.substr(i, len)),
+                     value, i});
+      i += len;
+      continue;
+    }
+    if (is_ident_start(c)) {
+      std::size_t len = 1;
+      while (i + len < n && is_ident_char(source[i + len])) ++len;
+      out.push_back({TokenKind::kIdentifier,
+                     std::string(source.substr(i, len)), 0.0, i});
+      i += len;
+      continue;
+    }
+    switch (c) {
+      case '+': simple(TokenKind::kPlus, 1); break;
+      case '-': simple(TokenKind::kMinus, 1); break;
+      case '*': simple(TokenKind::kStar, 1); break;
+      case '/': simple(TokenKind::kSlash, 1); break;
+      case '%': simple(TokenKind::kPercent, 1); break;
+      case '^': simple(TokenKind::kCaret, 1); break;
+      case '(': simple(TokenKind::kLParen, 1); break;
+      case ')': simple(TokenKind::kRParen, 1); break;
+      case ',': simple(TokenKind::kComma, 1); break;
+      case '?': simple(TokenKind::kQuestion, 1); break;
+      case ':': simple(TokenKind::kColon, 1); break;
+      case '<':
+        if (i + 1 < n && source[i + 1] == '=') simple(TokenKind::kLessEq, 2);
+        else simple(TokenKind::kLess, 1);
+        break;
+      case '>':
+        if (i + 1 < n && source[i + 1] == '=') simple(TokenKind::kGreaterEq, 2);
+        else simple(TokenKind::kGreater, 1);
+        break;
+      case '=':
+        if (i + 1 < n && source[i + 1] == '=') {
+          simple(TokenKind::kEqEq, 2);
+        } else {
+          return util::Status{
+              util::ErrorCode::kInvalidArgument,
+              util::format("'=' at position %zu (did you mean '=='?)", i)};
+        }
+        break;
+      case '!':
+        if (i + 1 < n && source[i + 1] == '=') simple(TokenKind::kBangEq, 2);
+        else simple(TokenKind::kBang, 1);
+        break;
+      case '&':
+        if (i + 1 < n && source[i + 1] == '&') {
+          simple(TokenKind::kAndAnd, 2);
+        } else {
+          return util::Status{util::ErrorCode::kInvalidArgument,
+                              util::format("single '&' at position %zu", i)};
+        }
+        break;
+      case '|':
+        if (i + 1 < n && source[i + 1] == '|') {
+          simple(TokenKind::kOrOr, 2);
+        } else {
+          return util::Status{util::ErrorCode::kInvalidArgument,
+                              util::format("single '|' at position %zu", i)};
+        }
+        break;
+      default:
+        return util::Status{
+            util::ErrorCode::kInvalidArgument,
+            util::format("unexpected character '%c' at position %zu", c, i)};
+    }
+  }
+  out.push_back({TokenKind::kEnd, "", 0.0, n});
+  return out;
+}
+
+}  // namespace sensorcer::expr

@@ -1,0 +1,17 @@
+#pragma once
+// Hand-written lexer for the compute-expression language.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "expr/token.h"
+#include "util/status.h"
+
+namespace sensorcer::expr {
+
+/// Tokenize `source`. On success the final token is kEnd. A lexical error
+/// (bad character, malformed number) is reported with its byte position.
+util::Result<std::vector<Token>> tokenize(std::string_view source);
+
+}  // namespace sensorcer::expr

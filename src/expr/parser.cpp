@@ -1,0 +1,211 @@
+#include "expr/parser.h"
+
+#include <vector>
+
+#include "expr/lexer.h"
+#include "util/strings.h"
+
+namespace sensorcer::expr {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  util::Result<NodePtr> run() {
+    auto expr = conditional();
+    if (!expr.is_ok()) return expr;
+    if (peek().kind != TokenKind::kEnd) {
+      return error(util::format("unexpected %s after expression",
+                                token_kind_name(peek().kind)));
+    }
+    return expr;
+  }
+
+ private:
+  const Token& peek() const { return tokens_[pos_]; }
+  Token advance() { return tokens_[pos_++]; }
+  bool match(TokenKind kind) {
+    if (peek().kind != kind) return false;
+    ++pos_;
+    return true;
+  }
+
+  util::Status error(std::string message) const {
+    return {util::ErrorCode::kInvalidArgument,
+            util::format("%s at position %zu", message.c_str(),
+                         peek().position)};
+  }
+
+  util::Result<NodePtr> conditional() {
+    auto cond = logical_or();
+    if (!cond.is_ok()) return cond;
+    if (!match(TokenKind::kQuestion)) return cond;
+    auto then_e = conditional();
+    if (!then_e.is_ok()) return then_e;
+    if (!match(TokenKind::kColon)) return error("expected ':' in conditional");
+    auto else_e = conditional();
+    if (!else_e.is_ok()) return else_e;
+    return Node::make_conditional(std::move(cond).value(),
+                                  std::move(then_e).value(),
+                                  std::move(else_e).value());
+  }
+
+  util::Result<NodePtr> logical_or() {
+    auto lhs = logical_and();
+    if (!lhs.is_ok()) return lhs;
+    NodePtr node = std::move(lhs).value();
+    while (match(TokenKind::kOrOr)) {
+      auto rhs = logical_and();
+      if (!rhs.is_ok()) return rhs;
+      node = Node::make_binary(BinaryOp::kOr, std::move(node),
+                               std::move(rhs).value());
+    }
+    return node;
+  }
+
+  util::Result<NodePtr> logical_and() {
+    auto lhs = equality();
+    if (!lhs.is_ok()) return lhs;
+    NodePtr node = std::move(lhs).value();
+    while (match(TokenKind::kAndAnd)) {
+      auto rhs = equality();
+      if (!rhs.is_ok()) return rhs;
+      node = Node::make_binary(BinaryOp::kAnd, std::move(node),
+                               std::move(rhs).value());
+    }
+    return node;
+  }
+
+  util::Result<NodePtr> equality() {
+    auto lhs = relational();
+    if (!lhs.is_ok()) return lhs;
+    NodePtr node = std::move(lhs).value();
+    while (true) {
+      BinaryOp op;
+      if (match(TokenKind::kEqEq)) op = BinaryOp::kEq;
+      else if (match(TokenKind::kBangEq)) op = BinaryOp::kNotEq;
+      else return node;
+      auto rhs = relational();
+      if (!rhs.is_ok()) return rhs;
+      node = Node::make_binary(op, std::move(node), std::move(rhs).value());
+    }
+  }
+
+  util::Result<NodePtr> relational() {
+    auto lhs = additive();
+    if (!lhs.is_ok()) return lhs;
+    NodePtr node = std::move(lhs).value();
+    while (true) {
+      BinaryOp op;
+      if (match(TokenKind::kLess)) op = BinaryOp::kLess;
+      else if (match(TokenKind::kLessEq)) op = BinaryOp::kLessEq;
+      else if (match(TokenKind::kGreater)) op = BinaryOp::kGreater;
+      else if (match(TokenKind::kGreaterEq)) op = BinaryOp::kGreaterEq;
+      else return node;
+      auto rhs = additive();
+      if (!rhs.is_ok()) return rhs;
+      node = Node::make_binary(op, std::move(node), std::move(rhs).value());
+    }
+  }
+
+  util::Result<NodePtr> additive() {
+    auto lhs = multiplicative();
+    if (!lhs.is_ok()) return lhs;
+    NodePtr node = std::move(lhs).value();
+    while (true) {
+      BinaryOp op;
+      if (match(TokenKind::kPlus)) op = BinaryOp::kAdd;
+      else if (match(TokenKind::kMinus)) op = BinaryOp::kSub;
+      else return node;
+      auto rhs = multiplicative();
+      if (!rhs.is_ok()) return rhs;
+      node = Node::make_binary(op, std::move(node), std::move(rhs).value());
+    }
+  }
+
+  util::Result<NodePtr> multiplicative() {
+    auto lhs = unary();
+    if (!lhs.is_ok()) return lhs;
+    NodePtr node = std::move(lhs).value();
+    while (true) {
+      BinaryOp op;
+      if (match(TokenKind::kStar)) op = BinaryOp::kMul;
+      else if (match(TokenKind::kSlash)) op = BinaryOp::kDiv;
+      else if (match(TokenKind::kPercent)) op = BinaryOp::kMod;
+      else return node;
+      auto rhs = unary();
+      if (!rhs.is_ok()) return rhs;
+      node = Node::make_binary(op, std::move(node), std::move(rhs).value());
+    }
+  }
+
+  util::Result<NodePtr> unary() {
+    if (match(TokenKind::kMinus)) {
+      auto operand = unary();
+      if (!operand.is_ok()) return operand;
+      return Node::make_unary(UnaryOp::kNegate, std::move(operand).value());
+    }
+    if (match(TokenKind::kBang)) {
+      auto operand = unary();
+      if (!operand.is_ok()) return operand;
+      return Node::make_unary(UnaryOp::kNot, std::move(operand).value());
+    }
+    return power();
+  }
+
+  util::Result<NodePtr> power() {
+    auto base = primary();
+    if (!base.is_ok()) return base;
+    if (!match(TokenKind::kCaret)) return base;
+    auto exponent = unary();  // right associative: 2^3^2 == 2^(3^2)
+    if (!exponent.is_ok()) return exponent;
+    return Node::make_binary(BinaryOp::kPow, std::move(base).value(),
+                             std::move(exponent).value());
+  }
+
+  util::Result<NodePtr> primary() {
+    if (peek().kind == TokenKind::kNumber) {
+      return Node::make_number(advance().number);
+    }
+    if (peek().kind == TokenKind::kIdentifier) {
+      Token name = advance();
+      if (!match(TokenKind::kLParen)) {
+        return Node::make_variable(std::move(name.text));
+      }
+      std::vector<NodePtr> args;
+      if (!match(TokenKind::kRParen)) {
+        while (true) {
+          auto arg = conditional();
+          if (!arg.is_ok()) return arg;
+          args.push_back(std::move(arg).value());
+          if (match(TokenKind::kComma)) continue;
+          if (match(TokenKind::kRParen)) break;
+          return error("expected ',' or ')' in argument list");
+        }
+      }
+      return Node::make_call(std::move(name.text), std::move(args));
+    }
+    if (match(TokenKind::kLParen)) {
+      auto inner = conditional();
+      if (!inner.is_ok()) return inner;
+      if (!match(TokenKind::kRParen)) return error("expected ')'");
+      return inner;
+    }
+    return error(util::format("expected expression, found %s",
+                              token_kind_name(peek().kind)));
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+util::Result<NodePtr> parse(std::string_view source) {
+  auto tokens = tokenize(source);
+  if (!tokens.is_ok()) return tokens.status();
+  return Parser(std::move(tokens).value()).run();
+}
+
+}  // namespace sensorcer::expr

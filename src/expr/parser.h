@@ -1,0 +1,26 @@
+#pragma once
+// Recursive-descent / precedence-climbing parser for compute-expressions.
+//
+// Grammar (lowest to highest precedence):
+//   conditional := or ('?' conditional ':' conditional)?
+//   or          := and ('||' and)*
+//   and         := equality ('&&' equality)*
+//   equality    := relational (('=='|'!=') relational)*
+//   relational  := additive (('<'|'<='|'>'|'>=') additive)*
+//   additive    := multiplicative (('+'|'-') multiplicative)*
+//   multiplicative := unary (('*'|'/'|'%') unary)*
+//   unary       := ('-'|'!') unary | power
+//   power       := primary ('^' unary)?            (right associative)
+//   primary     := number | identifier | identifier '(' args ')' | '(' conditional ')'
+
+#include <string_view>
+
+#include "expr/ast.h"
+#include "util/status.h"
+
+namespace sensorcer::expr {
+
+/// Parse an expression. Errors carry the offending position and token.
+util::Result<NodePtr> parse(std::string_view source);
+
+}  // namespace sensorcer::expr

@@ -1,0 +1,34 @@
+#pragma once
+// Token vocabulary for the SenSORCER compute-expression language — the
+// from-scratch substitute for the paper's use of Groovy. Expressions like
+// "(a + b + c) / 3" are attached to composite sensor providers and evaluated
+// against dynamically bound sensor-service variables.
+
+#include <cstddef>
+#include <string>
+
+namespace sensorcer::expr {
+
+enum class TokenKind {
+  kNumber,
+  kIdentifier,
+  kPlus, kMinus, kStar, kSlash, kPercent, kCaret,
+  kLParen, kRParen, kComma,
+  kLess, kLessEq, kGreater, kGreaterEq, kEqEq, kBangEq,
+  kAndAnd, kOrOr, kBang,
+  kQuestion, kColon,
+  kEnd,
+  kError,
+};
+
+/// Printable name for diagnostics.
+const char* token_kind_name(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;     // lexeme (identifier name, number literal, operator)
+  double number = 0.0;  // value when kind == kNumber
+  std::size_t position = 0;  // byte offset in the source expression
+};
+
+}  // namespace sensorcer::expr

@@ -1,0 +1,125 @@
+#include "registry/discovery.h"
+
+#include <algorithm>
+
+namespace sensorcer::registry {
+
+namespace {
+// Modeled sizes of the discovery datagrams (Jini's are ~70-500 bytes).
+constexpr std::size_t kAnnounceBytes = 96;
+constexpr std::size_t kRequestBytes = 64;
+constexpr std::size_t kResponseBytes = 160;
+
+constexpr const char* kTopicAnnounce = "discovery.announce";
+constexpr const char* kTopicRequest = "discovery.request";
+constexpr const char* kTopicResponse = "discovery.response";
+}  // namespace
+
+simnet::Address discovery_group() {
+  // Fixed well-known address, shared by every participant.
+  return util::Uuid{0x224'0001'85ull, 0x4a49'4e49ull /* "JINI" */};
+}
+
+DiscoveryManager::DiscoveryManager(simnet::Network& network,
+                                   util::Scheduler& scheduler)
+    : network_(network), scheduler_(scheduler), address_(util::new_uuid()) {
+  network_.attach(address_,
+                  [this](const simnet::Message& msg) { handle_message(msg); });
+  network_.join_group(discovery_group(), address_);
+}
+
+DiscoveryManager::~DiscoveryManager() {
+  for (auto& ad : advertised_) scheduler_.cancel(ad.announce_timer);
+  network_.leave_group(discovery_group(), address_);
+  network_.detach(address_);
+}
+
+void DiscoveryManager::advertise(std::shared_ptr<LookupService> lus,
+                                 util::SimDuration announce_period) {
+  announce(lus);
+  std::weak_ptr<LookupService> weak = lus;
+  const util::TimerId timer =
+      scheduler_.schedule_every(announce_period, [this, weak] {
+        if (auto strong = weak.lock()) announce(strong);
+      });
+  advertised_.push_back({std::move(lus), timer});
+}
+
+void DiscoveryManager::withdraw(const std::shared_ptr<LookupService>& lus) {
+  std::erase_if(advertised_, [&](Advertised& ad) {
+    if (ad.lus != lus) return false;
+    scheduler_.cancel(ad.announce_timer);
+    return true;
+  });
+}
+
+void DiscoveryManager::announce(const std::shared_ptr<LookupService>& lus) {
+  simnet::Message msg;
+  msg.source = address_;
+  msg.topic = kTopicAnnounce;
+  msg.body = LusAdvertisement{lus, lus->address()};
+  msg.payload_bytes = kAnnounceBytes;
+  network_.multicast(discovery_group(), msg);
+}
+
+void DiscoveryManager::start_discovery(DiscoveryListener listener) {
+  listener_ = std::move(listener);
+  discovering_ = true;
+  // Report anything already known (e.g. learned from announcements that
+  // arrived before the client asked).
+  for (auto& [addr, weak] : known_) {
+    if (auto strong = weak.lock(); strong && listener_) listener_(strong);
+  }
+  simnet::Message msg;
+  msg.source = address_;
+  msg.topic = kTopicRequest;
+  msg.payload_bytes = kRequestBytes;
+  network_.multicast(discovery_group(), msg);
+}
+
+void DiscoveryManager::handle_message(const simnet::Message& msg) {
+  if (msg.topic == kTopicAnnounce || msg.topic == kTopicResponse) {
+    if (const auto* ad = std::any_cast<LusAdvertisement>(&msg.body)) {
+      note_discovered(*ad);
+    }
+    return;
+  }
+  if (msg.topic == kTopicRequest) {
+    // Answer with a unicast response for each LUS we advertise.
+    for (const auto& ad : advertised_) {
+      simnet::Message reply;
+      reply.source = address_;
+      reply.destination = msg.source;
+      reply.topic = kTopicResponse;
+      reply.body = LusAdvertisement{ad.lus, ad.lus->address()};
+      reply.payload_bytes = kResponseBytes;
+      reply.protocol = simnet::Protocol::kTcp;  // Jini unicast discovery is TCP
+      (void)network_.send(std::move(reply));
+    }
+  }
+}
+
+void DiscoveryManager::note_discovered(const LusAdvertisement& ad) {
+  auto strong = ad.lus.lock();
+  if (!strong) return;
+  const bool is_new = !known_.contains(ad.lus_address);
+  known_[ad.lus_address] = ad.lus;
+  if (is_new && discovering_ && listener_) listener_(strong);
+}
+
+std::vector<std::shared_ptr<LookupService>> DiscoveryManager::discovered() {
+  std::vector<std::shared_ptr<LookupService>> out;
+  for (auto it = known_.begin(); it != known_.end();) {
+    if (auto strong = it->second.lock()) {
+      out.push_back(std::move(strong));
+      ++it;
+    } else {
+      it = known_.erase(it);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a->name() < b->name(); });
+  return out;
+}
+
+}  // namespace sensorcer::registry

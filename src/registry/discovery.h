@@ -1,0 +1,84 @@
+#pragma once
+// Jini discovery/join protocols over the simulated network.
+//
+// Lookup services announce themselves on a well-known multicast group and
+// answer unicast requests; clients multicast requests and collect responses.
+// "New services entering the network become available immediately" (§IV.B) —
+// the plug-and-play bench measures exactly this join-to-discoverable latency.
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "registry/lookup.h"
+#include "simnet/network.h"
+#include "util/scheduler.h"
+
+namespace sensorcer::registry {
+
+/// The well-known discovery multicast group (Jini's 224.0.1.85 analogue).
+simnet::Address discovery_group();
+
+/// Payload of announce/response messages: a reference to the LUS "proxy".
+struct LusAdvertisement {
+  std::weak_ptr<LookupService> lus;
+  simnet::Address lus_address;
+};
+
+/// Client- and LUS-side discovery engine.
+///
+/// LUS side: `advertise(lus)` joins the group, emits periodic multicast
+/// announcements and answers multicast requests with unicast responses.
+///
+/// Client side: `start_discovery(listener)` joins the group, multicasts a
+/// request, and invokes the listener once per newly discovered LUS.
+class DiscoveryManager {
+ public:
+  using DiscoveryListener =
+      std::function<void(const std::shared_ptr<LookupService>&)>;
+
+  DiscoveryManager(simnet::Network& network, util::Scheduler& scheduler);
+  ~DiscoveryManager();
+
+  DiscoveryManager(const DiscoveryManager&) = delete;
+  DiscoveryManager& operator=(const DiscoveryManager&) = delete;
+
+  /// Make `lus` discoverable. Announcement period defaults to the Jini
+  /// convention of 120s; tests shrink it.
+  void advertise(std::shared_ptr<LookupService> lus,
+                 util::SimDuration announce_period = 120 * util::kSecond);
+
+  /// Stop advertising a LUS (it disappears after clients' caches age out).
+  void withdraw(const std::shared_ptr<LookupService>& lus);
+
+  /// Begin client-side discovery; previously and newly discovered LUSs are
+  /// reported through `listener` exactly once each.
+  void start_discovery(DiscoveryListener listener);
+
+  /// LUSs discovered so far (expired weak refs are pruned).
+  [[nodiscard]] std::vector<std::shared_ptr<LookupService>> discovered();
+
+  [[nodiscard]] simnet::Address client_address() const { return address_; }
+
+ private:
+  void handle_message(const simnet::Message& msg);
+  void note_discovered(const LusAdvertisement& ad);
+  void announce(const std::shared_ptr<LookupService>& lus);
+
+  simnet::Network& network_;
+  util::Scheduler& scheduler_;
+  simnet::Address address_;
+
+  struct Advertised {
+    std::shared_ptr<LookupService> lus;
+    util::TimerId announce_timer;
+  };
+  std::vector<Advertised> advertised_;
+
+  DiscoveryListener listener_;
+  std::unordered_map<simnet::Address, std::weak_ptr<LookupService>> known_;
+  bool discovering_ = false;
+};
+
+}  // namespace sensorcer::registry

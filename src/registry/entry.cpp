@@ -1,0 +1,52 @@
+#include "registry/entry.h"
+
+#include <cstdio>
+
+namespace sensorcer::registry {
+
+std::string entry_value_to_string(const EntryValue& value) {
+  struct Visitor {
+    std::string operator()(const std::string& s) const { return s; }
+    std::string operator()(double d) const {
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "%g", d);
+      return buf;
+    }
+    std::string operator()(std::int64_t i) const {
+      return std::to_string(i);
+    }
+    std::string operator()(bool b) const { return b ? "true" : "false"; }
+  };
+  return std::visit(Visitor{}, value);
+}
+
+std::string Entry::get_string(const std::string& key,
+                              const std::string& fallback) const {
+  const EntryValue* v = find(key);
+  if (v == nullptr) return fallback;
+  if (const auto* s = std::get_if<std::string>(v)) return *s;
+  return fallback;
+}
+
+bool Entry::matches(const Entry& item) const {
+  for (const auto& [key, want] : attrs_) {
+    const EntryValue* have = item.find(key);
+    if (have == nullptr || *have != want) return false;
+  }
+  return true;
+}
+
+std::size_t Entry::wire_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& [key, value] : attrs_) {
+    bytes += key.size() + 1;
+    if (const auto* s = std::get_if<std::string>(&value)) {
+      bytes += s->size() + 1;
+    } else {
+      bytes += 8;
+    }
+  }
+  return bytes;
+}
+
+}  // namespace sensorcer::registry

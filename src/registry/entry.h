@@ -1,0 +1,74 @@
+#pragma once
+// Jini-style Entry attributes.
+//
+// Services register with complementary attributes (name, location, comment,
+// UI descriptors — see the left pane of the paper's Fig 2) and requestors
+// match on attribute templates: a template matches an item when every
+// template attribute is present on the item with an equal value.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+
+namespace sensorcer::registry {
+
+using EntryValue = std::variant<std::string, double, std::int64_t, bool>;
+
+/// Render a value for browser/debug output.
+std::string entry_value_to_string(const EntryValue& value);
+
+/// A bag of named attributes.
+class Entry {
+ public:
+  Entry() = default;
+  Entry(std::initializer_list<std::pair<const std::string, EntryValue>> init)
+      : attrs_(init) {}
+
+  void set(const std::string& key, EntryValue value) {
+    attrs_[key] = std::move(value);
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return attrs_.contains(key);
+  }
+
+  /// Value for `key`, or nullptr.
+  [[nodiscard]] const EntryValue* find(const std::string& key) const {
+    auto it = attrs_.find(key);
+    return it == attrs_.end() ? nullptr : &it->second;
+  }
+
+  /// String value for `key`, or `fallback` if absent or non-string.
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback = "") const;
+
+  /// Template match: every attribute of `this` must be present and equal
+  /// on `item`. An empty template matches everything.
+  [[nodiscard]] bool matches(const Entry& item) const;
+
+  [[nodiscard]] std::size_t size() const { return attrs_.size(); }
+  [[nodiscard]] auto begin() const { return attrs_.begin(); }
+  [[nodiscard]] auto end() const { return attrs_.end(); }
+
+  friend bool operator==(const Entry&, const Entry&) = default;
+
+  /// Modeled serialized size in bytes (for traffic accounting).
+  [[nodiscard]] std::size_t wire_bytes() const;
+
+ private:
+  std::map<std::string, EntryValue> attrs_;
+};
+
+/// Well-known attribute keys used throughout SenSORCER.
+namespace attr {
+inline constexpr const char* kName = "name";               // provider name
+inline constexpr const char* kServiceType = "serviceType"; // ELEMENTARY/...
+inline constexpr const char* kSensorKind = "sensorKind";   // temperature/...
+inline constexpr const char* kUnit = "unit";
+inline constexpr const char* kLocation = "location";       // "CP TTU/310"
+inline constexpr const char* kComment = "comment";
+inline constexpr const char* kOwner = "owner";             // hosting cybernode
+}  // namespace attr
+
+}  // namespace sensorcer::registry

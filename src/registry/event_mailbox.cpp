@@ -1,0 +1,41 @@
+#include "registry/event_mailbox.h"
+
+namespace sensorcer::registry {
+
+EventMailbox::Mailbox EventMailbox::open() {
+  const util::Uuid id = util::new_uuid();
+  boxes_.emplace(id, std::deque<ServiceEvent>{});
+  EventListener listener = [this, id](const ServiceEvent& ev) {
+    auto it = boxes_.find(id);
+    if (it == boxes_.end()) return;  // mailbox closed; drop silently
+    if (it->second.size() >= capacity_) {
+      it->second.pop_front();
+      ++discarded_;
+    }
+    it->second.push_back(ev);
+  };
+  return {id, std::move(listener)};
+}
+
+void EventMailbox::close(const util::Uuid& mailbox_id) {
+  boxes_.erase(mailbox_id);
+}
+
+std::size_t EventMailbox::pending(const util::Uuid& mailbox_id) const {
+  auto it = boxes_.find(mailbox_id);
+  return it == boxes_.end() ? 0 : it->second.size();
+}
+
+std::vector<ServiceEvent> EventMailbox::drain(const util::Uuid& mailbox_id,
+                                              std::size_t max_events) {
+  std::vector<ServiceEvent> out;
+  auto it = boxes_.find(mailbox_id);
+  if (it == boxes_.end()) return out;
+  while (!it->second.empty() && out.size() < max_events) {
+    out.push_back(std::move(it->second.front()));
+    it->second.pop_front();
+  }
+  return out;
+}
+
+}  // namespace sensorcer::registry

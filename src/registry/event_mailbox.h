@@ -1,0 +1,46 @@
+#pragma once
+// Event Mailbox service (listed among the Jini infrastructure services in
+// the paper's Fig 2). Stores remote events on behalf of listeners that are
+// intermittently connected — e.g. the zero-install Sensor Browser on a
+// mobile device — and delivers them on demand.
+
+#include <deque>
+#include <unordered_map>
+
+#include "registry/lookup.h"
+
+namespace sensorcer::registry {
+
+class EventMailbox : public ServiceProxy {
+ public:
+  /// Events retained per mailbox before the oldest are discarded.
+  explicit EventMailbox(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  /// Open a mailbox; the returned listener can be handed to
+  /// LookupService::notify to buffer events here.
+  struct Mailbox {
+    util::Uuid id;
+    EventListener listener;
+  };
+  Mailbox open();
+
+  /// Close a mailbox, dropping buffered events.
+  void close(const util::Uuid& mailbox_id);
+
+  /// Events buffered for a mailbox.
+  [[nodiscard]] std::size_t pending(const util::Uuid& mailbox_id) const;
+
+  /// Remove and return up to `max_events` buffered events, oldest first.
+  std::vector<ServiceEvent> drain(const util::Uuid& mailbox_id,
+                                  std::size_t max_events = SIZE_MAX);
+
+  /// Events discarded across all mailboxes due to capacity.
+  [[nodiscard]] std::uint64_t discarded() const { return discarded_; }
+
+ private:
+  std::size_t capacity_;
+  std::unordered_map<util::Uuid, std::deque<ServiceEvent>> boxes_;
+  std::uint64_t discarded_ = 0;
+};
+
+}  // namespace sensorcer::registry

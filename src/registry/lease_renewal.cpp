@@ -1,0 +1,52 @@
+#include "registry/lease_renewal.h"
+
+namespace sensorcer::registry {
+
+LeaseRenewalManager::~LeaseRenewalManager() {
+  for (auto& [id, m] : managed_) scheduler_.cancel(m.timer);
+}
+
+void LeaseRenewalManager::manage(const Lease& lease,
+                                 std::weak_ptr<LookupService> lus,
+                                 util::SimDuration duration) {
+  release(lease.id);  // replace any previous management of this lease
+  managed_[lease.id] = Managed{std::move(lus), duration, 0};
+  arm(lease.id);
+}
+
+void LeaseRenewalManager::arm(const util::Uuid& lease_id) {
+  auto it = managed_.find(lease_id);
+  if (it == managed_.end()) return;
+  // Renew at half-life: late enough to be cheap, early enough to survive a
+  // missed sweep.
+  const util::SimDuration delay = std::max<util::SimDuration>(
+      it->second.duration / 2, util::kMillisecond);
+  it->second.timer = scheduler_.schedule_after(delay, [this, lease_id] {
+    auto mit = managed_.find(lease_id);
+    if (mit == managed_.end()) return;
+    auto lus = mit->second.lus.lock();
+    if (!lus || !lus->renew_lease(lease_id, mit->second.duration).is_ok()) {
+      ++failures_;
+      managed_.erase(mit);
+      return;
+    }
+    arm(lease_id);
+  });
+}
+
+void LeaseRenewalManager::release(const util::Uuid& lease_id) {
+  auto it = managed_.find(lease_id);
+  if (it == managed_.end()) return;
+  scheduler_.cancel(it->second.timer);
+  managed_.erase(it);
+}
+
+void LeaseRenewalManager::cancel(const util::Uuid& lease_id) {
+  auto it = managed_.find(lease_id);
+  if (it == managed_.end()) return;
+  scheduler_.cancel(it->second.timer);
+  if (auto lus = it->second.lus.lock()) (void)lus->cancel_lease(lease_id);
+  managed_.erase(it);
+}
+
+}  // namespace sensorcer::registry

@@ -1,0 +1,58 @@
+#pragma once
+// Lease Renewal Manager — the client-side half of Jini leasing (and one of
+// the infrastructure services visible in the paper's Fig 2).
+//
+// Providers hand their leases to this manager; it renews them ahead of
+// expiry for as long as the provider is alive. Stopping renewal (service
+// death) lets the lease lapse, and the LUS disposes the registration — the
+// self-healing behaviour of §IV.B.
+
+#include <memory>
+#include <unordered_map>
+
+#include "registry/lookup.h"
+#include "util/scheduler.h"
+
+namespace sensorcer::registry {
+
+class LeaseRenewalManager {
+ public:
+  explicit LeaseRenewalManager(util::Scheduler& scheduler)
+      : scheduler_(scheduler) {}
+
+  ~LeaseRenewalManager();
+
+  LeaseRenewalManager(const LeaseRenewalManager&) = delete;
+  LeaseRenewalManager& operator=(const LeaseRenewalManager&) = delete;
+
+  /// Keep `lease` (granted by `lus`) alive by renewing for `duration` every
+  /// time half of the remaining lifetime has elapsed.
+  void manage(const Lease& lease, std::weak_ptr<LookupService> lus,
+              util::SimDuration duration);
+
+  /// Stop renewing (the lease will expire naturally).
+  void release(const util::Uuid& lease_id);
+
+  /// Stop renewing and cancel at the LUS immediately (clean shutdown).
+  void cancel(const util::Uuid& lease_id);
+
+  [[nodiscard]] std::size_t managed_count() const { return managed_.size(); }
+
+  /// Renewals that failed because the LUS was gone or refused.
+  [[nodiscard]] std::uint64_t failed_renewals() const { return failures_; }
+
+ private:
+  struct Managed {
+    std::weak_ptr<LookupService> lus;
+    util::SimDuration duration;
+    util::TimerId timer;
+  };
+
+  void arm(const util::Uuid& lease_id);
+
+  util::Scheduler& scheduler_;
+  std::unordered_map<util::Uuid, Managed> managed_;
+  std::uint64_t failures_ = 0;
+};
+
+}  // namespace sensorcer::registry

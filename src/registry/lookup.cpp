@@ -1,0 +1,269 @@
+#include "registry/lookup.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace sensorcer::registry {
+
+LookupService::LookupService(std::string name, util::Scheduler& scheduler,
+                             simnet::Network* network,
+                             util::SimDuration sweep_period)
+    : name_(std::move(name)),
+      scheduler_(scheduler),
+      network_(network),
+      address_(util::new_uuid()) {
+  if (network_ != nullptr) {
+    // The LUS is addressable so discovery can deliver unicast requests to it.
+    network_->attach(address_, [](const simnet::Message&) {});
+  }
+  sweep_timer_ = scheduler_.schedule_every(sweep_period, [this] {
+    sweep_expired();
+  });
+}
+
+LookupService::~LookupService() {
+  scheduler_.cancel(sweep_timer_);
+  if (network_ != nullptr) network_->detach(address_);
+}
+
+void LookupService::charge_rpc(std::size_t request_bytes,
+                               std::size_t response_bytes) const {
+  if (network_ != nullptr) {
+    network_->account_rpc(address_, address_, request_bytes, response_bytes);
+  }
+}
+
+void LookupService::index_add(const ServiceItem& item) {
+  for (const auto& type : item.types) type_index_[type].insert(item.id);
+  const std::string name = item.attributes.get_string(attr::kName);
+  if (!name.empty()) name_index_[name].insert(item.id);
+}
+
+void LookupService::index_remove(const ServiceItem& item) {
+  for (const auto& type : item.types) {
+    auto it = type_index_.find(type);
+    if (it != type_index_.end()) {
+      it->second.erase(item.id);
+      if (it->second.empty()) type_index_.erase(it);
+    }
+  }
+  const std::string name = item.attributes.get_string(attr::kName);
+  auto it = name_index_.find(name);
+  if (it != name_index_.end()) {
+    it->second.erase(item.id);
+    if (it->second.empty()) name_index_.erase(it);
+  }
+}
+
+const std::unordered_set<ServiceId>* LookupService::candidates(
+    const ServiceTemplate& tmpl) const {
+  static const std::unordered_set<ServiceId> kEmpty{};
+  const std::unordered_set<ServiceId>* best = nullptr;
+
+  const std::string name = tmpl.attributes.get_string(attr::kName);
+  if (!name.empty()) {
+    auto it = name_index_.find(name);
+    best = it == name_index_.end() ? &kEmpty : &it->second;
+  }
+  for (const auto& type : tmpl.types) {
+    auto it = type_index_.find(type);
+    const auto* bucket = it == type_index_.end() ? &kEmpty : &it->second;
+    if (best == nullptr || bucket->size() < best->size()) best = bucket;
+  }
+  return best;
+}
+
+ServiceRegistration LookupService::register_service(
+    ServiceItem item, util::SimDuration lease_duration) {
+  if (item.id.is_nil()) item.id = util::new_uuid();
+
+  // Re-registration replaces the previous lease and item atomically.
+  if (auto it = services_.find(item.id); it != services_.end()) {
+    lease_to_service_.erase(it->second.lease.id);
+    index_remove(it->second.item);
+    services_.erase(it);
+  }
+
+  Lease lease{util::new_uuid(), scheduler_.now() + lease_duration,
+              lease_duration};
+  charge_rpc(item.wire_bytes(), /*response=*/32);
+
+  Registration reg{item, lease};
+  services_.emplace(item.id, reg);
+  lease_to_service_.emplace(lease.id, item.id);
+  index_add(item);
+  fire(Transition::kNoMatchToMatch, item);
+  SENSORCER_LOG_DEBUG("lus", "%s: registered %s", name_.c_str(),
+                      item.attributes.get_string(attr::kName, "?").c_str());
+  return {item.id, lease};
+}
+
+util::Status LookupService::renew_lease(const util::Uuid& lease_id,
+                                        util::SimDuration extension) {
+  auto it = lease_to_service_.find(lease_id);
+  if (it == lease_to_service_.end()) {
+    return {util::ErrorCode::kNotFound, "unknown or expired lease"};
+  }
+  charge_rpc(24, 8);
+  Registration& reg = services_.at(it->second);
+  reg.lease.expiration = scheduler_.now() + extension;
+  reg.lease.duration = extension;
+  return util::Status::ok();
+}
+
+util::Status LookupService::cancel_lease(const util::Uuid& lease_id) {
+  auto it = lease_to_service_.find(lease_id);
+  if (it == lease_to_service_.end()) {
+    return {util::ErrorCode::kNotFound, "unknown or expired lease"};
+  }
+  charge_rpc(24, 8);
+  const ServiceId service_id = it->second;
+  const ServiceItem item = services_.at(service_id).item;
+  lease_to_service_.erase(it);
+  index_remove(item);
+  services_.erase(service_id);
+  fire(Transition::kMatchToNoMatch, item);
+  return util::Status::ok();
+}
+
+std::vector<ServiceItem> LookupService::lookup(const ServiceTemplate& tmpl,
+                                               std::size_t max_matches) const {
+  ++lookup_calls_;
+  charge_rpc(tmpl.attributes.wire_bytes() + 48, 0);
+  std::vector<ServiceItem> out;
+  if (tmpl.id) {
+    auto it = services_.find(*tmpl.id);
+    if (it != services_.end() && tmpl.matches(it->second.item)) {
+      out.push_back(it->second.item);
+    }
+  } else if (const auto* ids = candidates(tmpl)) {
+    for (const ServiceId& id : *ids) {
+      const Registration& reg = services_.at(id);
+      if (tmpl.matches(reg.item)) out.push_back(reg.item);
+    }
+  } else {
+    for (const auto& [id, reg] : services_) {
+      if (tmpl.matches(reg.item)) out.push_back(reg.item);
+    }
+  }
+  // Deterministic order (the storage map iterates in hash order): order by
+  // name before truncating so lookup_one always returns the same provider.
+  // partial_sort keeps truncated lookups (the common lookup_one case over a
+  // large type bucket) at O(n) instead of O(n log n).
+  const auto by_name = [](const ServiceItem& a, const ServiceItem& b) {
+    const auto an = a.attributes.get_string(attr::kName);
+    const auto bn = b.attributes.get_string(attr::kName);
+    return an != bn ? an < bn : a.id < b.id;
+  };
+  if (out.size() > max_matches) {
+    std::partial_sort(out.begin(),
+                      out.begin() + static_cast<std::ptrdiff_t>(max_matches),
+                      out.end(), by_name);
+    out.resize(max_matches);
+  } else {
+    std::sort(out.begin(), out.end(), by_name);
+  }
+  for (const auto& item : out) charge_rpc(0, item.wire_bytes());
+  return out;
+}
+
+util::Result<ServiceItem> LookupService::lookup_one(
+    const ServiceTemplate& tmpl) const {
+  auto matches = lookup(tmpl, 1);
+  if (matches.empty()) {
+    return util::Status{util::ErrorCode::kNotFound,
+                        "no service matches template"};
+  }
+  return matches.front();
+}
+
+util::Status LookupService::modify_attributes(ServiceId service_id,
+                                              Entry new_attributes) {
+  auto it = services_.find(service_id);
+  if (it == services_.end()) {
+    return {util::ErrorCode::kNotFound, "service not registered"};
+  }
+  charge_rpc(new_attributes.wire_bytes() + 16, 8);
+  index_remove(it->second.item);  // the name attribute may change
+  it->second.item.attributes = std::move(new_attributes);
+  index_add(it->second.item);
+  fire(Transition::kMatchToMatch, it->second.item);
+  return util::Status::ok();
+}
+
+EventRegistration LookupService::notify(ServiceTemplate tmpl,
+                                        TransitionMask mask,
+                                        EventListener listener,
+                                        util::SimDuration lease_duration) {
+  EventRegistration out;
+  out.id = util::new_uuid();
+  out.lease = Lease{util::new_uuid(), scheduler_.now() + lease_duration,
+                    lease_duration};
+  charge_rpc(tmpl.attributes.wire_bytes() + 64, 48);
+  event_regs_.emplace(
+      out.id, EventReg{std::move(tmpl), mask, std::move(listener), out.lease});
+  return out;
+}
+
+util::Status LookupService::cancel_notify(const util::Uuid& registration_id) {
+  if (event_regs_.erase(registration_id) == 0) {
+    return {util::ErrorCode::kNotFound, "unknown event registration"};
+  }
+  return util::Status::ok();
+}
+
+std::vector<ServiceItem> LookupService::all_services() const {
+  return lookup(ServiceTemplate{});
+}
+
+void LookupService::sweep_expired() {
+  const util::SimTime now = scheduler_.now();
+
+  // Expired event registrations are silently dropped (leases, again).
+  std::erase_if(event_regs_, [&](const auto& kv) {
+    return kv.second.lease.expiration <= now;
+  });
+
+  std::vector<ServiceItem> disposed;
+  for (auto it = services_.begin(); it != services_.end();) {
+    if (it->second.lease.expiration <= now) {
+      disposed.push_back(it->second.item);
+      lease_to_service_.erase(it->second.lease.id);
+      index_remove(it->second.item);
+      it = services_.erase(it);
+      ++expired_;
+    } else {
+      ++it;
+    }
+  }
+  for (const auto& item : disposed) {
+    SENSORCER_LOG_DEBUG("lus", "%s: lease expired for %s", name_.c_str(),
+                        item.attributes.get_string(attr::kName, "?").c_str());
+    fire(Transition::kMatchToNoMatch, item);
+  }
+}
+
+void LookupService::fire(Transition transition, const ServiceItem& item) {
+  // Snapshot: listeners may add/cancel registrations from the callback.
+  std::vector<std::pair<util::Uuid, ServiceEvent>> to_deliver;
+  for (auto& [reg_id, reg] : event_regs_) {
+    if ((reg.mask & static_cast<unsigned>(transition)) == 0) continue;
+    if (!reg.tmpl.matches(item)) continue;
+    ServiceEvent ev;
+    ev.registration_id = reg_id;
+    ev.sequence = reg.next_sequence++;
+    ev.transition = transition;
+    ev.item = item;
+    ev.timestamp = scheduler_.now();
+    to_deliver.emplace_back(reg_id, std::move(ev));
+  }
+  for (auto& [reg_id, ev] : to_deliver) {
+    auto it = event_regs_.find(reg_id);
+    if (it == event_regs_.end()) continue;
+    charge_rpc(0, 96);  // event delivery counts as outbound traffic
+    it->second.listener(ev);
+  }
+}
+
+}  // namespace sensorcer::registry

@@ -1,0 +1,21 @@
+#include "registry/service_item.h"
+
+namespace sensorcer::registry {
+
+std::size_t ServiceItem::wire_bytes() const {
+  std::size_t bytes = 16;  // service id
+  for (const auto& t : types) bytes += t.size() + 1;
+  bytes += attributes.wire_bytes();
+  bytes += 64;  // proxy stub / codebase reference
+  return bytes;
+}
+
+bool ServiceTemplate::matches(const ServiceItem& item) const {
+  if (id && *id != item.id) return false;
+  for (const auto& type : types) {
+    if (!item.implements(type)) return false;
+  }
+  return attributes.matches(item.attributes);
+}
+
+}  // namespace sensorcer::registry

@@ -1,0 +1,85 @@
+#pragma once
+// Service items and lookup templates — the units the lookup service stores
+// and matches.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "registry/entry.h"
+#include "util/ids.h"
+
+namespace sensorcer::registry {
+
+using ServiceId = util::Uuid;
+
+/// Marker base for service proxies. In Jini a proxy is a downloaded object
+/// implementing the service's remote interfaces; here it is a shared_ptr to
+/// an in-process object. Requestors recover concrete interfaces with
+/// proxy_cast<T>.
+class ServiceProxy {
+ public:
+  virtual ~ServiceProxy() = default;
+};
+
+using ProxyPtr = std::shared_ptr<ServiceProxy>;
+
+/// Typed downcast of a looked-up proxy; nullptr when the proxy does not
+/// implement `T`.
+template <typename T>
+std::shared_ptr<T> proxy_cast(const ProxyPtr& proxy) {
+  return std::dynamic_pointer_cast<T>(proxy);
+}
+
+/// A registered service: identity, proxy, the interface names it exports,
+/// and its complementary attributes.
+struct ServiceItem {
+  ServiceId id;
+  ProxyPtr proxy;
+  std::vector<std::string> types;  // exported interface names
+  Entry attributes;
+
+  [[nodiscard]] bool implements(const std::string& type) const {
+    for (const auto& t : types) {
+      if (t == type) return true;
+    }
+    return false;
+  }
+
+  /// Modeled serialized size (id + types + attributes + proxy stub).
+  [[nodiscard]] std::size_t wire_bytes() const;
+};
+
+/// Match criteria: optional exact id, required interface names (all must be
+/// implemented), and an attribute template.
+struct ServiceTemplate {
+  std::optional<ServiceId> id;
+  std::vector<std::string> types;
+  Entry attributes;
+
+  [[nodiscard]] bool matches(const ServiceItem& item) const;
+
+  /// Template that matches exactly one service id.
+  static ServiceTemplate by_id(ServiceId sid) {
+    ServiceTemplate t;
+    t.id = sid;
+    return t;
+  }
+
+  /// Template that matches all implementors of `type`.
+  static ServiceTemplate by_type(std::string type) {
+    ServiceTemplate t;
+    t.types.push_back(std::move(type));
+    return t;
+  }
+
+  /// Template that matches implementors of `type` with attribute name==`name`.
+  static ServiceTemplate by_name(std::string type, const std::string& name) {
+    ServiceTemplate t = by_type(std::move(type));
+    t.attributes.set(attr::kName, name);
+    return t;
+  }
+};
+
+}  // namespace sensorcer::registry

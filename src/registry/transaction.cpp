@@ -1,0 +1,102 @@
+#include "registry/transaction.h"
+
+namespace sensorcer::registry {
+
+const char* txn_state_name(TxnState state) {
+  switch (state) {
+    case TxnState::kActive: return "ACTIVE";
+    case TxnState::kPreparing: return "PREPARING";
+    case TxnState::kCommitted: return "COMMITTED";
+    case TxnState::kAborted: return "ABORTED";
+  }
+  return "?";
+}
+
+Transaction TransactionManager::create(util::SimDuration timeout) {
+  Transaction txn{util::new_uuid(), scheduler_.now() + timeout};
+  Txn record;
+  record.timeout_timer =
+      scheduler_.schedule_after(timeout, [this, id = txn.id] {
+        auto it = txns_.find(id);
+        if (it != txns_.end() && it->second.state == TxnState::kActive) {
+          finish_abort(it->second);
+        }
+      });
+  txns_.emplace(txn.id, std::move(record));
+  return txn;
+}
+
+util::Status TransactionManager::join(const util::Uuid& txn_id,
+                                      TxnParticipant participant) {
+  auto it = txns_.find(txn_id);
+  if (it == txns_.end()) {
+    return {util::ErrorCode::kNotFound, "unknown transaction"};
+  }
+  if (it->second.state != TxnState::kActive) {
+    return {util::ErrorCode::kFailedPrecondition,
+            std::string("transaction is ") + txn_state_name(it->second.state)};
+  }
+  it->second.participants.push_back(std::move(participant));
+  return util::Status::ok();
+}
+
+util::Status TransactionManager::commit(const util::Uuid& txn_id) {
+  auto it = txns_.find(txn_id);
+  if (it == txns_.end()) {
+    return {util::ErrorCode::kNotFound, "unknown transaction"};
+  }
+  Txn& txn = it->second;
+  if (txn.state != TxnState::kActive) {
+    return {util::ErrorCode::kFailedPrecondition,
+            std::string("transaction is ") + txn_state_name(txn.state)};
+  }
+
+  txn.state = TxnState::kPreparing;
+  for (const auto& p : txn.participants) {
+    if (util::Status vote = p.prepare(); !vote.is_ok()) {
+      finish_abort(txn);
+      return {util::ErrorCode::kAborted,
+              "participant '" + p.name + "' vetoed: " + vote.message()};
+    }
+  }
+  for (const auto& p : txn.participants) p.commit();
+  txn.state = TxnState::kCommitted;
+  scheduler_.cancel(txn.timeout_timer);
+  ++committed_;
+  return util::Status::ok();
+}
+
+util::Status TransactionManager::abort(const util::Uuid& txn_id) {
+  auto it = txns_.find(txn_id);
+  if (it == txns_.end()) {
+    return {util::ErrorCode::kNotFound, "unknown transaction"};
+  }
+  if (it->second.state == TxnState::kCommitted) {
+    return {util::ErrorCode::kFailedPrecondition,
+            "transaction already committed"};
+  }
+  if (it->second.state != TxnState::kAborted) finish_abort(it->second);
+  return util::Status::ok();
+}
+
+void TransactionManager::finish_abort(Txn& txn) {
+  for (const auto& p : txn.participants) p.abort();
+  txn.state = TxnState::kAborted;
+  scheduler_.cancel(txn.timeout_timer);
+  ++aborted_;
+}
+
+TxnState TransactionManager::state(const util::Uuid& txn_id) const {
+  auto it = txns_.find(txn_id);
+  return it == txns_.end() ? TxnState::kAborted : it->second.state;
+}
+
+std::size_t TransactionManager::active_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, txn] : txns_) {
+    if (txn.state == TxnState::kActive) ++n;
+  }
+  return n;
+}
+
+}  // namespace sensorcer::registry

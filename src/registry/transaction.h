@@ -1,0 +1,73 @@
+#pragma once
+// Two-phase-commit Transaction Manager (the "Transaction Manager" service in
+// the paper's Fig 2; exertions carry an optional transaction through the
+// Servicer interface `service(Exertion, Transaction)`).
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/ids.h"
+#include "util/scheduler.h"
+#include "util/status.h"
+
+namespace sensorcer::registry {
+
+enum class TxnState { kActive, kPreparing, kCommitted, kAborted };
+
+const char* txn_state_name(TxnState state);
+
+/// A 2PC participant. prepare() votes; commit()/abort() finalize.
+struct TxnParticipant {
+  std::string name;
+  std::function<util::Status()> prepare;
+  std::function<void()> commit;
+  std::function<void()> abort;
+};
+
+/// Handle to a created transaction.
+struct Transaction {
+  util::Uuid id;
+  util::SimTime deadline = 0;
+};
+
+class TransactionManager {
+ public:
+  explicit TransactionManager(util::Scheduler& scheduler)
+      : scheduler_(scheduler) {}
+
+  /// Begin a transaction that auto-aborts after `timeout` if not settled.
+  Transaction create(util::SimDuration timeout);
+
+  /// Enlist a participant; fails once the transaction is settling/settled.
+  util::Status join(const util::Uuid& txn_id, TxnParticipant participant);
+
+  /// Run 2PC: prepare all participants; any veto aborts everyone.
+  util::Status commit(const util::Uuid& txn_id);
+
+  /// Abort explicitly.
+  util::Status abort(const util::Uuid& txn_id);
+
+  [[nodiscard]] TxnState state(const util::Uuid& txn_id) const;
+
+  [[nodiscard]] std::size_t active_count() const;
+  [[nodiscard]] std::uint64_t committed_count() const { return committed_; }
+  [[nodiscard]] std::uint64_t aborted_count() const { return aborted_; }
+
+ private:
+  struct Txn {
+    TxnState state = TxnState::kActive;
+    std::vector<TxnParticipant> participants;
+    util::TimerId timeout_timer = 0;
+  };
+
+  void finish_abort(Txn& txn);
+
+  util::Scheduler& scheduler_;
+  std::unordered_map<util::Uuid, Txn> txns_;
+  std::uint64_t committed_ = 0;
+  std::uint64_t aborted_ = 0;
+};
+
+}  // namespace sensorcer::registry

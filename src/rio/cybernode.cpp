@@ -1,0 +1,87 @@
+#include "rio/cybernode.h"
+
+#include "util/log.h"
+
+namespace sensorcer::rio {
+
+Cybernode::Cybernode(std::string name, QosCapability capability)
+    : ServiceProvider(std::move(name), {kCybernodeType}),
+      capability_(std::move(capability)) {
+  registry::Entry attrs;
+  attrs.set(registry::attr::kComment, "Rio compute resource");
+  attrs.set("qos", capability_.to_string());
+  set_attributes(attrs);
+}
+
+double Cybernode::available_compute() const {
+  double used = 0;
+  for (const auto& [id, h] : hosted_) used += h.req.compute_units;
+  return capability_.compute_units - used;
+}
+
+double Cybernode::available_memory_mb() const {
+  double used = 0;
+  for (const auto& [id, h] : hosted_) used += h.req.memory_mb;
+  return capability_.memory_mb - used;
+}
+
+double Cybernode::utilization() const {
+  if (capability_.compute_units <= 0) return 1.0;
+  return (capability_.compute_units - available_compute()) /
+         capability_.compute_units;
+}
+
+bool Cybernode::can_host(const QosRequirement& req) const {
+  return alive_ && satisfies(capability_, available_compute(),
+                             available_memory_mb(), req);
+}
+
+util::Status Cybernode::host(
+    const std::shared_ptr<sorcer::ServiceProvider>& service,
+    const QosRequirement& req) {
+  if (!alive_) {
+    return {util::ErrorCode::kUnavailable, "cybernode is down"};
+  }
+  if (!can_host(req)) {
+    return {util::ErrorCode::kCapacity,
+            "cybernode '" + provider_name() + "' cannot satisfy " +
+                req.to_string()};
+  }
+  hosted_[service->service_id()] = Hosted{service, req};
+  return util::Status::ok();
+}
+
+util::Status Cybernode::evict(const registry::ServiceId& service_id) {
+  auto it = hosted_.find(service_id);
+  if (it == hosted_.end()) {
+    return {util::ErrorCode::kNotFound, "service not hosted here"};
+  }
+  it->second.service->leave();
+  hosted_.erase(it);
+  return util::Status::ok();
+}
+
+std::vector<std::shared_ptr<sorcer::ServiceProvider>> Cybernode::hosted()
+    const {
+  std::vector<std::shared_ptr<sorcer::ServiceProvider>> out;
+  out.reserve(hosted_.size());
+  for (const auto& [id, h] : hosted_) out.push_back(h.service);
+  return out;
+}
+
+void Cybernode::fail() {
+  if (!alive_) return;
+  alive_ = false;
+  SENSORCER_LOG_INFO("rio", "cybernode '%s' failed with %zu hosted services",
+                     provider_name().c_str(), hosted_.size());
+  for (auto& [id, h] : hosted_) h.service->crash();
+  hosted_.clear();
+  crash();  // the node's own registration lapses too
+}
+
+void Cybernode::restart() {
+  alive_ = true;
+  hosted_.clear();
+}
+
+}  // namespace sensorcer::rio

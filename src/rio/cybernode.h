@@ -1,0 +1,74 @@
+#pragma once
+// Cybernode — Rio's compute-resource service. Registers on the network like
+// any other provider, advertises QoS capability, and hosts dynamically
+// instantiated service beans. Killing a cybernode crashes everything it
+// hosts; the provision monitor re-allocates those services elsewhere — the
+// paper's fault-tolerance claim (§IV.C).
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "rio/qos.h"
+#include "sorcer/provider.h"
+
+namespace sensorcer::rio {
+
+inline constexpr const char* kCybernodeType = "Cybernode";
+
+class Cybernode : public sorcer::ServiceProvider {
+ public:
+  Cybernode(std::string name, QosCapability capability);
+
+  [[nodiscard]] const QosCapability& capability() const { return capability_; }
+
+  // --- hosting ---------------------------------------------------------------
+
+  /// Headroom left after current deployments.
+  [[nodiscard]] double available_compute() const;
+  [[nodiscard]] double available_memory_mb() const;
+
+  /// Fraction of compute capacity in use, in [0,1].
+  [[nodiscard]] double utilization() const;
+
+  [[nodiscard]] bool can_host(const QosRequirement& req) const;
+
+  /// Deploy a service instance consuming `req`. kCapacity when it does not
+  /// fit, kUnavailable when the node is down.
+  util::Status host(const std::shared_ptr<sorcer::ServiceProvider>& service,
+                    const QosRequirement& req);
+
+  /// Remove a hosted instance (planned undeployment; the service leaves
+  /// the registries cleanly).
+  util::Status evict(const registry::ServiceId& service_id);
+
+  [[nodiscard]] std::size_t hosted_count() const { return hosted_.size(); }
+  [[nodiscard]] bool hosts(const registry::ServiceId& service_id) const {
+    return hosted_.contains(service_id);
+  }
+  [[nodiscard]] std::vector<std::shared_ptr<sorcer::ServiceProvider>> hosted()
+      const;
+
+  // --- failure ---------------------------------------------------------------
+
+  /// Hard failure: every hosted service crashes (stops renewing leases) and
+  /// the node itself withdraws. Used by the failover experiments.
+  void fail();
+
+  /// Bring a failed node back empty.
+  void restart();
+
+  [[nodiscard]] bool is_alive() const { return alive_; }
+
+ private:
+  struct Hosted {
+    std::shared_ptr<sorcer::ServiceProvider> service;
+    QosRequirement req;
+  };
+
+  QosCapability capability_;
+  std::unordered_map<registry::ServiceId, Hosted> hosted_;
+  bool alive_ = true;
+};
+
+}  // namespace sensorcer::rio

@@ -1,0 +1,192 @@
+#include "rio/monitor.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace sensorcer::rio {
+
+ProvisionMonitor::ProvisionMonitor(std::string name,
+                                   sorcer::ServiceAccessor& accessor,
+                                   registry::LeaseRenewalManager& lrm,
+                                   util::Scheduler& scheduler,
+                                   MonitorConfig config)
+    : ServiceProvider(std::move(name), {"ProvisionMonitor"}),
+      accessor_(accessor),
+      lrm_(lrm),
+      scheduler_(scheduler),
+      config_(config) {
+  poll_timer_ =
+      scheduler_.schedule_every(config_.poll_period, [this] { poll_once(); });
+}
+
+ProvisionMonitor::~ProvisionMonitor() { scheduler_.cancel(poll_timer_); }
+
+std::vector<std::shared_ptr<Cybernode>> ProvisionMonitor::known_cybernodes() {
+  std::vector<std::shared_ptr<Cybernode>> out;
+  for (const auto& item :
+       accessor_.find_all(registry::ServiceTemplate::by_type(kCybernodeType))) {
+    if (auto node = registry::proxy_cast<Cybernode>(item.proxy)) {
+      if (node->is_alive()) out.push_back(std::move(node));
+    }
+  }
+  return out;
+}
+
+util::Result<std::shared_ptr<Cybernode>> ProvisionMonitor::pick_node(
+    const QosRequirement& req) {
+  std::shared_ptr<Cybernode> best;
+  for (auto& node : known_cybernodes()) {
+    if (!node->can_host(req)) continue;
+    // Least-utilized placement spreads load across the fleet.
+    if (!best || node->utilization() < best->utilization()) {
+      best = std::move(node);
+    }
+  }
+  if (!best) {
+    return util::Status{util::ErrorCode::kCapacity,
+                        "no cybernode satisfies " + req.to_string()};
+  }
+  return best;
+}
+
+void ProvisionMonitor::register_instance(
+    const std::shared_ptr<sorcer::ServiceProvider>& service) {
+  for (const auto& lus : accessor_.lookups()) {
+    (void)service->join(lus, lrm_, config_.service_lease);
+  }
+}
+
+util::Status ProvisionMonitor::place(const std::string& opstring_name,
+                                     std::size_t element_index,
+                                     const ServiceElement& element,
+                                     const std::string& instance_name) {
+  auto node = pick_node(element.qos);
+  if (!node.is_ok()) {
+    ++failed_placements_;
+    return node.status();
+  }
+  std::shared_ptr<sorcer::ServiceProvider> service =
+      element.factory(instance_name);
+  if (!service) {
+    return {util::ErrorCode::kInternal,
+            "factory for '" + element.name + "' returned null"};
+  }
+  if (util::Status hosted = node.value()->host(service, element.qos);
+      !hosted.is_ok()) {
+    ++failed_placements_;
+    return hosted;
+  }
+  // Activation is not instantaneous: the instance becomes discoverable only
+  // after the modeled instantiation time — provisioning and failover benches
+  // therefore see a realistic deploy latency.
+  std::weak_ptr<Cybernode> weak_node = node.value();
+  scheduler_.schedule_after(
+      config_.activation_cost, [this, service, weak_node] {
+        auto n = weak_node.lock();
+        if (n && n->is_alive()) register_instance(service);
+      });
+  deployments_.push_back(Deployment{opstring_name, element_index,
+                                    instance_name, service, node.value()});
+  ++provisions_;
+  SENSORCER_LOG_INFO("rio", "provisioned '%s' on cybernode '%s'",
+                     instance_name.c_str(),
+                     node.value()->provider_name().c_str());
+  return util::Status::ok();
+}
+
+util::Status ProvisionMonitor::deploy(OperationalString opstring) {
+  util::Status first_error = util::Status::ok();
+  for (std::size_t e = 0; e < opstring.elements.size(); ++e) {
+    const ServiceElement& element = opstring.elements[e];
+    for (std::size_t i = 0; i < element.planned; ++i) {
+      const std::string instance_name =
+          element.planned == 1
+              ? element.name
+              : util::format("%s-%zu", element.name.c_str(), i + 1);
+      if (util::Status placed =
+              place(opstring.name, e, element, instance_name);
+          !placed.is_ok() && first_error.is_ok()) {
+        first_error = placed;
+      }
+    }
+  }
+  opstrings_.push_back(std::move(opstring));
+  return first_error;
+}
+
+util::Status ProvisionMonitor::undeploy(const std::string& opstring_name) {
+  const auto known = std::any_of(
+      opstrings_.begin(), opstrings_.end(),
+      [&](const auto& os) { return os.name == opstring_name; });
+  if (!known) {
+    return {util::ErrorCode::kNotFound,
+            "unknown operational string '" + opstring_name + "'"};
+  }
+  for (auto& d : deployments_) {
+    if (d.opstring != opstring_name) continue;
+    if (auto node = d.node.lock()) {
+      (void)node->evict(d.service->service_id());
+    } else {
+      d.service->leave();
+    }
+  }
+  std::erase_if(deployments_,
+                [&](const auto& d) { return d.opstring == opstring_name; });
+  std::erase_if(opstrings_,
+                [&](const auto& os) { return os.name == opstring_name; });
+  return util::Status::ok();
+}
+
+std::vector<std::shared_ptr<sorcer::ServiceProvider>>
+ProvisionMonitor::deployed_instances(const std::string& opstring_name) const {
+  std::vector<std::shared_ptr<sorcer::ServiceProvider>> out;
+  for (const auto& d : deployments_) {
+    if (opstring_name.empty() || d.opstring == opstring_name) {
+      out.push_back(d.service);
+    }
+  }
+  return out;
+}
+
+void ProvisionMonitor::poll_once() {
+  // Find deployments whose node is gone and put them back to plan.
+  std::vector<Deployment> lost;
+  std::erase_if(deployments_, [&](const Deployment& d) {
+    auto node = d.node.lock();
+    // A restarted node comes back empty, so liveness alone is not health:
+    // the node must still actually host the instance.
+    if (node && node->is_alive() &&
+        node->hosts(d.service->service_id())) {
+      return false;
+    }
+    lost.push_back(d);
+    return true;
+  });
+
+  for (const auto& d : lost) {
+    const OperationalString* opstring = nullptr;
+    for (const auto& os : opstrings_) {
+      if (os.name == d.opstring) {
+        opstring = &os;
+        break;
+      }
+    }
+    if (opstring == nullptr || d.element_index >= opstring->elements.size()) {
+      continue;  // opstring was undeployed meanwhile
+    }
+    const ServiceElement& element = opstring->elements[d.element_index];
+    if (place(d.opstring, d.element_index, element, d.instance_name)
+            .is_ok()) {
+      ++reprovisions_;
+      SENSORCER_LOG_INFO("rio", "re-provisioned '%s' (was on a failed node)",
+                         d.instance_name.c_str());
+    } else {
+      // Keep the record so the next poll retries (capacity may return).
+      deployments_.push_back(d);
+    }
+  }
+}
+
+}  // namespace sensorcer::rio

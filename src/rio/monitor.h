@@ -1,0 +1,100 @@
+#pragma once
+// Provision Monitor — deploys operational strings onto QoS-matching
+// cybernodes with load balancing, watches deployments, and re-provisions
+// instances whose cybernode failed ("fault tolerance achieved by
+// dynamically allocating the service to a different compute node, if the
+// original node fails", §IV.C).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "registry/lease_renewal.h"
+#include "rio/cybernode.h"
+#include "rio/opstring.h"
+#include "sorcer/accessor.h"
+#include "util/scheduler.h"
+
+namespace sensorcer::rio {
+
+/// Tuning knobs for the monitor.
+struct MonitorConfig {
+  /// Lease granted to provisioned services on each lookup service.
+  util::SimDuration service_lease = 30 * util::kSecond;
+  /// How often deployments are checked against their planned state.
+  util::SimDuration poll_period = 1 * util::kSecond;
+  /// Modeled time to instantiate one service on a cybernode.
+  util::SimDuration activation_cost = 50 * util::kMillisecond;
+};
+
+class ProvisionMonitor : public sorcer::ServiceProvider {
+ public:
+  ProvisionMonitor(std::string name, sorcer::ServiceAccessor& accessor,
+                   registry::LeaseRenewalManager& lrm,
+                   util::Scheduler& scheduler, MonitorConfig config = {});
+
+  ~ProvisionMonitor() override;
+
+  // --- deployment -------------------------------------------------------------
+
+  /// Deploy every element of `opstring` at its planned count. Instances are
+  /// placed on the least-utilized cybernode satisfying their QoS. Fails with
+  /// kCapacity if any instance cannot be placed (already-placed instances
+  /// stay deployed and will be retried by the poll loop).
+  util::Status deploy(OperationalString opstring);
+
+  /// Tear an operational string down: evict and deregister all instances.
+  util::Status undeploy(const std::string& opstring_name);
+
+  /// Instances currently deployed for an opstring (all opstrings when "").
+  [[nodiscard]] std::vector<std::shared_ptr<sorcer::ServiceProvider>>
+  deployed_instances(const std::string& opstring_name = "") const;
+
+  // --- monitoring --------------------------------------------------------------
+
+  /// One monitoring pass: replace instances whose cybernode died. Runs
+  /// automatically every poll_period; exposed for deterministic tests.
+  void poll_once();
+
+  [[nodiscard]] std::uint64_t provision_count() const { return provisions_; }
+  [[nodiscard]] std::uint64_t reprovision_count() const {
+    return reprovisions_;
+  }
+  [[nodiscard]] std::uint64_t failed_placements() const {
+    return failed_placements_;
+  }
+
+  /// Cybernodes currently discoverable through the accessor.
+  std::vector<std::shared_ptr<Cybernode>> known_cybernodes();
+
+ private:
+  struct Deployment {
+    std::string opstring;
+    std::size_t element_index;
+    std::string instance_name;
+    std::shared_ptr<sorcer::ServiceProvider> service;
+    std::weak_ptr<Cybernode> node;
+  };
+
+  util::Result<std::shared_ptr<Cybernode>> pick_node(
+      const QosRequirement& req);
+  util::Status place(const std::string& opstring_name,
+                     std::size_t element_index, const ServiceElement& element,
+                     const std::string& instance_name);
+  void register_instance(
+      const std::shared_ptr<sorcer::ServiceProvider>& service);
+
+  sorcer::ServiceAccessor& accessor_;
+  registry::LeaseRenewalManager& lrm_;
+  util::Scheduler& scheduler_;
+  MonitorConfig config_;
+  util::TimerId poll_timer_ = 0;
+
+  std::vector<OperationalString> opstrings_;
+  std::vector<Deployment> deployments_;
+  std::uint64_t provisions_ = 0;
+  std::uint64_t reprovisions_ = 0;
+  std::uint64_t failed_placements_ = 0;
+};
+
+}  // namespace sensorcer::rio

@@ -1,0 +1,36 @@
+#pragma once
+// Operational strings — Rio's deployment descriptors: "a model to
+// dynamically instantiate, monitor and manage service components as
+// described in a deployment descriptor called an OperationalString" (§IV.C).
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rio/qos.h"
+#include "sorcer/provider.h"
+
+namespace sensorcer::rio {
+
+/// Creates a fresh service instance. `instance_name` is unique per replica
+/// ("Neem-Sensor", "New-Composite-2", ...).
+using ServiceFactory = std::function<std::shared_ptr<sorcer::ServiceProvider>(
+    const std::string& instance_name)>;
+
+/// One deployable service type within an operational string.
+struct ServiceElement {
+  std::string name;          // base name for instances
+  ServiceFactory factory;
+  std::size_t planned = 1;   // desired replica count
+  QosRequirement qos;
+};
+
+/// A named deployment: the set of service elements that must be kept
+/// running at their planned counts.
+struct OperationalString {
+  std::string name;
+  std::vector<ServiceElement> elements;
+};
+
+}  // namespace sensorcer::rio

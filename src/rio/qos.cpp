@@ -1,0 +1,41 @@
+#include "rio/qos.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace sensorcer::rio {
+
+std::string QosCapability::to_string() const {
+  std::string tags;
+  for (const auto& l : labels) {
+    if (!tags.empty()) tags += ",";
+    tags += l;
+  }
+  return util::format("compute=%.2f mem=%.0fMB arch=%s labels=[%s]",
+                      compute_units, memory_mb, arch.c_str(), tags.c_str());
+}
+
+std::string QosRequirement::to_string() const {
+  std::string tags;
+  for (const auto& l : labels) {
+    if (!tags.empty()) tags += ",";
+    tags += l;
+  }
+  return util::format("compute>=%.2f mem>=%.0fMB arch=%s labels=[%s]",
+                      compute_units, memory_mb,
+                      arch.empty() ? "*" : arch.c_str(), tags.c_str());
+}
+
+bool satisfies(const QosCapability& platform, double available_compute,
+               double available_memory_mb, const QosRequirement& req) {
+  if (available_compute < req.compute_units) return false;
+  if (available_memory_mb < req.memory_mb) return false;
+  if (!req.arch.empty() && req.arch != platform.arch) return false;
+  return std::all_of(req.labels.begin(), req.labels.end(),
+                     [&](const std::string& label) {
+                       return platform.labels.contains(label);
+                     });
+}
+
+}  // namespace sensorcer::rio

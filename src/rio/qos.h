@@ -1,0 +1,37 @@
+#pragma once
+// Quality-of-service vocabulary for provisioning (§IV.C): cybernodes
+// advertise capabilities, service elements declare requirements, and the
+// provision monitor matches them — "running sensor service on the compute
+// resource available in the network that matches required QoS".
+
+#include <set>
+#include <string>
+
+namespace sensorcer::rio {
+
+/// What a cybernode offers.
+struct QosCapability {
+  double compute_units = 1.0;   // abstract CPU capacity
+  double memory_mb = 512.0;
+  std::string arch = "x86_64";  // platform tag
+  std::set<std::string> labels; // free-form placement tags, e.g. "edge"
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// What a service element demands.
+struct QosRequirement {
+  double compute_units = 0.1;
+  double memory_mb = 16.0;
+  std::string arch;                    // empty = any
+  std::set<std::string> labels;        // all must be present on the node
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// True when `available` (remaining headroom of a node with platform
+/// `platform_arch` and `platform_labels`) satisfies `req`.
+bool satisfies(const QosCapability& platform, double available_compute,
+               double available_memory_mb, const QosRequirement& req);
+
+}  // namespace sensorcer::rio

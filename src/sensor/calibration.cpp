@@ -1,0 +1,76 @@
+#include "sensor/calibration.h"
+
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace sensorcer::sensor {
+
+util::Result<Calibration> Calibration::two_point(double raw1, double eng1,
+                                                 double raw2, double eng2) {
+  if (raw1 == raw2) {
+    return util::Status{util::ErrorCode::kInvalidArgument,
+                        "two-point calibration needs distinct raw values"};
+  }
+  const double gain = (eng2 - eng1) / (raw2 - raw1);
+  return Calibration::linear(eng1 - gain * raw1, gain);
+}
+
+util::Result<Calibration> Calibration::fit_least_squares(
+    const std::vector<std::pair<double, double>>& points, std::size_t degree) {
+  const std::size_t n = degree + 1;  // coefficient count
+  if (points.size() < n) {
+    return util::Status{
+        util::ErrorCode::kInvalidArgument,
+        util::format("degree-%zu fit needs at least %zu points, got %zu",
+                     degree, n, points.size())};
+  }
+
+  // Normal equations: (V^T V) c = V^T y with Vandermonde V.
+  std::vector<std::vector<double>> a(n, std::vector<double>(n + 1, 0.0));
+  for (const auto& [x, y] : points) {
+    std::vector<double> powers(2 * n - 1, 1.0);
+    for (std::size_t k = 1; k < powers.size(); ++k) {
+      powers[k] = powers[k - 1] * x;
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) a[r][c] += powers[r + c];
+      a[r][n] += powers[r] * y;
+    }
+  }
+
+  // Gaussian elimination with partial pivoting on the augmented matrix.
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    }
+    if (std::fabs(a[pivot][col]) < 1e-12) {
+      return util::Status{util::ErrorCode::kInvalidArgument,
+                          "degenerate calibration points (singular system)"};
+    }
+    std::swap(a[col], a[pivot]);
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double factor = a[r][col] / a[col][col];
+      for (std::size_t c = col; c <= n; ++c) a[r][c] -= factor * a[col][c];
+    }
+  }
+
+  std::vector<double> coefficients(n);
+  for (std::size_t r = 0; r < n; ++r) coefficients[r] = a[r][n] / a[r][r];
+  return Calibration(std::move(coefficients));
+}
+
+double Calibration::rms_error(
+    const std::vector<std::pair<double, double>>& points) const {
+  if (points.empty()) return 0.0;
+  double sum_sq = 0.0;
+  for (const auto& [x, y] : points) {
+    const double e = apply(x) - y;
+    sum_sq += e * e;
+  }
+  return std::sqrt(sum_sq / static_cast<double>(points.size()));
+}
+
+}  // namespace sensorcer::sensor

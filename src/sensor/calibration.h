@@ -1,0 +1,62 @@
+#pragma once
+// Polynomial calibration from raw device counts to engineering units.
+// The paper assigns "data calibration" to the sensor probe; this is that
+// component, factored out so tests can exercise it directly.
+
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sensorcer::sensor {
+
+class Calibration {
+ public:
+  /// Identity calibration (y = x).
+  Calibration() : coefficients_{0.0, 1.0} {}
+
+  /// Polynomial y = c0 + c1*x + c2*x^2 + ...; empty coefficients mean y = 0.
+  explicit Calibration(std::vector<double> coefficients)
+      : coefficients_(std::move(coefficients)) {}
+
+  /// Linear convenience: y = offset + gain * x.
+  static Calibration linear(double offset, double gain) {
+    return Calibration({offset, gain});
+  }
+
+  /// Two-point calibration: the line through (raw1, eng1) and (raw2, eng2) —
+  /// the field procedure for most transducers (e.g. ice bath + boiling
+  /// point). Fails when the raw points coincide.
+  static util::Result<Calibration> two_point(double raw1, double eng1,
+                                             double raw2, double eng2);
+
+  /// Least-squares fit of a degree-`degree` polynomial to (raw, engineering)
+  /// reference pairs — bench-calibration against a reference instrument.
+  /// Requires at least degree+1 points; solved by normal equations with
+  /// Gaussian elimination (fine for the small degrees calibration uses).
+  static util::Result<Calibration> fit_least_squares(
+      const std::vector<std::pair<double, double>>& points,
+      std::size_t degree);
+
+  /// Root-mean-square residual of this calibration over reference pairs.
+  [[nodiscard]] double rms_error(
+      const std::vector<std::pair<double, double>>& points) const;
+
+  /// Apply to a raw sample (Horner evaluation).
+  [[nodiscard]] double apply(double raw) const {
+    double y = 0.0;
+    for (auto it = coefficients_.rbegin(); it != coefficients_.rend(); ++it) {
+      y = y * raw + *it;
+    }
+    return y;
+  }
+
+  [[nodiscard]] const std::vector<double>& coefficients() const {
+    return coefficients_;
+  }
+
+ private:
+  std::vector<double> coefficients_;
+};
+
+}  // namespace sensorcer::sensor

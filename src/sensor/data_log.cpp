@@ -1,0 +1,50 @@
+#include "sensor/data_log.h"
+
+#include <cassert>
+
+namespace sensorcer::sensor {
+
+DataLog::DataLog(std::size_t capacity) : buffer_(capacity ? capacity : 1) {}
+
+void DataLog::append(const Reading& reading) {
+  const std::size_t cap = buffer_.size();
+  if (size_ < cap) {
+    buffer_[(head_ + size_) % cap] = reading;
+    ++size_;
+  } else {
+    buffer_[head_] = reading;
+    head_ = (head_ + 1) % cap;
+    ++evicted_;
+  }
+}
+
+const Reading& DataLog::latest() const {
+  assert(size_ > 0 && "latest() on empty DataLog");
+  return buffer_[(head_ + size_ - 1) % buffer_.size()];
+}
+
+std::vector<Reading> DataLog::window(util::SimTime since) const {
+  std::vector<Reading> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    const Reading& r = buffer_[(head_ + i) % buffer_.size()];
+    if (r.timestamp >= since) out.push_back(r);
+  }
+  return out;
+}
+
+util::StatAccumulator DataLog::stats_since(util::SimTime since) const {
+  util::StatAccumulator acc;
+  for (std::size_t i = 0; i < size_; ++i) {
+    const Reading& r = buffer_[(head_ + i) % buffer_.size()];
+    if (r.timestamp >= since && r.quality != Quality::kBad) acc.add(r.value);
+  }
+  return acc;
+}
+
+void DataLog::clear() {
+  head_ = 0;
+  size_ = 0;
+}
+
+}  // namespace sensorcer::sensor

@@ -1,0 +1,54 @@
+#pragma once
+// Bounded local store of readings.
+//
+// The paper's related-work discussion argues a sensor service "should be
+// capable of storing data to the local store" because devices produce data
+// faster than clients consume it. Each elementary sensor provider owns a
+// DataLog: a fixed-capacity ring buffer with windowed queries and streaming
+// statistics, so aggregation never has to touch the device.
+
+#include <cstddef>
+#include <vector>
+
+#include "sensor/reading.h"
+#include "util/stats.h"
+
+namespace sensorcer::sensor {
+
+class DataLog {
+ public:
+  /// `capacity` readings are retained; older ones are evicted FIFO.
+  explicit DataLog(std::size_t capacity = 1024);
+
+  void append(const Reading& reading);
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return buffer_.size(); }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// Readings evicted because the buffer was full.
+  [[nodiscard]] std::uint64_t evicted() const { return evicted_; }
+
+  /// Most recent reading; requires !empty().
+  [[nodiscard]] const Reading& latest() const;
+
+  /// Readings with timestamp >= since, oldest first.
+  [[nodiscard]] std::vector<Reading> window(util::SimTime since) const;
+
+  /// All retained readings, oldest first.
+  [[nodiscard]] std::vector<Reading> snapshot() const { return window(0); }
+
+  /// Streaming stats over readings with timestamp >= since (good+suspect
+  /// quality only; kBad readings are excluded from aggregates).
+  [[nodiscard]] util::StatAccumulator stats_since(util::SimTime since) const;
+
+  void clear();
+
+ private:
+  std::vector<Reading> buffer_;
+  std::size_t head_ = 0;  // index of the oldest element
+  std::size_t size_ = 0;
+  std::uint64_t evicted_ = 0;
+};
+
+}  // namespace sensorcer::sensor

@@ -1,0 +1,179 @@
+#include "sensor/device.h"
+
+#include <cmath>
+
+#include "sensor/reading.h"
+#include "util/strings.h"
+
+namespace sensorcer::sensor {
+
+const char* quality_name(Quality q) {
+  switch (q) {
+    case Quality::kGood: return "GOOD";
+    case Quality::kSuspect: return "SUSPECT";
+    case Quality::kBad: return "BAD";
+  }
+  return "?";
+}
+
+const char* sensor_kind_name(SensorKind kind) {
+  switch (kind) {
+    case SensorKind::kTemperature: return "temperature";
+    case SensorKind::kHumidity: return "humidity";
+    case SensorKind::kPressure: return "pressure";
+    case SensorKind::kAltitude: return "altitude";
+    case SensorKind::kAirspeed: return "airspeed";
+    case SensorKind::kSoilMoisture: return "soil-moisture";
+  }
+  return "?";
+}
+
+const char* sensor_kind_unit(SensorKind kind) {
+  switch (kind) {
+    case SensorKind::kTemperature: return "degC";
+    case SensorKind::kHumidity: return "%RH";
+    case SensorKind::kPressure: return "kPa";
+    case SensorKind::kAltitude: return "m";
+    case SensorKind::kAirspeed: return "m/s";
+    case SensorKind::kSoilMoisture: return "%VWC";
+  }
+  return "?";
+}
+
+std::string Teds::summary() const {
+  return util::format("%s %s (%s) range [%g, %g] %s +/-%g",
+                      manufacturer.c_str(), model.c_str(),
+                      sensor_kind_name(kind), range_min, range_max,
+                      sensor_kind_unit(kind), accuracy);
+}
+
+const char* fault_mode_name(FaultMode mode) {
+  switch (mode) {
+    case FaultMode::kNone: return "none";
+    case FaultMode::kStuckAt: return "stuck-at";
+    case FaultMode::kDropout: return "dropout";
+    case FaultMode::kSpike: return "spike";
+    case FaultMode::kBias: return "bias";
+  }
+  return "?";
+}
+
+SimulatedDevice::SimulatedDevice(Teds teds, SignalModel model,
+                                 std::uint64_t seed)
+    : teds_(std::move(teds)), model_(model), rng_(seed) {}
+
+double SimulatedDevice::truth(util::SimTime t) const {
+  const double tau = 6.283185307179586;
+  const double cycle =
+      model_.amplitude *
+      std::sin(tau * static_cast<double>(t) /
+                   static_cast<double>(model_.period) +
+               model_.phase);
+  const double drift =
+      model_.drift_per_hour * static_cast<double>(t) / util::kHour;
+  return model_.base + cycle + drift + walk_;
+}
+
+util::Result<double> SimulatedDevice::sample(util::SimTime t) {
+  ++samples_;
+  if (fault_ == FaultMode::kDropout) {
+    return util::Status{util::ErrorCode::kUnavailable,
+                        "device dropout: no response from transducer"};
+  }
+  if (fault_ == FaultMode::kStuckAt && last_good_) {
+    return *last_good_;
+  }
+  if (model_.walk_stddev > 0.0) {
+    walk_ += rng_.gaussian(0.0, model_.walk_stddev);
+  }
+  double value = truth(t) + rng_.gaussian(0.0, model_.noise_stddev);
+  if (fault_ == FaultMode::kBias) {
+    value += fault_magnitude_;
+  } else if (fault_ == FaultMode::kSpike && rng_.chance(0.2)) {
+    value += (rng_.chance(0.5) ? 1.0 : -1.0) * fault_magnitude_;
+  }
+  last_good_ = value;
+  return value;
+}
+
+void SimulatedDevice::inject_fault(FaultMode mode, double magnitude) {
+  fault_ = mode;
+  fault_magnitude_ = magnitude;
+}
+
+SimulatedDevice make_sunspot_temperature(const std::string& serial,
+                                         std::uint64_t seed,
+                                         double base_celsius) {
+  Teds teds{SensorKind::kTemperature, "Sun Microsystems", "SPOT eDemo rev6",
+            serial, -40.0, 85.0, 0.5, 10 * util::kMillisecond};
+  SignalModel model;
+  model.base = base_celsius;
+  model.amplitude = 6.0;
+  model.period = 24 * util::kHour;
+  model.noise_stddev = 0.15;
+  return {std::move(teds), model, seed};
+}
+
+SimulatedDevice make_humidity(const std::string& serial, std::uint64_t seed) {
+  Teds teds{SensorKind::kHumidity, "Sensirion", "SHT15", serial,
+            0.0, 100.0, 2.0, 50 * util::kMillisecond};
+  SignalModel model;
+  model.base = 55.0;
+  model.amplitude = 15.0;
+  model.period = 24 * util::kHour;
+  model.phase = 3.14159265358979;  // humidity peaks when temperature dips
+  model.noise_stddev = 0.8;
+  return {std::move(teds), model, seed};
+}
+
+SimulatedDevice make_pressure(const std::string& serial, std::uint64_t seed) {
+  Teds teds{SensorKind::kPressure, "Bosch", "BMP085", serial,
+            30.0, 110.0, 0.1, 25 * util::kMillisecond};
+  SignalModel model;
+  model.base = 101.325;
+  model.amplitude = 0.2;
+  model.period = 12 * util::kHour;  // semidiurnal atmospheric tide
+  model.noise_stddev = 0.02;
+  model.walk_stddev = 0.005;
+  return {std::move(teds), model, seed};
+}
+
+SimulatedDevice make_soil_moisture(const std::string& serial,
+                                   std::uint64_t seed) {
+  Teds teds{SensorKind::kSoilMoisture, "Decagon", "EC-5", serial,
+            0.0, 60.0, 1.5, 100 * util::kMillisecond};
+  SignalModel model;
+  model.base = 28.0;
+  model.amplitude = 3.0;
+  model.period = 24 * util::kHour;
+  model.noise_stddev = 0.4;
+  model.drift_per_hour = -0.05;  // soil drying between irrigations
+  return {std::move(teds), model, seed};
+}
+
+SimulatedDevice make_altitude(const std::string& serial, std::uint64_t seed,
+                              double cruise_m) {
+  Teds teds{SensorKind::kAltitude, "Honeywell", "HPA200", serial,
+            0.0, 15000.0, 5.0, 10 * util::kMillisecond};
+  SignalModel model;
+  model.base = cruise_m;
+  model.amplitude = 50.0;  // altitude-hold oscillation
+  model.period = 5 * util::kMinute;
+  model.noise_stddev = 2.0;
+  return {std::move(teds), model, seed};
+}
+
+SimulatedDevice make_airspeed(const std::string& serial, std::uint64_t seed,
+                              double cruise_mps) {
+  Teds teds{SensorKind::kAirspeed, "Honeywell", "AS100", serial,
+            0.0, 200.0, 1.0, 10 * util::kMillisecond};
+  SignalModel model;
+  model.base = cruise_mps;
+  model.amplitude = 4.0;   // gust response
+  model.period = 90 * util::kSecond;
+  model.noise_stddev = 0.6;
+  model.walk_stddev = 0.05;
+  return {std::move(teds), model, seed};
+}
+
+}  // namespace sensorcer::sensor

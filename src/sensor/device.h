@@ -1,0 +1,97 @@
+#pragma once
+// Simulated sensor hardware.
+//
+// Substitute for the paper's SUN SPOT temperature sensors (DESIGN.md §2.2):
+// a parametric physical-signal model (diurnal cycle + drift + random walk +
+// Gaussian noise) with injectable fault modes, so every probe/provider code
+// path — including the failure paths — can be exercised deterministically.
+
+#include <optional>
+#include <string>
+
+#include "sensor/teds.h"
+#include "util/rng.h"
+#include "util/sim_time.h"
+#include "util/status.h"
+
+namespace sensorcer::sensor {
+
+/// Parametric signal: base + diurnal sine + linear drift + random walk,
+/// plus per-sample Gaussian noise.
+struct SignalModel {
+  double base = 20.0;
+  double amplitude = 5.0;                     // diurnal swing
+  util::SimDuration period = 24 * util::kHour;
+  double phase = 0.0;                         // radians
+  double noise_stddev = 0.1;
+  double drift_per_hour = 0.0;
+  double walk_stddev = 0.0;                   // random-walk step per sample
+};
+
+/// Injectable hardware fault modes.
+enum class FaultMode {
+  kNone,
+  kStuckAt,   // output frozen at the last good value
+  kDropout,   // reads fail with kUnavailable
+  kSpike,     // occasional large excursions
+  kBias,      // constant offset error
+};
+
+const char* fault_mode_name(FaultMode mode);
+
+/// A single simulated transducer. Raw samples are in "device units"; the
+/// probe's Calibration converts them to engineering units.
+class SimulatedDevice {
+ public:
+  SimulatedDevice(Teds teds, SignalModel model, std::uint64_t seed);
+
+  /// Raw sample at virtual time `t`. Fails when a dropout fault is active.
+  util::Result<double> sample(util::SimTime t);
+
+  /// The true (noise-free, fault-free) signal at `t` — for test oracles.
+  [[nodiscard]] double truth(util::SimTime t) const;
+
+  void inject_fault(FaultMode mode, double magnitude = 0.0);
+  void clear_fault() { fault_ = FaultMode::kNone; }
+  [[nodiscard]] FaultMode fault() const { return fault_; }
+
+  [[nodiscard]] const Teds& teds() const { return teds_; }
+  [[nodiscard]] std::uint64_t sample_count() const { return samples_; }
+
+ private:
+  Teds teds_;
+  SignalModel model_;
+  util::Rng rng_;
+  double walk_ = 0.0;
+  std::optional<double> last_good_;
+  FaultMode fault_ = FaultMode::kNone;
+  double fault_magnitude_ = 0.0;
+  std::uint64_t samples_ = 0;
+};
+
+/// Factory presets -----------------------------------------------------------
+
+/// SUN SPOT-like on-board temperature channel (the paper's test hardware).
+SimulatedDevice make_sunspot_temperature(const std::string& serial,
+                                         std::uint64_t seed,
+                                         double base_celsius = 22.0);
+
+/// Relative-humidity channel for the farm-monitoring example.
+SimulatedDevice make_humidity(const std::string& serial, std::uint64_t seed);
+
+/// Barometric-pressure channel (slow random walk around 101.3 kPa).
+SimulatedDevice make_pressure(const std::string& serial, std::uint64_t seed);
+
+/// Soil-moisture channel for the agriculture scenario.
+SimulatedDevice make_soil_moisture(const std::string& serial,
+                                   std::uint64_t seed);
+
+/// Barometric altitude channel for the air-vehicle application.
+SimulatedDevice make_altitude(const std::string& serial, std::uint64_t seed,
+                              double cruise_m = 3000.0);
+
+/// Indicated-airspeed channel for the air-vehicle application.
+SimulatedDevice make_airspeed(const std::string& serial, std::uint64_t seed,
+                              double cruise_mps = 60.0);
+
+}  // namespace sensorcer::sensor

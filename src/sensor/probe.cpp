@@ -1,0 +1,72 @@
+#include "sensor/probe.h"
+
+namespace sensorcer::sensor {
+
+SimulatedProbe::SimulatedProbe(SimulatedDevice device, Calibration calibration)
+    : device_(std::move(device)), calibration_(std::move(calibration)) {}
+
+util::Status SimulatedProbe::connect() {
+  connected_ = true;
+  return util::Status::ok();
+}
+
+util::Result<Reading> SimulatedProbe::read(util::SimTime t) {
+  if (!connected_) {
+    return util::Status{util::ErrorCode::kFailedPrecondition,
+                        "probe not connected"};
+  }
+  auto raw = device_.sample(t);
+  if (!raw.is_ok()) {
+    ++consecutive_failures_;
+    return raw.status();
+  }
+
+  Reading reading;
+  reading.timestamp = t;
+  reading.value = calibration_.apply(raw.value());
+  reading.sequence = ++sequence_;
+
+  const Teds& teds = device_.teds();
+  if (reading.value < teds.range_min || reading.value > teds.range_max) {
+    reading.quality = Quality::kBad;
+  } else if (consecutive_failures_ > 0) {
+    // First good read after failures: the channel just recovered, flag it.
+    reading.quality = Quality::kSuspect;
+  }
+  consecutive_failures_ = 0;
+  ++reads_;
+  return reading;
+}
+
+ProbePtr make_temperature_probe(const std::string& serial, std::uint64_t seed,
+                                double base_celsius) {
+  return std::make_unique<SimulatedProbe>(
+      make_sunspot_temperature(serial, seed, base_celsius));
+}
+
+ProbePtr make_humidity_probe(const std::string& serial, std::uint64_t seed) {
+  return std::make_unique<SimulatedProbe>(make_humidity(serial, seed));
+}
+
+ProbePtr make_pressure_probe(const std::string& serial, std::uint64_t seed) {
+  return std::make_unique<SimulatedProbe>(make_pressure(serial, seed));
+}
+
+ProbePtr make_soil_moisture_probe(const std::string& serial,
+                                  std::uint64_t seed) {
+  return std::make_unique<SimulatedProbe>(make_soil_moisture(serial, seed));
+}
+
+ProbePtr make_altitude_probe(const std::string& serial, std::uint64_t seed,
+                             double cruise_m) {
+  return std::make_unique<SimulatedProbe>(
+      make_altitude(serial, seed, cruise_m));
+}
+
+ProbePtr make_airspeed_probe(const std::string& serial, std::uint64_t seed,
+                             double cruise_mps) {
+  return std::make_unique<SimulatedProbe>(
+      make_airspeed(serial, seed, cruise_mps));
+}
+
+}  // namespace sensorcer::sensor

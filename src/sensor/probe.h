@@ -1,0 +1,86 @@
+#pragma once
+// Sensor Probe — per the paper, "the only sensor dependent component of the
+// framework": it owns the device-specific driver concerns (connection,
+// timing, protocol, calibration) and hides them behind a uniform interface
+// that elementary sensor providers consume.
+
+#include <memory>
+#include <string>
+
+#include "sensor/calibration.h"
+#include "sensor/device.h"
+#include "sensor/reading.h"
+#include "util/status.h"
+
+namespace sensorcer::sensor {
+
+/// The probe contract. Providers depend only on this interface, which is
+/// what makes them sensor-technology independent (§VII of the paper).
+class SensorProbe {
+ public:
+  virtual ~SensorProbe() = default;
+
+  /// Establish the device session; reads fail until connected.
+  virtual util::Status connect() = 0;
+  virtual void disconnect() = 0;
+  [[nodiscard]] virtual bool is_connected() const = 0;
+
+  /// One calibrated reading at virtual time `t`.
+  virtual util::Result<Reading> read(util::SimTime t) = 0;
+
+  /// Transducer self-description.
+  [[nodiscard]] virtual const Teds& teds() const = 0;
+
+  /// Replace the raw→engineering calibration.
+  virtual void set_calibration(Calibration calibration) = 0;
+};
+
+/// Probe over a SimulatedDevice. Readings outside the TEDS range are flagged
+/// kBad; readings taken during a spike fault pass through (detecting them is
+/// the application's job, which the fault-injection example demonstrates).
+class SimulatedProbe final : public SensorProbe {
+ public:
+  SimulatedProbe(SimulatedDevice device, Calibration calibration = {});
+
+  util::Status connect() override;
+  void disconnect() override { connected_ = false; }
+  [[nodiscard]] bool is_connected() const override { return connected_; }
+
+  util::Result<Reading> read(util::SimTime t) override;
+
+  [[nodiscard]] const Teds& teds() const override { return device_.teds(); }
+  void set_calibration(Calibration calibration) override {
+    calibration_ = std::move(calibration);
+  }
+
+  /// Access to the underlying simulated hardware (fault injection in tests
+  /// and examples).
+  SimulatedDevice& device() { return device_; }
+
+  /// Total successful reads served.
+  [[nodiscard]] std::uint64_t read_count() const { return reads_; }
+
+ private:
+  SimulatedDevice device_;
+  Calibration calibration_;
+  bool connected_ = false;
+  std::uint64_t sequence_ = 0;
+  std::uint64_t reads_ = 0;
+  int consecutive_failures_ = 0;
+};
+
+using ProbePtr = std::unique_ptr<SensorProbe>;
+
+/// Convenience probe factories matching the device presets.
+ProbePtr make_temperature_probe(const std::string& serial, std::uint64_t seed,
+                                double base_celsius = 22.0);
+ProbePtr make_humidity_probe(const std::string& serial, std::uint64_t seed);
+ProbePtr make_pressure_probe(const std::string& serial, std::uint64_t seed);
+ProbePtr make_soil_moisture_probe(const std::string& serial,
+                                  std::uint64_t seed);
+ProbePtr make_altitude_probe(const std::string& serial, std::uint64_t seed,
+                             double cruise_m = 3000.0);
+ProbePtr make_airspeed_probe(const std::string& serial, std::uint64_t seed,
+                             double cruise_mps = 60.0);
+
+}  // namespace sensorcer::sensor

@@ -1,0 +1,33 @@
+#pragma once
+// The unit of sensor data flowing through the framework.
+
+#include <cstdint>
+#include <string>
+
+#include "util/sim_time.h"
+
+namespace sensorcer::sensor {
+
+/// Data-quality flag attached to every reading.
+enum class Quality {
+  kGood,
+  kSuspect,  // produced while the probe reported intermittent trouble
+  kBad,      // calibration out of range / device fault
+};
+
+const char* quality_name(Quality q);
+
+/// One calibrated measurement.
+struct Reading {
+  util::SimTime timestamp = 0;
+  double value = 0.0;
+  Quality quality = Quality::kGood;
+  std::uint64_t sequence = 0;  // per-probe monotonic counter
+
+  /// Modeled serialized size of one reading on the wire: 8-byte timestamp,
+  /// 8-byte value, 1-byte quality, 4-byte sequence — the "very small" sensor
+  /// datum of Motivation §II.1.
+  static constexpr std::size_t kWireBytes = 21;
+};
+
+}  // namespace sensorcer::sensor

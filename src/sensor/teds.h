@@ -1,0 +1,43 @@
+#pragma once
+// IEEE 1451-style Transducer Electronic Data Sheet.
+//
+// The paper (Motivation §II.3) notes IEEE 1451 as the attempted common
+// standard for sensor self-description. Each simulated device carries a TEDS
+// block so probes can expose uniform metadata regardless of "vendor".
+
+#include <string>
+
+#include "util/sim_time.h"
+
+namespace sensorcer::sensor {
+
+/// Physical quantity a transducer measures.
+enum class SensorKind {
+  kTemperature,
+  kHumidity,
+  kPressure,
+  kAltitude,
+  kAirspeed,
+  kSoilMoisture,
+};
+
+const char* sensor_kind_name(SensorKind kind);
+/// Engineering unit string for a kind, e.g. "degC", "kPa".
+const char* sensor_kind_unit(SensorKind kind);
+
+/// Static self-description of a transducer channel.
+struct Teds {
+  SensorKind kind = SensorKind::kTemperature;
+  std::string manufacturer;
+  std::string model;
+  std::string serial;
+  double range_min = 0.0;
+  double range_max = 0.0;
+  double accuracy = 0.0;             // +/- in engineering units
+  util::SimDuration min_sample_period = 0;  // fastest supported sampling
+
+  /// One-line rendering for browser info cards.
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace sensorcer::sensor

@@ -1,0 +1,133 @@
+#include "simnet/network.h"
+
+#include <algorithm>
+
+namespace sensorcer::simnet {
+
+void Network::attach(Address addr, Handler handler) {
+  endpoints_[addr] = std::move(handler);
+  stats_.try_emplace(addr);
+}
+
+void Network::detach(Address addr) {
+  endpoints_.erase(addr);
+  for (auto& [group, members] : groups_) members.erase(addr);
+}
+
+void Network::join_group(Address group, Address member) {
+  groups_[group].insert(member);
+}
+
+void Network::leave_group(Address group, Address member) {
+  auto it = groups_.find(group);
+  if (it != groups_.end()) it->second.erase(member);
+}
+
+void Network::partition(Address a, Address b) {
+  if (!is_partitioned(a, b)) partitions_.emplace_back(a, b);
+}
+
+void Network::heal(Address a, Address b) {
+  std::erase_if(partitions_, [&](const auto& p) {
+    return (p.first == a && p.second == b) || (p.first == b && p.second == a);
+  });
+}
+
+bool Network::is_partitioned(Address a, Address b) const {
+  return std::any_of(partitions_.begin(), partitions_.end(), [&](const auto& p) {
+    return (p.first == a && p.second == b) || (p.first == b && p.second == a);
+  });
+}
+
+util::Status Network::send(Message msg) {
+  if (!endpoints_.contains(msg.destination)) {
+    return {util::ErrorCode::kNotFound, "destination not attached"};
+  }
+  charge_and_schedule(msg, msg.destination);
+  return util::Status::ok();
+}
+
+std::size_t Network::multicast(Address group, Message msg) {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return 0;
+  // Snapshot members: handlers may mutate group membership during delivery.
+  const std::vector<Address> members(it->second.begin(), it->second.end());
+  std::size_t scheduled = 0;
+  msg.protocol = Protocol::kMulticast;
+  for (Address member : members) {
+    if (member == msg.source) continue;
+    if (!endpoints_.contains(member)) continue;
+    charge_and_schedule(msg, member);
+    ++scheduled;
+  }
+  return scheduled;
+}
+
+void Network::account_rpc(Address source, Address callee,
+                          std::size_t request_bytes,
+                          std::size_t response_bytes, Protocol p) {
+  std::lock_guard lock(account_mu_);
+  const auto charge = [&](Address from, std::size_t payload) {
+    TrafficStats& s = stats_[from];
+    const std::size_t headers = packet_count(payload) * header_bytes(p);
+    s.messages_sent += 1;
+    s.payload_bytes_sent += payload;
+    s.header_bytes_sent += headers;
+    totals_.messages_sent += 1;
+    totals_.payload_bytes_sent += payload;
+    totals_.header_bytes_sent += headers;
+  };
+  charge(source, request_bytes);
+  charge(callee, response_bytes);
+}
+
+void Network::charge_and_schedule(const Message& msg, Address dst) {
+  TrafficStats& s = stats_[msg.source];
+  const std::size_t headers =
+      packet_count(msg.payload_bytes) * header_bytes(msg.protocol);
+  s.messages_sent += 1;
+  s.payload_bytes_sent += msg.payload_bytes;
+  s.header_bytes_sent += headers;
+  totals_.messages_sent += 1;
+  totals_.payload_bytes_sent += msg.payload_bytes;
+  totals_.header_bytes_sent += headers;
+
+  if (is_partitioned(msg.source, dst) || rng_.chance(loss_rate_)) {
+    stats_[msg.source].messages_dropped += 1;
+    totals_.messages_dropped += 1;
+    return;
+  }
+
+  Message delivered = msg;
+  delivered.destination = dst;
+  scheduler_.schedule_after(delivery_delay(msg.protocol, msg.payload_bytes),
+                            [this, delivered = std::move(delivered), dst]() {
+    auto it = endpoints_.find(dst);
+    if (it == endpoints_.end()) return;  // detached while in flight
+    stats_[dst].messages_received += 1;
+    totals_.messages_received += 1;
+    it->second(delivered);
+  });
+}
+
+util::SimDuration Network::delivery_delay(Protocol p,
+                                          std::size_t payload_bytes) const {
+  if (bandwidth_ == 0) return latency_;
+  const auto serialization = static_cast<util::SimDuration>(
+      static_cast<double>(wire_bytes(p, payload_bytes)) /
+      static_cast<double>(bandwidth_) * util::kSecond);
+  return latency_ + serialization;
+}
+
+const TrafficStats& Network::stats_for(Address addr) const {
+  static const TrafficStats kEmpty{};
+  auto it = stats_.find(addr);
+  return it == stats_.end() ? kEmpty : it->second;
+}
+
+void Network::reset_stats() {
+  for (auto& [addr, s] : stats_) s = TrafficStats{};
+  totals_ = TrafficStats{};
+}
+
+}  // namespace sensorcer::simnet

@@ -1,0 +1,150 @@
+#pragma once
+// Byte-accounted simulated network fabric.
+//
+// Replaces the paper's LAN + Jini multicast transport. Endpoints register a
+// handler keyed by a 128-bit address; messages are delivered through the
+// virtual-time Scheduler after a configurable latency, with optional loss
+// and partitions. Every delivery is charged protocol-accurate header bytes
+// (see protocol.h), giving the header-overhead and data-flow-reversal
+// benches their measurements.
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "simnet/protocol.h"
+#include "util/ids.h"
+#include "util/rng.h"
+#include "util/scheduler.h"
+#include "util/status.h"
+
+namespace sensorcer::simnet {
+
+using Address = util::Uuid;
+
+/// An application message. `payload_bytes` is the modeled serialized size
+/// (the in-process `body` is carried by reference and costs nothing).
+struct Message {
+  Address source;
+  Address destination;          // or group address for multicast
+  std::string topic;            // application dispatch tag, e.g. "lus.announce"
+  std::any body;                // in-process payload
+  std::size_t payload_bytes = 0;
+  Protocol protocol = Protocol::kUdp;
+};
+
+/// Per-endpoint traffic counters.
+struct TrafficStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t payload_bytes_sent = 0;
+  std::uint64_t header_bytes_sent = 0;
+
+  [[nodiscard]] std::uint64_t wire_bytes_sent() const {
+    return payload_bytes_sent + header_bytes_sent;
+  }
+};
+
+/// The fabric. Message traffic runs on the single-threaded virtual-time
+/// scheduler; only account_rpc() is thread-safe, because providers invoked
+/// from the Jobber's parallel flow charge RPCs concurrently.
+class Network {
+ public:
+  using Handler = std::function<void(const Message&)>;
+
+  Network(util::Scheduler& scheduler, std::uint64_t seed = 42)
+      : scheduler_(scheduler), rng_(seed) {}
+
+  // --- topology -----------------------------------------------------------
+
+  /// Attach an endpoint; messages addressed to `addr` invoke `handler`.
+  void attach(Address addr, Handler handler);
+
+  /// Detach an endpoint (pending in-flight messages to it are dropped).
+  void detach(Address addr);
+
+  [[nodiscard]] bool is_attached(Address addr) const {
+    return endpoints_.contains(addr);
+  }
+
+  /// Join / leave a multicast group (groups are plain addresses).
+  void join_group(Address group, Address member);
+  void leave_group(Address group, Address member);
+
+  // --- link shaping -------------------------------------------------------
+
+  /// One-way propagation latency applied to every message (default 200us).
+  void set_latency(util::SimDuration latency) { latency_ = latency; }
+  [[nodiscard]] util::SimDuration latency() const { return latency_; }
+
+  /// Link bandwidth in bytes per second; 0 (default) = infinite. When set,
+  /// delivery time is latency + wire_bytes / bandwidth, so bulk transfers
+  /// (e.g. a large getLog batch) pay a size-dependent serialization delay.
+  void set_bandwidth(std::uint64_t bytes_per_second) {
+    bandwidth_ = bytes_per_second;
+  }
+  [[nodiscard]] std::uint64_t bandwidth() const { return bandwidth_; }
+
+  /// Delivery delay for a message of `payload_bytes` under `p`.
+  [[nodiscard]] util::SimDuration delivery_delay(Protocol p,
+                                                 std::size_t payload_bytes) const;
+
+  /// Probability in [0,1] that any given unicast/multicast delivery is lost.
+  void set_loss_rate(double p) { loss_rate_ = p; }
+
+  /// Sever connectivity between `a` and `b` in both directions.
+  void partition(Address a, Address b);
+  /// Restore connectivity between `a` and `b`.
+  void heal(Address a, Address b);
+  /// Remove all partitions.
+  void heal_all() { partitions_.clear(); }
+
+  // --- traffic ------------------------------------------------------------
+
+  /// Send a unicast message; delivery is scheduled after latency().
+  /// Returns kNotFound if the destination is not attached *now* (the caller
+  /// learns nothing about later detaches — like a real datagram).
+  util::Status send(Message msg);
+
+  /// Deliver to every current member of the group except the sender.
+  /// Returns the number of deliveries scheduled.
+  std::size_t multicast(Address group, Message msg);
+
+  /// Account traffic for a modeled synchronous RPC without scheduling a
+  /// delivery (the call itself happens as a direct in-process invocation).
+  /// Charges `request_bytes` from source and `response_bytes` from the
+  /// callee back, both under `p`.
+  void account_rpc(Address source, Address callee, std::size_t request_bytes,
+                   std::size_t response_bytes, Protocol p = Protocol::kTcp);
+
+  // --- accounting ---------------------------------------------------------
+
+  [[nodiscard]] const TrafficStats& stats_for(Address addr) const;
+  [[nodiscard]] const TrafficStats& totals() const { return totals_; }
+  void reset_stats();
+
+ private:
+  void charge_and_schedule(const Message& msg, Address dst);
+  [[nodiscard]] bool is_partitioned(Address a, Address b) const;
+
+  util::Scheduler& scheduler_;
+  util::Rng rng_;
+  util::SimDuration latency_ = 200;  // 200us LAN hop
+  std::uint64_t bandwidth_ = 0;      // bytes/s; 0 = infinite
+  double loss_rate_ = 0.0;
+
+  std::mutex account_mu_;  // guards stats maps during concurrent account_rpc
+  std::unordered_map<Address, Handler> endpoints_;
+  std::unordered_map<Address, std::unordered_set<Address>> groups_;
+  std::unordered_map<Address, TrafficStats> stats_;
+  TrafficStats totals_;
+  std::vector<std::pair<Address, Address>> partitions_;
+};
+
+}  // namespace sensorcer::simnet

@@ -1,0 +1,66 @@
+#pragma once
+// Wire-protocol cost models.
+//
+// Motivation §II.1 of the paper argues that the per-packet header overhead of
+// IP-family protocols dwarfs a single sensor reading, so collecting readings
+// one datagram at a time is wasteful, and service-level aggregation amortizes
+// the cost. To test that claim quantitatively (bench_header_overhead), every
+// message in the simulated network is charged a protocol-accurate header
+// cost in addition to its payload bytes.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sensorcer::simnet {
+
+/// Transport framing applied to a message.
+enum class Protocol {
+  kUdp,        // Ethernet + IPv4 + UDP datagram
+  kTcp,        // Ethernet + IPv4 + TCP segment (steady-state, no handshake)
+  kTcpSession, // TCP including amortized connection setup/teardown segments
+  kMulticast,  // UDP multicast (same framing as kUdp)
+};
+
+/// Framing constants (bytes). Ethernet II frame overhead includes preamble,
+/// header, FCS and inter-packet gap as seen on the wire.
+inline constexpr std::size_t kEthernetOverhead = 38;
+inline constexpr std::size_t kIpv4Header = 20;
+inline constexpr std::size_t kUdpHeader = 8;
+inline constexpr std::size_t kTcpHeader = 20;
+/// SYN, SYN-ACK, ACK, FIN, FIN-ACK, ACK — six control segments per session.
+inline constexpr std::size_t kTcpSessionControlSegments = 6;
+
+/// Header bytes charged to a single message under `p`, excluding payload.
+[[nodiscard]] constexpr std::size_t header_bytes(Protocol p) {
+  switch (p) {
+    case Protocol::kUdp:
+    case Protocol::kMulticast:
+      return kEthernetOverhead + kIpv4Header + kUdpHeader;
+    case Protocol::kTcp:
+      return kEthernetOverhead + kIpv4Header + kTcpHeader;
+    case Protocol::kTcpSession:
+      return kEthernetOverhead + kIpv4Header + kTcpHeader +
+             kTcpSessionControlSegments *
+                 (kEthernetOverhead + kIpv4Header + kTcpHeader);
+  }
+  return 0;
+}
+
+/// Maximum payload per packet; larger application messages fragment and are
+/// charged one header per fragment.
+inline constexpr std::size_t kMtuPayload = 1400;
+
+/// Number of packets (and therefore headers) a payload of `payload_bytes`
+/// occupies.
+[[nodiscard]] constexpr std::size_t packet_count(std::size_t payload_bytes) {
+  if (payload_bytes == 0) return 1;
+  return (payload_bytes + kMtuPayload - 1) / kMtuPayload;
+}
+
+/// Total on-wire bytes for a message: payload plus per-fragment headers.
+[[nodiscard]] constexpr std::size_t wire_bytes(Protocol p,
+                                               std::size_t payload_bytes) {
+  return payload_bytes + packet_count(payload_bytes) * header_bytes(p);
+}
+
+}  // namespace sensorcer::simnet

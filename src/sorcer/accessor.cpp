@@ -1,0 +1,127 @@
+#include "sorcer/accessor.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace sensorcer::sorcer {
+
+void ServiceAccessor::add_lookup(
+    std::shared_ptr<registry::LookupService> lus) {
+  std::lock_guard lock(mu_);
+  for (const auto& weak : lookups_) {
+    if (auto existing = weak.lock(); existing == lus) return;
+  }
+  lookups_.emplace_back(std::move(lus));
+}
+
+void ServiceAccessor::attach_discovery(
+    registry::DiscoveryManager& discovery) {
+  discovery.start_discovery(
+      [this](const std::shared_ptr<registry::LookupService>& lus) {
+        add_lookup(lus);
+      });
+}
+
+std::vector<std::shared_ptr<registry::LookupService>>
+ServiceAccessor::lookups() {
+  std::lock_guard lock(mu_);
+  std::vector<std::shared_ptr<registry::LookupService>> out;
+  for (auto it = lookups_.begin(); it != lookups_.end();) {
+    if (auto strong = it->lock()) {
+      out.push_back(std::move(strong));
+      ++it;
+    } else {
+      it = lookups_.erase(it);
+    }
+  }
+  return out;
+}
+
+util::Result<registry::ServiceItem> ServiceAccessor::find_item(
+    const registry::ServiceTemplate& tmpl) {
+  for (const auto& lus : lookups()) {
+    auto found = lus->lookup_one(tmpl);
+    if (found.is_ok()) return found;
+  }
+  return util::Status{util::ErrorCode::kNotFound,
+                      "no lookup service holds a matching item"};
+}
+
+std::vector<registry::ServiceItem> ServiceAccessor::find_all(
+    const registry::ServiceTemplate& tmpl) {
+  std::vector<registry::ServiceItem> out;
+  std::unordered_set<registry::ServiceId> seen;
+  for (const auto& lus : lookups()) {
+    for (auto& item : lus->lookup(tmpl)) {
+      if (seen.insert(item.id).second) out.push_back(std::move(item));
+    }
+  }
+  return out;
+}
+
+util::Result<std::shared_ptr<Servicer>> ServiceAccessor::find_servicer(
+    const Signature& sig) {
+  auto resolved = resolve(sig);
+  if (!resolved.is_ok()) return resolved.status();
+  return std::move(resolved).value().servicer;
+}
+
+util::Result<ServiceAccessor::Resolved> ServiceAccessor::resolve(
+    const Signature& sig, const std::vector<registry::ServiceId>& exclude) {
+  const std::string key = cache_key(sig);
+  if (exclude.empty()) {
+    std::lock_guard lock(mu_);
+    auto it = caching_ ? cache_.find(key) : cache_.end();
+    if (it != cache_.end()) {
+      auto lus = it->second.lus.lock();
+      if (lus && lus->contains(it->second.item.id)) {
+        if (auto servicer =
+                registry::proxy_cast<Servicer>(it->second.item.proxy)) {
+          ++cache_hits_;
+          return Resolved{std::move(servicer), it->second.item.id};
+        }
+      }
+      cache_.erase(it);
+    }
+    ++cache_misses_;
+  }
+
+  const auto excluded = [&](const registry::ServiceId& id) {
+    return std::find(exclude.begin(), exclude.end(), id) != exclude.end();
+  };
+
+  registry::ServiceTemplate tmpl;
+  tmpl.types.push_back(sig.service_type);
+  if (!sig.provider_name.empty()) {
+    tmpl.attributes.set(registry::attr::kName, sig.provider_name);
+  }
+  for (const auto& lus : lookups()) {
+    for (auto& item : lus->lookup(tmpl)) {
+      if (excluded(item.id)) continue;
+      auto servicer = registry::proxy_cast<Servicer>(item.proxy);
+      if (!servicer) continue;  // item matched but is not an EOA peer
+      const registry::ServiceId id = item.id;
+      std::lock_guard lock(mu_);
+      if (caching_ && exclude.empty()) {
+        cache_[key] = CacheSlot{lus, std::move(item)};
+      }
+      return Resolved{std::move(servicer), id};
+    }
+  }
+  return util::Status{
+      util::ErrorCode::kNotFound,
+      "no provider matches signature " + sig.to_string()};
+}
+
+void ServiceAccessor::clear_cache() {
+  std::lock_guard lock(mu_);
+  cache_.clear();
+}
+
+void ServiceAccessor::set_caching(bool enabled) {
+  std::lock_guard lock(mu_);
+  caching_ = enabled;
+  if (!enabled) cache_.clear();
+}
+
+}  // namespace sensorcer::sorcer

@@ -1,0 +1,130 @@
+#include "sorcer/context.h"
+
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace sensorcer::sorcer {
+
+std::string context_value_to_string(const ContextValue& value) {
+  struct Visitor {
+    std::string operator()(std::monostate) const { return "<none>"; }
+    std::string operator()(double d) const {
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "%g", d);
+      return buf;
+    }
+    std::string operator()(std::int64_t i) const { return std::to_string(i); }
+    std::string operator()(bool b) const { return b ? "true" : "false"; }
+    std::string operator()(const std::string& s) const { return s; }
+    std::string operator()(const std::vector<double>& v) const {
+      std::string out = "[";
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        if (i) out += ", ";
+        char buf[48];
+        std::snprintf(buf, sizeof buf, "%g", v[i]);
+        out += buf;
+      }
+      return out + "]";
+    }
+  };
+  return std::visit(Visitor{}, value);
+}
+
+void ServiceContext::put(const std::string& path, ContextValue value,
+                         PathDirection direction) {
+  values_[path] = Slot{std::move(value), direction};
+}
+
+util::Result<ContextValue> ServiceContext::get(const std::string& path) const {
+  auto it = values_.find(path);
+  if (it == values_.end()) {
+    return util::Status{util::ErrorCode::kNotFound,
+                        util::format("no context path '%s'", path.c_str())};
+  }
+  return it->second.value;
+}
+
+util::Result<double> ServiceContext::get_double(const std::string& path) const {
+  auto v = get(path);
+  if (!v.is_ok()) return v.status();
+  if (const auto* d = std::get_if<double>(&v.value())) return *d;
+  if (const auto* i = std::get_if<std::int64_t>(&v.value())) {
+    return static_cast<double>(*i);
+  }
+  return util::Status{util::ErrorCode::kInvalidArgument,
+                      util::format("context path '%s' is not numeric",
+                                   path.c_str())};
+}
+
+util::Result<std::string> ServiceContext::get_string(
+    const std::string& path) const {
+  auto v = get(path);
+  if (!v.is_ok()) return v.status();
+  if (const auto* s = std::get_if<std::string>(&v.value())) return *s;
+  return util::Status{util::ErrorCode::kInvalidArgument,
+                      util::format("context path '%s' is not a string",
+                                   path.c_str())};
+}
+
+util::Result<std::vector<double>> ServiceContext::get_series(
+    const std::string& path) const {
+  auto v = get(path);
+  if (!v.is_ok()) return v.status();
+  if (const auto* s = std::get_if<std::vector<double>>(&v.value())) return *s;
+  return util::Status{util::ErrorCode::kInvalidArgument,
+                      util::format("context path '%s' is not a series",
+                                   path.c_str())};
+}
+
+std::vector<std::string> ServiceContext::paths() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [path, slot] : values_) out.push_back(path);
+  return out;
+}
+
+std::vector<std::string> ServiceContext::paths_with(PathDirection d) const {
+  std::vector<std::string> out;
+  for (const auto& [path, slot] : values_) {
+    if (slot.direction == d) out.push_back(path);
+  }
+  return out;
+}
+
+void ServiceContext::merge(const ServiceContext& other) {
+  for (const auto& [path, slot] : other.values_) values_[path] = slot;
+}
+
+std::size_t ServiceContext::wire_bytes() const {
+  std::size_t bytes = name_.size() + 4;
+  for (const auto& [path, slot] : values_) {
+    bytes += path.size() + 2;
+    struct SizeVisitor {
+      std::size_t operator()(std::monostate) const { return 1; }
+      std::size_t operator()(double) const { return 8; }
+      std::size_t operator()(std::int64_t) const { return 8; }
+      std::size_t operator()(bool) const { return 1; }
+      std::size_t operator()(const std::string& s) const {
+        return s.size() + 2;
+      }
+      std::size_t operator()(const std::vector<double>& v) const {
+        return 4 + 8 * v.size();
+      }
+    };
+    bytes += std::visit(SizeVisitor{}, slot.value);
+  }
+  return bytes;
+}
+
+std::string ServiceContext::to_string() const {
+  std::string out = "context";
+  if (!name_.empty()) out += " '" + name_ + "'";
+  out += ":\n";
+  for (const auto& [path, slot] : values_) {
+    out += "  " + path + " = " + context_value_to_string(slot.value) + "\n";
+  }
+  return out;
+}
+
+}  // namespace sensorcer::sorcer

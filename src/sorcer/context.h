@@ -1,0 +1,79 @@
+#pragma once
+// Service context — the hierarchical data an exertion's collaboration works
+// on ("the metaprogram data", §IV.D). Paths are slash-separated strings;
+// values are the small set of types sensor collaborations exchange.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sensorcer::sorcer {
+
+using ContextValue =
+    std::variant<std::monostate, double, std::int64_t, bool, std::string,
+                 std::vector<double>>;
+
+/// Render a value for traces and browser output.
+std::string context_value_to_string(const ContextValue& value);
+
+/// Direction markers: requestors mark which paths carry inputs to the
+/// provider and which the provider must fill in.
+enum class PathDirection { kIn, kOut, kInOut };
+
+class ServiceContext {
+ public:
+  ServiceContext() = default;
+  explicit ServiceContext(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  // --- values ---------------------------------------------------------------
+
+  void put(const std::string& path, ContextValue value,
+           PathDirection direction = PathDirection::kInOut);
+
+  [[nodiscard]] util::Result<ContextValue> get(const std::string& path) const;
+
+  /// Typed getters; wrong type yields kInvalidArgument.
+  [[nodiscard]] util::Result<double> get_double(const std::string& path) const;
+  [[nodiscard]] util::Result<std::string> get_string(
+      const std::string& path) const;
+  [[nodiscard]] util::Result<std::vector<double>> get_series(
+      const std::string& path) const;
+
+  [[nodiscard]] bool has(const std::string& path) const {
+    return values_.contains(path);
+  }
+  bool remove(const std::string& path) { return values_.erase(path) > 0; }
+
+  /// All paths, sorted (map order).
+  [[nodiscard]] std::vector<std::string> paths() const;
+
+  /// Paths with the given direction marker.
+  [[nodiscard]] std::vector<std::string> paths_with(PathDirection d) const;
+
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+
+  /// Merge every value of `other` into this context (other wins on clash).
+  void merge(const ServiceContext& other);
+
+  /// Modeled serialized size for traffic accounting.
+  [[nodiscard]] std::size_t wire_bytes() const;
+
+  /// Multi-line "path = value" rendering.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  struct Slot {
+    ContextValue value;
+    PathDirection direction = PathDirection::kInOut;
+  };
+  std::string name_;
+  std::map<std::string, Slot> values_;
+};
+
+}  // namespace sensorcer::sorcer

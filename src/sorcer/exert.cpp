@@ -1,0 +1,55 @@
+#include "sorcer/exert.h"
+
+#include "sorcer/servicer.h"
+
+namespace sensorcer::sorcer {
+
+util::Result<ExertionPtr> exert(const ExertionPtr& exertion,
+                                ServiceAccessor& accessor,
+                                registry::Transaction* txn) {
+  if (!exertion) {
+    return util::Status{util::ErrorCode::kInvalidArgument, "null exertion"};
+  }
+
+  if (exertion->kind() == Exertion::Kind::kTask) {
+    auto task = std::static_pointer_cast<Task>(exertion);
+    // Service substitution (§V.A): when a provider is unavailable, pass the
+    // request on to an equivalent provider matching the same signature.
+    // A pinned provider name means "this provider, exactly" — no
+    // substitution (and the original error is preserved).
+    const int kMaxAttempts = task->signature().provider_name.empty() ? 3 : 1;
+    std::vector<registry::ServiceId> tried;
+    for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+      auto resolved = accessor.resolve(task->signature(), tried);
+      if (!resolved.is_ok()) {
+        task->set_error(resolved.status());
+        return util::Result<ExertionPtr>(exertion);
+      }
+      auto result = resolved.value().servicer->service(exertion, txn);
+      if (task->status() != ExertStatus::kFailed ||
+          task->error().code() != util::ErrorCode::kUnavailable ||
+          attempt + 1 == kMaxAttempts) {
+        return result;
+      }
+      tried.push_back(resolved.value().id);
+      task->reset();
+    }
+    return util::Result<ExertionPtr>(exertion);  // unreachable
+  }
+
+  auto job = std::static_pointer_cast<Job>(exertion);
+  const char* rendezvous_type = job->strategy().access == Access::kPull
+                                    ? type::kSpacer
+                                    : type::kJobber;
+  auto rendezvous = accessor.find_servicer(
+      Signature{rendezvous_type, "service", ""});
+  if (!rendezvous.is_ok()) {
+    job->set_error({util::ErrorCode::kNotFound,
+                    std::string("no rendezvous peer of type ") +
+                        rendezvous_type + " on the network"});
+    return util::Result<ExertionPtr>(exertion);
+  }
+  return rendezvous.value()->service(exertion, txn);
+}
+
+}  // namespace sensorcer::sorcer

@@ -1,0 +1,25 @@
+#pragma once
+// The requestor entry point of exertion-oriented programming:
+//
+//   Exertion.exert(Transaction) : Exertion            (§IV.D)
+//
+// "Requestors do not have to look up for any network provider at all; they
+// can submit an exertion onto the network." exert() forms the federation:
+// a task binds to a matching task peer; a job routes to a rendezvous peer —
+// a Jobber under PUSH access, a Spacer under PULL.
+
+#include "registry/transaction.h"
+#include "sorcer/accessor.h"
+#include "sorcer/exertion.h"
+
+namespace sensorcer::sorcer {
+
+/// Exert `exertion` onto the network reachable through `accessor`. On
+/// routing failure (no matching provider / no rendezvous peer) the exertion
+/// is returned with kFailed status and the error recorded on it; the Result
+/// itself is only an error for null input.
+util::Result<ExertionPtr> exert(const ExertionPtr& exertion,
+                                ServiceAccessor& accessor,
+                                registry::Transaction* txn = nullptr);
+
+}  // namespace sensorcer::sorcer

@@ -1,0 +1,15 @@
+#include "sorcer/exertion.h"
+
+namespace sensorcer::sorcer {
+
+const char* exert_status_name(ExertStatus status) {
+  switch (status) {
+    case ExertStatus::kInitial: return "INITIAL";
+    case ExertStatus::kRunning: return "RUNNING";
+    case ExertStatus::kDone: return "DONE";
+    case ExertStatus::kFailed: return "FAILED";
+  }
+  return "?";
+}
+
+}  // namespace sensorcer::sorcer

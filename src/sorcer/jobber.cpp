@@ -1,0 +1,129 @@
+#include "sorcer/jobber.h"
+
+#include <algorithm>
+#include <future>
+
+#include "sorcer/exert.h"
+
+namespace sensorcer::sorcer {
+
+Jobber::Jobber(std::string name, ServiceAccessor& accessor,
+               util::ThreadPool* pool)
+    : ServiceProvider(std::move(name), {type::kJobber}),
+      accessor_(accessor),
+      pool_(pool) {}
+
+util::Result<ExertionPtr> Jobber::service(ExertionPtr exertion,
+                                          registry::Transaction* txn) {
+  if (!exertion) {
+    return util::Status{util::ErrorCode::kInvalidArgument, "null exertion"};
+  }
+  if (exertion->kind() == Exertion::Kind::kTask) {
+    // A task addressed to the jobber itself executes here (base task path);
+    // any other stray task is routed on through the federation.
+    auto task = std::static_pointer_cast<Task>(exertion);
+    const auto& types = this->types();
+    if (std::find(types.begin(), types.end(),
+                  task->signature().service_type) != types.end()) {
+      return ServiceProvider::service(exertion, txn);
+    }
+    return run_child(exertion, txn);
+  }
+
+  auto job = std::static_pointer_cast<Job>(exertion);
+  job->set_status(ExertStatus::kRunning);
+  ++jobs_;
+
+  if (job->strategy().flow == Flow::kParallel) {
+    run_parallel(*job, txn);
+  } else {
+    run_sequence(*job, txn);
+  }
+  job->add_trace(provider_name());
+
+  if (job->status() != ExertStatus::kFailed) {
+    // Surface child outputs in the job context so the requestor reads one
+    // context: child paths are merged under "<child-name>/".
+    for (const auto& child : job->children()) {
+      for (const auto& path : child->context().paths()) {
+        auto v = child->context().get(path);
+        if (v.is_ok()) {
+          job->context().put(child->name() + "/" + path,
+                             std::move(v).value());
+        }
+      }
+    }
+    job->set_status(ExertStatus::kDone);
+  }
+  return exertion;
+}
+
+util::Result<ExertionPtr> Jobber::run_child(const ExertionPtr& child,
+                                            registry::Transaction* txn) {
+  // Both kinds re-enter the federation through exert(): tasks get service
+  // substitution on provider unavailability; nested jobs route to a
+  // rendezvous peer appropriate to their own access strategy.
+  return exert(child, accessor_, txn);
+}
+
+void Jobber::run_sequence(Job& job, registry::Transaction* txn) {
+  util::SimDuration total = 0;
+  for (const auto& child : job.children()) {
+    (void)run_child(child, txn);
+    total += child->latency() + kDispatchOverhead;
+    if (child->status() == ExertStatus::kFailed) {
+      if (job.strategy().fail_fast) {
+        job.set_error({util::ErrorCode::kAborted,
+                       "child '" + child->name() +
+                           "' failed: " + child->error().message()});
+        break;
+      }
+    }
+  }
+  job.add_latency(total);
+  if (job.status() != ExertStatus::kFailed && !job.strategy().fail_fast) {
+    // Lenient mode: the job fails only if *every* child failed.
+    const bool any_ok = std::any_of(
+        job.children().begin(), job.children().end(),
+        [](const auto& c) { return c->status() == ExertStatus::kDone; });
+    if (!any_ok && !job.children().empty()) {
+      job.set_error({util::ErrorCode::kAborted, "all children failed"});
+    }
+  }
+}
+
+void Jobber::run_parallel(Job& job, registry::Transaction* txn) {
+  const auto& children = job.children();
+
+  if (pool_ != nullptr && children.size() > 1) {
+    std::vector<std::future<void>> futures;
+    futures.reserve(children.size());
+    for (const auto& child : children) {
+      futures.push_back(
+          pool_->submit([this, child, txn] { (void)run_child(child, txn); }));
+    }
+    for (auto& f : futures) f.get();
+  } else {
+    for (const auto& child : children) (void)run_child(child, txn);
+  }
+
+  // Parallel latency model: all children progress together, so the job pays
+  // the slowest child plus one dispatch overhead per child (fan-out cost).
+  util::SimDuration slowest = 0;
+  for (const auto& child : children) {
+    slowest = std::max(slowest, child->latency());
+  }
+  job.add_latency(slowest + static_cast<util::SimDuration>(children.size()) *
+                                kDispatchOverhead);
+
+  for (const auto& child : children) {
+    if (child->status() == ExertStatus::kFailed && job.strategy().fail_fast) {
+      job.set_error({util::ErrorCode::kAborted,
+                     "child '" + child->name() +
+                         "' failed: " + child->error().message()});
+      return;
+    }
+  }
+}
+
+}  // namespace sensorcer::sorcer

@@ -1,0 +1,134 @@
+#include "sorcer/provider.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace sensorcer::sorcer {
+
+ServiceProvider::ServiceProvider(std::string name,
+                                 std::vector<std::string> types)
+    : name_(std::move(name)), id_(util::new_uuid()), types_(std::move(types)) {
+  if (std::find(types_.begin(), types_.end(), type::kServicer) ==
+      types_.end()) {
+    types_.push_back(type::kServicer);
+  }
+}
+
+ServiceProvider::~ServiceProvider() {
+  // Registrations are leased: if the owner forgot to leave(), the lookup
+  // services will dispose of us when the lease lapses. Cancel renewal timers
+  // so they do not fire into a destroyed object.
+  for (auto& j : joined_) {
+    if (j.lrm != nullptr) j.lrm->release(j.lease_id);
+  }
+}
+
+void ServiceProvider::add_operation(const std::string& selector, Operation op,
+                                    util::SimDuration service_time) {
+  operations_[selector] = OpRecord{std::move(op), service_time};
+}
+
+void ServiceProvider::set_attributes(registry::Entry attributes) {
+  attributes_ = std::move(attributes);
+}
+
+void ServiceProvider::attach_network(simnet::Network& net) {
+  net_ = &net;
+  net_addr_ = util::new_uuid();
+  net.attach(net_addr_, [](const simnet::Message&) {});
+}
+
+registry::ServiceItem ServiceProvider::service_item() {
+  registry::ServiceItem item;
+  item.id = id_;
+  item.proxy = shared_from_this();
+  item.types = types_;
+  item.attributes = attributes_;
+  item.attributes.set(registry::attr::kName, name_);
+  return item;
+}
+
+util::Status ServiceProvider::join(
+    const std::shared_ptr<registry::LookupService>& lus,
+    registry::LeaseRenewalManager& lrm, util::SimDuration lease_duration) {
+  if (!lus) {
+    return {util::ErrorCode::kInvalidArgument, "null lookup service"};
+  }
+  auto registration = lus->register_service(service_item(), lease_duration);
+  lrm.manage(registration.lease, lus, lease_duration);
+  joined_.push_back(Joined{lus, &lrm, registration.lease.id});
+  return util::Status::ok();
+}
+
+void ServiceProvider::leave() {
+  for (auto& j : joined_) {
+    if (j.lrm != nullptr) j.lrm->cancel(j.lease_id);
+  }
+  joined_.clear();
+}
+
+void ServiceProvider::crash() {
+  for (auto& j : joined_) {
+    if (j.lrm != nullptr) j.lrm->release(j.lease_id);
+  }
+  joined_.clear();
+}
+
+util::Result<ExertionPtr> ServiceProvider::service(
+    ExertionPtr exertion, registry::Transaction* /*txn*/) {
+  if (!exertion) {
+    return util::Status{util::ErrorCode::kInvalidArgument, "null exertion"};
+  }
+  if (exertion->kind() != Exertion::Kind::kTask) {
+    exertion->set_error({util::ErrorCode::kInvalidArgument,
+                         "task peer cannot coordinate a job; exert it via a "
+                         "rendezvous peer (Jobber/Spacer)"});
+    return exertion;
+  }
+  auto task = std::static_pointer_cast<Task>(exertion);
+  const Signature& sig = task->signature();
+
+  if (std::find(types_.begin(), types_.end(), sig.service_type) ==
+      types_.end()) {
+    task->set_error({util::ErrorCode::kInvalidArgument,
+                     util::format("provider '%s' does not export type '%s'",
+                                  name_.c_str(), sig.service_type.c_str())});
+    return exertion;
+  }
+  auto op = operations_.find(sig.selector);
+  if (op == operations_.end()) {
+    task->set_error({util::ErrorCode::kNotFound,
+                     util::format("provider '%s' has no operation '%s'",
+                                  name_.c_str(), sig.selector.c_str())});
+    return exertion;
+  }
+
+  std::lock_guard lock(mu_);
+  task->set_status(ExertStatus::kRunning);
+  const std::size_t request_bytes = task->context().wire_bytes() + 64;
+  util::Status result = op->second.fn(task->context());
+  if (net_ != nullptr) {
+    net_->account_rpc(net_addr_, net_addr_, request_bytes,
+                      task->context().wire_bytes());
+  }
+  task->add_latency(op->second.service_time +
+                    extra_invocation_latency(sig.selector));
+  task->add_trace(name_);
+  ++invocations_;
+  if (result.is_ok()) {
+    task->set_status(ExertStatus::kDone);
+  } else {
+    task->set_error(std::move(result));
+  }
+  return exertion;
+}
+
+Tasker::Tasker(std::string name, std::vector<std::string> extra_types)
+    : ServiceProvider(std::move(name), [&extra_types] {
+        std::vector<std::string> types{type::kTasker};
+        for (auto& t : extra_types) types.push_back(std::move(t));
+        return types;
+      }()) {}
+
+}  // namespace sensorcer::sorcer

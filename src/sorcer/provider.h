@@ -1,0 +1,138 @@
+#pragma once
+// ServiceProvider — base class for every SORCER peer in the framework.
+//
+// A provider owns a map of operations (selector → function over the service
+// context, with a modeled service time), registers itself with lookup
+// services under its interface names, keeps its registrations alive through
+// a LeaseRenewalManager, and executes task exertions whose signature it
+// matches. Invocation is serialized per provider so the Jobber's parallel
+// flow can safely fan out across providers on real threads.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "registry/lease_renewal.h"
+#include "registry/lookup.h"
+#include "simnet/network.h"
+#include "sorcer/servicer.h"
+
+namespace sensorcer::sorcer {
+
+/// A provider operation: transforms the exertion's service context.
+using Operation = std::function<util::Status(ServiceContext&)>;
+
+class ServiceProvider : public Servicer,
+                        public std::enable_shared_from_this<ServiceProvider> {
+ public:
+  /// `types` are the domain interface names this provider exports in
+  /// addition to "Servicer".
+  ServiceProvider(std::string name, std::vector<std::string> types);
+
+  ~ServiceProvider() override;
+
+  // --- configuration --------------------------------------------------------
+
+  /// Register an operation. `service_time` is the modeled execution latency
+  /// charged to exertions (virtual time).
+  void add_operation(const std::string& selector, Operation op,
+                     util::SimDuration service_time = util::kMillisecond);
+
+  /// Complementary attributes published at registration (name and type
+  /// attributes are added automatically).
+  void set_attributes(registry::Entry attributes);
+
+  /// Enable traffic accounting: every task invocation is charged to `net`
+  /// as a request/response RPC sized by the exertion's context. This is how
+  /// the header-overhead and data-flow experiments observe wire cost.
+  void attach_network(simnet::Network& net);
+
+  [[nodiscard]] simnet::Address network_address() const { return net_addr_; }
+
+  // --- join/leave protocol --------------------------------------------------
+
+  /// Register with `lus` for `lease_duration`, auto-renewing via `lrm`.
+  /// May be called for several lookup services.
+  util::Status join(const std::shared_ptr<registry::LookupService>& lus,
+                    registry::LeaseRenewalManager& lrm,
+                    util::SimDuration lease_duration);
+
+  /// Cancel every registration (clean departure).
+  void leave();
+
+  /// Stop renewing but do not cancel: simulates a crashed provider whose
+  /// registrations linger until their leases expire (§IV.B).
+  void crash();
+
+  [[nodiscard]] bool is_joined() const { return !joined_.empty(); }
+
+  // --- Servicer ---------------------------------------------------------------
+
+  util::Result<ExertionPtr> service(ExertionPtr exertion,
+                                    registry::Transaction* txn) override;
+
+  [[nodiscard]] const std::string& provider_name() const override {
+    return name_;
+  }
+
+  // --- introspection ----------------------------------------------------------
+
+  [[nodiscard]] const registry::ServiceId& service_id() const { return id_; }
+  [[nodiscard]] const std::vector<std::string>& types() const { return types_; }
+  [[nodiscard]] const registry::Entry& attributes() const { return attributes_; }
+  [[nodiscard]] bool has_operation(const std::string& selector) const {
+    return operations_.contains(selector);
+  }
+  [[nodiscard]] std::uint64_t invocation_count() const { return invocations_; }
+
+  /// The ServiceItem this provider registers (useful for direct LUS tests).
+  [[nodiscard]] registry::ServiceItem service_item();
+
+ protected:
+  /// Per-provider invocation lock; subclasses coordinating their own state
+  /// with operations may lock it too.
+  std::mutex& invoke_mutex() { return mu_; }
+
+  /// Extra modeled latency charged to a task after `selector` ran, on top of
+  /// the operation's static service time. Composite providers override this
+  /// to surface the latency of the federated collection their operation
+  /// triggered.
+  virtual util::SimDuration extra_invocation_latency(
+      const std::string& selector) const {
+    (void)selector;
+    return 0;
+  }
+
+ private:
+  struct OpRecord {
+    Operation fn;
+    util::SimDuration service_time;
+  };
+  struct Joined {
+    std::weak_ptr<registry::LookupService> lus;
+    registry::LeaseRenewalManager* lrm;
+    util::Uuid lease_id;
+  };
+
+  std::string name_;
+  registry::ServiceId id_;
+  std::vector<std::string> types_;
+  registry::Entry attributes_;
+  std::map<std::string, OpRecord> operations_;
+  std::vector<Joined> joined_;
+  std::mutex mu_;
+  std::uint64_t invocations_ = 0;
+  simnet::Network* net_ = nullptr;
+  simnet::Address net_addr_;
+};
+
+/// Domain task peer: a plain ServiceProvider exporting the "Tasker" type.
+/// Benches and tests install compute operations on it.
+class Tasker final : public ServiceProvider {
+ public:
+  explicit Tasker(std::string name, std::vector<std::string> extra_types = {});
+};
+
+}  // namespace sensorcer::sorcer

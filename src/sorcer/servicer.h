@@ -1,0 +1,36 @@
+#pragma once
+// The top-level Servicer interface: "all service providers in EOA implement
+// service(Exertion, Transaction)" (§IV.D). Operations in a provider's
+// domain interface are invoked only indirectly, through an exertion handed
+// to this single entry point.
+
+#include <memory>
+#include <string>
+
+#include "registry/service_item.h"
+#include "registry/transaction.h"
+#include "sorcer/exertion.h"
+
+namespace sensorcer::sorcer {
+
+class Servicer : public registry::ServiceProxy {
+ public:
+  /// Execute (or coordinate) `exertion`, optionally inside `txn`.
+  /// The returned exertion is the same object, with its status, context,
+  /// latency account and trace updated — "all results of the execution can
+  /// be found in the returned exertion's service contexts".
+  virtual util::Result<ExertionPtr> service(ExertionPtr exertion,
+                                            registry::Transaction* txn) = 0;
+
+  [[nodiscard]] virtual const std::string& provider_name() const = 0;
+};
+
+/// Interface-name constants used in signatures and lookup templates.
+namespace type {
+inline constexpr const char* kServicer = "Servicer";
+inline constexpr const char* kTasker = "Tasker";
+inline constexpr const char* kJobber = "Jobber";
+inline constexpr const char* kSpacer = "Spacer";
+}  // namespace type
+
+}  // namespace sensorcer::sorcer

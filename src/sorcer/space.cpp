@@ -1,0 +1,46 @@
+#include "sorcer/space.h"
+
+namespace sensorcer::sorcer {
+
+util::Uuid ExertSpace::write(std::shared_ptr<Task> task) {
+  std::lock_guard lock(mu_);
+  Envelope env{util::new_uuid(), std::move(task)};
+  const util::Uuid id = env.id;
+  queue_.push_back(std::move(env));
+  ++written_;
+  return id;
+}
+
+std::optional<ExertSpace::Envelope> ExertSpace::take() {
+  std::lock_guard lock(mu_);
+  if (queue_.empty()) return std::nullopt;
+  Envelope env = std::move(queue_.front());
+  queue_.pop_front();
+  taken_.emplace(env.id, env);
+  return env;
+}
+
+void ExertSpace::complete(const util::Uuid& envelope_id) {
+  std::lock_guard lock(mu_);
+  if (taken_.erase(envelope_id) > 0) ++completed_;
+}
+
+void ExertSpace::requeue(const util::Uuid& envelope_id) {
+  std::lock_guard lock(mu_);
+  auto it = taken_.find(envelope_id);
+  if (it == taken_.end()) return;
+  queue_.push_back(std::move(it->second));
+  taken_.erase(it);
+}
+
+std::size_t ExertSpace::pending() const {
+  std::lock_guard lock(mu_);
+  return queue_.size();
+}
+
+std::size_t ExertSpace::in_flight() const {
+  std::lock_guard lock(mu_);
+  return taken_.size();
+}
+
+}  // namespace sensorcer::sorcer

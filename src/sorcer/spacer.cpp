@@ -1,0 +1,108 @@
+#include "sorcer/spacer.h"
+
+#include <algorithm>
+#include <future>
+
+#include "sorcer/exert.h"
+
+namespace sensorcer::sorcer {
+
+Spacer::Spacer(std::string name, ServiceAccessor& accessor, ExertSpace& space,
+               std::size_t workers, util::ThreadPool* pool)
+    : ServiceProvider(std::move(name), {type::kSpacer}),
+      accessor_(accessor),
+      space_(space),
+      workers_(workers == 0 ? 1 : workers),
+      pool_(pool) {}
+
+void Spacer::execute_envelope(const ExertSpace::Envelope& env,
+                              registry::Transaction* txn) {
+  // exert() gives space workers the same service-substitution behaviour as
+  // push-mode dispatch.
+  (void)exert(env.task, accessor_, txn);
+  space_.complete(env.id);
+}
+
+util::Result<ExertionPtr> Spacer::service(ExertionPtr exertion,
+                                          registry::Transaction* txn) {
+  if (!exertion) {
+    return util::Status{util::ErrorCode::kInvalidArgument, "null exertion"};
+  }
+  if (exertion->kind() == Exertion::Kind::kTask) {
+    auto task = std::static_pointer_cast<Task>(exertion);
+    // A task addressed to the spacer itself executes here; anything else
+    // written through the spacer still goes via the space.
+    const auto& types = this->types();
+    if (std::find(types.begin(), types.end(),
+                  task->signature().service_type) != types.end()) {
+      return ServiceProvider::service(exertion, txn);
+    }
+    space_.write(task);
+    auto env = space_.take();
+    if (env) execute_envelope(*env, txn);
+    exertion->add_latency(2 * kSpaceOpCost);
+    return exertion;
+  }
+
+  auto job = std::static_pointer_cast<Job>(exertion);
+  job->set_status(ExertStatus::kRunning);
+
+  // Nested jobs cannot ride the space (envelopes hold tasks); run them
+  // through the federation first, sequentially.
+  std::vector<std::shared_ptr<Task>> tasks;
+  for (const auto& child : job->children()) {
+    if (child->kind() == Exertion::Kind::kJob) {
+      (void)exert(child, accessor_, txn);
+      job->add_latency(child->latency());
+    } else {
+      tasks.push_back(std::static_pointer_cast<Task>(child));
+    }
+  }
+
+  for (const auto& task : tasks) space_.write(task);
+
+  // Drain with the worker crew (real threads when a pool is available).
+  if (pool_ != nullptr && workers_ > 1) {
+    std::vector<std::future<void>> crew;
+    for (std::size_t w = 0; w < workers_; ++w) {
+      crew.push_back(pool_->submit([this, txn] {
+        while (auto env = space_.take()) execute_envelope(*env, txn);
+      }));
+    }
+    for (auto& f : crew) f.get();
+  } else {
+    while (auto env = space_.take()) execute_envelope(*env, txn);
+  }
+
+  // Makespan model: greedily assign task latencies to the earliest-free
+  // worker, in the order tasks were written.
+  std::vector<util::SimDuration> clocks(workers_, 0);
+  for (const auto& task : tasks) {
+    auto earliest = std::min_element(clocks.begin(), clocks.end());
+    *earliest += task->latency() + 2 * kSpaceOpCost;
+  }
+  job->add_latency(*std::max_element(clocks.begin(), clocks.end()));
+  job->add_trace(provider_name());
+
+  for (const auto& child : job->children()) {
+    if (child->status() == ExertStatus::kFailed && job->strategy().fail_fast) {
+      job->set_error({util::ErrorCode::kAborted,
+                      "child '" + child->name() +
+                          "' failed: " + child->error().message()});
+      return exertion;
+    }
+  }
+
+  for (const auto& child : job->children()) {
+    for (const auto& path : child->context().paths()) {
+      auto v = child->context().get(path);
+      if (v.is_ok()) {
+        job->context().put(child->name() + "/" + path, std::move(v).value());
+      }
+    }
+  }
+  job->set_status(ExertStatus::kDone);
+  return exertion;
+}
+
+}  // namespace sensorcer::sorcer

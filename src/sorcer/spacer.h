@@ -1,0 +1,44 @@
+#pragma once
+// Spacer — the PULL rendezvous peer. Writes a job's tasks into the exertion
+// space; a fixed crew of workers takes envelopes, resolves providers through
+// the accessor, executes, and completes them.
+//
+// Latency model: tasks are assigned greedily (in take order) to the
+// earliest-free worker; the job pays the resulting makespan plus two space
+// operations per task. With enough workers this converges to the Jobber's
+// parallel model; with one worker it degenerates to sequential flow — the
+// exertion bench shows the whole curve.
+
+#include "sorcer/accessor.h"
+#include "sorcer/provider.h"
+#include "sorcer/space.h"
+#include "util/thread_pool.h"
+
+namespace sensorcer::sorcer {
+
+class Spacer : public ServiceProvider {
+ public:
+  /// `workers` is the crew size used by both the real execution (when a
+  /// pool is supplied) and the makespan model.
+  Spacer(std::string name, ServiceAccessor& accessor, ExertSpace& space,
+         std::size_t workers, util::ThreadPool* pool = nullptr);
+
+  util::Result<ExertionPtr> service(ExertionPtr exertion,
+                                    registry::Transaction* txn) override;
+
+  /// Cost of one space write or take.
+  static constexpr util::SimDuration kSpaceOpCost = 150 * util::kMicrosecond;
+
+  [[nodiscard]] std::size_t worker_count() const { return workers_; }
+
+ private:
+  void execute_envelope(const ExertSpace::Envelope& env,
+                        registry::Transaction* txn);
+
+  ServiceAccessor& accessor_;
+  ExertSpace& space_;
+  std::size_t workers_;
+  util::ThreadPool* pool_;
+};
+
+}  // namespace sensorcer::sorcer

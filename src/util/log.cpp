@@ -1,0 +1,37 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace sensorcer::util {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kError: return "E";
+    case LogLevel::kOff: return "?";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void logf(LogLevel level, const char* tag, const char* fmt, ...) {
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  char body[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(body, sizeof body, fmt, args);
+  va_end(args);
+  std::fprintf(stderr, "[%s %s] %s\n", level_tag(level), tag, body);
+}
+
+}  // namespace sensorcer::util

@@ -1,0 +1,28 @@
+#pragma once
+// Minimal leveled logger. Examples narrate through it; tests silence it.
+
+#include <cstdarg>
+#include <string>
+
+namespace sensorcer::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging; `tag` names the emitting component.
+void logf(LogLevel level, const char* tag, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+#define SENSORCER_LOG_DEBUG(tag, ...) \
+  ::sensorcer::util::logf(::sensorcer::util::LogLevel::kDebug, tag, __VA_ARGS__)
+#define SENSORCER_LOG_INFO(tag, ...) \
+  ::sensorcer::util::logf(::sensorcer::util::LogLevel::kInfo, tag, __VA_ARGS__)
+#define SENSORCER_LOG_WARN(tag, ...) \
+  ::sensorcer::util::logf(::sensorcer::util::LogLevel::kWarn, tag, __VA_ARGS__)
+#define SENSORCER_LOG_ERROR(tag, ...) \
+  ::sensorcer::util::logf(::sensorcer::util::LogLevel::kError, tag, __VA_ARGS__)
+
+}  // namespace sensorcer::util

@@ -1,0 +1,66 @@
+#pragma once
+// Small deterministic RNG used by sensor models, fault injectors and
+// workload generators. SplitMix64 core: fast, well-distributed, and every
+// experiment that takes a seed reproduces bit-for-bit.
+
+#include <cmath>
+#include <cstdint>
+
+namespace sensorcer::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  /// Next raw 64-bit draw.
+  std::uint64_t next_u64() {
+    state_ += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  /// Uniform integer in [0, n). n == 0 yields 0.
+  std::uint64_t below(std::uint64_t n) { return n ? next_u64() % n : 0; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t between(std::int64_t lo, std::int64_t hi) {
+    if (hi <= lo) return lo;
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return next_double() < p; }
+
+  /// Standard normal via Box–Muller (one draw per call, second discarded —
+  /// simplicity over speed; this is not on a hot path).
+  double gaussian(double mean = 0.0, double stddev = 1.0) {
+    double u1 = next_double();
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double u2 = next_double();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * r * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Exponential inter-arrival sample with the given mean.
+  double exponential(double mean) {
+    double u = next_double();
+    if (u < 1e-300) u = 1e-300;
+    return -mean * std::log(u);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace sensorcer::util

@@ -1,0 +1,72 @@
+#include "util/scheduler.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace sensorcer::util {
+
+std::string format_duration(SimDuration d) {
+  char buf[48];
+  if (d >= kSecond || d <= -kSecond) {
+    std::snprintf(buf, sizeof buf, "%.3fs", static_cast<double>(d) / kSecond);
+  } else if (d >= kMillisecond || d <= -kMillisecond) {
+    std::snprintf(buf, sizeof buf, "%.3fms",
+                  static_cast<double>(d) / kMillisecond);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldus", static_cast<long long>(d));
+  }
+  return buf;
+}
+
+TimerId Scheduler::schedule_at(SimTime when, std::function<void()> fn) {
+  const TimerId id = next_id_++;
+  queue_.emplace(Key{std::max(when, now_), seq_++}, Event{id, std::move(fn), 0});
+  return id;
+}
+
+TimerId Scheduler::schedule_every(SimDuration period, std::function<void()> fn) {
+  const TimerId id = next_id_++;
+  if (period <= 0) period = 1;  // a zero period would never let time advance
+  queue_.emplace(Key{now_ + period, seq_++}, Event{id, std::move(fn), period});
+  return id;
+}
+
+bool Scheduler::cancel(TimerId id) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->second.id == id) {
+      queue_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Scheduler::is_cancelled(TimerId id) {
+  auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
+  if (it == cancelled_.end()) return false;
+  cancelled_.erase(it);
+  return true;
+}
+
+std::size_t Scheduler::run_until(SimTime deadline) {
+  std::size_t count = 0;
+  while (!queue_.empty()) {
+    auto it = queue_.begin();
+    if (it->first.first > deadline) break;
+    now_ = std::max(now_, it->first.first);
+    Event ev = std::move(it->second);
+    queue_.erase(it);
+    if (ev.period > 0) {
+      // Re-arm before firing so the callback can cancel its own series.
+      queue_.emplace(Key{now_ + ev.period, seq_++},
+                     Event{ev.id, ev.fn, ev.period});
+    }
+    ev.fn();
+    ++fired_;
+    ++count;
+  }
+  now_ = std::max(now_, deadline);
+  return count;
+}
+
+}  // namespace sensorcer::util

@@ -1,0 +1,79 @@
+#pragma once
+// Deterministic virtual-time event scheduler.
+//
+// Every timed behaviour in the stack — lease expiry sweeps, renewal timers,
+// multicast announcements, heartbeats, sensor sampling — is a scheduled
+// callback. Tests and benches advance time explicitly with run_until /
+// run_for, so a "30 second lease" experiment is instantaneous and repeatable.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "util/sim_time.h"
+
+namespace sensorcer::util {
+
+/// Handle for cancelling a scheduled event.
+using TimerId = std::uint64_t;
+
+class Scheduler {
+ public:
+  /// Current virtual time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Run `fn` at absolute virtual time `when` (clamped to now).
+  TimerId schedule_at(SimTime when, std::function<void()> fn);
+
+  /// Run `fn` after `delay` microseconds of virtual time.
+  TimerId schedule_after(SimDuration delay, std::function<void()> fn) {
+    return schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+
+  /// Run `fn` every `period`, starting after one period. Returns the id of
+  /// the recurring series; cancel() stops future firings.
+  TimerId schedule_every(SimDuration period, std::function<void()> fn);
+
+  /// Cancel a pending (or recurring) event. Returns false if already fired
+  /// or unknown.
+  bool cancel(TimerId id);
+
+  /// Advance virtual time to `deadline`, firing all events due on the way
+  /// (in timestamp order; FIFO among equal timestamps). Returns the number
+  /// of events fired.
+  std::size_t run_until(SimTime deadline);
+
+  /// Advance by `span` from the current time.
+  std::size_t run_for(SimDuration span) { return run_until(now_ + span); }
+
+  /// Fire everything already due at the current instant (no time advance).
+  std::size_t run_ready() { return run_until(now_); }
+
+  /// Events still queued (recurring series count as one).
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+  /// Total events fired since construction.
+  [[nodiscard]] std::uint64_t fired_count() const { return fired_; }
+
+ private:
+  struct Event {
+    TimerId id;
+    std::function<void()> fn;
+    SimDuration period = 0;  // >0 for recurring events
+  };
+
+  // Key is (time, sequence) so equal-time events fire in scheduling order.
+  using Key = std::pair<SimTime, std::uint64_t>;
+
+  SimTime now_ = 0;
+  std::uint64_t seq_ = 0;
+  TimerId next_id_ = 1;
+  std::uint64_t fired_ = 0;
+  std::map<Key, Event> queue_;
+  std::vector<TimerId> cancelled_;  // lazily honoured for recurring events
+
+  bool is_cancelled(TimerId id);
+};
+
+}  // namespace sensorcer::util

@@ -1,0 +1,25 @@
+#pragma once
+// Virtual time. The entire middleware (leases, discovery announcements,
+// heartbeats, failure detection) runs against SimTime so experiments are
+// deterministic and a simulated hour costs microseconds of wall clock.
+
+#include <cstdint>
+#include <string>
+
+namespace sensorcer::util {
+
+/// Microseconds since simulation start.
+using SimTime = std::int64_t;
+/// A span of simulated microseconds.
+using SimDuration = std::int64_t;
+
+inline constexpr SimDuration kMicrosecond = 1;
+inline constexpr SimDuration kMillisecond = 1000;
+inline constexpr SimDuration kSecond = 1000 * kMillisecond;
+inline constexpr SimDuration kMinute = 60 * kSecond;
+inline constexpr SimDuration kHour = 60 * kMinute;
+
+/// "1.250s", "340ms", "17us" — for logs and experiment reports.
+std::string format_duration(SimDuration d);
+
+}  // namespace sensorcer::util

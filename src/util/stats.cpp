@@ -1,0 +1,51 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace sensorcer::util {
+
+void StatAccumulator::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double StatAccumulator::min() const { return count_ ? min_ : 0.0; }
+double StatAccumulator::max() const { return count_ ? max_ : 0.0; }
+
+double StatAccumulator::variance() const {
+  return count_ ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double StatAccumulator::stddev() const { return std::sqrt(variance()); }
+
+std::string StatAccumulator::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "n=%zu mean=%.4g sd=%.4g min=%.4g max=%.4g",
+                count_, mean(), stddev(), min(), max());
+  return buf;
+}
+
+double PercentileTracker::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(samples_.size())));
+  return samples_[rank == 0 ? 0 : rank - 1];
+}
+
+}  // namespace sensorcer::util

@@ -1,0 +1,57 @@
+#pragma once
+// Streaming statistics used by benches and experiment reports.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sensorcer::util {
+
+/// Welford online accumulator: count / min / max / mean / variance without
+/// storing samples.
+class StatAccumulator {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;  // population variance
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// "n=100 mean=1.23 sd=0.4 min=0.1 max=2.2"
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Sample-retaining collector for percentile reporting (p50/p90/p99).
+class PercentileTracker {
+ public:
+  void add(double x) { samples_.push_back(x); }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+
+  /// Percentile in [0,100] by nearest-rank on the sorted samples.
+  /// Returns 0 when empty.
+  [[nodiscard]] double percentile(double p) const;
+
+  [[nodiscard]] double p50() const { return percentile(50); }
+  [[nodiscard]] double p90() const { return percentile(90); }
+  [[nodiscard]] double p99() const { return percentile(99); }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace sensorcer::util

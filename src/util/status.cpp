@@ -1,0 +1,20 @@
+#include "util/status.h"
+
+namespace sensorcer::util {
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case ErrorCode::kTimeout: return "TIMEOUT";
+    case ErrorCode::kAborted: return "ABORTED";
+    case ErrorCode::kCapacity: return "CAPACITY";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace sensorcer::util

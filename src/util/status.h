@@ -1,0 +1,80 @@
+#pragma once
+// Lightweight Status / Result<T> error-handling vocabulary.
+//
+// Remote middleware calls fail for many recoverable reasons (no matching
+// service, lease expired, transaction aborted). Exceptions are reserved for
+// programming errors; expected failures travel as Status.
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace sensorcer::util {
+
+/// Error taxonomy shared by every layer of the stack.
+enum class ErrorCode {
+  kOk = 0,
+  kNotFound,        // no matching service / path / entry
+  kUnavailable,     // endpoint down, partitioned, or lease expired
+  kInvalidArgument, // malformed request, bad expression, bad path
+  kFailedPrecondition, // e.g. joining a settled transaction
+  kTimeout,
+  kAborted,         // transaction aborted
+  kCapacity,        // QoS not satisfiable / cybernode full
+  kInternal,
+};
+
+/// Human-readable name for an error code.
+const char* error_code_name(ErrorCode code);
+
+/// Success-or-error result of an operation, with a contextual message.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return {}; }
+
+  [[nodiscard]] bool is_ok() const { return code_ == ErrorCode::kOk; }
+  [[nodiscard]] ErrorCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// "OK" or "NOT_FOUND: no provider for ...".
+  [[nodiscard]] std::string to_string() const {
+    if (is_ok()) return "OK";
+    return std::string(error_code_name(code_)) + ": " + message_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+/// A value or a Status explaining why there is none.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}                 // NOLINT implicit
+  Result(Status status) : status_(std::move(status)) {}         // NOLINT implicit
+  Result(ErrorCode code, std::string message)
+      : status_(code, std::move(message)) {}
+
+  [[nodiscard]] bool is_ok() const { return value_.has_value(); }
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  [[nodiscard]] T& value() & { return *value_; }
+  [[nodiscard]] const T& value() const& { return *value_; }
+  [[nodiscard]] T&& value() && { return *std::move(value_); }
+
+  /// Value if present, otherwise `fallback`.
+  [[nodiscard]] T value_or(T fallback) const {
+    return value_ ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace sensorcer::util

@@ -1,0 +1,31 @@
+#pragma once
+// Small string helpers shared across modules (paths, tables, reports).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sensorcer::util {
+
+/// Split on a single character; empty segments are preserved.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Join with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strip leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// Case-sensitive prefix test.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// printf-style std::string formatter.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Render rows as an aligned ASCII table with a header rule, e.g. for the
+/// browser views and bench reports. All rows should have `headers.size()`
+/// cells; short rows are padded.
+std::string render_table(const std::vector<std::string>& headers,
+                         const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace sensorcer::util

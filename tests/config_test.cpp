@@ -1,0 +1,159 @@
+// Tests for the network-configuration store: describe / text round trip /
+// apply, including the restore-after-failover workflow.
+
+#include <gtest/gtest.h>
+
+#include "core/config_store.h"
+#include "core/deployment.h"
+#include "util/strings.h"
+
+namespace sensorcer::core {
+namespace {
+
+using util::kSecond;
+
+class ConfigTest : public ::testing::Test {
+ protected:
+  ConfigTest() {
+    lab.add_temperature_sensor("S1", 20.0);
+    lab.add_temperature_sensor("S2", 22.0);
+    lab.add_temperature_sensor("S3", 24.0);
+    lab.pump(kSecond);
+  }
+  Deployment lab;
+};
+
+TEST_F(ConfigTest, DescribeCapturesCompositesOnly) {
+  lab.facade().create_local_service("Subnet");
+  ASSERT_TRUE(lab.facade().compose_service("Subnet", {"S1", "S2"}).is_ok());
+  ASSERT_TRUE(lab.facade().add_expression("Subnet", "(a + b) / 2").is_ok());
+
+  const NetworkDescription desc = describe(lab.manager());
+  ASSERT_EQ(desc.composites.size(), 1u);
+  EXPECT_EQ(desc.composites[0].name, "Subnet");
+  EXPECT_EQ(desc.composites[0].components,
+            (std::vector<std::string>{"S1", "S2"}));
+  EXPECT_EQ(desc.composites[0].expression, "(a + b) / 2");
+}
+
+TEST_F(ConfigTest, TextRoundTrips) {
+  NetworkDescription desc;
+  desc.composites.push_back({"Net", {"Subnet", "S3"}, "(a + b) / 2"});
+  desc.composites.push_back({"Subnet", {"S1", "S2"}, ""});
+
+  auto parsed = parse_description(to_text(desc));
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_TRUE(parsed.value() == desc);
+}
+
+TEST_F(ConfigTest, ParseSkipsCommentsAndBlankLines) {
+  auto parsed = parse_description(
+      "# saved by the browser\n\ncomposite C\n  # wiring\n  component S1\n"
+      "end\n");
+  ASSERT_TRUE(parsed.is_ok());
+  ASSERT_EQ(parsed.value().composites.size(), 1u);
+  EXPECT_EQ(parsed.value().composites[0].components,
+            (std::vector<std::string>{"S1"}));
+}
+
+TEST_F(ConfigTest, ParseErrorsCarryLineNumbers) {
+  auto nested = parse_description("composite A\ncomposite B\nend\n");
+  ASSERT_FALSE(nested.is_ok());
+  EXPECT_NE(nested.status().message().find("line 2"), std::string::npos);
+
+  EXPECT_FALSE(parse_description("end\n").is_ok());
+  EXPECT_FALSE(parse_description("component X\n").is_ok());
+  EXPECT_FALSE(parse_description("composite A\n").is_ok());  // no end
+  EXPECT_FALSE(parse_description("composite A\n  bogus\nend\n").is_ok());
+  EXPECT_FALSE(parse_description("composite \nend\n").is_ok());
+}
+
+TEST_F(ConfigTest, ApplyRebuildsTheNetwork) {
+  // Deliberately listed with the parent BEFORE the child it contains:
+  // apply_description must not depend on declaration order (name-sorted is
+  // also what describe() produces).
+  NetworkDescription desc;
+  desc.composites.push_back({"Net", {"Subnet", "S3"}, "max(a, b)"});
+  desc.composites.push_back({"Subnet", {"S1", "S2"}, "(a + b) / 2"});
+
+  const ApplyReport report = apply_description(lab.facade(), desc);
+  EXPECT_TRUE(report.ok()) << util::join(report.errors, "; ");
+  EXPECT_EQ(report.composites_created, 2u);
+  EXPECT_EQ(report.components_added, 4u);
+  EXPECT_EQ(report.expressions_set, 2u);
+
+  EXPECT_TRUE(lab.facade().get_value("Net").is_ok());
+  EXPECT_TRUE(describe(lab.manager()) == desc);
+}
+
+TEST_F(ConfigTest, ApplyIsIdempotent) {
+  NetworkDescription desc;
+  desc.composites.push_back({"C", {"S1"}, "a * 2"});
+  ASSERT_TRUE(apply_description(lab.facade(), desc).ok());
+  const ApplyReport again = apply_description(lab.facade(), desc);
+  EXPECT_TRUE(again.ok());
+  EXPECT_EQ(again.composites_created, 0u);
+  EXPECT_EQ(again.components_added, 0u);  // already wired
+  auto info = lab.facade().service_information("C");
+  ASSERT_TRUE(info.is_ok());
+  EXPECT_EQ(info.value().contained.size(), 1u);
+}
+
+TEST_F(ConfigTest, ApplyReportsMissingComponents) {
+  NetworkDescription desc;
+  desc.composites.push_back({"C", {"Ghost"}, ""});
+  const ApplyReport report = apply_description(lab.facade(), desc);
+  ASSERT_EQ(report.errors.size(), 1u);
+  EXPECT_NE(report.errors[0].find("Ghost"), std::string::npos);
+}
+
+TEST_F(ConfigTest, ApplyRefusesNonCompositeTargets) {
+  NetworkDescription desc;
+  desc.composites.push_back({"S1", {"S2"}, ""});  // S1 is elementary
+  const ApplyReport report = apply_description(lab.facade(), desc);
+  ASSERT_EQ(report.errors.size(), 1u);
+  EXPECT_NE(report.errors[0].find("not a composite"), std::string::npos);
+}
+
+TEST(ConfigFailover, SnapshotRestoresReprovisionedComposite) {
+  // The workflow the air-vehicle example performs by hand: snapshot the
+  // network, lose the cybernode hosting a provisioned composite, and apply
+  // the snapshot to re-wire the fresh replacement instance.
+  DeploymentConfig config;
+  config.cybernodes = 2;
+  config.lease_duration = 2 * kSecond;
+  Deployment lab(config);
+  lab.add_temperature_sensor("S1", 20.0);
+  lab.add_temperature_sensor("S2", 24.0);
+  lab.pump(kSecond);
+
+  ASSERT_TRUE(lab.facade().create_service("Watch").is_ok());
+  lab.pump(kSecond);
+  ASSERT_TRUE(lab.facade().compose_service("Watch", {"S1", "S2"}).is_ok());
+  ASSERT_TRUE(lab.facade().add_expression("Watch", "(a + b) / 2").is_ok());
+
+  const std::string saved = to_text(describe(lab.manager()));
+
+  for (const auto& node : lab.cybernodes()) {
+    if (node->hosted_count() > 0) node->fail();
+  }
+  lab.pump(10 * kSecond);  // reprovisioned, but empty
+  auto info = lab.facade().service_information("Watch");
+  ASSERT_TRUE(info.is_ok());
+  EXPECT_TRUE(info.value().contained.empty());
+
+  auto parsed = parse_description(saved);
+  ASSERT_TRUE(parsed.is_ok());
+  const ApplyReport report = apply_description(lab.facade(), parsed.value());
+  EXPECT_TRUE(report.ok()) << util::join(report.errors, "; ");
+
+  auto value = lab.facade().get_value("Watch");
+  ASSERT_TRUE(value.is_ok()) << value.status().to_string();
+  EXPECT_GT(value.value(), 15.0);
+  EXPECT_LT(value.value(), 30.0);
+  EXPECT_EQ(lab.facade().service_information("Watch").value().expression,
+            "(a + b) / 2");
+}
+
+}  // namespace
+}  // namespace sensorcer::core

@@ -1,0 +1,478 @@
+// Unit tests for the SenSORCER core: elementary and composite providers,
+// sensor computation, the network manager, façade and browser.
+
+#include <gtest/gtest.h>
+
+#include "core/deployment.h"
+
+namespace sensorcer::core {
+namespace {
+
+using util::kMillisecond;
+using util::kSecond;
+
+// --- SensorComputation -----------------------------------------------------------
+
+TEST(ComputationVariables, LettersThenDoubles) {
+  EXPECT_EQ(component_variable_name(0), "a");
+  EXPECT_EQ(component_variable_name(1), "b");
+  EXPECT_EQ(component_variable_name(25), "z");
+  EXPECT_EQ(component_variable_name(26), "aa");
+  EXPECT_EQ(component_variable_name(27), "ab");
+  EXPECT_EQ(component_variable_name(51), "az");
+  EXPECT_EQ(component_variable_name(52), "ba");
+  EXPECT_EQ(component_variable_name(702), "aaa");
+}
+
+TEST(Computation, DefaultIsAverage) {
+  SensorComputation comp;
+  EXPECT_FALSE(comp.has_expression());
+  EXPECT_DOUBLE_EQ(comp.evaluate({10, 20, 30}).value(), 20.0);
+}
+
+TEST(Computation, DefaultOnEmptyFails) {
+  SensorComputation comp;
+  EXPECT_EQ(comp.evaluate({}).status().code(),
+            util::ErrorCode::kFailedPrecondition);
+}
+
+TEST(Computation, ExpressionBindsInOrder) {
+  SensorComputation comp;
+  ASSERT_TRUE(comp.set_expression("a - b", {"a", "b"}).is_ok());
+  EXPECT_DOUBLE_EQ(comp.evaluate({10, 4}).value(), 6.0);
+}
+
+TEST(Computation, RejectsUnknownVariables) {
+  SensorComputation comp;
+  auto status = comp.set_expression("(a + b + c) / 3", {"a", "b"});
+  EXPECT_EQ(status.code(), util::ErrorCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("'c'"), std::string::npos);
+  EXPECT_FALSE(comp.has_expression());
+}
+
+TEST(Computation, RejectsSyntaxErrors) {
+  SensorComputation comp;
+  EXPECT_EQ(comp.set_expression("a +", {"a"}).code(),
+            util::ErrorCode::kInvalidArgument);
+}
+
+TEST(Computation, ClearRestoresDefault) {
+  SensorComputation comp;
+  ASSERT_TRUE(comp.set_expression("a * 2", {"a"}).is_ok());
+  EXPECT_DOUBLE_EQ(comp.evaluate({5}).value(), 10.0);
+  comp.clear_expression();
+  EXPECT_DOUBLE_EQ(comp.evaluate({5}).value(), 5.0);
+}
+
+// --- fixture ------------------------------------------------------------------------
+
+class CoreTest : public ::testing::Test {
+ protected:
+  CoreTest() {
+    lab.add_temperature_sensor("Neem-Sensor", 21.0);
+    lab.add_temperature_sensor("Jade-Sensor", 22.0);
+    lab.add_temperature_sensor("Diamond-Sensor", 23.0);
+    lab.pump(kSecond);
+  }
+  Deployment lab;
+};
+
+// --- ElementarySensorProvider ----------------------------------------------------------
+
+TEST_F(CoreTest, EspValueIsPlausible) {
+  auto sensor = lab.manager().find_sensor("Neem-Sensor");
+  ASSERT_TRUE(sensor.is_ok());
+  auto value = sensor.value()->get_value();
+  ASSERT_TRUE(value.is_ok());
+  EXPECT_GT(value.value(), 10.0);
+  EXPECT_LT(value.value(), 32.0);
+}
+
+TEST_F(CoreTest, EspInfoCard) {
+  auto sensor = lab.manager().find_sensor("Neem-Sensor");
+  ASSERT_TRUE(sensor.is_ok());
+  const SensorInfo info = sensor.value()->info();
+  EXPECT_EQ(info.name, "Neem-Sensor");
+  EXPECT_EQ(info.kind, SensorServiceKind::kElementary);
+  EXPECT_EQ(info.measurement, "temperature");
+  EXPECT_EQ(info.unit, "degC");
+  EXPECT_EQ(info.location, "CP TTU/310");
+}
+
+TEST_F(CoreTest, EspBackgroundSamplingFillsLog) {
+  auto esp = lab.add_temperature_sensor("Logger");
+  lab.pump(10 * kSecond);  // default 1s sampling
+  EXPECT_GE(esp->log().size(), 9u);
+}
+
+TEST_F(CoreTest, EspServesStaleValueDuringDropout) {
+  auto esp = lab.add_temperature_sensor("Flaky");
+  lab.pump(2 * kSecond);
+  auto& probe = dynamic_cast<sensor::SimulatedProbe&>(esp->probe());
+  probe.device().inject_fault(sensor::FaultMode::kDropout);
+  auto reading = esp->get_reading();
+  ASSERT_TRUE(reading.is_ok());  // served from the local store
+  EXPECT_EQ(reading.value().quality, sensor::Quality::kSuspect);
+}
+
+TEST_F(CoreTest, EspFailsWhenDroppedOutAndLogEmpty) {
+  SamplingPolicy no_sampling;
+  no_sampling.sample_period = 0;
+  auto esp = std::make_shared<ElementarySensorProvider>(
+      "Isolated", sensor::make_temperature_probe("i", 9), lab.scheduler(),
+      no_sampling);
+  dynamic_cast<sensor::SimulatedProbe&>(esp->probe())
+      .device()
+      .inject_fault(sensor::FaultMode::kDropout);
+  EXPECT_EQ(esp->get_value().status().code(), util::ErrorCode::kUnavailable);
+}
+
+TEST_F(CoreTest, EspGetValueOperationFillsContext) {
+  auto task = sorcer::Task::make(
+      "t", sorcer::Signature{kSensorDataAccessorType, op::kGetValue,
+                             "Neem-Sensor"});
+  (void)sorcer::exert(task, lab.accessor());
+  ASSERT_EQ(task->status(), sorcer::ExertStatus::kDone);
+  EXPECT_TRUE(task->context().get_double(path::kValue).is_ok());
+  EXPECT_EQ(task->context().get_string(path::kQuality).value(), "GOOD");
+  EXPECT_EQ(task->context().get_string(path::kUnit).value(), "degC");
+}
+
+TEST_F(CoreTest, EspGetLogOperationReturnsSeries) {
+  lab.pump(5 * kSecond);
+  auto task = sorcer::Task::make(
+      "t",
+      sorcer::Signature{kSensorDataAccessorType, op::kGetLog, "Neem-Sensor"});
+  task->context().put(path::kLogSince, 0.0);
+  (void)sorcer::exert(task, lab.accessor());
+  ASSERT_EQ(task->status(), sorcer::ExertStatus::kDone);
+  EXPECT_GE(task->context().get_series(path::kLogValues).value().size(), 5u);
+}
+
+// --- CompositeSensorProvider --------------------------------------------------------------
+
+TEST_F(CoreTest, CompositeDefaultAverage) {
+  auto csp = lab.manager().create_composite("C");
+  ASSERT_TRUE(csp->add_component("Neem-Sensor").is_ok());
+  ASSERT_TRUE(csp->add_component("Jade-Sensor").is_ok());
+  auto value = csp->get_value();
+  ASSERT_TRUE(value.is_ok());
+
+  // Oracle: direct reads straddle the composite value.
+  auto a = lab.facade().get_value("Neem-Sensor").value();
+  auto b = lab.facade().get_value("Jade-Sensor").value();
+  EXPECT_GT(value.value(), std::min(a, b) - 2.0);
+  EXPECT_LT(value.value(), std::max(a, b) + 2.0);
+}
+
+TEST_F(CoreTest, CompositeExpressionMatchesOracle) {
+  auto csp = lab.manager().create_composite("C");
+  ASSERT_TRUE(csp->add_component("Neem-Sensor").is_ok());
+  ASSERT_TRUE(csp->add_component("Jade-Sensor").is_ok());
+  ASSERT_TRUE(csp->set_expression("max(a, b) - min(a, b)").is_ok());
+  auto value = csp->get_value();
+  ASSERT_TRUE(value.is_ok());
+  EXPECT_GE(value.value(), 0.0);
+  EXPECT_LT(value.value(), 15.0);
+}
+
+TEST_F(CoreTest, VariablesAssignedInCompositionOrder) {
+  auto csp = lab.manager().create_composite("C");
+  ASSERT_TRUE(csp->add_component("Diamond-Sensor").is_ok());
+  ASSERT_TRUE(csp->add_component("Neem-Sensor").is_ok());
+  EXPECT_EQ(csp->component_variables(),
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(csp->component_names(),
+            (std::vector<std::string>{"Diamond-Sensor", "Neem-Sensor"}));
+}
+
+TEST_F(CoreTest, ExpressionOverUnboundVariableRejected) {
+  auto csp = lab.manager().create_composite("C");
+  ASSERT_TRUE(csp->add_component("Neem-Sensor").is_ok());
+  EXPECT_EQ(csp->set_expression("(a + b) / 2").code(),
+            util::ErrorCode::kInvalidArgument);
+}
+
+TEST_F(CoreTest, AddUnknownComponentFails) {
+  auto csp = lab.manager().create_composite("C");
+  EXPECT_EQ(csp->add_component("Ghost-Sensor").code(),
+            util::ErrorCode::kNotFound);
+}
+
+TEST_F(CoreTest, AddDuplicateComponentFails) {
+  auto csp = lab.manager().create_composite("C");
+  ASSERT_TRUE(csp->add_component("Neem-Sensor").is_ok());
+  EXPECT_EQ(csp->add_component("Neem-Sensor").code(),
+            util::ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(CoreTest, SelfContainmentRejected) {
+  auto csp = lab.manager().create_composite("C");
+  EXPECT_EQ(csp->add_component("C").code(),
+            util::ErrorCode::kInvalidArgument);
+}
+
+TEST_F(CoreTest, ContainmentCycleRejected) {
+  auto outer = lab.manager().create_composite("Outer");
+  auto inner = lab.manager().create_composite("Inner");
+  ASSERT_TRUE(inner->add_component("Neem-Sensor").is_ok());
+  ASSERT_TRUE(outer->add_component("Inner").is_ok());
+  EXPECT_EQ(inner->add_component("Outer").code(),
+            util::ErrorCode::kInvalidArgument);
+}
+
+TEST_F(CoreTest, RemoveComponentClearsDependentExpression) {
+  auto csp = lab.manager().create_composite("C");
+  ASSERT_TRUE(csp->add_component("Neem-Sensor").is_ok());
+  ASSERT_TRUE(csp->add_component("Jade-Sensor").is_ok());
+  ASSERT_TRUE(csp->set_expression("a + b").is_ok());
+  ASSERT_TRUE(csp->remove_component("Jade-Sensor").is_ok());
+  EXPECT_EQ(csp->expression(), "");  // fell back to the default aggregate
+  EXPECT_EQ(csp->component_count(), 1u);
+  EXPECT_TRUE(csp->get_value().is_ok());
+}
+
+TEST_F(CoreTest, RemoveComponentKeepsIndependentExpression) {
+  auto csp = lab.manager().create_composite("C");
+  ASSERT_TRUE(csp->add_component("Neem-Sensor").is_ok());
+  ASSERT_TRUE(csp->add_component("Jade-Sensor").is_ok());
+  ASSERT_TRUE(csp->set_expression("a * 2").is_ok());
+  ASSERT_TRUE(csp->remove_component("Jade-Sensor").is_ok());
+  EXPECT_EQ(csp->expression(), "a * 2");
+}
+
+TEST_F(CoreTest, RemoveUnknownComponentFails) {
+  auto csp = lab.manager().create_composite("C");
+  EXPECT_EQ(csp->remove_component("Neem-Sensor").code(),
+            util::ErrorCode::kNotFound);
+}
+
+TEST_F(CoreTest, EmptyCompositeValueFails) {
+  auto csp = lab.manager().create_composite("C");
+  EXPECT_EQ(csp->get_value().status().code(),
+            util::ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(CoreTest, StrictCompositeFailsOnUnreachableChild) {
+  auto csp = lab.manager().create_composite("C");
+  ASSERT_TRUE(csp->add_component("Neem-Sensor").is_ok());
+  ASSERT_TRUE(csp->add_component("Jade-Sensor").is_ok());
+  ASSERT_TRUE(lab.manager().remove_service("Jade-Sensor").is_ok());
+  auto value = csp->get_value();
+  ASSERT_FALSE(value.is_ok());
+  EXPECT_EQ(value.status().code(), util::ErrorCode::kUnavailable);
+  EXPECT_NE(value.status().message().find("Jade-Sensor"), std::string::npos);
+}
+
+TEST_F(CoreTest, LenientCompositeSkipsUnreachableChild) {
+  CollectionPolicy lenient;
+  lenient.strict = false;
+  auto csp = std::make_shared<CompositeSensorProvider>(
+      "Lenient", lab.accessor(), lab.scheduler(), lenient);
+  for (const auto& lus : lab.lookups()) {
+    (void)csp->join(lus, lab.lease_renewal(), 60 * kSecond);
+  }
+  ASSERT_TRUE(csp->add_component("Neem-Sensor").is_ok());
+  ASSERT_TRUE(csp->add_component("Jade-Sensor").is_ok());
+  ASSERT_TRUE(lab.manager().remove_service("Jade-Sensor").is_ok());
+  EXPECT_TRUE(csp->get_value().is_ok());  // default average over survivors
+}
+
+TEST_F(CoreTest, NestedCompositeComputesThroughLevels) {
+  auto inner = lab.manager().create_composite("Inner");
+  ASSERT_TRUE(inner->add_component("Neem-Sensor").is_ok());
+  ASSERT_TRUE(inner->add_component("Jade-Sensor").is_ok());
+  auto outer = lab.manager().create_composite("Outer");
+  ASSERT_TRUE(outer->add_component("Inner").is_ok());
+  ASSERT_TRUE(outer->add_component("Diamond-Sensor").is_ok());
+  ASSERT_TRUE(outer->set_expression("(a + b) / 2").is_ok());
+  auto value = outer->get_value();
+  ASSERT_TRUE(value.is_ok());
+  EXPECT_GT(value.value(), 12.0);
+  EXPECT_LT(value.value(), 32.0);
+  const SensorInfo info = outer->info();
+  EXPECT_EQ(info.contained,
+            (std::vector<std::string>{"Inner", "Diamond-Sensor"}));
+}
+
+TEST_F(CoreTest, CompositeWorksWithoutRendezvousPeers) {
+  DeploymentConfig config;
+  config.with_jobber = false;
+  config.with_spacer = false;
+  Deployment bare(config);
+  bare.add_temperature_sensor("S1", 20.0);
+  bare.add_temperature_sensor("S2", 24.0);
+  bare.pump(kSecond);
+  auto csp = bare.manager().create_composite("C");
+  ASSERT_TRUE(csp->add_component("S1").is_ok());
+  ASSERT_TRUE(csp->add_component("S2").is_ok());
+  EXPECT_TRUE(csp->get_value().is_ok());  // direct invocation fallback
+}
+
+TEST_F(CoreTest, CompositeManagementViaExertions) {
+  lab.manager().create_composite("C");
+  auto add = sorcer::Task::make(
+      "t", sorcer::Signature{kSensorDataAccessorType, op::kAddComponent, "C"});
+  add->context().put(path::kComponentName, std::string("Neem-Sensor"));
+  (void)sorcer::exert(add, lab.accessor());
+  ASSERT_EQ(add->status(), sorcer::ExertStatus::kDone);
+
+  auto set = sorcer::Task::make(
+      "t", sorcer::Signature{kSensorDataAccessorType, op::kSetExpression, "C"});
+  set->context().put(path::kExpression, std::string("a * 1.5"));
+  (void)sorcer::exert(set, lab.accessor());
+  ASSERT_EQ(set->status(), sorcer::ExertStatus::kDone);
+
+  auto get = sorcer::Task::make(
+      "t", sorcer::Signature{kSensorDataAccessorType, op::kGetValue, "C"});
+  (void)sorcer::exert(get, lab.accessor());
+  ASSERT_EQ(get->status(), sorcer::ExertStatus::kDone);
+  EXPECT_GT(get->context().get_double(path::kValue).value(), 20.0);
+}
+
+// --- façade --------------------------------------------------------------------------------
+
+TEST_F(CoreTest, FacadeSensorList) {
+  auto list = lab.facade().get_sensor_list();
+  ASSERT_EQ(list.size(), 3u);  // the three fixture ESPs, sorted
+  EXPECT_EQ(list[0].name, "Diamond-Sensor");
+  EXPECT_EQ(list[2].name, "Neem-Sensor");
+}
+
+TEST_F(CoreTest, FacadeGetValueUnknownService) {
+  EXPECT_EQ(lab.facade().get_value("Ghost").status().code(),
+            util::ErrorCode::kNotFound);
+}
+
+TEST_F(CoreTest, FacadeComposeAndExpression) {
+  lab.facade().create_local_service("C");
+  ASSERT_TRUE(
+      lab.facade().compose_service("C", {"Neem-Sensor", "Jade-Sensor"})
+          .is_ok());
+  ASSERT_TRUE(lab.facade().add_expression("C", "(a + b) / 2").is_ok());
+  EXPECT_TRUE(lab.facade().get_value("C").is_ok());
+  auto info = lab.facade().service_information("C");
+  ASSERT_TRUE(info.is_ok());
+  EXPECT_EQ(info.value().expression, "(a + b) / 2");
+}
+
+TEST_F(CoreTest, FacadeComposeOnNonComposite) {
+  EXPECT_EQ(
+      lab.facade().compose_service("Neem-Sensor", {"Jade-Sensor"}).code(),
+      util::ErrorCode::kNotFound);  // Neem is not a CompositeSensorService
+}
+
+TEST_F(CoreTest, FacadeCreateServiceProvisions) {
+  ASSERT_TRUE(lab.facade().create_service("Provisioned").is_ok());
+  lab.pump(kSecond);
+  EXPECT_TRUE(lab.facade().service_information("Provisioned").is_ok());
+  // It landed on one of the cybernodes.
+  std::size_t hosted = 0;
+  for (const auto& node : lab.cybernodes()) hosted += node->hosted_count();
+  EXPECT_EQ(hosted, 1u);
+}
+
+TEST_F(CoreTest, FacadeWithoutProvisionerRefusesCreate) {
+  SensorNetworkManager manager(lab.accessor(), lab.scheduler(),
+                               lab.lease_renewal());
+  SensorcerFacade facade("f", lab.accessor(), manager, nullptr);
+  EXPECT_EQ(facade.create_service("X").code(),
+            util::ErrorCode::kUnavailable);
+}
+
+// --- browser ---------------------------------------------------------------------------------
+
+TEST_F(CoreTest, BrowserServicesPaneListsInfrastructure) {
+  lab.browser().refresh();
+  const std::string pane = lab.browser().render_services();
+  for (const char* expected :
+       {"Neem-Sensor", "Jade-Sensor", "Diamond-Sensor", "Cybernode-1",
+        "Cybernode-2", "Monitor", "Jobber", "Spacer", "SenSORCER Facade"}) {
+    EXPECT_NE(pane.find(expected), std::string::npos) << expected;
+  }
+}
+
+TEST_F(CoreTest, BrowserInfoPaneForComposite) {
+  lab.facade().create_local_service("C");
+  ASSERT_TRUE(lab.facade().compose_service("C", {"Neem-Sensor"}).is_ok());
+  ASSERT_TRUE(lab.facade().add_expression("C", "a").is_ok());
+  ASSERT_TRUE(lab.browser().select("C").is_ok());
+  const std::string pane = lab.browser().render_information();
+  EXPECT_NE(pane.find("Service Type:: COMPOSITE"), std::string::npos);
+  EXPECT_NE(pane.find("Contained Services: Neem-Sensor"), std::string::npos);
+  EXPECT_NE(pane.find("Compute Expression: a"), std::string::npos);
+}
+
+TEST_F(CoreTest, BrowserSelectUnknownClearsSelection) {
+  ASSERT_TRUE(lab.browser().select("Neem-Sensor").is_ok());
+  EXPECT_FALSE(lab.browser().select("Ghost").is_ok());
+  EXPECT_NE(lab.browser().render_information().find("no service selected"),
+            std::string::npos);
+}
+
+TEST_F(CoreTest, BrowserValuesPaneReadsEverything) {
+  lab.browser().refresh();
+  lab.browser().read_values();
+  ASSERT_EQ(lab.browser().model().values.size(), 3u);
+  for (const auto& row : lab.browser().model().values) {
+    EXPECT_TRUE(row.ok) << row.name << ": " << row.error;
+  }
+  EXPECT_NE(lab.browser().render_values().find("Neem-Sensor"),
+            std::string::npos);
+}
+
+// --- network manager tree -----------------------------------------------------------------------
+
+TEST_F(CoreTest, TopologyTreeShowsContainment) {
+  lab.facade().create_local_service("Subnet");
+  ASSERT_TRUE(lab.facade()
+                  .compose_service("Subnet", {"Neem-Sensor", "Jade-Sensor"})
+                  .is_ok());
+  const std::string tree = lab.facade().topology("Subnet");
+  EXPECT_NE(tree.find("Subnet  (COMPOSITE)"), std::string::npos);
+  EXPECT_NE(tree.find("|-- Neem-Sensor  (ELEMENTARY)"), std::string::npos);
+  EXPECT_NE(tree.find("`-- Jade-Sensor  (ELEMENTARY)"), std::string::npos);
+}
+
+TEST_F(CoreTest, TopologyMarksUnreachable) {
+  const std::string tree = lab.facade().topology("Ghost");
+  EXPECT_NE(tree.find("[unreachable]"), std::string::npos);
+}
+
+// --- parameterized: composite average matches direct averaging over many fan-outs ------------
+
+class FanoutTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FanoutTest, DefaultAggregateEqualsMeanOfChildLogs) {
+  const std::size_t fanout = GetParam();
+  DeploymentConfig config;
+  config.sampling.sample_period = 0;  // deterministic: on-demand reads only
+  Deployment lab(config);
+  for (std::size_t i = 0; i < fanout; ++i) {
+    // Zero-noise probes so composite value is exactly the mean of bases.
+    sensor::SignalModel model;
+    model.base = 10.0 + static_cast<double>(i);
+    model.amplitude = 0.0;
+    model.noise_stddev = 0.0;
+    sensor::Teds teds{sensor::SensorKind::kTemperature, "x", "m",
+                      std::to_string(i), -100, 200, 0.1, 0};
+    lab.add_sensor("S" + std::to_string(i),
+                   std::make_unique<sensor::SimulatedProbe>(
+                       sensor::SimulatedDevice{teds, model, i + 1}));
+  }
+  auto csp = lab.manager().create_composite("C");
+  for (std::size_t i = 0; i < fanout; ++i) {
+    ASSERT_TRUE(csp->add_component("S" + std::to_string(i)).is_ok());
+  }
+  const double expected =
+      10.0 + static_cast<double>(fanout - 1) / 2.0;  // mean of bases
+  auto value = csp->get_value();
+  ASSERT_TRUE(value.is_ok());
+  EXPECT_NEAR(value.value(), expected, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, FanoutTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 32));
+
+}  // namespace
+}  // namespace sensorcer::core

@@ -1,0 +1,652 @@
+// Unit tests for the Jini substrate: entries, templates, the lookup service
+// with leases and events, discovery, lease renewal, the event mailbox and
+// the 2PC transaction manager.
+
+#include <gtest/gtest.h>
+
+#include "registry/discovery.h"
+#include "registry/event_mailbox.h"
+#include "registry/lease_renewal.h"
+#include "registry/lookup.h"
+#include "registry/transaction.h"
+
+namespace sensorcer::registry {
+namespace {
+
+using util::kMillisecond;
+using util::kSecond;
+
+class DummyProxy : public ServiceProxy {};
+
+ServiceItem make_item(const std::string& name,
+                      std::vector<std::string> types = {"Servicer"}) {
+  ServiceItem item;
+  item.id = util::new_uuid();
+  item.proxy = std::make_shared<DummyProxy>();
+  item.types = std::move(types);
+  item.attributes.set(attr::kName, name);
+  return item;
+}
+
+// --- Entry ------------------------------------------------------------------------
+
+TEST(Entry, EmptyTemplateMatchesEverything) {
+  Entry tmpl;
+  Entry item{{"name", std::string("x")}, {"floor", std::int64_t{3}}};
+  EXPECT_TRUE(tmpl.matches(item));
+  EXPECT_TRUE(tmpl.matches(Entry{}));
+}
+
+TEST(Entry, MatchRequiresEqualValues) {
+  Entry tmpl{{"name", std::string("Neem-Sensor")}};
+  Entry match{{"name", std::string("Neem-Sensor")}, {"floor", std::int64_t{3}}};
+  Entry wrong{{"name", std::string("Jade-Sensor")}};
+  Entry missing{{"floor", std::int64_t{3}}};
+  EXPECT_TRUE(tmpl.matches(match));
+  EXPECT_FALSE(tmpl.matches(wrong));
+  EXPECT_FALSE(tmpl.matches(missing));
+}
+
+TEST(Entry, TypedValuesDoNotCrossMatch) {
+  Entry tmpl{{"v", 3.0}};
+  Entry as_int{{"v", std::int64_t{3}}};
+  EXPECT_FALSE(tmpl.matches(as_int));
+}
+
+TEST(Entry, GetStringFallsBack) {
+  Entry e{{"name", std::string("x")}, {"n", 1.5}};
+  EXPECT_EQ(e.get_string("name"), "x");
+  EXPECT_EQ(e.get_string("n", "fb"), "fb");
+  EXPECT_EQ(e.get_string("missing", "fb"), "fb");
+}
+
+TEST(Entry, ValueToString) {
+  EXPECT_EQ(entry_value_to_string(std::string("s")), "s");
+  EXPECT_EQ(entry_value_to_string(2.5), "2.5");
+  EXPECT_EQ(entry_value_to_string(std::int64_t{42}), "42");
+  EXPECT_EQ(entry_value_to_string(true), "true");
+}
+
+// --- ServiceTemplate ---------------------------------------------------------------
+
+TEST(ServiceTemplate, MatchById) {
+  ServiceItem item = make_item("x");
+  EXPECT_TRUE(ServiceTemplate::by_id(item.id).matches(item));
+  EXPECT_FALSE(ServiceTemplate::by_id(util::new_uuid()).matches(item));
+}
+
+TEST(ServiceTemplate, MatchRequiresAllTypes) {
+  ServiceItem item = make_item("x", {"Servicer", "SensorDataAccessor"});
+  ServiceTemplate t;
+  t.types = {"Servicer", "SensorDataAccessor"};
+  EXPECT_TRUE(t.matches(item));
+  t.types.push_back("Cybernode");
+  EXPECT_FALSE(t.matches(item));
+}
+
+TEST(ServiceTemplate, ByNameCombinesTypeAndAttribute) {
+  ServiceItem item = make_item("Neem-Sensor", {"SensorDataAccessor"});
+  EXPECT_TRUE(ServiceTemplate::by_name("SensorDataAccessor", "Neem-Sensor")
+                  .matches(item));
+  EXPECT_FALSE(ServiceTemplate::by_name("SensorDataAccessor", "Jade-Sensor")
+                   .matches(item));
+}
+
+// --- LookupService -----------------------------------------------------------------
+
+class LookupTest : public ::testing::Test {
+ protected:
+  util::Scheduler sched;
+  LookupService lus{"test-lus", sched};
+};
+
+TEST_F(LookupTest, RegisterThenLookup) {
+  auto reg = lus.register_service(make_item("Neem-Sensor"), 10 * kSecond);
+  EXPECT_FALSE(reg.service_id.is_nil());
+  EXPECT_EQ(lus.service_count(), 1u);
+
+  auto found = lus.lookup_one(ServiceTemplate::by_id(reg.service_id));
+  ASSERT_TRUE(found.is_ok());
+  EXPECT_EQ(found.value().attributes.get_string(attr::kName), "Neem-Sensor");
+}
+
+TEST_F(LookupTest, LookupMissReturnsNotFound) {
+  EXPECT_EQ(lus.lookup_one(ServiceTemplate::by_type("Nope")).status().code(),
+            util::ErrorCode::kNotFound);
+}
+
+TEST_F(LookupTest, LookupRespectsMaxMatches) {
+  for (int i = 0; i < 10; ++i) {
+    lus.register_service(make_item("s" + std::to_string(i)), 10 * kSecond);
+  }
+  EXPECT_EQ(lus.lookup(ServiceTemplate{}, 3).size(), 3u);
+  EXPECT_EQ(lus.lookup(ServiceTemplate{}).size(), 10u);
+}
+
+TEST_F(LookupTest, LookupResultsSortedByName) {
+  lus.register_service(make_item("zeta"), 10 * kSecond);
+  lus.register_service(make_item("alpha"), 10 * kSecond);
+  auto all = lus.all_services();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].attributes.get_string(attr::kName), "alpha");
+}
+
+TEST_F(LookupTest, LeaseExpiryDisposesService) {
+  auto reg = lus.register_service(make_item("x"), 2 * kSecond);
+  sched.run_for(1 * kSecond);
+  EXPECT_TRUE(lus.contains(reg.service_id));
+  sched.run_for(2 * kSecond);
+  EXPECT_FALSE(lus.contains(reg.service_id));
+  EXPECT_EQ(lus.expired_count(), 1u);
+}
+
+TEST_F(LookupTest, RenewExtendsLease) {
+  auto reg = lus.register_service(make_item("x"), 2 * kSecond);
+  sched.run_for(1500 * kMillisecond);
+  ASSERT_TRUE(lus.renew_lease(reg.lease.id, 2 * kSecond).is_ok());
+  sched.run_for(1500 * kMillisecond);
+  EXPECT_TRUE(lus.contains(reg.service_id));  // would have expired without renew
+  sched.run_for(1 * kSecond);
+  EXPECT_FALSE(lus.contains(reg.service_id));
+}
+
+TEST_F(LookupTest, RenewUnknownLeaseFails) {
+  EXPECT_EQ(lus.renew_lease(util::new_uuid(), kSecond).code(),
+            util::ErrorCode::kNotFound);
+}
+
+TEST_F(LookupTest, CancelDisposesImmediately) {
+  auto reg = lus.register_service(make_item("x"), 10 * kSecond);
+  ASSERT_TRUE(lus.cancel_lease(reg.lease.id).is_ok());
+  EXPECT_FALSE(lus.contains(reg.service_id));
+  EXPECT_EQ(lus.cancel_lease(reg.lease.id).code(),
+            util::ErrorCode::kNotFound);
+  EXPECT_EQ(lus.expired_count(), 0u);  // cancellation is not expiry
+}
+
+TEST_F(LookupTest, ReregistrationReplacesItemAndLease) {
+  ServiceItem item = make_item("x");
+  auto reg1 = lus.register_service(item, 10 * kSecond);
+  item.attributes.set("generation", std::int64_t{2});
+  auto reg2 = lus.register_service(item, 10 * kSecond);
+  EXPECT_EQ(reg1.service_id, reg2.service_id);
+  EXPECT_EQ(lus.service_count(), 1u);
+  // The first lease is gone.
+  EXPECT_EQ(lus.renew_lease(reg1.lease.id, kSecond).code(),
+            util::ErrorCode::kNotFound);
+  EXPECT_TRUE(lus.renew_lease(reg2.lease.id, kSecond).is_ok());
+}
+
+TEST_F(LookupTest, ModifyAttributesVisibleToLookup) {
+  auto reg = lus.register_service(make_item("x"), 10 * kSecond);
+  Entry attrs;
+  attrs.set(attr::kName, std::string("x"));
+  attrs.set(attr::kLocation, std::string("CP TTU/310"));
+  ASSERT_TRUE(lus.modify_attributes(reg.service_id, attrs).is_ok());
+  auto found = lus.lookup_one(ServiceTemplate::by_id(reg.service_id));
+  EXPECT_EQ(found.value().attributes.get_string(attr::kLocation),
+            "CP TTU/310");
+}
+
+TEST_F(LookupTest, NotifyFiresOnJoin) {
+  std::vector<ServiceEvent> events;
+  lus.notify(ServiceTemplate::by_type("SensorDataAccessor"),
+             static_cast<unsigned>(Transition::kNoMatchToMatch),
+             [&](const ServiceEvent& e) { events.push_back(e); },
+             10 * kSecond);
+  lus.register_service(make_item("s", {"SensorDataAccessor"}), 10 * kSecond);
+  lus.register_service(make_item("other", {"Cybernode"}), 10 * kSecond);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].transition, Transition::kNoMatchToMatch);
+  EXPECT_EQ(events[0].item.attributes.get_string(attr::kName), "s");
+  EXPECT_EQ(events[0].sequence, 1u);
+}
+
+TEST_F(LookupTest, NotifyFiresOnLeaveAndExpiry) {
+  std::vector<Transition> transitions;
+  lus.notify(ServiceTemplate{}, kAllTransitions,
+             [&](const ServiceEvent& e) { transitions.push_back(e.transition); },
+             60 * kSecond);
+  auto reg1 = lus.register_service(make_item("a"), 2 * kSecond);
+  auto reg2 = lus.register_service(make_item("b"), 30 * kSecond);
+  ASSERT_TRUE(lus.cancel_lease(reg2.lease.id).is_ok());
+  sched.run_for(3 * kSecond);  // reg1 expires
+  EXPECT_EQ(transitions,
+            (std::vector<Transition>{
+                Transition::kNoMatchToMatch, Transition::kNoMatchToMatch,
+                Transition::kMatchToNoMatch, Transition::kMatchToNoMatch}));
+  (void)reg1;
+}
+
+TEST_F(LookupTest, NotifyMaskFilters) {
+  int fired = 0;
+  lus.notify(ServiceTemplate{},
+             static_cast<unsigned>(Transition::kMatchToNoMatch),
+             [&](const ServiceEvent&) { ++fired; }, 60 * kSecond);
+  auto reg = lus.register_service(make_item("a"), 10 * kSecond);
+  EXPECT_EQ(fired, 0);
+  ASSERT_TRUE(lus.cancel_lease(reg.lease.id).is_ok());
+  EXPECT_EQ(fired, 1);
+}
+
+TEST_F(LookupTest, CancelNotifyStopsEvents) {
+  int fired = 0;
+  auto reg = lus.notify(ServiceTemplate{}, kAllTransitions,
+                        [&](const ServiceEvent&) { ++fired; }, 60 * kSecond);
+  ASSERT_TRUE(lus.cancel_notify(reg.id).is_ok());
+  lus.register_service(make_item("a"), 10 * kSecond);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(lus.cancel_notify(reg.id).code(), util::ErrorCode::kNotFound);
+}
+
+TEST_F(LookupTest, EventRegistrationLeaseExpires) {
+  int fired = 0;
+  lus.notify(ServiceTemplate{}, kAllTransitions,
+             [&](const ServiceEvent&) { ++fired; }, 1 * kSecond);
+  sched.run_for(2 * kSecond);
+  lus.register_service(make_item("a"), 10 * kSecond);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST_F(LookupTest, AttributeChangeFiresMatchToMatch) {
+  std::vector<Transition> transitions;
+  lus.notify(ServiceTemplate{}, kAllTransitions,
+             [&](const ServiceEvent& e) { transitions.push_back(e.transition); },
+             60 * kSecond);
+  auto reg = lus.register_service(make_item("a"), 10 * kSecond);
+  Entry attrs;
+  attrs.set(attr::kName, std::string("a"));
+  ASSERT_TRUE(lus.modify_attributes(reg.service_id, attrs).is_ok());
+  ASSERT_EQ(transitions.size(), 2u);
+  EXPECT_EQ(transitions[1], Transition::kMatchToMatch);
+}
+
+// --- LeaseRenewalManager ---------------------------------------------------------------
+
+class RenewalTest : public ::testing::Test {
+ protected:
+  util::Scheduler sched;
+  std::shared_ptr<LookupService> lus =
+      std::make_shared<LookupService>("lus", sched);
+  LeaseRenewalManager lrm{sched};
+};
+
+TEST_F(RenewalTest, ManagedLeaseSurvivesIndefinitely) {
+  auto reg = lus->register_service(make_item("x"), 2 * kSecond);
+  lrm.manage(reg.lease, lus, 2 * kSecond);
+  sched.run_for(60 * kSecond);
+  EXPECT_TRUE(lus->contains(reg.service_id));
+  EXPECT_EQ(lrm.failed_renewals(), 0u);
+}
+
+TEST_F(RenewalTest, ReleasedLeaseExpires) {
+  auto reg = lus->register_service(make_item("x"), 2 * kSecond);
+  lrm.manage(reg.lease, lus, 2 * kSecond);
+  sched.run_for(10 * kSecond);
+  lrm.release(reg.lease.id);
+  sched.run_for(10 * kSecond);
+  EXPECT_FALSE(lus->contains(reg.service_id));
+  EXPECT_EQ(lus->expired_count(), 1u);
+}
+
+TEST_F(RenewalTest, CancelRemovesImmediately) {
+  auto reg = lus->register_service(make_item("x"), 10 * kSecond);
+  lrm.manage(reg.lease, lus, 10 * kSecond);
+  lrm.cancel(reg.lease.id);
+  EXPECT_FALSE(lus->contains(reg.service_id));
+  EXPECT_EQ(lrm.managed_count(), 0u);
+}
+
+TEST_F(RenewalTest, DeadLusCountsAsFailure) {
+  auto reg = lus->register_service(make_item("x"), 2 * kSecond);
+  lrm.manage(reg.lease, lus, 2 * kSecond);
+  lus.reset();  // the registry vanishes
+  sched.run_for(10 * kSecond);
+  EXPECT_EQ(lrm.failed_renewals(), 1u);
+  EXPECT_EQ(lrm.managed_count(), 0u);
+}
+
+// --- DiscoveryManager --------------------------------------------------------------------
+
+TEST(Discovery, ClientFindsAdvertisedLus) {
+  util::Scheduler sched;
+  simnet::Network net(sched);
+  auto lus = std::make_shared<LookupService>("lus-A", sched, &net);
+  DiscoveryManager server(net, sched);
+  server.advertise(lus, 5 * kSecond);
+
+  DiscoveryManager client(net, sched);
+  std::vector<std::string> found;
+  client.start_discovery(
+      [&](const std::shared_ptr<LookupService>& l) { found.push_back(l->name()); });
+  sched.run_for(50 * kMillisecond);  // request + response round trip
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0], "lus-A");
+}
+
+TEST(Discovery, AnnouncementsReachLateListeners) {
+  util::Scheduler sched;
+  simnet::Network net(sched);
+  auto lus = std::make_shared<LookupService>("lus-B", sched, &net);
+  DiscoveryManager server(net, sched);
+  server.advertise(lus, 1 * kSecond);
+
+  DiscoveryManager client(net, sched);
+  sched.run_for(1500 * kMillisecond);  // one announcement cycle passed
+  int found = 0;
+  client.start_discovery([&](const auto&) { ++found; });
+  EXPECT_EQ(found, 1);  // already known from the announcement
+}
+
+TEST(Discovery, EachLusReportedOnce) {
+  util::Scheduler sched;
+  simnet::Network net(sched);
+  auto lus = std::make_shared<LookupService>("lus-C", sched, &net);
+  DiscoveryManager server(net, sched);
+  server.advertise(lus, 1 * kSecond);
+  DiscoveryManager client(net, sched);
+  int found = 0;
+  client.start_discovery([&](const auto&) { ++found; });
+  sched.run_for(10 * kSecond);  // many announcements later
+  EXPECT_EQ(found, 1);
+  EXPECT_EQ(client.discovered().size(), 1u);
+}
+
+TEST(Discovery, PartitionedClientDiscoversNothing) {
+  util::Scheduler sched;
+  simnet::Network net(sched);
+  auto lus = std::make_shared<LookupService>("lus-D", sched, &net);
+  DiscoveryManager server(net, sched);
+  server.advertise(lus, 1 * kSecond);
+  DiscoveryManager client(net, sched);
+  net.partition(server.client_address(), client.client_address());
+  int found = 0;
+  client.start_discovery([&](const auto&) { ++found; });
+  sched.run_for(5 * kSecond);
+  EXPECT_EQ(found, 0);
+  net.heal_all();
+  sched.run_for(2 * kSecond);  // next announcement gets through
+  EXPECT_EQ(found, 1);
+}
+
+// --- EventMailbox ---------------------------------------------------------------------------
+
+TEST(EventMailbox, BuffersAndDrains) {
+  util::Scheduler sched;
+  LookupService lus("lus", sched);
+  EventMailbox mailbox;
+  auto box = mailbox.open();
+  lus.notify(ServiceTemplate{}, kAllTransitions, box.listener, 60 * kSecond);
+
+  lus.register_service(make_item("a"), 10 * kSecond);
+  lus.register_service(make_item("b"), 10 * kSecond);
+  EXPECT_EQ(mailbox.pending(box.id), 2u);
+
+  auto events = mailbox.drain(box.id, 1);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].item.attributes.get_string(attr::kName), "a");
+  EXPECT_EQ(mailbox.pending(box.id), 1u);
+  EXPECT_EQ(mailbox.drain(box.id).size(), 1u);
+  EXPECT_EQ(mailbox.pending(box.id), 0u);
+}
+
+TEST(EventMailbox, CapacityDiscardsOldest) {
+  util::Scheduler sched;
+  LookupService lus("lus", sched);
+  EventMailbox mailbox(2);
+  auto box = mailbox.open();
+  lus.notify(ServiceTemplate{}, kAllTransitions, box.listener, 60 * kSecond);
+  for (int i = 0; i < 5; ++i) {
+    lus.register_service(make_item("s" + std::to_string(i)), 10 * kSecond);
+  }
+  EXPECT_EQ(mailbox.pending(box.id), 2u);
+  EXPECT_EQ(mailbox.discarded(), 3u);
+  auto events = mailbox.drain(box.id);
+  EXPECT_EQ(events[0].item.attributes.get_string(attr::kName), "s3");
+}
+
+TEST(EventMailbox, ClosedMailboxDropsSilently) {
+  util::Scheduler sched;
+  LookupService lus("lus", sched);
+  EventMailbox mailbox;
+  auto box = mailbox.open();
+  lus.notify(ServiceTemplate{}, kAllTransitions, box.listener, 60 * kSecond);
+  mailbox.close(box.id);
+  lus.register_service(make_item("a"), 10 * kSecond);
+  EXPECT_EQ(mailbox.pending(box.id), 0u);
+  EXPECT_TRUE(mailbox.drain(box.id).empty());
+}
+
+// --- TransactionManager ------------------------------------------------------------------------
+
+class TxnTest : public ::testing::Test {
+ protected:
+  util::Scheduler sched;
+  TransactionManager tm{sched};
+
+  TxnParticipant participant(const std::string& name, bool vote_yes,
+                             std::vector<std::string>& log) {
+    return TxnParticipant{
+        name,
+        [name, vote_yes, &log]() -> util::Status {
+          log.push_back("prepare:" + name);
+          if (vote_yes) return util::Status::ok();
+          return {util::ErrorCode::kFailedPrecondition, "veto"};
+        },
+        [name, &log] { log.push_back("commit:" + name); },
+        [name, &log] { log.push_back("abort:" + name); }};
+  }
+};
+
+TEST_F(TxnTest, CommitRunsTwoPhases) {
+  std::vector<std::string> log;
+  auto txn = tm.create(10 * kSecond);
+  ASSERT_TRUE(tm.join(txn.id, participant("p1", true, log)).is_ok());
+  ASSERT_TRUE(tm.join(txn.id, participant("p2", true, log)).is_ok());
+  ASSERT_TRUE(tm.commit(txn.id).is_ok());
+  EXPECT_EQ(log, (std::vector<std::string>{"prepare:p1", "prepare:p2",
+                                           "commit:p1", "commit:p2"}));
+  EXPECT_EQ(tm.state(txn.id), TxnState::kCommitted);
+  EXPECT_EQ(tm.committed_count(), 1u);
+}
+
+TEST_F(TxnTest, VetoAbortsEveryone) {
+  std::vector<std::string> log;
+  auto txn = tm.create(10 * kSecond);
+  ASSERT_TRUE(tm.join(txn.id, participant("p1", true, log)).is_ok());
+  ASSERT_TRUE(tm.join(txn.id, participant("p2", false, log)).is_ok());
+  auto result = tm.commit(txn.id);
+  EXPECT_EQ(result.code(), util::ErrorCode::kAborted);
+  EXPECT_EQ(log, (std::vector<std::string>{"prepare:p1", "prepare:p2",
+                                           "abort:p1", "abort:p2"}));
+  EXPECT_EQ(tm.state(txn.id), TxnState::kAborted);
+}
+
+TEST_F(TxnTest, TimeoutAutoAborts) {
+  std::vector<std::string> log;
+  auto txn = tm.create(1 * kSecond);
+  ASSERT_TRUE(tm.join(txn.id, participant("p1", true, log)).is_ok());
+  sched.run_for(2 * kSecond);
+  EXPECT_EQ(tm.state(txn.id), TxnState::kAborted);
+  EXPECT_EQ(log, (std::vector<std::string>{"abort:p1"}));
+  EXPECT_EQ(tm.commit(txn.id).code(), util::ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(TxnTest, JoinAfterSettleFails) {
+  std::vector<std::string> log;
+  auto txn = tm.create(10 * kSecond);
+  ASSERT_TRUE(tm.commit(txn.id).is_ok());
+  EXPECT_EQ(tm.join(txn.id, participant("late", true, log)).code(),
+            util::ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(TxnTest, ExplicitAbort) {
+  std::vector<std::string> log;
+  auto txn = tm.create(10 * kSecond);
+  ASSERT_TRUE(tm.join(txn.id, participant("p1", true, log)).is_ok());
+  ASSERT_TRUE(tm.abort(txn.id).is_ok());
+  EXPECT_EQ(log, (std::vector<std::string>{"abort:p1"}));
+  // Aborting again is fine; committing is not.
+  EXPECT_TRUE(tm.abort(txn.id).is_ok());
+  EXPECT_EQ(tm.commit(txn.id).code(), util::ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(TxnTest, AbortAfterCommitRejected) {
+  auto txn = tm.create(10 * kSecond);
+  ASSERT_TRUE(tm.commit(txn.id).is_ok());
+  EXPECT_EQ(tm.abort(txn.id).code(), util::ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(TxnTest, UnknownTransaction) {
+  EXPECT_EQ(tm.commit(util::new_uuid()).code(), util::ErrorCode::kNotFound);
+  EXPECT_EQ(tm.abort(util::new_uuid()).code(), util::ErrorCode::kNotFound);
+  std::vector<std::string> log;
+  EXPECT_EQ(tm.join(util::new_uuid(), participant("p", true, log)).code(),
+            util::ErrorCode::kNotFound);
+}
+
+TEST_F(TxnTest, ActiveCountTracksLifecycle) {
+  auto t1 = tm.create(10 * kSecond);
+  auto t2 = tm.create(10 * kSecond);
+  EXPECT_EQ(tm.active_count(), 2u);
+  ASSERT_TRUE(tm.commit(t1.id).is_ok());
+  ASSERT_TRUE(tm.abort(t2.id).is_ok());
+  EXPECT_EQ(tm.active_count(), 0u);
+  EXPECT_EQ(tm.aborted_count(), 1u);
+}
+
+// --- parameterized: churn never leaves stale registrations ------------------------------
+
+class ChurnTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChurnTest, ExpiredServicesAreAlwaysDisposed) {
+  util::Scheduler sched;
+  LookupService lus("lus", sched);
+  util::Rng rng(GetParam());
+  LeaseRenewalManager lrm(sched);
+
+  // Random joins with random lease durations; half are kept alive by the
+  // renewal manager, half are abandoned (crash model).
+  std::vector<ServiceId> kept, abandoned;
+  for (int i = 0; i < 200; ++i) {
+    const auto lease = static_cast<util::SimDuration>(
+        rng.between(500, 5000) * kMillisecond);
+    auto reg = lus.register_service(
+        make_item("s" + std::to_string(i)), lease);
+    // Spread registrations over time.
+    sched.run_for(static_cast<util::SimDuration>(rng.between(0, 200)) *
+                  kMillisecond);
+    if (rng.chance(0.5)) {
+      // (re-register so the lease is fresh relative to the advanced clock)
+      kept.push_back(reg.service_id);
+    } else {
+      abandoned.push_back(reg.service_id);
+    }
+  }
+  // After every lease has lapsed, only nothing-at-all may remain: we did not
+  // renew anything, so the registry must be empty.
+  sched.run_for(10 * kSecond);
+  EXPECT_EQ(lus.service_count(), 0u);
+  EXPECT_EQ(lus.expired_count(), 200u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChurnTest, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace sensorcer::registry
+
+namespace sensorcer::registry {
+namespace {
+
+TEST(LookupIndexes, ByTypeBucketsStayConsistentUnderChurn) {
+  util::Scheduler sched;
+  LookupService lus("lus", sched);
+  // Register a mixed population; cancel half; expire the rest.
+  std::vector<ServiceRegistration> regs;
+  for (int i = 0; i < 50; ++i) {
+    regs.push_back(lus.register_service(
+        make_item("a" + std::to_string(i), {"TypeA"}), 2 * kSecond));
+    regs.push_back(lus.register_service(
+        make_item("b" + std::to_string(i), {"TypeB"}), 2 * kSecond));
+  }
+  EXPECT_EQ(lus.lookup(ServiceTemplate::by_type("TypeA")).size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(lus.cancel_lease(regs[2 * i].lease.id).is_ok());  // TypeA
+  }
+  EXPECT_EQ(lus.lookup(ServiceTemplate::by_type("TypeA")).size(), 0u);
+  EXPECT_EQ(lus.lookup(ServiceTemplate::by_type("TypeB")).size(), 50u);
+  sched.run_for(5 * kSecond);  // TypeB leases lapse
+  EXPECT_EQ(lus.lookup(ServiceTemplate::by_type("TypeB")).size(), 0u);
+  EXPECT_EQ(lus.service_count(), 0u);
+}
+
+TEST(LookupIndexes, RenamedServiceFoundUnderNewNameOnly) {
+  util::Scheduler sched;
+  LookupService lus("lus", sched);
+  auto reg = lus.register_service(make_item("old-name"), 10 * kSecond);
+  Entry attrs;
+  attrs.set(attr::kName, std::string("new-name"));
+  ASSERT_TRUE(lus.modify_attributes(reg.service_id, attrs).is_ok());
+  EXPECT_FALSE(
+      lus.lookup_one(ServiceTemplate::by_name("Servicer", "old-name"))
+          .is_ok());
+  EXPECT_TRUE(
+      lus.lookup_one(ServiceTemplate::by_name("Servicer", "new-name"))
+          .is_ok());
+}
+
+TEST(LookupIndexes, LookupOneIsDeterministicAcrossInstances) {
+  // Same registrations in different insertion orders must yield the same
+  // lookup_one winner (sorted by name).
+  util::Scheduler sched;
+  LookupService forward("f", sched);
+  LookupService backward("b", sched);
+  std::vector<std::string> names{"delta", "alpha", "echo", "bravo"};
+  for (const auto& n : names) {
+    forward.register_service(make_item(n, {"T"}), 10 * kSecond);
+  }
+  for (auto it = names.rbegin(); it != names.rend(); ++it) {
+    backward.register_service(make_item(*it, {"T"}), 10 * kSecond);
+  }
+  auto f = forward.lookup_one(ServiceTemplate::by_type("T"));
+  auto b = backward.lookup_one(ServiceTemplate::by_type("T"));
+  ASSERT_TRUE(f.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_EQ(f.value().attributes.get_string(attr::kName), "alpha");
+  EXPECT_EQ(b.value().attributes.get_string(attr::kName), "alpha");
+}
+
+TEST(LookupIndexes, TemplateWithUnindexedAttributeStillCorrect) {
+  util::Scheduler sched;
+  LookupService lus("lus", sched);
+  ServiceItem item = make_item("s1", {"T"});
+  item.attributes.set("floor", std::int64_t{3});
+  lus.register_service(item, 10 * kSecond);
+
+  ServiceTemplate tmpl = ServiceTemplate::by_type("T");
+  tmpl.attributes.set("floor", std::int64_t{3});
+  EXPECT_TRUE(lus.lookup_one(tmpl).is_ok());
+  tmpl.attributes.set("floor", std::int64_t{4});
+  EXPECT_FALSE(lus.lookup_one(tmpl).is_ok());
+}
+
+TEST(Discovery, WithdrawStopsAnnouncements) {
+  util::Scheduler sched;
+  simnet::Network net(sched);
+  auto lus = std::make_shared<LookupService>("lus-W", sched, &net);
+  DiscoveryManager server(net, sched);
+  server.advertise(lus, 1 * kSecond);
+  server.withdraw(lus);
+
+  DiscoveryManager client(net, sched);
+  int found = 0;
+  client.start_discovery([&](const auto&) { ++found; });
+  sched.run_for(5 * kSecond);
+  // No periodic announcements; but the withdraw happened before any request
+  // arrived, so the server also no longer answers for it... requests are
+  // answered from `advertised_`, which withdraw() cleared.
+  EXPECT_EQ(found, 0);
+}
+
+}  // namespace
+}  // namespace sensorcer::registry

@@ -1,0 +1,334 @@
+// Unit tests for the Rio provisioning substrate: QoS matching, cybernodes,
+// the provision monitor's placement, load balancing, failure detection and
+// re-provisioning.
+
+#include <gtest/gtest.h>
+
+#include "registry/lease_renewal.h"
+#include "rio/monitor.h"
+#include "sorcer/exert.h"
+
+namespace sensorcer::rio {
+namespace {
+
+using util::kSecond;
+
+// --- QoS --------------------------------------------------------------------------
+
+TEST(Qos, SatisfiesChecksComputeAndMemory) {
+  QosCapability platform{4.0, 1024.0, "x86_64", {}};
+  EXPECT_TRUE(satisfies(platform, 4.0, 1024.0, QosRequirement{1.0, 256.0}));
+  EXPECT_FALSE(satisfies(platform, 0.5, 1024.0, QosRequirement{1.0, 256.0}));
+  EXPECT_FALSE(satisfies(platform, 4.0, 128.0, QosRequirement{1.0, 256.0}));
+}
+
+TEST(Qos, ArchMustMatchWhenSpecified) {
+  QosCapability platform{4.0, 1024.0, "arm64", {}};
+  QosRequirement req{1.0, 64.0, "x86_64", {}};
+  EXPECT_FALSE(satisfies(platform, 4.0, 1024.0, req));
+  req.arch = "arm64";
+  EXPECT_TRUE(satisfies(platform, 4.0, 1024.0, req));
+  req.arch.clear();  // any
+  EXPECT_TRUE(satisfies(platform, 4.0, 1024.0, req));
+}
+
+TEST(Qos, AllLabelsRequired) {
+  QosCapability platform{4.0, 1024.0, "x86_64", {"edge", "gpu"}};
+  QosRequirement req{1.0, 64.0, "", {"edge"}};
+  EXPECT_TRUE(satisfies(platform, 4.0, 1024.0, req));
+  req.labels = {"edge", "gpu"};
+  EXPECT_TRUE(satisfies(platform, 4.0, 1024.0, req));
+  req.labels = {"edge", "tpu"};
+  EXPECT_FALSE(satisfies(platform, 4.0, 1024.0, req));
+}
+
+TEST(Qos, ToStringMentionsFields) {
+  QosCapability cap{2.0, 512.0, "x86_64", {"edge"}};
+  EXPECT_NE(cap.to_string().find("edge"), std::string::npos);
+  QosRequirement req{0.5, 64.0, "", {}};
+  EXPECT_NE(req.to_string().find("0.50"), std::string::npos);
+}
+
+// --- Cybernode ---------------------------------------------------------------------
+
+std::shared_ptr<sorcer::Tasker> make_service(const std::string& name) {
+  auto svc = std::make_shared<sorcer::Tasker>(name);
+  svc->add_operation("noop", [](sorcer::ServiceContext&) {
+    return util::Status::ok();
+  });
+  return svc;
+}
+
+TEST(CybernodeTest, HostsUntilCapacity) {
+  Cybernode node("n1", QosCapability{2.0, 1024.0, "x86_64", {}});
+  QosRequirement one{1.0, 100.0};
+  EXPECT_TRUE(node.can_host(one));
+  ASSERT_TRUE(node.host(make_service("a"), one).is_ok());
+  ASSERT_TRUE(node.host(make_service("b"), one).is_ok());
+  EXPECT_DOUBLE_EQ(node.utilization(), 1.0);
+  EXPECT_EQ(node.host(make_service("c"), one).code(),
+            util::ErrorCode::kCapacity);
+  EXPECT_EQ(node.hosted_count(), 2u);
+}
+
+TEST(CybernodeTest, MemoryAlsoLimits) {
+  Cybernode node("n1", QosCapability{100.0, 256.0, "x86_64", {}});
+  ASSERT_TRUE(node.host(make_service("a"), {0.1, 200.0}).is_ok());
+  EXPECT_EQ(node.host(make_service("b"), {0.1, 100.0}).code(),
+            util::ErrorCode::kCapacity);
+}
+
+TEST(CybernodeTest, EvictFreesCapacity) {
+  Cybernode node("n1", QosCapability{1.0, 100.0, "x86_64", {}});
+  auto svc = make_service("a");
+  ASSERT_TRUE(node.host(svc, {1.0, 50.0}).is_ok());
+  EXPECT_FALSE(node.can_host({1.0, 50.0}));
+  ASSERT_TRUE(node.evict(svc->service_id()).is_ok());
+  EXPECT_TRUE(node.can_host({1.0, 50.0}));
+  EXPECT_EQ(node.evict(svc->service_id()).code(), util::ErrorCode::kNotFound);
+}
+
+TEST(CybernodeTest, FailCrashesHostedServices) {
+  util::Scheduler sched;
+  auto lus = std::make_shared<registry::LookupService>("lus", sched);
+  registry::LeaseRenewalManager lrm(sched);
+
+  Cybernode node("n1", QosCapability{4.0, 1024.0, "x86_64", {}});
+  auto svc = make_service("a");
+  ASSERT_TRUE(svc->join(lus, lrm, 2 * kSecond).is_ok());
+  ASSERT_TRUE(node.host(svc, {1.0, 64.0}).is_ok());
+
+  node.fail();
+  EXPECT_FALSE(node.is_alive());
+  EXPECT_EQ(node.hosted_count(), 0u);
+  // The crashed service lingers in the registry until its lease lapses.
+  EXPECT_TRUE(lus->contains(svc->service_id()));
+  sched.run_for(3 * kSecond);
+  EXPECT_FALSE(lus->contains(svc->service_id()));
+}
+
+TEST(CybernodeTest, HostOnDeadNodeFails) {
+  Cybernode node("n1", QosCapability{4.0, 1024.0, "x86_64", {}});
+  node.fail();
+  EXPECT_EQ(node.host(make_service("a"), {1.0, 64.0}).code(),
+            util::ErrorCode::kUnavailable);
+  node.restart();
+  EXPECT_TRUE(node.is_alive());
+  EXPECT_TRUE(node.host(make_service("a"), {1.0, 64.0}).is_ok());
+}
+
+// --- ProvisionMonitor ------------------------------------------------------------------
+
+class MonitorTest : public ::testing::Test {
+ protected:
+  MonitorTest() {
+    lus = std::make_shared<registry::LookupService>("lus", sched);
+    accessor.add_lookup(lus);
+    for (int i = 0; i < 3; ++i) {
+      auto node = std::make_shared<Cybernode>(
+          "node-" + std::to_string(i), QosCapability{2.0, 1024.0, "x86_64", {}});
+      (void)node->join(lus, lrm, 3600 * kSecond);
+      nodes.push_back(std::move(node));
+    }
+    MonitorConfig config;
+    config.service_lease = 2 * kSecond;
+    config.poll_period = 1 * kSecond;
+    config.activation_cost = 100 * util::kMillisecond;
+    monitor = std::make_shared<ProvisionMonitor>("Monitor", accessor, lrm,
+                                                 sched, config);
+  }
+
+  OperationalString opstring(const std::string& name, std::size_t planned,
+                             QosRequirement qos = {0.5, 64.0}) {
+    OperationalString os;
+    os.name = name;
+    ServiceElement element;
+    element.name = name;
+    element.planned = planned;
+    element.qos = qos;
+    element.factory = [](const std::string& instance_name) {
+      return make_service(instance_name);
+    };
+    os.elements.push_back(std::move(element));
+    return os;
+  }
+
+  bool discoverable(const std::string& name) {
+    return accessor
+        .find_item(registry::ServiceTemplate::by_name(sorcer::type::kTasker,
+                                                      name))
+        .is_ok();
+  }
+
+  util::Scheduler sched;
+  registry::LeaseRenewalManager lrm{sched};
+  std::shared_ptr<registry::LookupService> lus;
+  sorcer::ServiceAccessor accessor;
+  std::vector<std::shared_ptr<Cybernode>> nodes;
+  std::shared_ptr<ProvisionMonitor> monitor;
+};
+
+TEST_F(MonitorTest, DeploysAndBecomesDiscoverableAfterActivation) {
+  ASSERT_TRUE(monitor->deploy(opstring("svc", 1)).is_ok());
+  EXPECT_EQ(monitor->provision_count(), 1u);
+  EXPECT_FALSE(discoverable("svc"));  // still activating
+  sched.run_for(200 * util::kMillisecond);
+  EXPECT_TRUE(discoverable("svc"));
+}
+
+TEST_F(MonitorTest, ReplicasGetNumberedNames) {
+  ASSERT_TRUE(monitor->deploy(opstring("svc", 3)).is_ok());
+  sched.run_for(kSecond);
+  EXPECT_TRUE(discoverable("svc-1"));
+  EXPECT_TRUE(discoverable("svc-2"));
+  EXPECT_TRUE(discoverable("svc-3"));
+  EXPECT_EQ(monitor->deployed_instances("svc").size(), 3u);
+}
+
+TEST_F(MonitorTest, LoadBalancesAcrossNodes) {
+  ASSERT_TRUE(monitor->deploy(opstring("svc", 3, {1.0, 64.0})).is_ok());
+  // Three 1.0-unit services over three 2.0-unit nodes: one each.
+  for (const auto& node : nodes) {
+    EXPECT_EQ(node->hosted_count(), 1u) << node->provider_name();
+  }
+}
+
+TEST_F(MonitorTest, QosFiltersNodes) {
+  // Only nodes with the "edge" label qualify; none have it.
+  QosRequirement req{0.5, 64.0, "", {"edge"}};
+  auto status = monitor->deploy(opstring("svc", 1, req));
+  EXPECT_EQ(status.code(), util::ErrorCode::kCapacity);
+  EXPECT_EQ(monitor->failed_placements(), 1u);
+}
+
+TEST_F(MonitorTest, CapacityExhaustionReportsError) {
+  // 3 nodes x 2.0 units = 6 units; ask for 7 services of 1.0.
+  auto status = monitor->deploy(opstring("svc", 7, {1.0, 16.0}));
+  EXPECT_EQ(status.code(), util::ErrorCode::kCapacity);
+  EXPECT_EQ(monitor->provision_count(), 6u);
+}
+
+TEST_F(MonitorTest, ReprovisionsAfterNodeFailure) {
+  ASSERT_TRUE(monitor->deploy(opstring("svc", 1)).is_ok());
+  sched.run_for(kSecond);
+  ASSERT_TRUE(discoverable("svc"));
+
+  // Find and kill the hosting node.
+  Cybernode* host = nullptr;
+  for (const auto& node : nodes) {
+    if (node->hosted_count() > 0) host = node.get();
+  }
+  ASSERT_NE(host, nullptr);
+  host->fail();
+
+  // Poll detects the loss and replaces the instance elsewhere; the stale
+  // registration also ages out via its lease.
+  sched.run_for(5 * kSecond);
+  EXPECT_EQ(monitor->reprovision_count(), 1u);
+  EXPECT_TRUE(discoverable("svc"));
+  // The replacement runs on a different, living node.
+  std::size_t hosted_elsewhere = 0;
+  for (const auto& node : nodes) {
+    if (node.get() != host) hosted_elsewhere += node->hosted_count();
+  }
+  EXPECT_EQ(hosted_elsewhere, 1u);
+}
+
+TEST_F(MonitorTest, RetriesWhenNoCapacityThenRecovers) {
+  ASSERT_TRUE(monitor->deploy(opstring("svc", 1)).is_ok());
+  sched.run_for(kSecond);
+  // Kill every node: nothing can host the replacement.
+  for (const auto& node : nodes) node->fail();
+  sched.run_for(3 * kSecond);
+  EXPECT_FALSE(discoverable("svc"));
+
+  // A node returns; the poll loop places the pending instance.
+  nodes[0]->restart();
+  (void)nodes[0]->join(lus, lrm, 3600 * kSecond);
+  sched.run_for(3 * kSecond);
+  EXPECT_TRUE(discoverable("svc"));
+  EXPECT_GE(monitor->reprovision_count(), 1u);
+}
+
+TEST_F(MonitorTest, UndeployRemovesInstances) {
+  ASSERT_TRUE(monitor->deploy(opstring("svc", 2)).is_ok());
+  sched.run_for(kSecond);
+  ASSERT_TRUE(monitor->undeploy("svc").is_ok());
+  EXPECT_FALSE(discoverable("svc-1"));
+  EXPECT_FALSE(discoverable("svc-2"));
+  EXPECT_TRUE(monitor->deployed_instances("svc").empty());
+  EXPECT_EQ(monitor->undeploy("svc").code(), util::ErrorCode::kNotFound);
+}
+
+TEST_F(MonitorTest, UndeployedOpstringIsNotReprovisioned) {
+  ASSERT_TRUE(monitor->deploy(opstring("svc", 1)).is_ok());
+  sched.run_for(kSecond);
+  ASSERT_TRUE(monitor->undeploy("svc").is_ok());
+  for (const auto& node : nodes) node->fail();
+  for (const auto& node : nodes) node->restart();
+  sched.run_for(5 * kSecond);
+  EXPECT_EQ(monitor->reprovision_count(), 0u);
+  EXPECT_FALSE(discoverable("svc"));
+}
+
+TEST_F(MonitorTest, KnownCybernodesExcludesDead) {
+  EXPECT_EQ(monitor->known_cybernodes().size(), 3u);
+  nodes[0]->fail();
+  EXPECT_EQ(monitor->known_cybernodes().size(), 2u);
+}
+
+TEST_F(MonitorTest, ProvisionedServiceIsInvocable) {
+  ASSERT_TRUE(monitor->deploy(opstring("svc", 1)).is_ok());
+  sched.run_for(kSecond);
+  auto task = sorcer::Task::make(
+      "t", sorcer::Signature{sorcer::type::kTasker, "noop", "svc"});
+  (void)sorcer::exert(task, accessor);
+  EXPECT_EQ(task->status(), sorcer::ExertStatus::kDone);
+}
+
+// --- parameterized: placement never exceeds node capacity -------------------------------
+
+class PlacementPropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PlacementPropertyTest, UtilizationNeverExceedsOne) {
+  const std::size_t services = GetParam();
+  util::Scheduler sched;
+  auto lus = std::make_shared<registry::LookupService>("lus", sched);
+  registry::LeaseRenewalManager lrm(sched);
+  sorcer::ServiceAccessor accessor;
+  accessor.add_lookup(lus);
+
+  std::vector<std::shared_ptr<Cybernode>> nodes;
+  for (int i = 0; i < 4; ++i) {
+    auto node = std::make_shared<Cybernode>(
+        "n" + std::to_string(i), QosCapability{3.0, 4096.0, "x86_64", {}});
+    (void)node->join(lus, lrm, 3600 * kSecond);
+    nodes.push_back(std::move(node));
+  }
+  ProvisionMonitor monitor("m", accessor, lrm, sched, {});
+
+  OperationalString os;
+  os.name = "fleet";
+  ServiceElement element;
+  element.name = "s";
+  element.planned = services;
+  element.qos = QosRequirement{0.5, 32.0};
+  element.factory = [](const std::string& n) { return make_service(n); };
+  os.elements.push_back(std::move(element));
+  (void)monitor.deploy(std::move(os));
+
+  double total_hosted = 0;
+  for (const auto& node : nodes) {
+    EXPECT_LE(node->utilization(), 1.0 + 1e-9);
+    total_hosted += static_cast<double>(node->hosted_count());
+  }
+  // 4 nodes x 3.0 / 0.5 = 24 slots available.
+  EXPECT_EQ(static_cast<std::size_t>(total_hosted),
+            std::min<std::size_t>(services, 24));
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, PlacementPropertyTest,
+                         ::testing::Values(1, 4, 12, 24, 40));
+
+}  // namespace
+}  // namespace sensorcer::rio
