@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_data_flow.dir/bench/bench_data_flow.cpp.o"
+  "CMakeFiles/bench_data_flow.dir/bench/bench_data_flow.cpp.o.d"
+  "bench/bench_data_flow"
+  "bench/bench_data_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_data_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

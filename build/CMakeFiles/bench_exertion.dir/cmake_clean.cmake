@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exertion.dir/bench/bench_exertion.cpp.o"
+  "CMakeFiles/bench_exertion.dir/bench/bench_exertion.cpp.o.d"
+  "bench/bench_exertion"
+  "bench/bench_exertion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exertion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

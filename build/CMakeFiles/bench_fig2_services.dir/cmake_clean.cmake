@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_services.dir/bench/bench_fig2_services.cpp.o"
+  "CMakeFiles/bench_fig2_services.dir/bench/bench_fig2_services.cpp.o.d"
+  "bench/bench_fig2_services"
+  "bench/bench_fig2_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_experiment.dir/bench/bench_fig3_experiment.cpp.o"
+  "CMakeFiles/bench_fig3_experiment.dir/bench/bench_fig3_experiment.cpp.o.d"
+  "bench/bench_fig3_experiment"
+  "bench/bench_fig3_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

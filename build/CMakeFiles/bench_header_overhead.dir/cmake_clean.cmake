@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_header_overhead.dir/bench/bench_header_overhead.cpp.o"
+  "CMakeFiles/bench_header_overhead.dir/bench/bench_header_overhead.cpp.o.d"
+  "bench/bench_header_overhead"
+  "bench/bench_header_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_header_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_plug_and_play.dir/bench/bench_plug_and_play.cpp.o"
+  "CMakeFiles/bench_plug_and_play.dir/bench/bench_plug_and_play.cpp.o.d"
+  "bench/bench_plug_and_play"
+  "bench/bench_plug_and_play.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_plug_and_play.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

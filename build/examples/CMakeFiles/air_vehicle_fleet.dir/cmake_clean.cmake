@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/air_vehicle_fleet.dir/air_vehicle_fleet.cpp.o"
+  "CMakeFiles/air_vehicle_fleet.dir/air_vehicle_fleet.cpp.o.d"
+  "air_vehicle_fleet"
+  "air_vehicle_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/air_vehicle_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/browser_shell.dir/browser_shell.cpp.o"
+  "CMakeFiles/browser_shell.dir/browser_shell.cpp.o.d"
+  "browser_shell"
+  "browser_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/browser_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

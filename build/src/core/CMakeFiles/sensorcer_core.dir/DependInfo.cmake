@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/browser.cpp" "src/core/CMakeFiles/sensorcer_core.dir/browser.cpp.o" "gcc" "src/core/CMakeFiles/sensorcer_core.dir/browser.cpp.o.d"
+  "/root/repo/src/core/composite_provider.cpp" "src/core/CMakeFiles/sensorcer_core.dir/composite_provider.cpp.o" "gcc" "src/core/CMakeFiles/sensorcer_core.dir/composite_provider.cpp.o.d"
+  "/root/repo/src/core/config_store.cpp" "src/core/CMakeFiles/sensorcer_core.dir/config_store.cpp.o" "gcc" "src/core/CMakeFiles/sensorcer_core.dir/config_store.cpp.o.d"
+  "/root/repo/src/core/deployment.cpp" "src/core/CMakeFiles/sensorcer_core.dir/deployment.cpp.o" "gcc" "src/core/CMakeFiles/sensorcer_core.dir/deployment.cpp.o.d"
+  "/root/repo/src/core/elementary_provider.cpp" "src/core/CMakeFiles/sensorcer_core.dir/elementary_provider.cpp.o" "gcc" "src/core/CMakeFiles/sensorcer_core.dir/elementary_provider.cpp.o.d"
+  "/root/repo/src/core/facade.cpp" "src/core/CMakeFiles/sensorcer_core.dir/facade.cpp.o" "gcc" "src/core/CMakeFiles/sensorcer_core.dir/facade.cpp.o.d"
+  "/root/repo/src/core/network_manager.cpp" "src/core/CMakeFiles/sensorcer_core.dir/network_manager.cpp.o" "gcc" "src/core/CMakeFiles/sensorcer_core.dir/network_manager.cpp.o.d"
+  "/root/repo/src/core/provisioner.cpp" "src/core/CMakeFiles/sensorcer_core.dir/provisioner.cpp.o" "gcc" "src/core/CMakeFiles/sensorcer_core.dir/provisioner.cpp.o.d"
+  "/root/repo/src/core/sensor_computation.cpp" "src/core/CMakeFiles/sensorcer_core.dir/sensor_computation.cpp.o" "gcc" "src/core/CMakeFiles/sensorcer_core.dir/sensor_computation.cpp.o.d"
+  "/root/repo/src/core/threshold_watch.cpp" "src/core/CMakeFiles/sensorcer_core.dir/threshold_watch.cpp.o" "gcc" "src/core/CMakeFiles/sensorcer_core.dir/threshold_watch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/expr/CMakeFiles/sensorcer_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/rio/CMakeFiles/sensorcer_rio.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensor/CMakeFiles/sensorcer_sensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sorcer/CMakeFiles/sensorcer_sorcer.dir/DependInfo.cmake"
+  "/root/repo/build/src/registry/CMakeFiles/sensorcer_registry.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/sensorcer_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sensorcer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

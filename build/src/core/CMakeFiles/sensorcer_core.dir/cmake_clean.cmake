@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensorcer_core.dir/browser.cpp.o"
+  "CMakeFiles/sensorcer_core.dir/browser.cpp.o.d"
+  "CMakeFiles/sensorcer_core.dir/composite_provider.cpp.o"
+  "CMakeFiles/sensorcer_core.dir/composite_provider.cpp.o.d"
+  "CMakeFiles/sensorcer_core.dir/config_store.cpp.o"
+  "CMakeFiles/sensorcer_core.dir/config_store.cpp.o.d"
+  "CMakeFiles/sensorcer_core.dir/deployment.cpp.o"
+  "CMakeFiles/sensorcer_core.dir/deployment.cpp.o.d"
+  "CMakeFiles/sensorcer_core.dir/elementary_provider.cpp.o"
+  "CMakeFiles/sensorcer_core.dir/elementary_provider.cpp.o.d"
+  "CMakeFiles/sensorcer_core.dir/facade.cpp.o"
+  "CMakeFiles/sensorcer_core.dir/facade.cpp.o.d"
+  "CMakeFiles/sensorcer_core.dir/network_manager.cpp.o"
+  "CMakeFiles/sensorcer_core.dir/network_manager.cpp.o.d"
+  "CMakeFiles/sensorcer_core.dir/provisioner.cpp.o"
+  "CMakeFiles/sensorcer_core.dir/provisioner.cpp.o.d"
+  "CMakeFiles/sensorcer_core.dir/sensor_computation.cpp.o"
+  "CMakeFiles/sensorcer_core.dir/sensor_computation.cpp.o.d"
+  "CMakeFiles/sensorcer_core.dir/threshold_watch.cpp.o"
+  "CMakeFiles/sensorcer_core.dir/threshold_watch.cpp.o.d"
+  "libsensorcer_core.a"
+  "libsensorcer_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensorcer_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

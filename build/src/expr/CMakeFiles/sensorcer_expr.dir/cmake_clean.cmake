@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensorcer_expr.dir/ast.cpp.o"
+  "CMakeFiles/sensorcer_expr.dir/ast.cpp.o.d"
+  "CMakeFiles/sensorcer_expr.dir/evaluator.cpp.o"
+  "CMakeFiles/sensorcer_expr.dir/evaluator.cpp.o.d"
+  "CMakeFiles/sensorcer_expr.dir/lexer.cpp.o"
+  "CMakeFiles/sensorcer_expr.dir/lexer.cpp.o.d"
+  "CMakeFiles/sensorcer_expr.dir/parser.cpp.o"
+  "CMakeFiles/sensorcer_expr.dir/parser.cpp.o.d"
+  "libsensorcer_expr.a"
+  "libsensorcer_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensorcer_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

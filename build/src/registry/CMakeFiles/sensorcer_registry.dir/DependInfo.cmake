@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/registry/discovery.cpp" "src/registry/CMakeFiles/sensorcer_registry.dir/discovery.cpp.o" "gcc" "src/registry/CMakeFiles/sensorcer_registry.dir/discovery.cpp.o.d"
+  "/root/repo/src/registry/entry.cpp" "src/registry/CMakeFiles/sensorcer_registry.dir/entry.cpp.o" "gcc" "src/registry/CMakeFiles/sensorcer_registry.dir/entry.cpp.o.d"
+  "/root/repo/src/registry/event_mailbox.cpp" "src/registry/CMakeFiles/sensorcer_registry.dir/event_mailbox.cpp.o" "gcc" "src/registry/CMakeFiles/sensorcer_registry.dir/event_mailbox.cpp.o.d"
+  "/root/repo/src/registry/lease_renewal.cpp" "src/registry/CMakeFiles/sensorcer_registry.dir/lease_renewal.cpp.o" "gcc" "src/registry/CMakeFiles/sensorcer_registry.dir/lease_renewal.cpp.o.d"
+  "/root/repo/src/registry/lookup.cpp" "src/registry/CMakeFiles/sensorcer_registry.dir/lookup.cpp.o" "gcc" "src/registry/CMakeFiles/sensorcer_registry.dir/lookup.cpp.o.d"
+  "/root/repo/src/registry/service_item.cpp" "src/registry/CMakeFiles/sensorcer_registry.dir/service_item.cpp.o" "gcc" "src/registry/CMakeFiles/sensorcer_registry.dir/service_item.cpp.o.d"
+  "/root/repo/src/registry/transaction.cpp" "src/registry/CMakeFiles/sensorcer_registry.dir/transaction.cpp.o" "gcc" "src/registry/CMakeFiles/sensorcer_registry.dir/transaction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sensorcer_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/sensorcer_simnet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

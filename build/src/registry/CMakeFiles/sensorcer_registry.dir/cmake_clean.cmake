@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensorcer_registry.dir/discovery.cpp.o"
+  "CMakeFiles/sensorcer_registry.dir/discovery.cpp.o.d"
+  "CMakeFiles/sensorcer_registry.dir/entry.cpp.o"
+  "CMakeFiles/sensorcer_registry.dir/entry.cpp.o.d"
+  "CMakeFiles/sensorcer_registry.dir/event_mailbox.cpp.o"
+  "CMakeFiles/sensorcer_registry.dir/event_mailbox.cpp.o.d"
+  "CMakeFiles/sensorcer_registry.dir/lease_renewal.cpp.o"
+  "CMakeFiles/sensorcer_registry.dir/lease_renewal.cpp.o.d"
+  "CMakeFiles/sensorcer_registry.dir/lookup.cpp.o"
+  "CMakeFiles/sensorcer_registry.dir/lookup.cpp.o.d"
+  "CMakeFiles/sensorcer_registry.dir/service_item.cpp.o"
+  "CMakeFiles/sensorcer_registry.dir/service_item.cpp.o.d"
+  "CMakeFiles/sensorcer_registry.dir/transaction.cpp.o"
+  "CMakeFiles/sensorcer_registry.dir/transaction.cpp.o.d"
+  "libsensorcer_registry.a"
+  "libsensorcer_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensorcer_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensorcer_rio.dir/cybernode.cpp.o"
+  "CMakeFiles/sensorcer_rio.dir/cybernode.cpp.o.d"
+  "CMakeFiles/sensorcer_rio.dir/monitor.cpp.o"
+  "CMakeFiles/sensorcer_rio.dir/monitor.cpp.o.d"
+  "CMakeFiles/sensorcer_rio.dir/qos.cpp.o"
+  "CMakeFiles/sensorcer_rio.dir/qos.cpp.o.d"
+  "libsensorcer_rio.a"
+  "libsensorcer_rio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensorcer_rio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sensorcer_rio.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sensor/calibration.cpp" "src/sensor/CMakeFiles/sensorcer_sensor.dir/calibration.cpp.o" "gcc" "src/sensor/CMakeFiles/sensorcer_sensor.dir/calibration.cpp.o.d"
+  "/root/repo/src/sensor/data_log.cpp" "src/sensor/CMakeFiles/sensorcer_sensor.dir/data_log.cpp.o" "gcc" "src/sensor/CMakeFiles/sensorcer_sensor.dir/data_log.cpp.o.d"
+  "/root/repo/src/sensor/device.cpp" "src/sensor/CMakeFiles/sensorcer_sensor.dir/device.cpp.o" "gcc" "src/sensor/CMakeFiles/sensorcer_sensor.dir/device.cpp.o.d"
+  "/root/repo/src/sensor/probe.cpp" "src/sensor/CMakeFiles/sensorcer_sensor.dir/probe.cpp.o" "gcc" "src/sensor/CMakeFiles/sensorcer_sensor.dir/probe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sensorcer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensorcer_sensor.dir/calibration.cpp.o"
+  "CMakeFiles/sensorcer_sensor.dir/calibration.cpp.o.d"
+  "CMakeFiles/sensorcer_sensor.dir/data_log.cpp.o"
+  "CMakeFiles/sensorcer_sensor.dir/data_log.cpp.o.d"
+  "CMakeFiles/sensorcer_sensor.dir/device.cpp.o"
+  "CMakeFiles/sensorcer_sensor.dir/device.cpp.o.d"
+  "CMakeFiles/sensorcer_sensor.dir/probe.cpp.o"
+  "CMakeFiles/sensorcer_sensor.dir/probe.cpp.o.d"
+  "libsensorcer_sensor.a"
+  "libsensorcer_sensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensorcer_sensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensorcer_simnet.dir/network.cpp.o"
+  "CMakeFiles/sensorcer_simnet.dir/network.cpp.o.d"
+  "libsensorcer_simnet.a"
+  "libsensorcer_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensorcer_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

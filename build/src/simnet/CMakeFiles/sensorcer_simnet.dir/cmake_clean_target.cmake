@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsensorcer_simnet.a"
+)

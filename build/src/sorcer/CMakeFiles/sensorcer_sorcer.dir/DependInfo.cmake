@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sorcer/accessor.cpp" "src/sorcer/CMakeFiles/sensorcer_sorcer.dir/accessor.cpp.o" "gcc" "src/sorcer/CMakeFiles/sensorcer_sorcer.dir/accessor.cpp.o.d"
+  "/root/repo/src/sorcer/context.cpp" "src/sorcer/CMakeFiles/sensorcer_sorcer.dir/context.cpp.o" "gcc" "src/sorcer/CMakeFiles/sensorcer_sorcer.dir/context.cpp.o.d"
+  "/root/repo/src/sorcer/exert.cpp" "src/sorcer/CMakeFiles/sensorcer_sorcer.dir/exert.cpp.o" "gcc" "src/sorcer/CMakeFiles/sensorcer_sorcer.dir/exert.cpp.o.d"
+  "/root/repo/src/sorcer/exertion.cpp" "src/sorcer/CMakeFiles/sensorcer_sorcer.dir/exertion.cpp.o" "gcc" "src/sorcer/CMakeFiles/sensorcer_sorcer.dir/exertion.cpp.o.d"
+  "/root/repo/src/sorcer/jobber.cpp" "src/sorcer/CMakeFiles/sensorcer_sorcer.dir/jobber.cpp.o" "gcc" "src/sorcer/CMakeFiles/sensorcer_sorcer.dir/jobber.cpp.o.d"
+  "/root/repo/src/sorcer/provider.cpp" "src/sorcer/CMakeFiles/sensorcer_sorcer.dir/provider.cpp.o" "gcc" "src/sorcer/CMakeFiles/sensorcer_sorcer.dir/provider.cpp.o.d"
+  "/root/repo/src/sorcer/space.cpp" "src/sorcer/CMakeFiles/sensorcer_sorcer.dir/space.cpp.o" "gcc" "src/sorcer/CMakeFiles/sensorcer_sorcer.dir/space.cpp.o.d"
+  "/root/repo/src/sorcer/spacer.cpp" "src/sorcer/CMakeFiles/sensorcer_sorcer.dir/spacer.cpp.o" "gcc" "src/sorcer/CMakeFiles/sensorcer_sorcer.dir/spacer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sensorcer_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/registry/CMakeFiles/sensorcer_registry.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/sensorcer_simnet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensorcer_sorcer.dir/accessor.cpp.o"
+  "CMakeFiles/sensorcer_sorcer.dir/accessor.cpp.o.d"
+  "CMakeFiles/sensorcer_sorcer.dir/context.cpp.o"
+  "CMakeFiles/sensorcer_sorcer.dir/context.cpp.o.d"
+  "CMakeFiles/sensorcer_sorcer.dir/exert.cpp.o"
+  "CMakeFiles/sensorcer_sorcer.dir/exert.cpp.o.d"
+  "CMakeFiles/sensorcer_sorcer.dir/exertion.cpp.o"
+  "CMakeFiles/sensorcer_sorcer.dir/exertion.cpp.o.d"
+  "CMakeFiles/sensorcer_sorcer.dir/jobber.cpp.o"
+  "CMakeFiles/sensorcer_sorcer.dir/jobber.cpp.o.d"
+  "CMakeFiles/sensorcer_sorcer.dir/provider.cpp.o"
+  "CMakeFiles/sensorcer_sorcer.dir/provider.cpp.o.d"
+  "CMakeFiles/sensorcer_sorcer.dir/space.cpp.o"
+  "CMakeFiles/sensorcer_sorcer.dir/space.cpp.o.d"
+  "CMakeFiles/sensorcer_sorcer.dir/spacer.cpp.o"
+  "CMakeFiles/sensorcer_sorcer.dir/spacer.cpp.o.d"
+  "libsensorcer_sorcer.a"
+  "libsensorcer_sorcer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensorcer_sorcer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

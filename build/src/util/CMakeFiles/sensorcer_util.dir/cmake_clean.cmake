@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensorcer_util.dir/ids.cpp.o"
+  "CMakeFiles/sensorcer_util.dir/ids.cpp.o.d"
+  "CMakeFiles/sensorcer_util.dir/log.cpp.o"
+  "CMakeFiles/sensorcer_util.dir/log.cpp.o.d"
+  "CMakeFiles/sensorcer_util.dir/scheduler.cpp.o"
+  "CMakeFiles/sensorcer_util.dir/scheduler.cpp.o.d"
+  "CMakeFiles/sensorcer_util.dir/stats.cpp.o"
+  "CMakeFiles/sensorcer_util.dir/stats.cpp.o.d"
+  "CMakeFiles/sensorcer_util.dir/status.cpp.o"
+  "CMakeFiles/sensorcer_util.dir/status.cpp.o.d"
+  "CMakeFiles/sensorcer_util.dir/strings.cpp.o"
+  "CMakeFiles/sensorcer_util.dir/strings.cpp.o.d"
+  "CMakeFiles/sensorcer_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/sensorcer_util.dir/thread_pool.cpp.o.d"
+  "libsensorcer_util.a"
+  "libsensorcer_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensorcer_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

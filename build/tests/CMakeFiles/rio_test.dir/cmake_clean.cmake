@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rio_test.dir/rio_test.cpp.o"
+  "CMakeFiles/rio_test.dir/rio_test.cpp.o.d"
+  "rio_test"
+  "rio_test.pdb"
+  "rio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sorcer_test.dir/sorcer_test.cpp.o"
+  "CMakeFiles/sorcer_test.dir/sorcer_test.cpp.o.d"
+  "sorcer_test"
+  "sorcer_test.pdb"
+  "sorcer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sorcer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

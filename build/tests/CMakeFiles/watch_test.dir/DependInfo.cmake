@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/watch_test.cpp" "tests/CMakeFiles/watch_test.dir/watch_test.cpp.o" "gcc" "tests/CMakeFiles/watch_test.dir/watch_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sensorcer_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/sensorcer_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/rio/CMakeFiles/sensorcer_rio.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensor/CMakeFiles/sensorcer_sensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sorcer/CMakeFiles/sensorcer_sorcer.dir/DependInfo.cmake"
+  "/root/repo/build/src/registry/CMakeFiles/sensorcer_registry.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/sensorcer_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sensorcer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

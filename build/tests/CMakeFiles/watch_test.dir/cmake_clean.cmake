@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/watch_test.dir/watch_test.cpp.o"
+  "CMakeFiles/watch_test.dir/watch_test.cpp.o.d"
+  "watch_test"
+  "watch_test.pdb"
+  "watch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/watch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
