@@ -21,3 +21,4 @@ sensorcer_add_bench(bench_expression)
 sensorcer_add_bench(bench_data_flow)
 sensorcer_add_bench(bench_plug_and_play)
 sensorcer_add_bench(bench_ablation)
+sensorcer_add_bench(bench_observability)

@@ -118,9 +118,13 @@ std::string SensorBrowser::render_values() const {
   return out;
 }
 
+std::string SensorBrowser::render_health() const {
+  return facade_.manager().health_report();
+}
+
 std::string SensorBrowser::render() const {
   return render_services() + "\n" + render_information() + "\n" +
-         render_entries() + "\n" + render_values();
+         render_entries() + "\n" + render_values() + "\n" + render_health();
 }
 
 }  // namespace sensorcer::core

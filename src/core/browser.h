@@ -72,6 +72,10 @@ class SensorBrowser {
   /// The "Sensor Value" pane.
   [[nodiscard]] std::string render_values() const;
 
+  /// The "Federation Health" pane: discovery latency, lease churn, exertion
+  /// percentiles and traffic totals from the manager's merged obs snapshot.
+  [[nodiscard]] std::string render_health() const;
+
   /// All panes combined.
   [[nodiscard]] std::string render() const;
 

@@ -2,9 +2,28 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/strings.h"
 
 namespace sensorcer::core {
+
+namespace {
+
+struct CspMetrics {
+  obs::Counter& reads;
+  obs::Counter& collections;
+  obs::Histogram& collection_latency;
+};
+
+CspMetrics& csp_metrics() {
+  static CspMetrics m{
+      obs::metrics().counter("csp.reads"),
+      obs::metrics().counter("csp.collections"),
+      obs::metrics().histogram("csp.collection_latency_us")};
+  return m;
+}
+
+}  // namespace
 
 CompositeSensorProvider::CompositeSensorProvider(
     std::string name, sorcer::ServiceAccessor& accessor,
@@ -115,6 +134,7 @@ util::Status CompositeSensorProvider::set_expression(
 }
 
 std::vector<std::optional<double>> CompositeSensorProvider::collect() {
+  csp_metrics().collections.add(1);
   std::vector<std::shared_ptr<sorcer::Task>> tasks;
   tasks.reserve(components_.size());
   for (const auto& comp : components_) {
@@ -148,6 +168,8 @@ std::vector<std::optional<double>> CompositeSensorProvider::collect() {
     }
     last_collection_latency_ = total;
   }
+  csp_metrics().collection_latency.observe(
+      static_cast<double>(last_collection_latency_));
 
   std::vector<std::optional<double>> out;
   out.reserve(tasks.size());
@@ -188,6 +210,7 @@ util::Result<double> CompositeSensorProvider::get_value() {
                         "no composed service is reachable"};
   }
   ++reads_;
+  csp_metrics().reads.add(1);
   return computation_.evaluate(values);
 }
 

@@ -1,5 +1,6 @@
 #include "core/deployment.h"
 
+#include "obs/trace.h"
 #include "util/strings.h"
 
 namespace sensorcer::core {
@@ -11,6 +12,9 @@ Deployment::Deployment(DeploymentConfig config)
       txn_manager_(scheduler_),
       discovery_(network_, scheduler_) {
   network_.set_latency(config_.network_latency);
+  // Spans record this deployment's virtual time (last deployment wins when
+  // several coexist, e.g. in one test binary — fine for reports and tests).
+  obs::set_sim_clock(&scheduler_);
 
   // Lookup services: advertised over multicast discovery and also handed to
   // the accessor directly (unicast discovery), so clients work immediately.
@@ -64,6 +68,7 @@ Deployment::Deployment(DeploymentConfig config)
   manager_config.sampling = config_.sampling;
   manager_ = std::make_unique<SensorNetworkManager>(accessor_, scheduler_,
                                                     lrm_, manager_config);
+  manager_->attach_network(&network_);
   provisioner_ = std::make_unique<SensorServiceProvisioner>(
       *monitor_, accessor_, scheduler_, config_.collection, config_.sampling);
   facade_ = std::make_shared<SensorcerFacade>(
@@ -74,7 +79,9 @@ Deployment::Deployment(DeploymentConfig config)
   browser_ = std::make_unique<SensorBrowser>(*facade_);
 }
 
-Deployment::~Deployment() = default;
+Deployment::~Deployment() {
+  if (obs::sim_clock() == &scheduler_) obs::set_sim_clock(nullptr);
+}
 
 std::shared_ptr<ElementarySensorProvider> Deployment::add_temperature_sensor(
     const std::string& name, double base_celsius,

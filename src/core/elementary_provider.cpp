@@ -1,8 +1,27 @@
 #include "core/elementary_provider.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/strings.h"
 
 namespace sensorcer::core {
+
+namespace {
+
+struct EspMetrics {
+  obs::Counter& samples;
+  obs::Counter& reads;
+  obs::Counter& probe_failures;
+};
+
+EspMetrics& esp_metrics() {
+  static EspMetrics m{obs::metrics().counter("esp.samples"),
+                      obs::metrics().counter("esp.reads"),
+                      obs::metrics().counter("esp.probe_failures")};
+  return m;
+}
+
+}  // namespace
 
 const char* sensor_service_kind_name(SensorServiceKind kind) {
   switch (kind) {
@@ -54,13 +73,23 @@ void ElementarySensorProvider::set_location(const std::string& location) {
 }
 
 void ElementarySensorProvider::sample_once() {
+  esp_metrics().samples.add(1);
   auto reading = probe_->read(scheduler_.now());
   if (reading.is_ok()) log_.append(reading.value());
 }
 
 util::Result<sensor::Reading> ElementarySensorProvider::get_reading() {
+  esp_metrics().reads.add(1);
+  // Probe spans only under an active trace: the periodic sampling timer
+  // would otherwise flood the collector with uncorrelated spans.
+  obs::Span span;
+  if (obs::current_context().valid()) {
+    span = obs::tracer().start_span("probe:" + provider_name());
+  }
   auto reading = probe_->read(scheduler_.now());
   if (!reading.is_ok()) {
+    esp_metrics().probe_failures.add(1);
+    span.set_ok(false);
     // Device trouble: fall back to the local store if it has anything —
     // the log is exactly what lets a service answer while the device blips.
     if (!log_.empty()) {

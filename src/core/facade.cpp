@@ -1,6 +1,18 @@
 #include "core/facade.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace sensorcer::core {
+
+namespace {
+
+obs::Counter& facade_requests() {
+  static obs::Counter& c = obs::metrics().counter("facade.requests");
+  return c;
+}
+
+}  // namespace
 
 SensorcerFacade::SensorcerFacade(std::string name,
                                  sorcer::ServiceAccessor& accessor,
@@ -21,9 +33,20 @@ std::vector<SensorInfo> SensorcerFacade::get_sensor_list() {
 
 util::Result<double> SensorcerFacade::get_value(
     const std::string& service_name) {
+  facade_requests().add(1);
+  // Root span for the whole request: resolution through the manager and the
+  // exertions/probe reads it triggers all nest below this context.
+  obs::Span span =
+      obs::tracer().start_span("facade.getValue:" + service_name);
+  obs::ContextGuard guard(span.context());
   auto sensor = manager_.find_sensor(service_name);
-  if (!sensor.is_ok()) return sensor.status();
-  return sensor.value()->get_value();
+  if (!sensor.is_ok()) {
+    span.set_ok(false);
+    return sensor.status();
+  }
+  auto value = sensor.value()->get_value();
+  span.set_ok(value.is_ok());
+  return value;
 }
 
 util::Status SensorcerFacade::compose_service(

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/health.h"
 #include "util/strings.h"
 
 namespace sensorcer::core {
@@ -170,6 +171,18 @@ std::string SensorNetworkManager::render_tree(const std::string& root,
   std::string out;
   render_node(root, "", true, with_values, out, 0);
   return out;
+}
+
+obs::Snapshot SensorNetworkManager::health_snapshot() const {
+  obs::Snapshot snap = obs::metrics().snapshot(scheduler_.now());
+  if (network_ != nullptr) {
+    snap.merge(network_->metrics().snapshot(scheduler_.now()));
+  }
+  return snap;
+}
+
+std::string SensorNetworkManager::health_report() const {
+  return obs::render_federation_health(health_snapshot());
 }
 
 }  // namespace sensorcer::core

@@ -10,7 +10,9 @@
 
 #include "core/composite_provider.h"
 #include "core/elementary_provider.h"
+#include "obs/metrics.h"
 #include "registry/lease_renewal.h"
+#include "simnet/network.h"
 #include "sorcer/accessor.h"
 
 namespace sensorcer::core {
@@ -72,6 +74,20 @@ class SensorNetworkManager {
   /// network rendering), with live values when `with_values`.
   std::string render_tree(const std::string& root, bool with_values = false);
 
+  // --- observability -----------------------------------------------------------
+
+  /// Point the manager at the simulated fabric so health snapshots include
+  /// its per-network traffic counters.
+  void attach_network(simnet::Network* network) { network_ = network; }
+
+  /// Merged metric snapshot: the process-wide registry (registry, sorcer,
+  /// rio, esp/csp and facade hooks) plus the attached network's counters.
+  [[nodiscard]] obs::Snapshot health_snapshot() const;
+
+  /// Rendered federation health report (discovery latency, lease churn,
+  /// exertion percentiles, bytes by protocol) for the browser's health pane.
+  [[nodiscard]] std::string health_report() const;
+
   [[nodiscard]] const ManagerConfig& config() const { return config_; }
 
  private:
@@ -86,6 +102,7 @@ class SensorNetworkManager {
   util::Scheduler& scheduler_;
   registry::LeaseRenewalManager& lrm_;
   ManagerConfig config_;
+  simnet::Network* network_ = nullptr;
   // The manager keeps its creations alive; registries hold only proxies.
   std::vector<std::shared_ptr<sorcer::ServiceProvider>> owned_;
 };

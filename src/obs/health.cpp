@@ -1,0 +1,85 @@
+#include "obs/health.h"
+
+#include "util/sim_time.h"
+#include "util/strings.h"
+
+namespace sensorcer::obs {
+
+namespace {
+
+std::string us(double v) {
+  return util::format_duration(static_cast<util::SimDuration>(v));
+}
+
+std::string latency_row(const Snapshot& snap, const std::string& name) {
+  const HistogramSnapshot* h = snap.histogram(name);
+  if (h == nullptr || h->count == 0) return "n=0";
+  return util::format("n=%llu p50=%s p99=%s max=%s",
+                      static_cast<unsigned long long>(h->count),
+                      us(h->p50).c_str(), us(h->p99).c_str(),
+                      us(h->max).c_str());
+}
+
+}  // namespace
+
+std::string render_federation_health(const Snapshot& snap) {
+  std::string out = "Federation Health\n=================\n";
+  out += "as of sim time " + util::format_duration(snap.sim_time) + "\n\n";
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"registry", "services registered",
+                  util::format("%.0f", snap.gauge_or("registry.services"))});
+  rows.push_back({"registry", "lookups served",
+                  std::to_string(snap.counter_or("registry.lookups"))});
+  rows.push_back(
+      {"registry", "lease renewals / expirations",
+       std::to_string(snap.counter_or("registry.renewals")) + " / " +
+           std::to_string(snap.counter_or("registry.expirations"))});
+  rows.push_back({"discovery", "latency",
+                  latency_row(snap, "discovery.latency_us")});
+  rows.push_back({"discovery", "announcements / discovered",
+                  std::to_string(snap.counter_or("discovery.announcements")) +
+                      " / " +
+                      std::to_string(snap.counter_or("discovery.discovered"))});
+  rows.push_back({"accessor", "cache hit / miss",
+                  std::to_string(snap.counter_or("accessor.cache_hits")) +
+                      " / " +
+                      std::to_string(snap.counter_or("accessor.cache_misses"))});
+  rows.push_back({"exertion", "tasks dispatched",
+                  std::to_string(snap.counter_or("sorcer.task.invocations"))});
+  rows.push_back({"exertion", "task latency",
+                  latency_row(snap, "sorcer.task.latency_us")});
+  rows.push_back({"exertion", "job latency",
+                  latency_row(snap, "sorcer.job.latency_us")});
+  rows.push_back({"exertion", "failures / substitutions",
+                  std::to_string(snap.counter_or("sorcer.exert_failures")) +
+                      " / " +
+                      std::to_string(snap.counter_or("sorcer.substitutions"))});
+  rows.push_back({"collection", "CSP collection latency",
+                  latency_row(snap, "csp.collection_latency_us")});
+  rows.push_back({"provisioning", "provisions / re-provisions",
+                  std::to_string(snap.counter_or("rio.provisions")) + " / " +
+                      std::to_string(snap.counter_or("rio.reprovisions"))});
+  rows.push_back({"network", "messages sent / dropped",
+                  std::to_string(snap.counter_or("simnet.messages_sent")) +
+                      " / " +
+                      std::to_string(snap.counter_or("simnet.messages_dropped"))});
+  rows.push_back(
+      {"network", "payload / header bytes",
+       std::to_string(snap.counter_or("simnet.payload_bytes_sent")) + " / " +
+           std::to_string(snap.counter_or("simnet.header_bytes_sent"))});
+  rows.push_back(
+      {"network", "wire bytes UDP/TCP/sess/mcast",
+       std::to_string(snap.counter_or("simnet.wire_bytes.udp")) + " / " +
+           std::to_string(snap.counter_or("simnet.wire_bytes.tcp")) + " / " +
+           std::to_string(snap.counter_or("simnet.wire_bytes.tcp_session")) +
+           " / " +
+           std::to_string(snap.counter_or("simnet.wire_bytes.multicast"))});
+  rows.push_back({"network", "tracing header bytes",
+                  std::to_string(snap.counter_or("simnet.trace_bytes_sent"))});
+
+  out += util::render_table({"layer", "metric", "value"}, rows);
+  return out;
+}
+
+}  // namespace sensorcer::obs

@@ -1,0 +1,18 @@
+#pragma once
+// Federation health report — the observability pane of the Sensor Browser.
+// Distills a metrics Snapshot (global registry merged with the Network's
+// traffic registry) into the figures an operator of a sensor-federated
+// network watches: registry population and lease churn, discovery traffic,
+// bytes by protocol, exertion latency percentiles, provisioning activity.
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace sensorcer::obs {
+
+/// Render the health pane from a (possibly merged) snapshot. Sections with
+/// no data render as zeros, so the pane is stable for golden-output tests.
+[[nodiscard]] std::string render_federation_health(const Snapshot& snapshot);
+
+}  // namespace sensorcer::obs

@@ -1,0 +1,144 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <utility>
+
+namespace sensorcer::obs {
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_span_id{1};
+std::atomic<const util::Scheduler*> g_sim_clock{nullptr};
+thread_local TraceContext t_current_context{};
+
+std::int64_t wall_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+SpanCollector::SpanCollector(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void SpanCollector::record(SpanRecord span) {
+  std::lock_guard lock(mu_);
+  ++recorded_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(span));
+    return;
+  }
+  ring_[next_] = std::move(span);
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<SpanRecord> SpanCollector::snapshot() const {
+  std::lock_guard lock(mu_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<SpanRecord> SpanCollector::trace(std::uint64_t trace_id) const {
+  std::vector<SpanRecord> out;
+  for (auto& span : snapshot()) {
+    if (span.trace_id == trace_id) out.push_back(std::move(span));
+  }
+  return out;
+}
+
+std::uint64_t SpanCollector::recorded() const {
+  std::lock_guard lock(mu_);
+  return recorded_;
+}
+
+std::uint64_t SpanCollector::dropped() const {
+  std::lock_guard lock(mu_);
+  return recorded_ - ring_.size();
+}
+
+void SpanCollector::clear() {
+  std::lock_guard lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  recorded_ = 0;
+}
+
+Span::Span(Span&& other) noexcept
+    : collector_(std::exchange(other.collector_, nullptr)),
+      record_(std::move(other.record_)) {}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    finish();
+    collector_ = std::exchange(other.collector_, nullptr);
+    record_ = std::move(other.record_);
+  }
+  return *this;
+}
+
+void Span::finish() {
+  if (collector_ == nullptr) return;
+  record_.sim_end = sim_now();
+  record_.wall_end_us = wall_now_us();
+  collector_->record(std::move(record_));
+  collector_ = nullptr;
+}
+
+Span Tracer::start_span(std::string name, TraceContext parent) {
+  SpanRecord record;
+  record.span_id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  if (parent.valid()) {
+    record.trace_id = parent.trace_id;
+    record.parent_id = parent.span_id;
+  } else {
+    record.trace_id = record.span_id;  // root span opens the trace
+  }
+  record.name = std::move(name);
+  record.sim_start = sim_now();
+  record.wall_start_us = wall_now_us();
+  return Span(&collector_, std::move(record));
+}
+
+Span Tracer::start_span(std::string name) {
+  return start_span(std::move(name), current_context());
+}
+
+TraceContext current_context() { return t_current_context; }
+
+ContextGuard::ContextGuard(TraceContext ctx)
+    : previous_(std::exchange(t_current_context, ctx)) {}
+
+ContextGuard::~ContextGuard() { t_current_context = previous_; }
+
+SpanCollector& span_collector() {
+  static SpanCollector instance;
+  return instance;
+}
+
+Tracer& tracer() {
+  static Tracer instance{span_collector()};
+  return instance;
+}
+
+void set_sim_clock(const util::Scheduler* scheduler) {
+  g_sim_clock.store(scheduler, std::memory_order_release);
+}
+
+const util::Scheduler* sim_clock() {
+  return g_sim_clock.load(std::memory_order_acquire);
+}
+
+util::SimTime sim_now() {
+  const util::Scheduler* clock = sim_clock();
+  return clock == nullptr ? 0 : clock->now();
+}
+
+}  // namespace sensorcer::obs

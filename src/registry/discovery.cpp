@@ -2,9 +2,25 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace sensorcer::registry {
 
 namespace {
+
+struct DiscoveryMetrics {
+  obs::Counter& announcements;
+  obs::Counter& discovered;
+  obs::Histogram& latency;
+};
+
+DiscoveryMetrics& discovery_metrics() {
+  static DiscoveryMetrics m{
+      obs::metrics().counter("discovery.announcements"),
+      obs::metrics().counter("discovery.discovered"),
+      obs::metrics().histogram("discovery.latency_us")};
+  return m;
+}
 // Modeled sizes of the discovery datagrams (Jini's are ~70-500 bytes).
 constexpr std::size_t kAnnounceBytes = 96;
 constexpr std::size_t kRequestBytes = 64;
@@ -59,6 +75,7 @@ void DiscoveryManager::announce(const std::shared_ptr<LookupService>& lus) {
   msg.topic = kTopicAnnounce;
   msg.body = LusAdvertisement{lus, lus->address()};
   msg.payload_bytes = kAnnounceBytes;
+  discovery_metrics().announcements.add(1);
   network_.multicast(discovery_group(), msg);
 }
 
@@ -74,6 +91,7 @@ void DiscoveryManager::start_discovery(DiscoveryListener listener) {
   msg.source = address_;
   msg.topic = kTopicRequest;
   msg.payload_bytes = kRequestBytes;
+  discovery_started_ = scheduler_.now();
   network_.multicast(discovery_group(), msg);
 }
 
@@ -104,6 +122,13 @@ void DiscoveryManager::note_discovered(const LusAdvertisement& ad) {
   if (!strong) return;
   const bool is_new = !known_.contains(ad.lus_address);
   known_[ad.lus_address] = ad.lus;
+  if (is_new) {
+    discovery_metrics().discovered.add(1);
+    if (discovery_started_ >= 0) {
+      discovery_metrics().latency.observe(
+          static_cast<double>(scheduler_.now() - discovery_started_));
+    }
+  }
   if (is_new && discovering_ && listener_) listener_(strong);
 }
 

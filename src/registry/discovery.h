@@ -79,6 +79,7 @@ class DiscoveryManager {
   DiscoveryListener listener_;
   std::unordered_map<simnet::Address, std::weak_ptr<LookupService>> known_;
   bool discovering_ = false;
+  util::SimTime discovery_started_ = -1;  // <0 = no request outstanding
 };
 
 }  // namespace sensorcer::registry

@@ -1,6 +1,23 @@
 #include "registry/lease_renewal.h"
 
+#include "obs/metrics.h"
+
 namespace sensorcer::registry {
+
+namespace {
+
+struct LeaseMetrics {
+  obs::Counter& renewals;
+  obs::Counter& failures;
+};
+
+LeaseMetrics& lease_metrics() {
+  static LeaseMetrics m{obs::metrics().counter("lease.renewals"),
+                        obs::metrics().counter("lease.renewal_failures")};
+  return m;
+}
+
+}  // namespace
 
 LeaseRenewalManager::~LeaseRenewalManager() {
   for (auto& [id, m] : managed_) scheduler_.cancel(m.timer);
@@ -27,9 +44,11 @@ void LeaseRenewalManager::arm(const util::Uuid& lease_id) {
     auto lus = mit->second.lus.lock();
     if (!lus || !lus->renew_lease(lease_id, mit->second.duration).is_ok()) {
       ++failures_;
+      lease_metrics().failures.add(1);
       managed_.erase(mit);
       return;
     }
+    lease_metrics().renewals.add(1);
     arm(lease_id);
   });
 }

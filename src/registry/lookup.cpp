@@ -2,9 +2,35 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/log.h"
 
 namespace sensorcer::registry {
+
+namespace {
+
+struct LookupMetrics {
+  obs::Gauge& services;
+  obs::Counter& registrations;
+  obs::Counter& renewals;
+  obs::Counter& cancellations;
+  obs::Counter& expirations;
+  obs::Counter& lookups;
+  obs::Counter& events;
+};
+
+LookupMetrics& lookup_metrics() {
+  static LookupMetrics m{obs::metrics().gauge("registry.services"),
+                         obs::metrics().counter("registry.registrations"),
+                         obs::metrics().counter("registry.renewals"),
+                         obs::metrics().counter("registry.cancellations"),
+                         obs::metrics().counter("registry.expirations"),
+                         obs::metrics().counter("registry.lookups"),
+                         obs::metrics().counter("registry.events")};
+  return m;
+}
+
+}  // namespace
 
 LookupService::LookupService(std::string name, util::Scheduler& scheduler,
                              simnet::Network* network,
@@ -83,6 +109,7 @@ ServiceRegistration LookupService::register_service(
     lease_to_service_.erase(it->second.lease.id);
     index_remove(it->second.item);
     services_.erase(it);
+    lookup_metrics().services.sub(1.0);
   }
 
   Lease lease{util::new_uuid(), scheduler_.now() + lease_duration,
@@ -93,6 +120,8 @@ ServiceRegistration LookupService::register_service(
   services_.emplace(item.id, reg);
   lease_to_service_.emplace(lease.id, item.id);
   index_add(item);
+  lookup_metrics().registrations.add(1);
+  lookup_metrics().services.add(1.0);
   fire(Transition::kNoMatchToMatch, item);
   SENSORCER_LOG_DEBUG("lus", "%s: registered %s", name_.c_str(),
                       item.attributes.get_string(attr::kName, "?").c_str());
@@ -106,6 +135,7 @@ util::Status LookupService::renew_lease(const util::Uuid& lease_id,
     return {util::ErrorCode::kNotFound, "unknown or expired lease"};
   }
   charge_rpc(24, 8);
+  lookup_metrics().renewals.add(1);
   Registration& reg = services_.at(it->second);
   reg.lease.expiration = scheduler_.now() + extension;
   reg.lease.duration = extension;
@@ -123,13 +153,16 @@ util::Status LookupService::cancel_lease(const util::Uuid& lease_id) {
   lease_to_service_.erase(it);
   index_remove(item);
   services_.erase(service_id);
+  lookup_metrics().cancellations.add(1);
+  lookup_metrics().services.sub(1.0);
   fire(Transition::kMatchToNoMatch, item);
   return util::Status::ok();
 }
 
 std::vector<ServiceItem> LookupService::lookup(const ServiceTemplate& tmpl,
                                                std::size_t max_matches) const {
-  ++lookup_calls_;
+  lookup_calls_.fetch_add(1, std::memory_order_relaxed);
+  lookup_metrics().lookups.add(1);
   charge_rpc(tmpl.attributes.wire_bytes() + 48, 0);
   std::vector<ServiceItem> out;
   if (tmpl.id) {
@@ -233,6 +266,8 @@ void LookupService::sweep_expired() {
       index_remove(it->second.item);
       it = services_.erase(it);
       ++expired_;
+      lookup_metrics().expirations.add(1);
+      lookup_metrics().services.sub(1.0);
     } else {
       ++it;
     }
@@ -262,6 +297,7 @@ void LookupService::fire(Transition transition, const ServiceItem& item) {
     auto it = event_regs_.find(reg_id);
     if (it == event_regs_.end()) continue;
     charge_rpc(0, 96);  // event delivery counts as outbound traffic
+    lookup_metrics().events.add(1);
     it->second.listener(ev);
   }
 }

@@ -7,6 +7,7 @@
 // this is the health mechanism of §IV.B that the lease-churn experiment
 // measures.
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -130,7 +131,9 @@ class LookupService : public ServiceProxy {
   [[nodiscard]] std::uint64_t expired_count() const { return expired_; }
 
   /// Total lookup() calls served (cache-ablation metric).
-  [[nodiscard]] std::uint64_t lookup_count() const { return lookup_calls_; }
+  [[nodiscard]] std::uint64_t lookup_count() const {
+    return lookup_calls_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Registration {
@@ -171,7 +174,8 @@ class LookupService : public ServiceProxy {
   std::unordered_map<std::string, std::unordered_set<ServiceId>> name_index_;
   std::unordered_map<util::Uuid, EventReg> event_regs_;
   std::uint64_t expired_ = 0;
-  mutable std::uint64_t lookup_calls_ = 0;
+  // lookup() is served concurrently from exertion pool workers.
+  mutable std::atomic<std::uint64_t> lookup_calls_{0};
 };
 
 }  // namespace sensorcer::registry

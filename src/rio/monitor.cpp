@@ -2,10 +2,28 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/log.h"
 #include "util/strings.h"
 
 namespace sensorcer::rio {
+
+namespace {
+
+struct RioMetrics {
+  obs::Counter& provisions;
+  obs::Counter& reprovisions;
+  obs::Counter& failed_placements;
+};
+
+RioMetrics& rio_metrics() {
+  static RioMetrics m{obs::metrics().counter("rio.provisions"),
+                      obs::metrics().counter("rio.reprovisions"),
+                      obs::metrics().counter("rio.failed_placements")};
+  return m;
+}
+
+}  // namespace
 
 ProvisionMonitor::ProvisionMonitor(std::string name,
                                    sorcer::ServiceAccessor& accessor,
@@ -65,6 +83,7 @@ util::Status ProvisionMonitor::place(const std::string& opstring_name,
   auto node = pick_node(element.qos);
   if (!node.is_ok()) {
     ++failed_placements_;
+    rio_metrics().failed_placements.add(1);
     return node.status();
   }
   std::shared_ptr<sorcer::ServiceProvider> service =
@@ -76,6 +95,7 @@ util::Status ProvisionMonitor::place(const std::string& opstring_name,
   if (util::Status hosted = node.value()->host(service, element.qos);
       !hosted.is_ok()) {
     ++failed_placements_;
+    rio_metrics().failed_placements.add(1);
     return hosted;
   }
   // Activation is not instantaneous: the instance becomes discoverable only
@@ -90,6 +110,7 @@ util::Status ProvisionMonitor::place(const std::string& opstring_name,
   deployments_.push_back(Deployment{opstring_name, element_index,
                                     instance_name, service, node.value()});
   ++provisions_;
+  rio_metrics().provisions.add(1);
   SENSORCER_LOG_INFO("rio", "provisioned '%s' on cybernode '%s'",
                      instance_name.c_str(),
                      node.value()->provider_name().c_str());
@@ -180,6 +201,7 @@ void ProvisionMonitor::poll_once() {
     if (place(d.opstring, d.element_index, element, d.instance_name)
             .is_ok()) {
       ++reprovisions_;
+      rio_metrics().reprovisions.add(1);
       SENSORCER_LOG_INFO("rio", "re-provisioned '%s' (was on a failed node)",
                          d.instance_name.c_str());
     } else {

@@ -4,6 +4,36 @@
 
 namespace sensorcer::simnet {
 
+namespace {
+
+const char* protocol_counter_name(Protocol p) {
+  switch (p) {
+    case Protocol::kUdp: return "simnet.wire_bytes.udp";
+    case Protocol::kTcp: return "simnet.wire_bytes.tcp";
+    case Protocol::kTcpSession: return "simnet.wire_bytes.tcp_session";
+    case Protocol::kMulticast: return "simnet.wire_bytes.multicast";
+  }
+  return "simnet.wire_bytes.udp";
+}
+
+}  // namespace
+
+Network::Network(util::Scheduler& scheduler, std::uint64_t seed)
+    : scheduler_(scheduler),
+      rng_(seed),
+      messages_sent_(metrics_.counter("simnet.messages_sent")),
+      messages_received_(metrics_.counter("simnet.messages_received")),
+      messages_dropped_(metrics_.counter("simnet.messages_dropped")),
+      payload_bytes_sent_(metrics_.counter("simnet.payload_bytes_sent")),
+      header_bytes_sent_(metrics_.counter("simnet.header_bytes_sent")),
+      trace_bytes_sent_(metrics_.counter("simnet.trace_bytes_sent")) {
+  for (Protocol p : {Protocol::kUdp, Protocol::kTcp, Protocol::kTcpSession,
+                     Protocol::kMulticast}) {
+    wire_bytes_by_protocol_[static_cast<int>(p)] =
+        &metrics_.counter(protocol_counter_name(p));
+  }
+}
+
 void Network::attach(Address addr, Handler handler) {
   endpoints_[addr] = std::move(handler);
   stats_.try_emplace(addr);
@@ -43,6 +73,7 @@ util::Status Network::send(Message msg) {
   if (!endpoints_.contains(msg.destination)) {
     return {util::ErrorCode::kNotFound, "destination not attached"};
   }
+  if (!msg.trace.valid()) msg.trace = obs::current_context();
   charge_and_schedule(msg, msg.destination);
   return util::Status::ok();
 }
@@ -54,6 +85,7 @@ std::size_t Network::multicast(Address group, Message msg) {
   const std::vector<Address> members(it->second.begin(), it->second.end());
   std::size_t scheduled = 0;
   msg.protocol = Protocol::kMulticast;
+  if (!msg.trace.valid()) msg.trace = obs::current_context();
   for (Address member : members) {
     if (member == msg.source) continue;
     if (!endpoints_.contains(member)) continue;
@@ -63,38 +95,39 @@ std::size_t Network::multicast(Address group, Message msg) {
   return scheduled;
 }
 
+void Network::charge(TrafficStats& endpoint, Protocol protocol,
+                     std::size_t payload_bytes, bool traced) {
+  std::size_t headers = packet_count(payload_bytes) * header_bytes(protocol);
+  if (traced) {
+    headers += obs::TraceContext::kWireBytes;
+    trace_bytes_sent_.add(obs::TraceContext::kWireBytes);
+  }
+  endpoint.messages_sent += 1;
+  endpoint.payload_bytes_sent += payload_bytes;
+  endpoint.header_bytes_sent += headers;
+  messages_sent_.add(1);
+  payload_bytes_sent_.add(payload_bytes);
+  header_bytes_sent_.add(headers);
+  wire_bytes_by_protocol_[static_cast<int>(protocol)]->add(payload_bytes +
+                                                           headers);
+}
+
 void Network::account_rpc(Address source, Address callee,
                           std::size_t request_bytes,
                           std::size_t response_bytes, Protocol p) {
+  const bool traced = obs::current_context().valid();
   std::lock_guard lock(account_mu_);
-  const auto charge = [&](Address from, std::size_t payload) {
-    TrafficStats& s = stats_[from];
-    const std::size_t headers = packet_count(payload) * header_bytes(p);
-    s.messages_sent += 1;
-    s.payload_bytes_sent += payload;
-    s.header_bytes_sent += headers;
-    totals_.messages_sent += 1;
-    totals_.payload_bytes_sent += payload;
-    totals_.header_bytes_sent += headers;
-  };
-  charge(source, request_bytes);
-  charge(callee, response_bytes);
+  charge(stats_[source], p, request_bytes, traced);
+  charge(stats_[callee], p, response_bytes, traced);
 }
 
 void Network::charge_and_schedule(const Message& msg, Address dst) {
-  TrafficStats& s = stats_[msg.source];
-  const std::size_t headers =
-      packet_count(msg.payload_bytes) * header_bytes(msg.protocol);
-  s.messages_sent += 1;
-  s.payload_bytes_sent += msg.payload_bytes;
-  s.header_bytes_sent += headers;
-  totals_.messages_sent += 1;
-  totals_.payload_bytes_sent += msg.payload_bytes;
-  totals_.header_bytes_sent += headers;
+  charge(stats_[msg.source], msg.protocol, msg.payload_bytes,
+         msg.trace.valid());
 
   if (is_partitioned(msg.source, dst) || rng_.chance(loss_rate_)) {
     stats_[msg.source].messages_dropped += 1;
-    totals_.messages_dropped += 1;
+    messages_dropped_.add(1);
     return;
   }
 
@@ -105,8 +138,17 @@ void Network::charge_and_schedule(const Message& msg, Address dst) {
     auto it = endpoints_.find(dst);
     if (it == endpoints_.end()) return;  // detached while in flight
     stats_[dst].messages_received += 1;
-    totals_.messages_received += 1;
-    it->second(delivered);
+    messages_received_.add(1);
+    if (delivered.trace.valid()) {
+      // The receive side continues the sender's trace: the handler runs
+      // under a hop span so anything it triggers links back to the request.
+      obs::Span span = obs::tracer().start_span("net.recv:" + delivered.topic,
+                                                delivered.trace);
+      obs::ContextGuard guard(span.context());
+      it->second(delivered);
+    } else {
+      it->second(delivered);
+    }
   });
 }
 
@@ -125,9 +167,19 @@ const TrafficStats& Network::stats_for(Address addr) const {
   return it == stats_.end() ? kEmpty : it->second;
 }
 
+TrafficStats Network::totals() const {
+  TrafficStats out;
+  out.messages_sent = messages_sent_.value();
+  out.messages_received = messages_received_.value();
+  out.messages_dropped = messages_dropped_.value();
+  out.payload_bytes_sent = payload_bytes_sent_.value();
+  out.header_bytes_sent = header_bytes_sent_.value();
+  return out;
+}
+
 void Network::reset_stats() {
   for (auto& [addr, s] : stats_) s = TrafficStats{};
-  totals_ = TrafficStats{};
+  metrics_.reset();
 }
 
 }  // namespace sensorcer::simnet

@@ -17,6 +17,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "simnet/protocol.h"
 #include "util/ids.h"
 #include "util/rng.h"
@@ -36,6 +38,12 @@ struct Message {
   std::any body;                // in-process payload
   std::size_t payload_bytes = 0;
   Protocol protocol = Protocol::kUdp;
+  /// Trace propagation header. Stamped from the sender's current trace
+  /// context when unset; when valid it is charged like every other protocol
+  /// header (TraceContext::kWireBytes per message), so tracing overhead is
+  /// itself measurable. Delivery runs the handler under this context and a
+  /// "net.recv" span, linking sender- and receiver-side spans.
+  obs::TraceContext trace{};
 };
 
 /// Per-endpoint traffic counters.
@@ -54,12 +62,15 @@ struct TrafficStats {
 /// The fabric. Message traffic runs on the single-threaded virtual-time
 /// scheduler; only account_rpc() is thread-safe, because providers invoked
 /// from the Jobber's parallel flow charge RPCs concurrently.
+///
+/// Traffic totals live in a per-network obs::Registry (the one source of
+/// truth for byte/drop accounting): totals() is derived from those
+/// counters, and metrics() exposes them for health reports and JSON export.
 class Network {
  public:
   using Handler = std::function<void(const Message&)>;
 
-  Network(util::Scheduler& scheduler, std::uint64_t seed = 42)
-      : scheduler_(scheduler), rng_(seed) {}
+  explicit Network(util::Scheduler& scheduler, std::uint64_t seed = 42);
 
   // --- topology -----------------------------------------------------------
 
@@ -126,11 +137,19 @@ class Network {
   // --- accounting ---------------------------------------------------------
 
   [[nodiscard]] const TrafficStats& stats_for(Address addr) const;
-  [[nodiscard]] const TrafficStats& totals() const { return totals_; }
+  /// Network-wide totals, derived from the metrics() counters.
+  [[nodiscard]] TrafficStats totals() const;
   void reset_stats();
+
+  /// This network's metric registry (simnet.* counters). Snapshot/merge it
+  /// with obs::metrics() for a full federation health view.
+  [[nodiscard]] obs::Registry& metrics() { return metrics_; }
+  [[nodiscard]] const obs::Registry& metrics() const { return metrics_; }
 
  private:
   void charge_and_schedule(const Message& msg, Address dst);
+  void charge(TrafficStats& endpoint, Protocol protocol,
+              std::size_t payload_bytes, bool traced);
   [[nodiscard]] bool is_partitioned(Address a, Address b) const;
 
   util::Scheduler& scheduler_;
@@ -143,8 +162,17 @@ class Network {
   std::unordered_map<Address, Handler> endpoints_;
   std::unordered_map<Address, std::unordered_set<Address>> groups_;
   std::unordered_map<Address, TrafficStats> stats_;
-  TrafficStats totals_;
   std::vector<std::pair<Address, Address>> partitions_;
+
+  obs::Registry metrics_;
+  // Handles into metrics_, resolved once at construction (lock-free updates).
+  obs::Counter& messages_sent_;
+  obs::Counter& messages_received_;
+  obs::Counter& messages_dropped_;
+  obs::Counter& payload_bytes_sent_;
+  obs::Counter& header_bytes_sent_;
+  obs::Counter& trace_bytes_sent_;
+  obs::Counter* wire_bytes_by_protocol_[4];
 };
 
 }  // namespace sensorcer::simnet

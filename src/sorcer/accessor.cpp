@@ -3,7 +3,24 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+
 namespace sensorcer::sorcer {
+
+namespace {
+
+struct AccessorMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+};
+
+AccessorMetrics& accessor_metrics() {
+  static AccessorMetrics m{obs::metrics().counter("accessor.cache_hits"),
+                           obs::metrics().counter("accessor.cache_misses")};
+  return m;
+}
+
+}  // namespace
 
 void ServiceAccessor::add_lookup(
     std::shared_ptr<registry::LookupService> lus) {
@@ -78,12 +95,14 @@ util::Result<ServiceAccessor::Resolved> ServiceAccessor::resolve(
         if (auto servicer =
                 registry::proxy_cast<Servicer>(it->second.item.proxy)) {
           ++cache_hits_;
+          accessor_metrics().hits.add(1);
           return Resolved{std::move(servicer), it->second.item.id};
         }
       }
       cache_.erase(it);
     }
     ++cache_misses_;
+    accessor_metrics().misses.add(1);
   }
 
   const auto excluded = [&](const registry::ServiceId& id) {

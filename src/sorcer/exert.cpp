@@ -1,16 +1,29 @@
 #include "sorcer/exert.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sorcer/servicer.h"
 
 namespace sensorcer::sorcer {
 
-util::Result<ExertionPtr> exert(const ExertionPtr& exertion,
-                                ServiceAccessor& accessor,
-                                registry::Transaction* txn) {
-  if (!exertion) {
-    return util::Status{util::ErrorCode::kInvalidArgument, "null exertion"};
-  }
+namespace {
 
+struct ExertMetrics {
+  obs::Counter& exertions;
+  obs::Counter& failures;
+  obs::Counter& substitutions;
+};
+
+ExertMetrics& exert_metrics() {
+  static ExertMetrics m{obs::metrics().counter("sorcer.exertions"),
+                        obs::metrics().counter("sorcer.exert_failures"),
+                        obs::metrics().counter("sorcer.substitutions")};
+  return m;
+}
+
+util::Result<ExertionPtr> exert_impl(const ExertionPtr& exertion,
+                                     ServiceAccessor& accessor,
+                                     registry::Transaction* txn) {
   if (exertion->kind() == Exertion::Kind::kTask) {
     auto task = std::static_pointer_cast<Task>(exertion);
     // Service substitution (§V.A): when a provider is unavailable, pass the
@@ -31,6 +44,7 @@ util::Result<ExertionPtr> exert(const ExertionPtr& exertion,
           attempt + 1 == kMaxAttempts) {
         return result;
       }
+      exert_metrics().substitutions.add(1);
       tried.push_back(resolved.value().id);
       task->reset();
     }
@@ -50,6 +64,35 @@ util::Result<ExertionPtr> exert(const ExertionPtr& exertion,
     return util::Result<ExertionPtr>(exertion);
   }
   return rendezvous.value()->service(exertion, txn);
+}
+
+}  // namespace
+
+util::Result<ExertionPtr> exert(const ExertionPtr& exertion,
+                                ServiceAccessor& accessor,
+                                registry::Transaction* txn) {
+  if (!exertion) {
+    return util::Status{util::ErrorCode::kInvalidArgument, "null exertion"};
+  }
+  exert_metrics().exertions.add(1);
+
+  // Parent preference: a context stamped on the exertion by its submitter
+  // (survives cross-thread dispatch) wins over the caller's thread-current
+  // one. The span we open becomes the context the whole subtree runs under.
+  obs::TraceContext parent = exertion->trace_context().valid()
+                                 ? exertion->trace_context()
+                                 : obs::current_context();
+  obs::Span span =
+      obs::tracer().start_span("exert:" + exertion->name(), parent);
+  exertion->set_trace_context(span.context());
+  obs::ContextGuard guard(span.context());
+
+  auto result = exert_impl(exertion, accessor, txn);
+  const bool failed =
+      !result.is_ok() || exertion->status() == ExertStatus::kFailed;
+  if (failed) exert_metrics().failures.add(1);
+  span.set_ok(!failed);
+  return result;
 }
 
 }  // namespace sensorcer::sorcer

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "sorcer/context.h"
 #include "util/ids.h"
 #include "util/sim_time.h"
@@ -88,6 +89,15 @@ class Exertion {
   [[nodiscard]] const std::vector<std::string>& trace() const { return trace_; }
   void add_trace(std::string provider) { trace_.push_back(std::move(provider)); }
 
+  /// Observability trace context this exertion executes under. Before
+  /// dispatch it is the parent context (stamped by the submitter so the
+  /// link survives hand-off to a pool worker); exert() replaces it with the
+  /// exertion's own span context, which children and providers inherit.
+  [[nodiscard]] const obs::TraceContext& trace_context() const {
+    return trace_ctx_;
+  }
+  void set_trace_context(const obs::TraceContext& ctx) { trace_ctx_ = ctx; }
+
  protected:
   explicit Exertion(std::string name)
       : id_(util::new_uuid()), name_(std::move(name)) {}
@@ -100,6 +110,7 @@ class Exertion {
   util::Status error_;
   util::SimDuration latency_ = 0;
   std::vector<std::string> trace_;
+  obs::TraceContext trace_ctx_{};
 };
 
 /// Elementary request executed by a single provider.

@@ -3,9 +3,25 @@
 #include <algorithm>
 #include <future>
 
+#include "obs/metrics.h"
 #include "sorcer/exert.h"
 
 namespace sensorcer::sorcer {
+
+namespace {
+
+struct JobMetrics {
+  obs::Counter& jobs;
+  obs::Histogram& latency;
+};
+
+JobMetrics& jobber_metrics() {
+  static JobMetrics m{obs::metrics().counter("sorcer.jobber.jobs"),
+                      obs::metrics().histogram("sorcer.job.latency_us")};
+  return m;
+}
+
+}  // namespace
 
 Jobber::Jobber(std::string name, ServiceAccessor& accessor,
                util::ThreadPool* pool)
@@ -33,6 +49,15 @@ util::Result<ExertionPtr> Jobber::service(ExertionPtr exertion,
   auto job = std::static_pointer_cast<Job>(exertion);
   job->set_status(ExertStatus::kRunning);
   ++jobs_;
+  jobber_metrics().jobs.add(1);
+
+  // Stamp children with the job's trace context before dispatch: parallel
+  // flow hands them to pool workers, where thread-local context is useless.
+  for (const auto& child : job->children()) {
+    if (!child->trace_context().valid()) {
+      child->set_trace_context(job->trace_context());
+    }
+  }
 
   if (job->strategy().flow == Flow::kParallel) {
     run_parallel(*job, txn);
@@ -40,6 +65,7 @@ util::Result<ExertionPtr> Jobber::service(ExertionPtr exertion,
     run_sequence(*job, txn);
   }
   job->add_trace(provider_name());
+  jobber_metrics().latency.observe(static_cast<double>(job->latency()));
 
   if (job->status() != ExertStatus::kFailed) {
     // Surface child outputs in the job context so the requestor reads one

@@ -2,9 +2,28 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/strings.h"
 
 namespace sensorcer::sorcer {
+
+namespace {
+
+struct TaskMetrics {
+  obs::Counter& invocations;
+  obs::Counter& failures;
+  obs::Histogram& latency;
+};
+
+TaskMetrics& task_metrics() {
+  static TaskMetrics m{obs::metrics().counter("sorcer.task.invocations"),
+                       obs::metrics().counter("sorcer.task.failures"),
+                       obs::metrics().histogram("sorcer.task.latency_us")};
+  return m;
+}
+
+}  // namespace
 
 ServiceProvider::ServiceProvider(std::string name,
                                  std::vector<std::string> types)
@@ -105,6 +124,15 @@ util::Result<ExertionPtr> ServiceProvider::service(
   }
 
   std::lock_guard lock(mu_);
+  // Invocation span: parented on the exertion's context (stamped by exert(),
+  // valid across pool-worker threads) so the provider call links into the
+  // request's trace even when dispatched off-thread.
+  obs::TraceContext parent = task->trace_context().valid()
+                                 ? task->trace_context()
+                                 : obs::current_context();
+  obs::Span span =
+      obs::tracer().start_span("invoke:" + name_ + "#" + sig.selector, parent);
+  obs::ContextGuard trace_guard(span.context());
   task->set_status(ExertStatus::kRunning);
   const std::size_t request_bytes = task->context().wire_bytes() + 64;
   util::Status result = op->second.fn(task->context());
@@ -112,13 +140,18 @@ util::Result<ExertionPtr> ServiceProvider::service(
     net_->account_rpc(net_addr_, net_addr_, request_bytes,
                       task->context().wire_bytes());
   }
-  task->add_latency(op->second.service_time +
-                    extra_invocation_latency(sig.selector));
+  const util::SimDuration modeled =
+      op->second.service_time + extra_invocation_latency(sig.selector);
+  task->add_latency(modeled);
   task->add_trace(name_);
   ++invocations_;
+  task_metrics().invocations.add(1);
+  task_metrics().latency.observe(static_cast<double>(modeled));
   if (result.is_ok()) {
     task->set_status(ExertStatus::kDone);
   } else {
+    task_metrics().failures.add(1);
+    span.set_ok(false);
     task->set_error(std::move(result));
   }
   return exertion;

@@ -3,9 +3,25 @@
 #include <algorithm>
 #include <future>
 
+#include "obs/metrics.h"
 #include "sorcer/exert.h"
 
 namespace sensorcer::sorcer {
+
+namespace {
+
+struct SpacerMetrics {
+  obs::Counter& jobs;
+  obs::Histogram& latency;
+};
+
+SpacerMetrics& spacer_metrics() {
+  static SpacerMetrics m{obs::metrics().counter("sorcer.spacer.jobs"),
+                         obs::metrics().histogram("sorcer.job.latency_us")};
+  return m;
+}
+
+}  // namespace
 
 Spacer::Spacer(std::string name, ServiceAccessor& accessor, ExertSpace& space,
                std::size_t workers, util::ThreadPool* pool)
@@ -46,6 +62,15 @@ util::Result<ExertionPtr> Spacer::service(ExertionPtr exertion,
 
   auto job = std::static_pointer_cast<Job>(exertion);
   job->set_status(ExertStatus::kRunning);
+  spacer_metrics().jobs.add(1);
+
+  // Stamp children before they enter the space: take() may hand an envelope
+  // to a pool worker whose thread-local context is unrelated to this job.
+  for (const auto& child : job->children()) {
+    if (!child->trace_context().valid()) {
+      child->set_trace_context(job->trace_context());
+    }
+  }
 
   // Nested jobs cannot ride the space (envelopes hold tasks); run them
   // through the federation first, sequentially.
@@ -83,6 +108,7 @@ util::Result<ExertionPtr> Spacer::service(ExertionPtr exertion,
   }
   job->add_latency(*std::max_element(clocks.begin(), clocks.end()));
   job->add_trace(provider_name());
+  spacer_metrics().latency.observe(static_cast<double>(job->latency()));
 
   for (const auto& child : job->children()) {
     if (child->status() == ExertStatus::kFailed && job->strategy().fail_fast) {
