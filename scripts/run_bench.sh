@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Run the perf-tracking benchmark suite and write BENCH_* artifacts at the
+# repo root — the numbers EXPERIMENTS.md and PR descriptions quote.
+#
+#   scripts/run_bench.sh [build-dir]           # default: build
+#   SENSORCER_BENCH_FILTER='ColdRead|WarmRead' scripts/run_bench.sh
+#
+# bench_read_path (google-benchmark) covers the hot serving loop — cold vs
+# warm vs coalesced reads, direct fan-out, tree-walk vs slot-compiled
+# evaluation — and lands machine-readable JSON. bench_exertion and
+# bench_lease_churn are report-style benches (virtual-time tables from their
+# own main); their outputs are captured verbatim.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+FILTER="${SENSORCER_BENCH_FILTER:-}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+  --target bench_read_path bench_exertion bench_lease_churn
+
+echo "=== bench_read_path -> BENCH_read_path.json ==="
+"$BUILD_DIR/bench/bench_read_path" \
+  ${FILTER:+--benchmark_filter="$FILTER"} \
+  --benchmark_out_format=json \
+  --benchmark_out=BENCH_read_path.json
+
+for b in exertion lease_churn; do
+  echo "=== bench_$b -> BENCH_$b.txt ==="
+  "$BUILD_DIR/bench/bench_$b" | tee "BENCH_$b.txt"
+done

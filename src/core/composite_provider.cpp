@@ -1,8 +1,10 @@
 #include "core/composite_provider.h"
 
 #include <algorithm>
+#include <future>
 
 #include "obs/metrics.h"
+#include "sorcer/jobber.h"
 #include "util/strings.h"
 
 namespace sensorcer::core {
@@ -12,6 +14,9 @@ namespace {
 struct CspMetrics {
   obs::Counter& reads;
   obs::Counter& collections;
+  obs::Counter& cache_hits;
+  obs::Counter& cache_misses;
+  obs::Counter& coalesced;
   obs::Histogram& collection_latency;
 };
 
@@ -19,6 +24,9 @@ CspMetrics& csp_metrics() {
   static CspMetrics m{
       obs::metrics().counter("csp.reads"),
       obs::metrics().counter("csp.collections"),
+      obs::metrics().counter("csp.cache_hits"),
+      obs::metrics().counter("csp.cache_misses"),
+      obs::metrics().counter("csp.coalesced"),
       obs::metrics().histogram("csp.collection_latency_us")};
   return m;
 }
@@ -47,13 +55,19 @@ bool CompositeSensorProvider::would_cycle(
       dynamic_cast<const CompositeSensorProvider*>(&candidate);
   if (composite == nullptr) return false;
   for (const auto& comp : composite->components_) {
-    auto item = const_cast<sorcer::ServiceAccessor&>(accessor_).find_item(
-        registry::ServiceTemplate::by_id(comp.id));
+    auto item =
+        accessor_.find_item(registry::ServiceTemplate::by_id(comp.id));
     if (!item.is_ok()) continue;
     auto child = registry::proxy_cast<SensorDataAccessor>(item.value().proxy);
     if (child && would_cycle(*child)) return true;
   }
   return false;
+}
+
+void CompositeSensorProvider::invalidate_cache(bool plan_too) {
+  std::lock_guard lock(collect_mu_);
+  cache_valid_ = false;
+  if (plan_too) plan_.clear();
 }
 
 util::Status CompositeSensorProvider::add_component(
@@ -86,6 +100,7 @@ util::Status CompositeSensorProvider::add_component(
   // Dynamic variable creation: the new component binds the next free letter.
   components_.push_back(Component{item.value().id, service_name,
                                   component_variable_name(next_variable_++)});
+  invalidate_cache(/*plan_too=*/true);
   return util::Status::ok();
 }
 
@@ -101,14 +116,17 @@ util::Status CompositeSensorProvider::remove_component(
   }
   const std::string freed_variable = it->variable;
   components_.erase(it);
+  invalidate_cache(/*plan_too=*/true);
 
   if (computation_.has_expression()) {
-    auto compiled = expr::Expression::compile(computation_.expression_source());
-    if (compiled.is_ok() &&
-        compiled.value().variables().contains(freed_variable)) {
+    if (computation_.variables().contains(freed_variable)) {
       // The expression referenced the removed service; it can no longer be
       // evaluated, so fall back to the default aggregate.
       computation_.clear_expression();
+    } else {
+      // Surviving components keep their variables but their value order
+      // shifted — re-resolve the expression's slots against the new order.
+      (void)computation_.rebind(component_variables());
     }
   }
   return util::Status::ok();
@@ -130,17 +148,17 @@ std::vector<std::string> CompositeSensorProvider::component_variables() const {
 
 util::Status CompositeSensorProvider::set_expression(
     const std::string& source) {
-  return computation_.set_expression(source, component_variables());
+  auto status = computation_.set_expression(source, component_variables());
+  if (status.is_ok()) invalidate_cache(/*plan_too=*/false);
+  return status;
 }
 
-std::vector<std::optional<double>> CompositeSensorProvider::collect() {
-  csp_metrics().collections.add(1);
+std::vector<std::optional<double>> CompositeSensorProvider::fan_out(
+    const std::vector<PlanEntry>& plan, util::SimDuration* latency) {
   std::vector<std::shared_ptr<sorcer::Task>> tasks;
-  tasks.reserve(components_.size());
-  for (const auto& comp : components_) {
-    tasks.push_back(sorcer::Task::make(
-        comp.variable,
-        sorcer::Signature{kSensorDataAccessorType, op::kGetValue, comp.name}));
+  tasks.reserve(plan.size());
+  for (const auto& entry : plan) {
+    tasks.push_back(sorcer::Task::make(entry.task_name, entry.signature));
   }
 
   // Prefer the federation: a rendezvous peer coordinates the fan-out.
@@ -155,21 +173,39 @@ std::vector<std::optional<double>> CompositeSensorProvider::collect() {
     (void)sorcer::exert(job, accessor_);
     federated = job->error().code() != util::ErrorCode::kNotFound ||
                 job->status() != sorcer::ExertStatus::kFailed;
-    if (federated) last_collection_latency_ = job->latency();
+    if (federated) *latency = job->latency();
   }
   if (!federated) {
-    // No rendezvous peer on the network: invoke components directly,
-    // sequentially — the collection then costs the sum of child latencies.
-    util::SimDuration total = 0;
-    for (const auto& task : tasks) {
-      auto servicer = accessor_.find_servicer(task->signature());
-      if (servicer.is_ok()) (void)servicer.value()->service(task, nullptr);
-      total += task->latency();
+    // No rendezvous peer on the network: invoke components directly. With a
+    // worker pool the fan-out runs in parallel and costs the slowest child
+    // plus the per-child dispatch overhead — the Jobber's parallel latency
+    // model; without one it degrades to the sequential child-latency sum.
+    if (policy_.pool != nullptr && tasks.size() > 1) {
+      std::vector<std::future<void>> futures;
+      futures.reserve(tasks.size());
+      for (const auto& task : tasks) {
+        futures.push_back(policy_.pool->submit([this, task] {
+          auto servicer = accessor_.find_servicer(task->signature());
+          if (servicer.is_ok()) (void)servicer.value()->service(task, nullptr);
+        }));
+      }
+      for (auto& f : futures) f.get();
+      util::SimDuration slowest = 0;
+      for (const auto& task : tasks) {
+        slowest = std::max(slowest, task->latency());
+      }
+      *latency = slowest + static_cast<util::SimDuration>(tasks.size()) *
+                               sorcer::Jobber::kDispatchOverhead;
+    } else {
+      util::SimDuration total = 0;
+      for (const auto& task : tasks) {
+        auto servicer = accessor_.find_servicer(task->signature());
+        if (servicer.is_ok()) (void)servicer.value()->service(task, nullptr);
+        total += task->latency();
+      }
+      *latency = total;
     }
-    last_collection_latency_ = total;
   }
-  csp_metrics().collection_latency.observe(
-      static_cast<double>(last_collection_latency_));
 
   std::vector<std::optional<double>> out;
   out.reserve(tasks.size());
@@ -184,19 +220,77 @@ std::vector<std::optional<double>> CompositeSensorProvider::collect() {
   return out;
 }
 
-util::Result<double> CompositeSensorProvider::get_value() {
+CompositeSensorProvider::Collected CompositeSensorProvider::collect() {
+  std::unique_lock lock(collect_mu_);
+
+  // Freshness window: a collection newer than the TTL answers the read
+  // outright — no task build, no fan-out, no latency charge.
+  if (cache_valid_ && policy_.freshness > 0 &&
+      scheduler_.now() - cache_time_ <= policy_.freshness) {
+    csp_metrics().cache_hits.add(1);
+    last_collection_latency_.store(0, std::memory_order_relaxed);
+    return Collected{cached_values_, cache_time_, true};
+  }
+
+  // Single-flight: if another reader is already collecting, wait for its
+  // flight to land and share the result instead of fanning out again.
+  if (collect_in_flight_) {
+    csp_metrics().coalesced.add(1);
+    const std::uint64_t waited_for = collect_generation_;
+    collect_cv_.wait(lock,
+                     [&] { return collect_generation_ != waited_for; });
+    last_collection_latency_.store(0, std::memory_order_relaxed);
+    return Collected{cached_values_, cache_time_, true};
+  }
+  collect_in_flight_ = true;
+
+  // The fan-out plan (task name + signature per component) is prebuilt and
+  // survives across reads until the composition changes.
+  if (plan_.empty()) {
+    plan_.reserve(components_.size());
+    for (const auto& comp : components_) {
+      plan_.push_back(PlanEntry{
+          comp.variable,
+          sorcer::Signature{kSensorDataAccessorType, op::kGetValue,
+                            comp.name}});
+    }
+  }
+  const std::vector<PlanEntry> plan = plan_;
+  lock.unlock();
+
+  csp_metrics().cache_misses.add(1);
+  csp_metrics().collections.add(1);
+  util::SimDuration latency = 0;
+  std::vector<std::optional<double>> values = fan_out(plan, &latency);
+  last_collection_latency_.store(latency, std::memory_order_relaxed);
+  csp_metrics().collection_latency.observe(static_cast<double>(latency));
+
+  lock.lock();
+  cached_values_ = values;
+  cache_time_ = scheduler_.now();
+  cache_valid_ = true;
+  collect_in_flight_ = false;
+  ++collect_generation_;
+  const util::SimTime at = cache_time_;
+  lock.unlock();
+  collect_cv_.notify_all();
+  return Collected{std::move(values), at, false};
+}
+
+util::Result<double> CompositeSensorProvider::read_value(
+    Collected* collected_out) {
   if (components_.empty()) {
     return util::Status{util::ErrorCode::kFailedPrecondition,
                         "composite '" + provider_name() +
                             "' has no composed services"};
   }
-  const auto collected = collect();
+  Collected collected = collect();
 
   std::vector<double> values;
-  values.reserve(collected.size());
-  for (std::size_t i = 0; i < collected.size(); ++i) {
-    if (collected[i]) {
-      values.push_back(*collected[i]);
+  values.reserve(collected.values.size());
+  for (std::size_t i = 0; i < collected.values.size(); ++i) {
+    if (collected.values[i]) {
+      values.push_back(*collected.values[i]);
     } else if (policy_.strict || computation_.has_expression()) {
       return util::Status{
           util::ErrorCode::kUnavailable,
@@ -209,19 +303,27 @@ util::Result<double> CompositeSensorProvider::get_value() {
     return util::Status{util::ErrorCode::kUnavailable,
                         "no composed service is reachable"};
   }
-  ++reads_;
+  reads_.fetch_add(1, std::memory_order_relaxed);
   csp_metrics().reads.add(1);
+  if (collected_out != nullptr) *collected_out = std::move(collected);
   return computation_.evaluate(values);
 }
 
+util::Result<double> CompositeSensorProvider::get_value() {
+  return read_value(nullptr);
+}
+
 util::Result<sensor::Reading> CompositeSensorProvider::get_reading() {
-  auto value = get_value();
+  Collected collected;
+  auto value = read_value(&collected);
   if (!value.is_ok()) return value.status();
   sensor::Reading reading;
-  reading.timestamp = scheduler_.now();
+  // Cache-served reads carry the timestamp of the collection they were
+  // answered from, so consumers can see the (bounded) staleness.
+  reading.timestamp = collected.from_cache ? collected.at : scheduler_.now();
   reading.value = value.value();
   reading.quality = sensor::Quality::kGood;
-  reading.sequence = reads_;
+  reading.sequence = reads_.load(std::memory_order_relaxed);
   return reading;
 }
 

@@ -7,7 +7,21 @@
 // federation, and computes its own value from them. Because a CSP can
 // contain CSPs, logical sensor networking — and all of network management —
 // "is reduced to the management of a single CSP".
+//
+// The read path is optimized for heavy traffic:
+//   * the per-component task signatures are prebuilt once and invalidated
+//     only on composition changes (no per-read string assembly);
+//   * reads newer than the policy's freshness window are served from the
+//     cached collection without any fan-out;
+//   * concurrent collections coalesce — N simultaneous readers pay one
+//     fan-out (single-flight);
+//   * with no rendezvous peer on the network, the direct fallback fans out
+//     across the worker pool under the same slowest-child latency model the
+//     Jobber uses, instead of a sequential child-latency sum.
 
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -18,6 +32,7 @@
 #include "sorcer/exert.h"
 #include "sorcer/provider.h"
 #include "util/scheduler.h"
+#include "util/thread_pool.h"
 
 namespace sensorcer::core {
 
@@ -25,13 +40,21 @@ namespace sensorcer::core {
 struct CollectionPolicy {
   /// Child requests federate through a rendezvous peer when one is on the
   /// network (parallel push by default); with no rendezvous available the
-  /// CSP degrades to direct sequential invocation.
+  /// CSP degrades to direct invocation (parallel across `pool`, sequential
+  /// without one).
   sorcer::ControlStrategy strategy{sorcer::Flow::kParallel,
                                    sorcer::Access::kPush, true};
   /// Strict: any unreachable component fails the read. Lenient: missing
   /// components are skipped — but only for the default (average)
   /// computation, since an expression needs every variable bound.
   bool strict = true;
+  /// Reads within `freshness` of the last completed collection are served
+  /// from the cached component values (stamped with the collection time);
+  /// 0 disables the cache and every read re-collects.
+  util::SimDuration freshness = 0;
+  /// Worker pool for the direct (no-rendezvous) fan-out; null keeps the
+  /// sequential fallback and its sum-of-children latency model.
+  util::ThreadPool* pool = nullptr;
 };
 
 class CompositeSensorProvider : public sorcer::ServiceProvider,
@@ -51,7 +74,7 @@ class CompositeSensorProvider : public sorcer::ServiceProvider,
 
   /// Remove a composed component by service name. Remaining components keep
   /// their variables; the expression is cleared if it referenced the freed
-  /// variable.
+  /// variable, and re-bound to the shifted value order otherwise.
   util::Status remove_component(const std::string& service_name);
 
   [[nodiscard]] std::size_t component_count() const {
@@ -75,16 +98,17 @@ class CompositeSensorProvider : public sorcer::ServiceProvider,
   [[nodiscard]] SensorInfo info() const override;
 
   /// Modeled latency of the most recent component collection (federated job
-  /// or direct fan-out). Charged on top of the getValue operation when the
-  /// composite is read through an exertion.
+  /// or direct fan-out; zero when the read was served from the freshness
+  /// cache or coalesced onto another reader's flight). Charged on top of
+  /// the getValue operation when the composite is read through an exertion.
   [[nodiscard]] util::SimDuration last_collection_latency() const {
-    return last_collection_latency_;
+    return last_collection_latency_.load(std::memory_order_relaxed);
   }
 
  protected:
   util::SimDuration extra_invocation_latency(
       const std::string& selector) const override {
-    return selector == op::kGetValue ? last_collection_latency_ : 0;
+    return selector == op::kGetValue ? last_collection_latency() : 0;
   }
 
  private:
@@ -94,11 +118,38 @@ class CompositeSensorProvider : public sorcer::ServiceProvider,
     std::string variable;
   };
 
+  /// One prebuilt fan-out step: the task name (the component's variable)
+  /// and its resolved signature, cached across reads.
+  struct PlanEntry {
+    std::string task_name;
+    sorcer::Signature signature;
+  };
+
+  /// Result of one collection: per-component values in composition order
+  /// (nullopt = unreachable/failed) plus provenance for quality stamping.
+  struct Collected {
+    std::vector<std::optional<double>> values;
+    util::SimTime at = 0;
+    bool from_cache = false;
+  };
+
   void install_operations();
 
-  /// Collect current values of all components (federated). Returns one
-  /// optional per component, in order; nullopt = unreachable/failed.
-  std::vector<std::optional<double>> collect();
+  /// Collect current values of all components, honouring the freshness
+  /// cache and coalescing concurrent callers onto one in-flight fan-out.
+  Collected collect();
+
+  /// The actual fan-out: federated when a rendezvous peer exists, else
+  /// direct (pool-parallel or sequential). Returns values + modeled latency.
+  std::vector<std::optional<double>> fan_out(
+      const std::vector<PlanEntry>& plan, util::SimDuration* latency);
+
+  /// Shared implementation behind get_value/get_reading.
+  util::Result<double> read_value(Collected* collected_out);
+
+  /// Drop the cached collection (and, when `plan_too`, the prebuilt task
+  /// signatures). Called on composition and expression changes.
+  void invalidate_cache(bool plan_too);
 
   /// True if `candidate` (a composite) contains *this transitively.
   bool would_cycle(const SensorDataAccessor& candidate) const;
@@ -109,8 +160,20 @@ class CompositeSensorProvider : public sorcer::ServiceProvider,
   std::vector<Component> components_;
   SensorComputation computation_;
   std::size_t next_variable_ = 0;
-  std::uint64_t reads_ = 0;
-  util::SimDuration last_collection_latency_ = 0;
+  std::atomic<std::uint64_t> reads_{0};
+  std::atomic<util::SimDuration> last_collection_latency_{0};
+
+  // Collection cache + single-flight state. `collect_mu_` guards everything
+  // below; the fan-out itself runs with the mutex released so concurrent
+  // readers can coalesce instead of queueing.
+  std::mutex collect_mu_;
+  std::condition_variable collect_cv_;
+  std::vector<PlanEntry> plan_;       // empty = rebuild on next collect
+  bool cache_valid_ = false;
+  util::SimTime cache_time_ = 0;
+  std::vector<std::optional<double>> cached_values_;
+  bool collect_in_flight_ = false;
+  std::uint64_t collect_generation_ = 0;  // bumped when a flight lands
 };
 
 }  // namespace sensorcer::core

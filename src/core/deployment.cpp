@@ -65,12 +65,16 @@ Deployment::Deployment(DeploymentConfig config)
   ManagerConfig manager_config;
   manager_config.lease_duration = config_.lease_duration;
   manager_config.collection = config_.collection;
+  // Composites created through the manager/provisioner fan out their direct
+  // (no-rendezvous) collections across the deployment's worker pool.
+  manager_config.collection.pool = pool_.get();
   manager_config.sampling = config_.sampling;
   manager_ = std::make_unique<SensorNetworkManager>(accessor_, scheduler_,
                                                     lrm_, manager_config);
   manager_->attach_network(&network_);
   provisioner_ = std::make_unique<SensorServiceProvisioner>(
-      *monitor_, accessor_, scheduler_, config_.collection, config_.sampling);
+      *monitor_, accessor_, scheduler_, manager_config.collection,
+      config_.sampling);
   facade_ = std::make_shared<SensorcerFacade>(
       "SenSORCER Facade", accessor_, *manager_, provisioner_.get());
   for (const auto& lus : lookups_) {

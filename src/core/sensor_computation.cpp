@@ -32,13 +32,33 @@ util::Status SensorComputation::set_expression(
                            var.c_str(), bound_variables.size())};
     }
   }
+  // Slot-bind once here — every read then evaluates the flat program. This
+  // also front-loads unknown-function errors to set time instead of
+  // surfacing them on the first read.
+  auto program = compiled.value().bind(bound_variables);
+  if (!program.is_ok()) return program.status();
+
+  variables_ = compiled.value().variables();
   expression_ = std::move(compiled).value();
+  program_ = std::move(program).value();
   return util::Status::ok();
+}
+
+bool SensorComputation::rebind(
+    const std::vector<std::string>& bound_variables) {
+  if (!expression_.is_valid()) return false;
+  auto program = expression_.bind(bound_variables);
+  if (!program.is_ok()) {
+    clear_expression();
+    return false;
+  }
+  program_ = std::move(program).value();
+  return true;
 }
 
 util::Result<double> SensorComputation::evaluate(
     const std::vector<double>& values) const {
-  if (!expression_.is_valid()) {
+  if (!program_.is_valid()) {
     if (values.empty()) {
       return util::Status{util::ErrorCode::kFailedPrecondition,
                           "composite has no components to aggregate"};
@@ -47,11 +67,7 @@ util::Result<double> SensorComputation::evaluate(
     for (double v : values) sum += v;
     return sum / static_cast<double>(values.size());
   }
-  expr::Environment env;
-  for (std::size_t i = 0; i < values.size(); ++i) {
-    env.set(component_variable_name(i), values[i]);
-  }
-  return expression_.evaluate(env);
+  return program_.evaluate(values);
 }
 
 }  // namespace sensorcer::core

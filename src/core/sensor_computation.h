@@ -6,10 +6,17 @@
 // Variables are allotted dynamically in insertion order: the first composed
 // service becomes 'a', the second 'b', and so on (after 'z': 'aa', 'ab', …),
 // exactly as the paper's Fig 3 describes.
+//
+// Expressions are slot-compiled at set time (see expr/compiled.h): variable
+// names resolve to indices into the composite's component order once, so a
+// read evaluates a flat program over the collected values with no string
+// hashing and no environment allocation.
 
+#include <set>
 #include <string>
 #include <vector>
 
+#include "expr/compiled.h"
 #include "expr/evaluator.h"
 #include "util/status.h"
 
@@ -22,25 +29,44 @@ class SensorComputation {
  public:
   SensorComputation() = default;
 
-  /// Install a compute expression. Fails on syntax errors, or when the
-  /// expression references variables beyond the `bound_variables` the
-  /// composite currently defines.
+  /// Install a compute expression and bind it against `bound_variables`
+  /// (slot i ↔ bound_variables[i] ↔ values[i] at evaluation). Fails on
+  /// syntax errors, unknown functions, or when the expression references
+  /// variables beyond the ones the composite currently defines.
   util::Status set_expression(const std::string& source,
                               const std::vector<std::string>& bound_variables);
 
-  void clear_expression() { expression_ = expr::Expression{}; }
+  void clear_expression() {
+    expression_ = expr::Expression{};
+    program_ = expr::CompiledProgram{};
+    variables_.clear();
+  }
   [[nodiscard]] bool has_expression() const { return expression_.is_valid(); }
   [[nodiscard]] const std::string& expression_source() const {
     return expression_.source();
   }
 
-  /// Evaluate against component values (`values[i]` binds to variable i).
-  /// Without an expression, the default computation is the component
-  /// average — the natural aggregate for a sensor subnet.
+  /// Free variables of the installed expression, computed once at set time
+  /// (empty without an expression).
+  [[nodiscard]] const std::set<std::string>& variables() const {
+    return variables_;
+  }
+
+  /// Re-resolve variable slots after the composite's component list changed
+  /// (component removal shifts the value order while surviving components
+  /// keep their variable names). Clears the expression — returning false —
+  /// when it references a variable no longer bound.
+  bool rebind(const std::vector<std::string>& bound_variables);
+
+  /// Evaluate against component values (`values[i]` binds to the i-th bound
+  /// variable). Without an expression, the default computation is the
+  /// component average — the natural aggregate for a sensor subnet.
   util::Result<double> evaluate(const std::vector<double>& values) const;
 
  private:
   expr::Expression expression_;
+  expr::CompiledProgram program_;
+  std::set<std::string> variables_;
 };
 
 }  // namespace sensorcer::core

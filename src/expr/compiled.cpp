@@ -1,0 +1,284 @@
+#include "expr/compiled.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/strings.h"
+
+namespace sensorcer::expr {
+namespace {
+
+/// Expressions deeper than this fall back to a heap-allocated value stack;
+/// everything a composite realistically evaluates fits the inline buffer.
+constexpr std::size_t kInlineStack = 64;
+
+OpCode binary_opcode(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return OpCode::kAdd;
+    case BinaryOp::kSub: return OpCode::kSub;
+    case BinaryOp::kMul: return OpCode::kMul;
+    case BinaryOp::kDiv: return OpCode::kDiv;
+    case BinaryOp::kMod: return OpCode::kMod;
+    case BinaryOp::kPow: return OpCode::kPow;
+    case BinaryOp::kLess: return OpCode::kLess;
+    case BinaryOp::kLessEq: return OpCode::kLessEq;
+    case BinaryOp::kGreater: return OpCode::kGreater;
+    case BinaryOp::kGreaterEq: return OpCode::kGreaterEq;
+    case BinaryOp::kEq: return OpCode::kEq;
+    case BinaryOp::kNotEq: return OpCode::kNotEq;
+    case BinaryOp::kAnd:
+    case BinaryOp::kOr: break;  // lowered to probe + jump, never mapped
+  }
+  return OpCode::kAdd;  // unreachable
+}
+
+/// One-pass AST → postfix lowering with stack-depth accounting.
+class Lowering {
+ public:
+  explicit Lowering(std::span<const std::string> slots) : slots_(slots) {}
+
+  util::Status lower(const Node& node) {
+    switch (node.kind) {
+      case NodeKind::kNumber: {
+        Instr in{OpCode::kConst};
+        in.value = node.number;
+        emit(in, +1);
+        return util::Status::ok();
+      }
+      case NodeKind::kVariable: {
+        for (std::size_t i = 0; i < slots_.size(); ++i) {
+          if (slots_[i] == node.name) {
+            Instr in{OpCode::kLoad};
+            in.target = static_cast<std::int32_t>(i);
+            emit(in, +1);
+            return util::Status::ok();
+          }
+        }
+        return {util::ErrorCode::kNotFound,
+                util::format("unbound variable '%s'", node.name.c_str())};
+      }
+      case NodeKind::kUnary: {
+        if (auto s = lower(*node.children[0]); !s.is_ok()) return s;
+        emit(Instr{node.unary_op == UnaryOp::kNegate ? OpCode::kNegate
+                                                     : OpCode::kNot},
+             0);
+        return util::Status::ok();
+      }
+      case NodeKind::kBinary: {
+        if (node.binary_op == BinaryOp::kAnd ||
+            node.binary_op == BinaryOp::kOr) {
+          if (auto s = lower(*node.children[0]); !s.is_ok()) return s;
+          const std::size_t probe =
+              emit(Instr{node.binary_op == BinaryOp::kAnd ? OpCode::kAndProbe
+                                                          : OpCode::kOrProbe},
+                   -1);
+          if (auto s = lower(*node.children[1]); !s.is_ok()) return s;
+          emit(Instr{OpCode::kToBool}, 0);
+          patch(probe);
+          return util::Status::ok();
+        }
+        if (auto s = lower(*node.children[0]); !s.is_ok()) return s;
+        if (auto s = lower(*node.children[1]); !s.is_ok()) return s;
+        emit(Instr{binary_opcode(node.binary_op)}, -1);
+        return util::Status::ok();
+      }
+      case NodeKind::kCall: {
+        const Builtin* fn = builtin_environment().lookup_func(node.name);
+        if (fn == nullptr) {
+          return {util::ErrorCode::kNotFound,
+                  util::format("unknown function '%s'", node.name.c_str())};
+        }
+        if (node.children.size() >
+            std::numeric_limits<std::uint16_t>::max()) {
+          return {util::ErrorCode::kInvalidArgument,
+                  "too many call arguments"};
+        }
+        for (const auto& arg : node.children) {
+          if (auto s = lower(*arg); !s.is_ok()) return s;
+        }
+        Instr in{OpCode::kCall};
+        in.argc = static_cast<std::uint16_t>(node.children.size());
+        in.fn = fn;
+        emit(in, 1 - static_cast<int>(node.children.size()));
+        return util::Status::ok();
+      }
+      case NodeKind::kConditional: {
+        if (auto s = lower(*node.children[0]); !s.is_ok()) return s;
+        const std::size_t to_else = emit(Instr{OpCode::kJumpIfFalse}, -1);
+        if (auto s = lower(*node.children[1]); !s.is_ok()) return s;
+        const std::size_t to_end = emit(Instr{OpCode::kJump}, 0);
+        patch(to_else);
+        depth_ -= 1;  // the else branch starts where the then branch did
+        if (auto s = lower(*node.children[2]); !s.is_ok()) return s;
+        patch(to_end);
+        return util::Status::ok();
+      }
+    }
+    return {util::ErrorCode::kInternal, "unhandled node kind"};
+  }
+
+  [[nodiscard]] std::vector<Instr> take_code() { return std::move(code_); }
+  [[nodiscard]] std::size_t max_depth() const {
+    return static_cast<std::size_t>(max_depth_);
+  }
+
+ private:
+  std::size_t emit(Instr in, int stack_delta) {
+    code_.push_back(in);
+    depth_ += stack_delta;
+    max_depth_ = std::max(max_depth_, depth_);
+    return code_.size() - 1;
+  }
+
+  void patch(std::size_t at) {
+    code_[at].target = static_cast<std::int32_t>(code_.size());
+  }
+
+  std::span<const std::string> slots_;
+  std::vector<Instr> code_;
+  int depth_ = 0;
+  int max_depth_ = 0;
+};
+
+}  // namespace
+
+util::Result<CompiledProgram> bind(const Node& root,
+                                   std::span<const std::string> slots) {
+  Lowering lowering(slots);
+  if (auto s = lowering.lower(root); !s.is_ok()) return s;
+  CompiledProgram program;
+  program.code_ = lowering.take_code();
+  program.slot_count_ = slots.size();
+  program.max_stack_ = lowering.max_depth();
+  return program;
+}
+
+util::Result<double> CompiledProgram::evaluate(
+    std::span<const double> slots) const {
+  if (code_.empty()) {
+    return util::Status{util::ErrorCode::kFailedPrecondition,
+                        "evaluating an unbound program"};
+  }
+  if (slots.size() < slot_count_) {
+    return util::Status{
+        util::ErrorCode::kInvalidArgument,
+        util::format("program binds %zu slot(s), got %zu value(s)",
+                     slot_count_, slots.size())};
+  }
+
+  double inline_stack[kInlineStack];
+  std::vector<double> heap_stack;
+  double* stack = inline_stack;
+  if (max_stack_ > kInlineStack) {
+    heap_stack.resize(max_stack_);
+    stack = heap_stack.data();
+  }
+
+  std::size_t sp = 0;
+  for (std::size_t pc = 0; pc < code_.size(); ++pc) {
+    const Instr& in = code_[pc];
+    switch (in.op) {
+      case OpCode::kConst:
+        stack[sp++] = in.value;
+        break;
+      case OpCode::kLoad:
+        stack[sp++] = slots[static_cast<std::size_t>(in.target)];
+        break;
+      case OpCode::kNegate:
+        stack[sp - 1] = -stack[sp - 1];
+        break;
+      case OpCode::kNot:
+        stack[sp - 1] = stack[sp - 1] == 0.0 ? 1.0 : 0.0;
+        break;
+      case OpCode::kAdd:
+        --sp;
+        stack[sp - 1] += stack[sp];
+        break;
+      case OpCode::kSub:
+        --sp;
+        stack[sp - 1] -= stack[sp];
+        break;
+      case OpCode::kMul:
+        --sp;
+        stack[sp - 1] *= stack[sp];
+        break;
+      case OpCode::kDiv:
+        --sp;
+        if (stack[sp] == 0.0) {
+          return util::Status{util::ErrorCode::kInvalidArgument,
+                              "division by zero"};
+        }
+        stack[sp - 1] /= stack[sp];
+        break;
+      case OpCode::kMod:
+        --sp;
+        if (stack[sp] == 0.0) {
+          return util::Status{util::ErrorCode::kInvalidArgument,
+                              "modulo by zero"};
+        }
+        stack[sp - 1] = std::fmod(stack[sp - 1], stack[sp]);
+        break;
+      case OpCode::kPow:
+        --sp;
+        stack[sp - 1] = std::pow(stack[sp - 1], stack[sp]);
+        break;
+      case OpCode::kLess:
+        --sp;
+        stack[sp - 1] = stack[sp - 1] < stack[sp] ? 1.0 : 0.0;
+        break;
+      case OpCode::kLessEq:
+        --sp;
+        stack[sp - 1] = stack[sp - 1] <= stack[sp] ? 1.0 : 0.0;
+        break;
+      case OpCode::kGreater:
+        --sp;
+        stack[sp - 1] = stack[sp - 1] > stack[sp] ? 1.0 : 0.0;
+        break;
+      case OpCode::kGreaterEq:
+        --sp;
+        stack[sp - 1] = stack[sp - 1] >= stack[sp] ? 1.0 : 0.0;
+        break;
+      case OpCode::kEq:
+        --sp;
+        stack[sp - 1] = stack[sp - 1] == stack[sp] ? 1.0 : 0.0;
+        break;
+      case OpCode::kNotEq:
+        --sp;
+        stack[sp - 1] = stack[sp - 1] != stack[sp] ? 1.0 : 0.0;
+        break;
+      case OpCode::kToBool:
+        stack[sp - 1] = stack[sp - 1] != 0.0 ? 1.0 : 0.0;
+        break;
+      case OpCode::kAndProbe:
+        if (stack[--sp] == 0.0) {
+          stack[sp++] = 0.0;
+          pc = static_cast<std::size_t>(in.target) - 1;
+        }
+        break;
+      case OpCode::kOrProbe:
+        if (stack[--sp] != 0.0) {
+          stack[sp++] = 1.0;
+          pc = static_cast<std::size_t>(in.target) - 1;
+        }
+        break;
+      case OpCode::kJumpIfFalse:
+        if (stack[--sp] == 0.0) {
+          pc = static_cast<std::size_t>(in.target) - 1;
+        }
+        break;
+      case OpCode::kJump:
+        pc = static_cast<std::size_t>(in.target) - 1;
+        break;
+      case OpCode::kCall: {
+        sp -= in.argc;
+        auto r = (*in.fn)(std::span<const double>(stack + sp, in.argc));
+        if (!r.is_ok()) return r.status();
+        stack[sp++] = r.value();
+        break;
+      }
+    }
+  }
+  return stack[0];
+}
+
+}  // namespace sensorcer::expr

@@ -1,0 +1,85 @@
+#pragma once
+// Slot-compiled expressions — the hot read-path form of a compute-expression.
+//
+// bind() lowers an AST once into a flat postfix program: every variable is
+// resolved to a slot index into a caller-supplied value span, every builtin
+// call to a direct function pointer, and short-circuit operators and
+// conditionals to explicit jumps. evaluate() is then a single loop over a
+// contiguous instruction vector with a fixed-capacity value stack — no
+// string hashing, no per-node recursion, and no environment allocation —
+// which is what a composite provider runs on every sensor read.
+//
+// Name resolution failures (a variable outside the slot list, an unknown
+// function) surface at bind time; data-dependent failures (division by
+// zero, builtin domain errors) surface at evaluation time with exactly the
+// same Status the tree-walking evaluator produces.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "expr/ast.h"
+#include "expr/evaluator.h"
+#include "util/status.h"
+
+namespace sensorcer::expr {
+
+enum class OpCode : std::uint8_t {
+  kConst,        // push immediate
+  kLoad,         // push slots[target]
+  kNegate,       // unary -
+  kNot,          // unary !
+  kAdd, kSub, kMul, kDiv, kMod, kPow,
+  kLess, kLessEq, kGreater, kGreaterEq, kEq, kNotEq,
+  kToBool,       // top = (top != 0)
+  kAndProbe,     // pop; if false push 0 and jump to target (short-circuit &&)
+  kOrProbe,      // pop; if true push 1 and jump to target (short-circuit ||)
+  kJumpIfFalse,  // pop; jump to target when false
+  kJump,         // unconditional jump to target
+  kCall,         // replace top argc values with fn(args)
+};
+
+/// One program step. `target` doubles as the slot index for kLoad and the
+/// jump destination for the control opcodes.
+struct Instr {
+  OpCode op;
+  std::uint16_t argc = 0;       // kCall
+  std::int32_t target = 0;      // kLoad slot / jump destination
+  double value = 0.0;           // kConst
+  const Builtin* fn = nullptr;  // kCall
+};
+
+/// A bound, slot-indexed expression program. Cheap to copy, immutable after
+/// bind, and safe to evaluate concurrently from many threads.
+class CompiledProgram {
+ public:
+  CompiledProgram() = default;
+
+  [[nodiscard]] bool is_valid() const { return !code_.empty(); }
+  [[nodiscard]] std::size_t instruction_count() const { return code_.size(); }
+  /// Number of slots the program reads; evaluate() requires at least this
+  /// many values.
+  [[nodiscard]] std::size_t slot_count() const { return slot_count_; }
+
+  /// Run the program over `slots` (slots[i] is the value of the i-th bound
+  /// variable name passed to bind()).
+  [[nodiscard]] util::Result<double> evaluate(
+      std::span<const double> slots) const;
+
+ private:
+  friend util::Result<CompiledProgram> bind(const Node& root,
+                                            std::span<const std::string> slots);
+
+  std::vector<Instr> code_;
+  std::size_t slot_count_ = 0;
+  std::size_t max_stack_ = 0;
+};
+
+/// Lower `root` into a CompiledProgram. `slots` lists the variable names in
+/// slot order; a variable not in the list fails with kNotFound, as does a
+/// call to a function outside the standard builtin library.
+util::Result<CompiledProgram> bind(const Node& root,
+                                   std::span<const std::string> slots);
+
+}  // namespace sensorcer::expr

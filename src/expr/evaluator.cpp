@@ -3,6 +3,7 @@
 #include <array>
 #include <cmath>
 
+#include "expr/compiled.h"
 #include "expr/parser.h"
 #include "util/strings.h"
 
@@ -33,6 +34,11 @@ constexpr std::array<std::string_view, 18> kBuiltinNames = {
 }  // namespace
 
 std::span<const std::string_view> builtin_names() { return kBuiltinNames; }
+
+const Environment& builtin_environment() {
+  static const Environment env;
+  return env;
+}
 
 Environment::Environment() {
   define("abs", [](std::span<const double> a) { return require1("abs", a, std::fabs); });
@@ -238,9 +244,17 @@ util::Result<Expression> Expression::compile(std::string_view source) {
   if (!parsed.is_ok()) return parsed.status();
   // Constant subexpressions are folded once here; composites re-evaluate
   // the expression on every read, so this pays off immediately.
-  static const Environment kBuiltins;
-  NodePtr folded = fold_constants(*parsed.value(), kBuiltins);
+  NodePtr folded = fold_constants(*parsed.value(), builtin_environment());
   return Expression{std::move(folded), std::string(source)};
+}
+
+util::Result<CompiledProgram> Expression::bind(
+    std::span<const std::string> slots) const {
+  if (!root_) {
+    return util::Status{util::ErrorCode::kFailedPrecondition,
+                        "binding an empty expression"};
+  }
+  return expr::bind(*root_, slots);
 }
 
 std::set<std::string> Expression::variables() const {

@@ -51,6 +51,12 @@ class Environment {
 /// cos, tan, floor, ceil, round, min, max, avg, sum, clamp, hypot.
 std::span<const std::string_view> builtin_names();
 
+/// The standard builtin library as one shared immutable environment.
+/// Constant folding evaluates against it and slot binding resolves call
+/// targets from it, so the function pointers stay valid for the life of
+/// the process.
+const Environment& builtin_environment();
+
 /// Evaluate an AST against an environment.
 util::Result<double> evaluate(const Node& node, const Environment& env);
 
@@ -61,6 +67,8 @@ util::Result<double> evaluate(const Node& node, const Environment& env);
 /// time. Composites fold their expression once at set_expression() time,
 /// because they re-evaluate on every sensor read.
 NodePtr fold_constants(const Node& node, const Environment& env);
+
+class CompiledProgram;  // compiled.h — the slot-indexed hot-path form
 
 /// A parsed, reusable expression. This is the type stored on composite
 /// sensor providers.
@@ -79,6 +87,14 @@ class Expression {
 
   /// Evaluate against `env`; unbound variables produce kNotFound.
   [[nodiscard]] util::Result<double> evaluate(const Environment& env) const;
+
+  /// Lower to a slot-indexed program (see compiled.h): variables resolve to
+  /// indices into `slots`, builtin calls to direct function pointers. Done
+  /// once at set-expression time so every read evaluates without name
+  /// resolution. Fails with kNotFound on a variable outside `slots` or a
+  /// call to an unknown function.
+  [[nodiscard]] util::Result<CompiledProgram> bind(
+      std::span<const std::string> slots) const;
 
   Expression(const Expression& other);
   Expression& operator=(const Expression& other);

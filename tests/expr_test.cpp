@@ -435,3 +435,161 @@ INSTANTIATE_TEST_SUITE_P(
 
 }  // namespace
 }  // namespace sensorcer::expr
+
+// --- slot-compiled programs --------------------------------------------------------
+
+#include "expr/compiled.h"
+
+namespace sensorcer::expr {
+namespace {
+
+const std::vector<std::string> kSlots = {"a", "b", "c"};
+
+/// Bind `source` against (a, b, c), or fail the test.
+CompiledProgram bind_abc(const std::string& source) {
+  auto compiled = Expression::compile(source);
+  EXPECT_TRUE(compiled.is_ok()) << source;
+  auto program = compiled.value().bind(kSlots);
+  EXPECT_TRUE(program.is_ok()) << source << ": " << program.status().message();
+  return program.is_ok() ? std::move(program).value() : CompiledProgram{};
+}
+
+/// Every expression must evaluate to the same result — value or error code —
+/// through the tree-walk interpreter and the slot-compiled program, over a
+/// grid of bindings covering zeros, negatives, and non-integers.
+class SlotEquivalenceTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SlotEquivalenceTest, MatchesTreeWalkOverGrid) {
+  const char* source = GetParam();
+  // Compare the *unfolded* tree so the program (compiled from the folded
+  // tree) is checked against the reference semantics, not against itself.
+  auto parsed = parse(source);
+  ASSERT_TRUE(parsed.is_ok()) << source;
+  auto program = bind_abc(source);
+  ASSERT_TRUE(program.is_valid()) << source;
+  for (double a : {-3.0, -1.0, 0.0, 0.5, 2.0, 7.25}) {
+    for (double b : {-2.0, 0.0, 0.25, 1.0, 4.5}) {
+      for (double c : {-1.5, 0.0, 1.0, 3.0}) {
+        Environment env;
+        env.set("a", a);
+        env.set("b", b);
+        env.set("c", c);
+        const double slots[] = {a, b, c};
+        auto walked = evaluate(*parsed.value(), env);
+        auto ran = program.evaluate(slots);
+        ASSERT_EQ(walked.is_ok(), ran.is_ok())
+            << source << " at a=" << a << " b=" << b << " c=" << c << ": "
+            << (walked.is_ok() ? ran.status().message()
+                               : walked.status().message());
+        if (walked.is_ok()) {
+          EXPECT_DOUBLE_EQ(walked.value(), ran.value())
+              << source << " at a=" << a << " b=" << b << " c=" << c;
+        } else {
+          EXPECT_EQ(walked.status().code(), ran.status().code()) << source;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FullSurface, SlotEquivalenceTest,
+    ::testing::Values(
+        // Arithmetic, precedence, unary.
+        "a + b * c - a / 2", "-a * -b", "a ^ 2 + b ^ 2", "2 ^ 3 ^ 2 + a",
+        "a % 3 + b % 2",
+        // Comparisons and logic (incl. short-circuit).
+        "a < b", "a <= b", "a > b", "a >= b", "a == b", "a != b", "!a",
+        "a > 0 && b > 0", "a > 0 || b > 0", "!(a < b && b < c) + (a || !b)",
+        // Conditionals, nested.
+        "a > b ? a : b", "a > 0 ? (b > 0 ? 1 : 2) : (c > 0 ? 3 : 4)",
+        // Builtins across arities.
+        "abs(a) + sqrt(abs(b))", "min(a, b, c) + max(a, b, c)",
+        "avg(a, b, c)", "sum(a, b, c) / 3", "clamp(a, -1, 1)",
+        "floor(a) + ceil(b) + round(c)", "hypot(a, b)", "pow(2, abs(c))",
+        "sin(a) ^ 2 + cos(a) ^ 2", "exp(min(a, 1)) + log(abs(b) + 1)",
+        // The Fig. 3 composite expression.
+        "(a + b + c) / 3",
+        // Error surfaces: division/modulo by zero and domain errors must
+        // fail identically (the grid includes 0 and negatives).
+        "a / b", "a % b", "sqrt(b)", "log(b)", "log10(c)", "sqrt(c)",
+        // ...and short-circuiting / untaken branches must *mask* them
+        // identically.
+        "b != 0 && a / b > 0", "b == 0 || a / b > 0",
+        "b == 0 ? 0 : a / b"));
+
+TEST(Compiled, UnboundVariableFailsAtBindTime) {
+  auto compiled = Expression::compile("a + d");
+  ASSERT_TRUE(compiled.is_ok());
+  auto program = compiled.value().bind(kSlots);
+  ASSERT_FALSE(program.is_ok());
+  EXPECT_EQ(program.status().code(), util::ErrorCode::kNotFound);
+  EXPECT_NE(program.status().message().find("'d'"), std::string::npos);
+}
+
+TEST(Compiled, UnknownFunctionFailsAtBindTime) {
+  auto compiled = Expression::compile("mystery(a)");
+  ASSERT_TRUE(compiled.is_ok());
+  auto program = compiled.value().bind(kSlots);
+  ASSERT_FALSE(program.is_ok());
+  EXPECT_EQ(program.status().code(), util::ErrorCode::kNotFound);
+  EXPECT_NE(program.status().message().find("mystery"), std::string::npos);
+}
+
+TEST(Compiled, EmptyExpressionBindFailsPrecondition) {
+  Expression e;
+  EXPECT_EQ(e.bind(kSlots).status().code(),
+            util::ErrorCode::kFailedPrecondition);
+}
+
+TEST(Compiled, SlotOrderFollowsBindingNotName) {
+  auto compiled = Expression::compile("a - b");
+  ASSERT_TRUE(compiled.is_ok());
+  auto program = compiled.value().bind(std::vector<std::string>{"b", "a"});
+  ASSERT_TRUE(program.is_ok());
+  const double slots[] = {10.0, 3.0};  // b=10, a=3
+  EXPECT_DOUBLE_EQ(program.value().evaluate(slots).value(), -7.0);
+}
+
+TEST(Compiled, RuntimeErrorMessagesMatchTreeWalk) {
+  auto program = bind_abc("a / b");
+  const double slots[] = {1.0, 0.0, 0.0};
+  auto result = program.evaluate(slots);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), util::ErrorCode::kInvalidArgument);
+  EXPECT_EQ(result.status().message(), "division by zero");
+
+  auto mod = bind_abc("a % b").evaluate(slots);
+  ASSERT_FALSE(mod.is_ok());
+  EXPECT_EQ(mod.status().message(), "modulo by zero");
+}
+
+TEST(Compiled, TooFewSlotValuesIsInvalidArgument) {
+  auto program = bind_abc("a + c");
+  const double slots[] = {1.0};
+  EXPECT_EQ(program.evaluate(slots).status().code(),
+            util::ErrorCode::kInvalidArgument);
+}
+
+TEST(Compiled, DeepExpressionSpillsToHeapStack) {
+  // Right-nested sum ~100 deep: operand stack exceeds the inline buffer, so
+  // evaluation must take the heap-allocated path and still agree with the
+  // tree walk.
+  std::string source = "a";
+  for (int i = 0; i < 100; ++i) source = "1 + (" + source + ")";
+  auto parsed = parse(source);
+  ASSERT_TRUE(parsed.is_ok());
+  auto program = bind_abc(source);
+  ASSERT_TRUE(program.is_valid());
+  Environment env;
+  env.set("a", 2.5);
+  env.set("b", 0.0);
+  env.set("c", 0.0);
+  const double slots[] = {2.5, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(program.evaluate(slots).value(),
+                   evaluate(*parsed.value(), env).value());
+  EXPECT_DOUBLE_EQ(program.evaluate(slots).value(), 102.5);
+}
+
+}  // namespace
+}  // namespace sensorcer::expr
