@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "obs/metrics.h"
 #include "util/strings.h"
 #include "core/deployment.h"
 
@@ -31,13 +32,22 @@ void cache_ablation() {
     }
 
     const auto lookups_before = lab.lookups()[0]->lookup_count();
+    const auto hits_before =
+        obs::metrics().counter("accessor.cache_hits").value();
+    const auto misses_before =
+        obs::metrics().counter("accessor.cache_misses").value();
     for (int read = 0; read < 100; ++read) (void)csp->get_value();
     const auto lookups = lab.lookups()[0]->lookup_count() - lookups_before;
+    const auto hits =
+        obs::metrics().counter("accessor.cache_hits").value() - hits_before;
+    const auto misses =
+        obs::metrics().counter("accessor.cache_misses").value() -
+        misses_before;
 
     rows.push_back({cached ? "enabled" : "disabled",
                     std::to_string(lookups),
-                    std::to_string(lab.accessor().cache_hits()),
-                    std::to_string(lab.accessor().cache_misses())});
+                    std::to_string(hits),
+                    std::to_string(misses)});
   }
   std::puts(util::render_table(
                 {"cache", "registry lookups", "cache hits", "cache misses"},

@@ -7,9 +7,11 @@
 #
 # bench_read_path (google-benchmark) covers the hot serving loop — cold vs
 # warm vs coalesced reads, direct fan-out, tree-walk vs slot-compiled
-# evaluation — and lands machine-readable JSON. bench_exertion and
-# bench_lease_churn are report-style benches (virtual-time tables from their
-# own main); their outputs are captured verbatim.
+# evaluation — and lands machine-readable JSON. bench_exertion,
+# bench_lease_churn, bench_header_overhead and bench_failover are
+# report-style benches (virtual-time tables from their own main); their
+# outputs are captured verbatim. The last two track the wire invocation
+# pipeline: per-hop protocol/header cost and partition-driven failover.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,7 +20,8 @@ FILTER="${SENSORCER_BENCH_FILTER:-}"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-  --target bench_read_path bench_exertion bench_lease_churn
+  --target bench_read_path bench_exertion bench_lease_churn \
+  bench_header_overhead bench_failover
 
 echo "=== bench_read_path -> BENCH_read_path.json ==="
 "$BUILD_DIR/bench/bench_read_path" \
@@ -26,7 +29,7 @@ echo "=== bench_read_path -> BENCH_read_path.json ==="
   --benchmark_out_format=json \
   --benchmark_out=BENCH_read_path.json
 
-for b in exertion lease_churn; do
+for b in exertion lease_churn header_overhead failover; do
   echo "=== bench_$b -> BENCH_$b.txt ==="
   "$BUILD_DIR/bench/bench_$b" | tee "BENCH_$b.txt"
 done

@@ -176,17 +176,27 @@ std::vector<std::optional<double>> CompositeSensorProvider::fan_out(
     if (federated) *latency = job->latency();
   }
   if (!federated) {
-    // No rendezvous peer on the network: invoke components directly. With a
-    // worker pool the fan-out runs in parallel and costs the slowest child
-    // plus the per-child dispatch overhead — the Jobber's parallel latency
-    // model; without one it degrades to the sequential child-latency sum.
-    if (policy_.pool != nullptr && tasks.size() > 1) {
+    // No rendezvous peer on the network: invoke components directly through
+    // the invocation pipeline. With a worker pool the fan-out runs in
+    // parallel and costs the slowest child plus the per-child dispatch
+    // overhead — the Jobber's parallel latency model; without one it
+    // degrades to the sequential child-latency sum. Wire transport forces
+    // the inline path: blocked wire calls pump the single-threaded
+    // virtual-time scheduler and must not park pool threads.
+    const auto dispatch = [this](const std::shared_ptr<sorcer::Task>& task) {
+      auto servicer = accessor_.find_servicer(task->signature());
+      if (servicer.is_ok()) {
+        (void)sorcer::invoke_servicer(accessor_, servicer.value(), task,
+                                      nullptr);
+      }
+    };
+    if (policy_.pool != nullptr && tasks.size() > 1 &&
+        !accessor_.wire_transport()) {
       std::vector<std::future<void>> futures;
       futures.reserve(tasks.size());
       for (const auto& task : tasks) {
-        futures.push_back(policy_.pool->submit([this, task] {
-          auto servicer = accessor_.find_servicer(task->signature());
-          if (servicer.is_ok()) (void)servicer.value()->service(task, nullptr);
+        futures.push_back(policy_.pool->submit([&dispatch, task] {
+          dispatch(task);
         }));
       }
       for (auto& f : futures) f.get();
@@ -199,8 +209,7 @@ std::vector<std::optional<double>> CompositeSensorProvider::fan_out(
     } else {
       util::SimDuration total = 0;
       for (const auto& task : tasks) {
-        auto servicer = accessor_.find_servicer(task->signature());
-        if (servicer.is_ok()) (void)servicer.value()->service(task, nullptr);
+        dispatch(task);
         total += task->latency();
       }
       *latency = total;
@@ -235,6 +244,24 @@ CompositeSensorProvider::Collected CompositeSensorProvider::collect() {
   // Single-flight: if another reader is already collecting, wait for its
   // flight to land and share the result instead of fanning out again.
   if (collect_in_flight_) {
+    if (collect_owner_ == std::this_thread::get_id()) {
+      // Re-entrant read on the collecting thread itself — under wire
+      // transport the in-flight fan-out pumps the virtual-time scheduler,
+      // which can fire a timer (watch poll, sampler) that reads this CSP
+      // again on the same stack. Waiting would self-deadlock; serve the
+      // previous collection if one exists, else run an independent fan-out
+      // without touching the single-flight state.
+      if (cache_valid_) {
+        csp_metrics().coalesced.add(1);
+        last_collection_latency_.store(0, std::memory_order_relaxed);
+        return Collected{cached_values_, cache_time_, true};
+      }
+      const std::vector<PlanEntry> plan = plan_;
+      lock.unlock();
+      util::SimDuration latency = 0;
+      std::vector<std::optional<double>> values = fan_out(plan, &latency);
+      return Collected{std::move(values), scheduler_.now(), false};
+    }
     csp_metrics().coalesced.add(1);
     const std::uint64_t waited_for = collect_generation_;
     collect_cv_.wait(lock,
@@ -243,6 +270,7 @@ CompositeSensorProvider::Collected CompositeSensorProvider::collect() {
     return Collected{cached_values_, cache_time_, true};
   }
   collect_in_flight_ = true;
+  collect_owner_ = std::this_thread::get_id();
 
   // The fan-out plan (task name + signature per component) is prebuilt and
   // survives across reads until the composition changes.
@@ -270,6 +298,7 @@ CompositeSensorProvider::Collected CompositeSensorProvider::collect() {
   cache_time_ = scheduler_.now();
   cache_valid_ = true;
   collect_in_flight_ = false;
+  collect_owner_ = {};
   ++collect_generation_;
   const util::SimTime at = cache_time_;
   lock.unlock();

@@ -24,6 +24,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/interfaces.h"
@@ -173,6 +174,7 @@ class CompositeSensorProvider : public sorcer::ServiceProvider,
   util::SimTime cache_time_ = 0;
   std::vector<std::optional<double>> cached_values_;
   bool collect_in_flight_ = false;
+  std::thread::id collect_owner_{};       // thread driving the in-flight fan-out
   std::uint64_t collect_generation_ = 0;  // bumped when a flight lands
 };
 

@@ -16,6 +16,12 @@ Deployment::Deployment(DeploymentConfig config)
   // several coexist, e.g. in one test binary — fine for reports and tests).
   obs::set_sim_clock(&scheduler_);
 
+  // The invocation pipeline: every service-to-service dispatch routed
+  // through this accessor goes via the invoker (in-process by default;
+  // kWire puts the calls on the fabric as messages).
+  invoker_ = std::make_unique<sorcer::RemoteInvoker>(network_, config_.invoke);
+  accessor_.set_invoker(invoker_.get());
+
   // Lookup services: advertised over multicast discovery and also handed to
   // the accessor directly (unicast discovery), so clients work immediately.
   for (std::size_t i = 0; i < config_.lookup_services; ++i) {
@@ -33,6 +39,7 @@ Deployment::Deployment(DeploymentConfig config)
   if (config_.with_jobber) {
     jobber_ = std::make_shared<sorcer::Jobber>("Jobber", accessor_,
                                                pool_.get());
+    jobber_->attach_network(network_);
     for (const auto& lus : lookups_) {
       (void)jobber_->join(lus, lrm_, config_.lease_duration);
     }
@@ -40,6 +47,7 @@ Deployment::Deployment(DeploymentConfig config)
   if (config_.with_spacer) {
     spacer_ = std::make_shared<sorcer::Spacer>(
         "Spacer", accessor_, space_, config_.spacer_workers, pool_.get());
+    spacer_->attach_network(network_);
     for (const auto& lus : lookups_) {
       (void)spacer_->join(lus, lrm_, config_.lease_duration);
     }
@@ -48,6 +56,7 @@ Deployment::Deployment(DeploymentConfig config)
   for (std::size_t i = 0; i < config_.cybernodes; ++i) {
     auto node = std::make_shared<rio::Cybernode>(
         util::format("Cybernode-%zu", i + 1), config_.cybernode_capability);
+    node->attach_network(network_);
     for (const auto& lus : lookups_) {
       (void)node->join(lus, lrm_, config_.lease_duration);
     }
@@ -58,6 +67,7 @@ Deployment::Deployment(DeploymentConfig config)
   monitor_config.service_lease = config_.lease_duration;
   monitor_ = std::make_shared<rio::ProvisionMonitor>(
       "Monitor", accessor_, lrm_, scheduler_, monitor_config);
+  monitor_->attach_network(network_);
   for (const auto& lus : lookups_) {
     (void)monitor_->join(lus, lrm_, config_.lease_duration);
   }
@@ -77,6 +87,7 @@ Deployment::Deployment(DeploymentConfig config)
       config_.sampling);
   facade_ = std::make_shared<SensorcerFacade>(
       "SenSORCER Facade", accessor_, *manager_, provisioner_.get());
+  facade_->attach_network(network_);
   for (const auto& lus : lookups_) {
     (void)facade_->join(lus, lrm_, config_.lease_duration);
   }

@@ -22,6 +22,7 @@
 #include "registry/event_mailbox.h"
 #include "registry/transaction.h"
 #include "rio/monitor.h"
+#include "sorcer/invoke.h"
 #include "sorcer/jobber.h"
 #include "sorcer/spacer.h"
 #include "util/thread_pool.h"
@@ -39,6 +40,10 @@ struct DeploymentConfig {
   std::size_t worker_threads = 4;
   util::SimDuration lease_duration = 30 * util::kSecond;
   util::SimDuration network_latency = 200 * util::kMicrosecond;
+  /// Invocation pipeline settings. kInProcess (the default) keeps direct
+  /// virtual calls with modeled byte accounting; kWire puts every
+  /// service-to-service call on the fabric as request/response messages.
+  sorcer::InvokeConfig invoke;
   rio::MonitorConfig monitor;
   CollectionPolicy collection;
   SamplingPolicy sampling;
@@ -81,6 +86,7 @@ class Deployment {
   registry::EventMailbox& event_mailbox() { return mailbox_; }
   registry::DiscoveryManager& discovery() { return discovery_; }
   sorcer::ServiceAccessor& accessor() { return accessor_; }
+  sorcer::RemoteInvoker& invoker() { return *invoker_; }
   util::ThreadPool* pool() { return pool_.get(); }
   sorcer::ExertSpace& space() { return space_; }
 
@@ -108,6 +114,9 @@ class Deployment {
   registry::EventMailbox mailbox_;
   registry::DiscoveryManager discovery_;
   std::vector<std::shared_ptr<registry::LookupService>> lookups_;
+  // Declared after network_: the invoker detaches its endpoint on
+  // destruction, so the fabric must outlive it.
+  std::unique_ptr<sorcer::RemoteInvoker> invoker_;
   sorcer::ServiceAccessor accessor_;
   std::unique_ptr<util::ThreadPool> pool_;
   sorcer::ExertSpace space_;

@@ -2,6 +2,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sorcer/exert.h"
 
 namespace sensorcer::core {
 
@@ -34,17 +35,24 @@ std::vector<SensorInfo> SensorcerFacade::get_sensor_list() {
 util::Result<double> SensorcerFacade::get_value(
     const std::string& service_name) {
   facade_requests().add(1);
-  // Root span for the whole request: resolution through the manager and the
-  // exertions/probe reads it triggers all nest below this context.
+  // Root span for the whole request: the exertion and the probe reads it
+  // triggers all nest below this context.
   obs::Span span =
       obs::tracer().start_span("facade.getValue:" + service_name);
   obs::ContextGuard guard(span.context());
-  auto sensor = manager_.find_sensor(service_name);
-  if (!sensor.is_ok()) {
+  // Facade reads are service-to-service calls like any other: a task
+  // exertion routed through the invocation pipeline, so they are
+  // byte-accounted — and really cross the fabric under wire transport —
+  // instead of short-circuiting into the provider object.
+  auto task = sorcer::Task::make(
+      "facade.read:" + service_name,
+      sorcer::Signature{kSensorDataAccessorType, op::kGetValue, service_name});
+  (void)sorcer::exert(task, accessor_);
+  if (task->status() != sorcer::ExertStatus::kDone) {
     span.set_ok(false);
-    return sensor.status();
+    return task->error();
   }
-  auto value = sensor.value()->get_value();
+  auto value = task->context().get_double(path::kValue);
   span.set_ok(value.is_ok());
   return value;
 }

@@ -17,6 +17,10 @@ SensorNetworkManager::SensorNetworkManager(
 
 void SensorNetworkManager::join_all(
     const std::shared_ptr<sorcer::ServiceProvider>& provider) {
+  // Managed services are full network citizens: endpoint on the fabric
+  // (dispatchable over the wire, RPC byte-accounted) plus registrations on
+  // every known lookup service.
+  if (network_ != nullptr) provider->attach_network(*network_);
   for (const auto& lus : accessor_.lookups()) {
     (void)provider->join(lus, lrm_, config_.lease_duration);
   }

@@ -55,6 +55,15 @@ std::string render_federation_health(const Snapshot& snap) {
                   std::to_string(snap.counter_or("sorcer.exert_failures")) +
                       " / " +
                       std::to_string(snap.counter_or("sorcer.substitutions"))});
+  rows.push_back({"invoke", "calls wire / in-process",
+                  std::to_string(snap.counter_or("invoke.wire_calls")) +
+                      " / " +
+                      std::to_string(snap.counter_or("invoke.inprocess_calls"))});
+  rows.push_back({"invoke", "timeouts / late responses",
+                  std::to_string(snap.counter_or("invoke.timeouts")) + " / " +
+                      std::to_string(snap.counter_or("invoke.late_responses"))});
+  rows.push_back({"invoke", "wire round-trip",
+                  latency_row(snap, "invoke.rtt_us")});
   rows.push_back({"collection", "CSP collection latency",
                   latency_row(snap, "csp.collection_latency_us")});
   rows.push_back({"provisioning", "provisions / re-provisions",

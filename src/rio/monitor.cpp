@@ -71,9 +71,29 @@ util::Result<std::shared_ptr<Cybernode>> ProvisionMonitor::pick_node(
 
 void ProvisionMonitor::register_instance(
     const std::shared_ptr<sorcer::ServiceProvider>& service) {
+  // Provisioned instances are full network citizens: attached to the same
+  // fabric as the pipeline so wire-mode exertions can reach them.
+  if (auto* invoker = accessor_.invoker();
+      invoker != nullptr && service->network() == nullptr) {
+    service->attach_network(invoker->network());
+  }
   for (const auto& lus : accessor_.lookups()) {
     (void)service->join(lus, lrm_, config_.service_lease);
   }
+}
+
+bool ProvisionMonitor::node_healthy(const std::shared_ptr<Cybernode>& node) {
+  if (!node->is_alive()) return false;
+  auto* invoker = accessor_.invoker();
+  if (invoker != nullptr &&
+      invoker->transport() == sorcer::Transport::kWire &&
+      node->network() == &invoker->network()) {
+    // Wire transport: trust the fabric, not the object — a partitioned or
+    // detached node fails its ping even though is_alive() says otherwise.
+    return invoker->ping(node->network_address(), config_.ping_timeout)
+        .is_ok();
+  }
+  return true;
 }
 
 util::Status ProvisionMonitor::place(const std::string& opstring_name,
@@ -172,13 +192,18 @@ ProvisionMonitor::deployed_instances(const std::string& opstring_name) const {
 }
 
 void ProvisionMonitor::poll_once() {
+  // Wire-mode pings pump the scheduler, which can fire this poll's own
+  // timer re-entrantly mid-sweep; one pass at a time.
+  if (polling_) return;
+  polling_ = true;
+
   // Find deployments whose node is gone and put them back to plan.
   std::vector<Deployment> lost;
   std::erase_if(deployments_, [&](const Deployment& d) {
     auto node = d.node.lock();
     // A restarted node comes back empty, so liveness alone is not health:
     // the node must still actually host the instance.
-    if (node && node->is_alive() &&
+    if (node && node_healthy(node) &&
         node->hosts(d.service->service_id())) {
       return false;
     }
@@ -209,6 +234,7 @@ void ProvisionMonitor::poll_once() {
       deployments_.push_back(d);
     }
   }
+  polling_ = false;
 }
 
 }  // namespace sensorcer::rio

@@ -146,6 +146,11 @@ class Network {
   [[nodiscard]] obs::Registry& metrics() { return metrics_; }
   [[nodiscard]] const obs::Registry& metrics() const { return metrics_; }
 
+  /// The virtual-time scheduler deliveries run on. Blocking request/response
+  /// protocols built over the fabric (sorcer::RemoteInvoker) pump it while
+  /// awaiting a reply.
+  [[nodiscard]] util::Scheduler& scheduler() { return scheduler_; }
+
  private:
   void charge_and_schedule(const Message& msg, Address dst);
   void charge(TrafficStats& endpoint, Protocol protocol,

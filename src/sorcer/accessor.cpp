@@ -94,14 +94,12 @@ util::Result<ServiceAccessor::Resolved> ServiceAccessor::resolve(
       if (lus && lus->contains(it->second.item.id)) {
         if (auto servicer =
                 registry::proxy_cast<Servicer>(it->second.item.proxy)) {
-          ++cache_hits_;
           accessor_metrics().hits.add(1);
           return Resolved{std::move(servicer), it->second.item.id};
         }
       }
       cache_.erase(it);
     }
-    ++cache_misses_;
     accessor_metrics().misses.add(1);
   }
 

@@ -14,6 +14,7 @@
 
 #include "registry/discovery.h"
 #include "registry/lookup.h"
+#include "sorcer/invoke.h"
 #include "sorcer/servicer.h"
 
 namespace sensorcer::sorcer {
@@ -59,8 +60,21 @@ class ServiceAccessor {
       const Signature& sig,
       const std::vector<registry::ServiceId>& exclude = {});
 
-  [[nodiscard]] std::uint64_t cache_hits() const { return cache_hits_; }
-  [[nodiscard]] std::uint64_t cache_misses() const { return cache_misses_; }
+  /// Wire the invocation pipeline in: every dispatch routed through this
+  /// accessor (exert, Jobber children, space workers, CSP fan-out, facade
+  /// reads) goes via `invoker`. Null reverts to plain direct calls.
+  /// Resolution cache effectiveness is tracked on the obs metrics registry
+  /// (accessor.cache_hits / accessor.cache_misses).
+  void set_invoker(RemoteInvoker* invoker) { invoker_ = invoker; }
+  [[nodiscard]] RemoteInvoker* invoker() const { return invoker_; }
+
+  /// True when dispatches through this accessor cross the simnet fabric —
+  /// blocking wire calls pump the single-threaded virtual-time scheduler,
+  /// so rendezvous peers and fan-outs must not park pool threads on them.
+  [[nodiscard]] bool wire_transport() const {
+    return invoker_ != nullptr && invoker_->transport() == Transport::kWire;
+  }
+
   void clear_cache();
 
   /// Disable/enable the resolution cache (ablation studies; enabled by
@@ -81,8 +95,7 @@ class ServiceAccessor {
   std::vector<std::weak_ptr<registry::LookupService>> lookups_;
   std::unordered_map<std::string, CacheSlot> cache_;
   bool caching_ = true;
-  std::uint64_t cache_hits_ = 0;
-  std::uint64_t cache_misses_ = 0;
+  RemoteInvoker* invoker_ = nullptr;
 };
 
 }  // namespace sensorcer::sorcer

@@ -2,6 +2,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sorcer/invoke.h"
 #include "sorcer/servicer.h"
 
 namespace sensorcer::sorcer {
@@ -26,7 +27,8 @@ util::Result<ExertionPtr> exert_impl(const ExertionPtr& exertion,
                                      registry::Transaction* txn) {
   if (exertion->kind() == Exertion::Kind::kTask) {
     auto task = std::static_pointer_cast<Task>(exertion);
-    // Service substitution (§V.A): when a provider is unavailable, pass the
+    // Service substitution (§V.A): when a provider is unavailable — or,
+    // under wire transport, unreachable within the call deadline — pass the
     // request on to an equivalent provider matching the same signature.
     // A pinned provider name means "this provider, exactly" — no
     // substitution (and the original error is preserved).
@@ -38,10 +40,13 @@ util::Result<ExertionPtr> exert_impl(const ExertionPtr& exertion,
         task->set_error(resolved.status());
         return util::Result<ExertionPtr>(exertion);
       }
-      auto result = resolved.value().servicer->service(exertion, txn);
-      if (task->status() != ExertStatus::kFailed ||
-          task->error().code() != util::ErrorCode::kUnavailable ||
-          attempt + 1 == kMaxAttempts) {
+      auto result =
+          invoke_servicer(accessor, resolved.value().servicer, exertion, txn);
+      const bool substitutable =
+          task->status() == ExertStatus::kFailed &&
+          (task->error().code() == util::ErrorCode::kUnavailable ||
+           task->error().code() == util::ErrorCode::kTimeout);
+      if (!substitutable || attempt + 1 == kMaxAttempts) {
         return result;
       }
       exert_metrics().substitutions.add(1);
@@ -63,7 +68,7 @@ util::Result<ExertionPtr> exert_impl(const ExertionPtr& exertion,
                         rendezvous_type + " on the network"});
     return util::Result<ExertionPtr>(exertion);
   }
-  return rendezvous.value()->service(exertion, txn);
+  return invoke_servicer(accessor, rendezvous.value(), exertion, txn);
 }
 
 }  // namespace

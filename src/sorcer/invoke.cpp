@@ -1,0 +1,248 @@
+#include "sorcer/invoke.h"
+
+#include <any>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sorcer/accessor.h"
+#include "sorcer/provider.h"
+#include "util/strings.h"
+
+namespace sensorcer::sorcer {
+
+namespace {
+
+struct InvokeMetrics {
+  obs::Counter& calls;
+  obs::Counter& wire_calls;
+  obs::Counter& inprocess_calls;
+  obs::Counter& timeouts;
+  obs::Counter& late_responses;
+  obs::Counter& pings;
+  obs::Counter& ping_failures;
+  obs::Histogram& rtt_us;
+};
+
+InvokeMetrics& invoke_metrics() {
+  static InvokeMetrics m{obs::metrics().counter("invoke.calls"),
+                         obs::metrics().counter("invoke.wire_calls"),
+                         obs::metrics().counter("invoke.inprocess_calls"),
+                         obs::metrics().counter("invoke.timeouts"),
+                         obs::metrics().counter("invoke.late_responses"),
+                         obs::metrics().counter("invoke.pings"),
+                         obs::metrics().counter("invoke.ping_failures"),
+                         obs::metrics().histogram("invoke.rtt_us")};
+  return m;
+}
+
+/// The historical direct-call path, shared by the invoker's kInProcess mode
+/// and by call sites with no invoker wired at all: a direct virtual call,
+/// with the RPC's bytes modeled against the provider's endpoint when it has
+/// a fabric attached (exactly what ServiceProvider::service used to charge).
+util::Result<ExertionPtr> in_process_call(
+    ServiceProvider* provider, const std::shared_ptr<Servicer>& servicer,
+    const ExertionPtr& exertion, registry::Transaction* txn) {
+  const std::size_t request_bytes =
+      exertion->context().wire_bytes() + wire::kRequestEnvelopeBytes;
+  auto result = servicer->service(exertion, txn);
+  if (provider != nullptr && provider->network() != nullptr) {
+    provider->network()->account_rpc(provider->network_address(),
+                                     provider->network_address(),
+                                     request_bytes,
+                                     exertion->context().wire_bytes());
+  }
+  return result;
+}
+
+}  // namespace
+
+RemoteInvoker::RemoteInvoker(simnet::Network& net, InvokeConfig config)
+    : net_(net), config_(config), addr_(util::new_uuid()) {
+  net_.attach(addr_, [this](const simnet::Message& msg) { on_message(msg); });
+}
+
+RemoteInvoker::~RemoteInvoker() { net_.detach(addr_); }
+
+void RemoteInvoker::on_message(const simnet::Message& msg) {
+  if (msg.topic != wire::kResponseTopic && msg.topic != wire::kPongTopic) {
+    return;
+  }
+  const auto* rsp = std::any_cast<wire::Response>(&msg.body);
+  if (rsp == nullptr) return;
+  if (pending_.erase(rsp->call_id) == 0) {
+    // The call already timed out and gave up on this id.
+    invoke_metrics().late_responses.add(1);
+    return;
+  }
+  done_.emplace(rsp->call_id, rsp->transport_status);
+}
+
+bool RemoteInvoker::pump_until(std::uint64_t call_id, util::SimTime deadline) {
+  util::Scheduler& sched = net_.scheduler();
+  // Step event-by-event so the clock never overshoots the deadline while a
+  // response is still in flight. Nested calls (a provider invoking
+  // downstream mid-dispatch) pump the same scheduler recursively; lookups
+  // into done_ re-check after every step because a nested pump may have
+  // completed this call already.
+  while (!done_.contains(call_id)) {
+    const util::SimTime next = sched.next_event_time();
+    if (next > deadline) break;
+    sched.run_until(next);
+  }
+  if (done_.contains(call_id)) return true;
+  // Nothing more can arrive in time; idle out the rest of the deadline so
+  // the requestor's blocking wait is visible on the virtual clock.
+  sched.run_until(deadline);
+  return done_.contains(call_id);
+}
+
+util::Result<ExertionPtr> RemoteInvoker::invoke(
+    const std::shared_ptr<Servicer>& servicer, const ExertionPtr& exertion,
+    registry::Transaction* txn) {
+  if (!servicer || !exertion) {
+    return util::Status{util::ErrorCode::kInvalidArgument,
+                        "null servicer or exertion"};
+  }
+  invoke_metrics().calls.add(1);
+  auto* provider = dynamic_cast<ServiceProvider*>(servicer.get());
+  const bool wire_eligible = config_.transport == Transport::kWire &&
+                             provider != nullptr &&
+                             provider->network() == &net_ &&
+                             net_.is_attached(provider->network_address());
+  if (!wire_eligible) {
+    invoke_metrics().inprocess_calls.add(1);
+    return in_process_call(provider, servicer, exertion, txn);
+  }
+  return invoke_wire(provider, exertion, txn);
+}
+
+util::Result<ExertionPtr> RemoteInvoker::invoke_wire(
+    ServiceProvider* provider, const ExertionPtr& exertion,
+    registry::Transaction* txn) {
+  invoke_metrics().wire_calls.add(1);
+  util::Scheduler& sched = net_.scheduler();
+
+  obs::TraceContext parent = exertion->trace_context().valid()
+                                 ? exertion->trace_context()
+                                 : obs::current_context();
+  obs::Span span = obs::tracer().start_span(
+      "rpc:" + exertion->name() + "->" + provider->provider_name(), parent);
+  obs::ContextGuard guard(span.context());
+
+  const std::uint64_t call_id = next_call_id_++;
+  const util::SimTime started = sched.now();
+  const util::SimDuration accrued_before = exertion->latency();
+
+  simnet::Message req;
+  req.source = addr_;
+  req.destination = provider->network_address();
+  req.topic = wire::kRequestTopic;
+  req.body = wire::Request{call_id, addr_, exertion, txn};
+  req.payload_bytes =
+      exertion->context().wire_bytes() + wire::kRequestEnvelopeBytes;
+  req.protocol = simnet::Protocol::kTcp;
+
+  pending_.insert(call_id);
+  if (util::Status sent = net_.send(req); !sent.is_ok()) {
+    pending_.erase(call_id);
+    span.set_ok(false);
+    exertion->set_error({util::ErrorCode::kUnavailable,
+                         util::format("endpoint of '%s' unreachable: %s",
+                                      provider->provider_name().c_str(),
+                                      sent.message().c_str())});
+    return util::Result<ExertionPtr>(exertion);
+  }
+
+  if (!pump_until(call_id, started + config_.call_timeout)) {
+    pending_.erase(call_id);
+    invoke_metrics().timeouts.add(1);
+    span.set_ok(false);
+    // At-most-once from the requestor's view: the request (or its response)
+    // was lost to the fabric — loss, partition, or a dead endpoint. The
+    // provider may still have executed; a late response is dropped.
+    exertion->set_error({util::ErrorCode::kTimeout,
+                         util::format("no response from '%s' within %s",
+                                      provider->provider_name().c_str(),
+                                      util::format_duration(
+                                          config_.call_timeout)
+                                          .c_str())});
+    return util::Result<ExertionPtr>(exertion);
+  }
+
+  const util::Status transport_status = done_.at(call_id);
+  done_.erase(call_id);
+
+  // The round trip advanced the virtual clock by the real wire delays plus
+  // the provider's modeled service time; top the exertion's latency account
+  // up to what the requestor actually waited, so wire-mode latency reflects
+  // transport cost too (never less than the modeled in-process figure).
+  const util::SimDuration elapsed = sched.now() - started;
+  const util::SimDuration accrued = exertion->latency() - accrued_before;
+  if (elapsed > accrued) exertion->add_latency(elapsed - accrued);
+  invoke_metrics().rtt_us.observe(static_cast<double>(elapsed));
+
+  if (!transport_status.is_ok()) {
+    span.set_ok(false);
+    return transport_status;
+  }
+  span.set_ok(exertion->status() != ExertStatus::kFailed);
+  return util::Result<ExertionPtr>(exertion);
+}
+
+util::Status RemoteInvoker::ping(simnet::Address target,
+                                 util::SimDuration timeout) {
+  invoke_metrics().pings.add(1);
+  util::Scheduler& sched = net_.scheduler();
+  const std::uint64_t call_id = next_call_id_++;
+
+  simnet::Message msg;
+  msg.source = addr_;
+  msg.destination = target;
+  msg.topic = wire::kPingTopic;
+  msg.body = wire::Request{call_id, addr_, nullptr, nullptr};
+  msg.payload_bytes = wire::kPingBytes;
+  msg.protocol = simnet::Protocol::kUdp;
+
+  pending_.insert(call_id);
+  if (util::Status sent = net_.send(msg); !sent.is_ok()) {
+    pending_.erase(call_id);
+    invoke_metrics().ping_failures.add(1);
+    return sent;
+  }
+  const util::SimDuration budget =
+      timeout > 0 ? timeout : config_.ping_timeout;
+  if (!pump_until(call_id, sched.now() + budget)) {
+    pending_.erase(call_id);
+    invoke_metrics().ping_failures.add(1);
+    return {util::ErrorCode::kTimeout,
+            "no pong from " + target.to_string() + " within " +
+                util::format_duration(budget)};
+  }
+  done_.erase(call_id);
+  return util::Status::ok();
+}
+
+util::Result<ExertionPtr> ServicerStub::exert(const ExertionPtr& exertion,
+                                              registry::Transaction* txn) {
+  if (invoker_ != nullptr) return invoker_->invoke(servicer_, exertion, txn);
+  return in_process_call(dynamic_cast<ServiceProvider*>(servicer_.get()),
+                         servicer_, exertion, txn);
+}
+
+util::Result<ExertionPtr> invoke_servicer(
+    ServiceAccessor& accessor, const std::shared_ptr<Servicer>& servicer,
+    const ExertionPtr& exertion, registry::Transaction* txn) {
+  if (!servicer || !exertion) {
+    return util::Status{util::ErrorCode::kInvalidArgument,
+                        "null servicer or exertion"};
+  }
+  if (RemoteInvoker* invoker = accessor.invoker(); invoker != nullptr) {
+    return invoker->invoke(servicer, exertion, txn);
+  }
+  // No invoker wired (bare accessor, unit tests): the historical direct
+  // call, still byte-modeled when the provider sits on a fabric.
+  return in_process_call(dynamic_cast<ServiceProvider*>(servicer.get()),
+                         servicer, exertion, txn);
+}
+
+}  // namespace sensorcer::sorcer

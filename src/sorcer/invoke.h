@@ -1,0 +1,169 @@
+#pragma once
+// The unified service-to-service invocation pipeline.
+//
+// Every exertion dispatch — exert()'s task binding, the Jobber's child
+// dispatch, space workers, the CSP's direct fan-out, facade reads — funnels
+// through invoke_servicer(), which routes the call through the accessor's
+// RemoteInvoker. Under Transport::kWire the call really crosses the simnet
+// fabric: the request is marshalled into a Message sized by the exertion's
+// modeled context bytes, sent under TCP protocol headers with trace-context
+// propagation, dispatched provider-side by ServiceProvider's network
+// handler, and answered the same way. Loss, partitions, bandwidth shaping
+// and per-call deadlines (kTimeout) all come from the fabric for free —
+// once calls are messages, they can be observed, dropped, and re-routed.
+//
+// Transport::kInProcess (the default) keeps the historical direct virtual
+// call plus account_rpc() byte modeling, so unit tests and the PR 2
+// read-path numbers stay comparable.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "registry/transaction.h"
+#include "simnet/network.h"
+#include "sorcer/exertion.h"
+#include "sorcer/servicer.h"
+
+namespace sensorcer::sorcer {
+
+class ServiceAccessor;
+class ServiceProvider;
+
+/// How invoke_servicer() reaches a provider.
+enum class Transport {
+  kInProcess,  // direct virtual call; bytes modeled via account_rpc()
+  kWire,       // request/response Messages over the simnet fabric
+};
+
+/// Wire-protocol topics (application dispatch tags on Messages).
+namespace wire {
+inline constexpr const char* kRequestTopic = "invoke.request";
+inline constexpr const char* kResponseTopic = "invoke.response";
+inline constexpr const char* kPingTopic = "invoke.ping";
+inline constexpr const char* kPongTopic = "invoke.pong";
+
+/// Marshalling envelope sizes, charged on top of the exertion's modeled
+/// context bytes: call id + reply address + signature on the request,
+/// call id + status on the response. The request constant matches the
+/// historical in-process model (context + 64), keeping byte accounting
+/// continuous across transports.
+inline constexpr std::size_t kRequestEnvelopeBytes = 64;
+inline constexpr std::size_t kResponseEnvelopeBytes = 32;
+inline constexpr std::size_t kPingBytes = 16;
+
+/// Request body: the exertion rides by reference (the fabric charges
+/// payload_bytes for the modeled serialized form).
+struct Request {
+  std::uint64_t call_id = 0;
+  simnet::Address reply_to;
+  ExertionPtr exertion;
+  registry::Transaction* txn = nullptr;
+};
+
+/// Response body. `transport_status` reports dispatch-layer failures only;
+/// application failures travel inside the exertion itself.
+struct Response {
+  std::uint64_t call_id = 0;
+  util::Status transport_status = util::Status::ok();
+};
+}  // namespace wire
+
+struct InvokeConfig {
+  Transport transport = Transport::kInProcess;
+  /// Per-call deadline: how long (virtual time) a requestor pumps the fabric
+  /// for a response before failing the call with kTimeout. Generous by
+  /// default so a coordinated job's child round-trips fit inside the parent
+  /// call; tests shrink it to observe deadline behaviour cheaply.
+  util::SimDuration call_timeout = 2 * util::kSecond;
+  /// Deadline for liveness pings (Rio monitor's provider health probes).
+  util::SimDuration ping_timeout = 50 * util::kMillisecond;
+};
+
+/// Client half of the pipeline ("requestor proxy" in SORCER terms — the
+/// dynamically downloaded service stub). One per deployment; the accessor
+/// hands it to every call site. Wire mode is single-threaded by design: a
+/// blocked call pumps the virtual-time scheduler until its response lands,
+/// so nested calls (provider invoking downstream providers mid-dispatch)
+/// interleave on one stack, exactly like the fabric's event loop.
+class RemoteInvoker {
+ public:
+  RemoteInvoker(simnet::Network& net, InvokeConfig config = {});
+  ~RemoteInvoker();
+
+  RemoteInvoker(const RemoteInvoker&) = delete;
+  RemoteInvoker& operator=(const RemoteInvoker&) = delete;
+
+  /// Invoke `servicer->service(exertion, txn)` through the configured
+  /// transport. Wire-ineligible targets (not a ServiceProvider, or not
+  /// attached to this invoker's fabric) fall back to the in-process path,
+  /// so mixed deployments keep working. On deadline expiry the exertion is
+  /// failed with kTimeout and returned (at-most-once semantics: the
+  /// provider may still have executed; a late response is dropped).
+  util::Result<ExertionPtr> invoke(const std::shared_ptr<Servicer>& servicer,
+                                   const ExertionPtr& exertion,
+                                   registry::Transaction* txn);
+
+  /// Liveness probe: round-trips a ping datagram to `target`. kTimeout when
+  /// no pong arrives within the deadline (partitioned / detached / dead),
+  /// kNotFound when the endpoint is not attached at all.
+  util::Status ping(simnet::Address target, util::SimDuration timeout = 0);
+
+  [[nodiscard]] Transport transport() const { return config_.transport; }
+  void set_transport(Transport t) { config_.transport = t; }
+  void set_call_timeout(util::SimDuration t) { config_.call_timeout = t; }
+  [[nodiscard]] const InvokeConfig& config() const { return config_; }
+
+  [[nodiscard]] simnet::Network& network() { return net_; }
+  [[nodiscard]] simnet::Address address() const { return addr_; }
+
+ private:
+  util::Result<ExertionPtr> invoke_in_process(
+      ServiceProvider* provider, const std::shared_ptr<Servicer>& servicer,
+      const ExertionPtr& exertion, registry::Transaction* txn);
+  util::Result<ExertionPtr> invoke_wire(ServiceProvider* provider,
+                                        const ExertionPtr& exertion,
+                                        registry::Transaction* txn);
+  void on_message(const simnet::Message& msg);
+  /// Pump the fabric until `call_id` completes or `deadline` passes.
+  /// Returns true on completion.
+  bool pump_until(std::uint64_t call_id, util::SimTime deadline);
+
+  simnet::Network& net_;
+  InvokeConfig config_;
+  simnet::Address addr_;
+  std::uint64_t next_call_id_ = 1;
+  std::unordered_set<std::uint64_t> pending_;
+  std::unordered_map<std::uint64_t, util::Status> done_;
+};
+
+/// A bound stub: the pairing of a resolved Servicer proxy with the invoker
+/// that reaches it. What the accessor's resolution hands back conceptually —
+/// call sites that hold a provider across calls keep one of these instead
+/// of re-deciding the transport each time.
+class ServicerStub {
+ public:
+  ServicerStub(std::shared_ptr<Servicer> servicer, RemoteInvoker* invoker)
+      : servicer_(std::move(servicer)), invoker_(invoker) {}
+
+  util::Result<ExertionPtr> exert(const ExertionPtr& exertion,
+                                  registry::Transaction* txn = nullptr);
+
+  [[nodiscard]] const std::shared_ptr<Servicer>& servicer() const {
+    return servicer_;
+  }
+
+ private:
+  std::shared_ptr<Servicer> servicer_;
+  RemoteInvoker* invoker_;  // null = plain direct call
+};
+
+/// The one call-site entry point: route `servicer->service(...)` through
+/// `accessor`'s invoker (direct virtual call when none is wired).
+util::Result<ExertionPtr> invoke_servicer(
+    ServiceAccessor& accessor, const std::shared_ptr<Servicer>& servicer,
+    const ExertionPtr& exertion, registry::Transaction* txn);
+
+}  // namespace sensorcer::sorcer

@@ -121,7 +121,11 @@ void Jobber::run_sequence(Job& job, registry::Transaction* txn) {
 void Jobber::run_parallel(Job& job, registry::Transaction* txn) {
   const auto& children = job.children();
 
-  if (pool_ != nullptr && children.size() > 1) {
+  // Wire transport is single-threaded: a dispatched child blocks pumping
+  // the virtual-time scheduler, so parking pool threads on children would
+  // deadlock the event loop. Children then run inline (interleaved on the
+  // fabric) but keep the parallel latency model below.
+  if (pool_ != nullptr && children.size() > 1 && !accessor_.wire_transport()) {
     std::vector<std::future<void>> futures;
     futures.reserve(children.size());
     for (const auto& child : children) {

@@ -1,9 +1,11 @@
 #include "sorcer/provider.h"
 
 #include <algorithm>
+#include <any>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sorcer/invoke.h"
 #include "util/strings.h"
 
 namespace sensorcer::sorcer {
@@ -41,6 +43,9 @@ ServiceProvider::~ServiceProvider() {
   for (auto& j : joined_) {
     if (j.lrm != nullptr) j.lrm->release(j.lease_id);
   }
+  // The endpoint handler captures `this`; take it off the fabric so pending
+  // deliveries are dropped instead of dispatched into a destroyed provider.
+  if (net_ != nullptr) net_->detach(net_addr_);
 }
 
 void ServiceProvider::add_operation(const std::string& selector, Operation op,
@@ -53,9 +58,68 @@ void ServiceProvider::set_attributes(registry::Entry attributes) {
 }
 
 void ServiceProvider::attach_network(simnet::Network& net) {
+  if (net_ != nullptr) net_->detach(net_addr_);
   net_ = &net;
-  net_addr_ = util::new_uuid();
-  net.attach(net_addr_, [](const simnet::Message&) {});
+  if (net_addr_.is_nil()) net_addr_ = util::new_uuid();
+  net.attach(net_addr_,
+             [this](const simnet::Message& msg) { handle_network_message(msg); });
+}
+
+void ServiceProvider::handle_network_message(const simnet::Message& msg) {
+  if (net_ == nullptr) return;
+
+  if (msg.topic == wire::kPingTopic) {
+    const auto* ping = std::any_cast<wire::Request>(&msg.body);
+    if (ping == nullptr) return;
+    simnet::Message pong;
+    pong.source = net_addr_;
+    pong.destination = ping->reply_to;
+    pong.topic = wire::kPongTopic;
+    pong.body = wire::Response{ping->call_id, util::Status::ok()};
+    pong.payload_bytes = wire::kPingBytes;
+    pong.protocol = simnet::Protocol::kUdp;
+    (void)net_->send(pong);
+    return;
+  }
+
+  if (msg.topic != wire::kRequestTopic) return;
+  const auto* req = std::any_cast<wire::Request>(&msg.body);
+  if (req == nullptr || !req->exertion) return;
+
+  util::Scheduler& sched = net_->scheduler();
+  const util::SimTime started = sched.now();
+  const util::SimDuration accrued_before = req->exertion->latency();
+
+  auto result = service(req->exertion, req->txn);
+
+  simnet::Message rsp;
+  rsp.source = net_addr_;
+  rsp.destination = req->reply_to;
+  rsp.topic = wire::kResponseTopic;
+  rsp.body = wire::Response{
+      req->call_id, result.is_ok() ? util::Status::ok() : result.status()};
+  rsp.payload_bytes =
+      req->exertion->context().wire_bytes() + wire::kResponseEnvelopeBytes;
+  rsp.protocol = simnet::Protocol::kTcp;
+  // The deferred send below runs from a bare scheduler callback with no
+  // thread-local trace; stamp the propagation header now.
+  rsp.trace = obs::current_context();
+
+  // The exertion's latency account says how long the dispatch *should* have
+  // taken; nested wire hops already advanced the virtual clock by some of
+  // that. Hold the response back for the remainder so the requestor
+  // observes the modeled service time end to end.
+  const util::SimDuration modeled = req->exertion->latency() - accrued_before;
+  const util::SimDuration elapsed = sched.now() - started;
+  const util::SimDuration defer = modeled > elapsed ? modeled - elapsed : 0;
+  if (defer > 0) {
+    // Capture the network by value, not `this`: the provider may be gone by
+    // send time (its endpoint detached; the fabric outlives providers).
+    simnet::Network* net = net_;
+    sched.schedule_after(defer, [net, rsp] { (void)net->send(rsp); });
+  } else {
+    (void)net_->send(rsp);
+  }
 }
 
 registry::ServiceItem ServiceProvider::service_item() {
@@ -134,12 +198,10 @@ util::Result<ExertionPtr> ServiceProvider::service(
       obs::tracer().start_span("invoke:" + name_ + "#" + sig.selector, parent);
   obs::ContextGuard trace_guard(span.context());
   task->set_status(ExertStatus::kRunning);
-  const std::size_t request_bytes = task->context().wire_bytes() + 64;
+  // Byte accounting lives in the invocation pipeline (sorcer/invoke.*):
+  // wire transport charges real request/response messages, the in-process
+  // path models the same RPC via account_rpc.
   util::Status result = op->second.fn(task->context());
-  if (net_ != nullptr) {
-    net_->account_rpc(net_addr_, net_addr_, request_bytes,
-                      task->context().wire_bytes());
-  }
   const util::SimDuration modeled =
       op->second.service_time + extra_invocation_latency(sig.selector);
   task->add_latency(modeled);

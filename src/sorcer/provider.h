@@ -44,11 +44,15 @@ class ServiceProvider : public Servicer,
   /// attributes are added automatically).
   void set_attributes(registry::Entry attributes);
 
-  /// Enable traffic accounting: every task invocation is charged to `net`
-  /// as a request/response RPC sized by the exertion's context. This is how
-  /// the header-overhead and data-flow experiments observe wire cost.
+  /// Put this provider on the fabric: attaches an endpoint whose handler
+  /// dispatches invoke.request messages through service() and answers with
+  /// invoke.response (plus invoke.ping → invoke.pong liveness probes). Also
+  /// enables byte accounting for in-process invocations routed through the
+  /// invocation pipeline. Re-attaching moves the endpoint; the destructor
+  /// detaches it.
   void attach_network(simnet::Network& net);
 
+  [[nodiscard]] simnet::Network* network() const { return net_; }
   [[nodiscard]] simnet::Address network_address() const { return net_addr_; }
 
   // --- join/leave protocol --------------------------------------------------
@@ -106,6 +110,10 @@ class ServiceProvider : public Servicer,
   }
 
  private:
+  /// Endpoint handler installed by attach_network: executes wire requests
+  /// and answers liveness pings.
+  void handle_network_message(const simnet::Message& msg);
+
   struct OpRecord {
     Operation fn;
     util::SimDuration service_time;

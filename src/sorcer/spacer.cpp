@@ -87,7 +87,10 @@ util::Result<ExertionPtr> Spacer::service(ExertionPtr exertion,
   for (const auto& task : tasks) space_.write(task);
 
   // Drain with the worker crew (real threads when a pool is available).
-  if (pool_ != nullptr && workers_ > 1) {
+  // Under wire transport execution is single-threaded — a blocked take()
+  // executor pumps the scheduler — so the crew runs inline; the makespan
+  // model below still charges worker-parallel virtual time.
+  if (pool_ != nullptr && workers_ > 1 && !accessor_.wire_transport()) {
     std::vector<std::future<void>> crew;
     for (std::size_t w = 0; w < workers_; ++w) {
       crew.push_back(pool_->submit([this, txn] {

@@ -18,10 +18,20 @@ namespace sensorcer::util {
 /// Handle for cancelling a scheduled event.
 using TimerId = std::uint64_t;
 
+/// Sentinel returned by Scheduler::next_event_time() on an empty queue.
+inline constexpr SimTime kNever = INT64_MAX;
+
 class Scheduler {
  public:
   /// Current virtual time.
   [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Timestamp of the earliest queued event, or kNever when the queue is
+  /// empty. Lets a blocking caller (e.g. an RPC awaiting its response) pump
+  /// the queue event-by-event up to a deadline without overshooting it.
+  [[nodiscard]] SimTime next_event_time() const {
+    return queue_.empty() ? kNever : queue_.begin()->first.first;
+  }
 
   /// Run `fn` at absolute virtual time `when` (clamped to now).
   TimerId schedule_at(SimTime when, std::function<void()> fn);

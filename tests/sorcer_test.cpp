@@ -6,6 +6,7 @@
 
 #include <atomic>
 
+#include "obs/metrics.h"
 #include "sorcer/exert.h"
 #include "sorcer/jobber.h"
 #include "sorcer/spacer.h"
@@ -208,9 +209,16 @@ TEST_F(FederationTest, ServiceItemExportsTypesAndName) {
 // --- accessor ----------------------------------------------------------------------
 
 TEST_F(FederationTest, AccessorCachesResolutions) {
+  // Cache effectiveness is tracked on the process-wide obs registry
+  // (accessor.cache_hits / accessor.cache_misses), so measure deltas.
+  const auto hits0 = obs::metrics().counter("accessor.cache_hits").value();
+  const auto misses0 =
+      obs::metrics().counter("accessor.cache_misses").value();
   for (int i = 0; i < 5; ++i) (void)exert(add_task(1, 2), accessor);
-  EXPECT_EQ(accessor.cache_misses(), 1u);
-  EXPECT_EQ(accessor.cache_hits(), 4u);
+  EXPECT_EQ(obs::metrics().counter("accessor.cache_misses").value() - misses0,
+            1u);
+  EXPECT_EQ(obs::metrics().counter("accessor.cache_hits").value() - hits0,
+            4u);
 }
 
 TEST_F(FederationTest, CacheInvalidatedWhenProviderLeaves) {
