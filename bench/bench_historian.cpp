@@ -1,0 +1,169 @@
+// Historian storage bench (ISSUE 4 tentpole): ingest throughput of the
+// sharded store and wide range-query latency, raw scan vs rollup rings, at
+// 10^4–10^6 retained readings per series.
+//
+// The rollup path answers a wide aggregate from O(buckets) incremental
+// state instead of walking every retained reading, so its cost is flat in
+// the retained count while the raw path grows linearly — the acceptance
+// bound is a ≥50x advantage at 10^5+ readings.
+//
+// `bench_historian smoke` runs a seconds-scale subset (CI under ASan).
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "hist/series.h"
+#include "hist/store.h"
+#include "util/strings.h"
+
+using namespace sensorcer;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Reading period: 10 Hz, so 10^6 readings span ~28 hours of virtual time.
+constexpr util::SimDuration kDt = 100 * util::kMillisecond;
+
+hist::SeriesConfig config_for(std::size_t retained) {
+  // Rings sized to cover the whole retained raw span, so raw and rollup
+  // paths answer the same window and the comparison is apples-to-apples.
+  const auto span = static_cast<util::SimTime>(retained) * kDt;
+  const auto buckets = [&](util::SimDuration res) {
+    return static_cast<std::size_t>(span / res) + 8;
+  };
+  hist::SeriesConfig config;
+  config.raw_capacity = retained;
+  config.rings = {{1 * util::kSecond, buckets(1 * util::kSecond)},
+                  {10 * util::kSecond, buckets(10 * util::kSecond)},
+                  {60 * util::kSecond, buckets(60 * util::kSecond)}};
+  return config;
+}
+
+sensor::Reading reading_at(std::size_t i) {
+  return sensor::Reading{static_cast<util::SimTime>(i) * kDt,
+                         20.0 + std::sin(static_cast<double>(i) * 0.01),
+                         sensor::Quality::kGood, 0};
+}
+
+/// Wall-clock microseconds per call of `fn`, amortized over enough
+/// iterations to get a stable figure.
+template <typename Fn>
+double us_per_call(std::size_t iters, Fn&& fn) {
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < iters; ++i) fn();
+  return seconds_since(t0) * 1e6 / static_cast<double>(iters);
+}
+
+void bench_ingest(bool smoke) {
+  std::puts("Ingest throughput (HistorianStore::append, one series):");
+  const std::size_t total = smoke ? 20'000 : 1'000'000;
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t batch : {1u, 32u, 256u}) {
+    hist::HistorianConfig config;
+    config.series = config_for(total);
+    hist::HistorianStore store(config);
+    std::vector<sensor::Reading> readings;
+    readings.reserve(batch);
+    const auto t0 = Clock::now();
+    std::size_t appended = 0;
+    while (appended < total) {
+      readings.clear();
+      for (std::size_t i = 0; i < batch && appended + i < total; ++i) {
+        readings.push_back(reading_at(appended + i));
+      }
+      appended += store.append("s", readings).accepted;
+    }
+    const double secs = seconds_since(t0);
+    rows.push_back({std::to_string(batch),
+                    util::format("%.2f", static_cast<double>(total) / secs / 1e6),
+                    util::format("%.0f", secs * 1e9 / static_cast<double>(total))});
+  }
+  std::puts(util::render_table({"batch", "Mreadings/s", "ns/reading"}, rows)
+                .c_str());
+}
+
+void bench_queries(bool smoke) {
+  std::puts("Wide range-aggregate latency, raw scan vs rollup rings");
+  std::puts("(query = stats over the full retained span; rollup answers from");
+  std::puts("the 60s ring, raw walks every retained reading):");
+  std::vector<std::size_t> sizes =
+      smoke ? std::vector<std::size_t>{10'000}
+            : std::vector<std::size_t>{10'000, 100'000, 1'000'000};
+  std::vector<std::vector<std::string>> rows;
+  for (const std::size_t retained : sizes) {
+    hist::SensorSeries series(config_for(retained));
+    for (std::size_t i = 0; i < retained; ++i) series.append(reading_at(i));
+    const auto span = static_cast<util::SimTime>(retained) * kDt;
+
+    // Both paths must agree on the answer before we time them.
+    const auto raw = series.stats(0, span, 0);
+    const auto rollup = series.stats(0, span, 60 * util::kSecond);
+    if (raw.stats.count != retained || rollup.stats.count != retained) {
+      std::printf("FAIL: count mismatch raw=%llu rollup=%llu expected=%zu\n",
+                  static_cast<unsigned long long>(raw.stats.count),
+                  static_cast<unsigned long long>(rollup.stats.count),
+                  retained);
+      std::exit(1);
+    }
+
+    const std::size_t raw_iters = smoke ? 20 : (retained >= 1'000'000 ? 20 : 200);
+    const double raw_us = us_per_call(raw_iters, [&] {
+      (void)series.stats(0, span, 0);
+    });
+    const double rollup_us = us_per_call(smoke ? 200 : 2000, [&] {
+      (void)series.stats(0, span, 60 * util::kSecond);
+    });
+    rows.push_back({std::to_string(retained), rollup.source,
+                    util::format("%.1f", raw_us),
+                    util::format("%.2f", rollup_us),
+                    util::format("%.0fx", raw_us / rollup_us)});
+  }
+  std::puts(util::render_table({"retained", "rollup ring", "raw us/query",
+                                "rollup us/query", "speedup"},
+                               rows)
+                .c_str());
+  std::puts("Expected shape: raw cost grows linearly with retained readings;");
+  std::puts("rollup cost stays flat (O(buckets)), crossing 50x by 10^5.");
+}
+
+void bench_downsample(bool smoke) {
+  std::puts("Downsample-to-N-points latency (browser plot path, full span):");
+  const std::size_t retained = smoke ? 10'000 : 1'000'000;
+  hist::SensorSeries series(config_for(retained));
+  for (std::size_t i = 0; i < retained; ++i) series.append(reading_at(i));
+  const auto span = static_cast<util::SimTime>(retained) * kDt;
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t points : {16u, 64u, 512u}) {
+    const double us = us_per_call(smoke ? 50 : 200, [&] {
+      (void)series.downsample(0, span, points);
+    });
+    const auto result = series.downsample(0, span, points);
+    rows.push_back({std::to_string(points),
+                    std::to_string(result.points.size()), result.source,
+                    util::format("%.1f", us)});
+  }
+  std::puts(util::render_table({"target", "points", "source", "us/query"},
+                               rows)
+                .c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "smoke") == 0;
+  std::printf("=== historian: ingest + range-query cost, raw vs rollup%s ===\n\n",
+              smoke ? " (smoke)" : "");
+  bench_ingest(smoke);
+  bench_queries(smoke);
+  bench_downsample(smoke);
+  return 0;
+}

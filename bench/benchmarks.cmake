@@ -23,3 +23,4 @@ sensorcer_add_bench(bench_plug_and_play)
 sensorcer_add_bench(bench_ablation)
 sensorcer_add_bench(bench_observability)
 sensorcer_add_bench(bench_read_path)
+sensorcer_add_bench(bench_historian)

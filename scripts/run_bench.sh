@@ -21,7 +21,7 @@ FILTER="${SENSORCER_BENCH_FILTER:-}"
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target bench_read_path bench_exertion bench_lease_churn \
-  bench_header_overhead bench_failover
+  bench_header_overhead bench_failover bench_historian
 
 echo "=== bench_read_path -> BENCH_read_path.json ==="
 "$BUILD_DIR/bench/bench_read_path" \
@@ -29,7 +29,7 @@ echo "=== bench_read_path -> BENCH_read_path.json ==="
   --benchmark_out_format=json \
   --benchmark_out=BENCH_read_path.json
 
-for b in exertion lease_churn header_overhead failover; do
+for b in exertion lease_churn header_overhead failover historian; do
   echo "=== bench_$b -> BENCH_$b.txt ==="
   "$BUILD_DIR/bench/bench_$b" | tee "BENCH_$b.txt"
 done

@@ -10,6 +10,7 @@ Deployment::Deployment(DeploymentConfig config)
       network_(scheduler_, config.seed),
       lrm_(scheduler_),
       txn_manager_(scheduler_),
+      mailbox_(scheduler_),
       discovery_(network_, scheduler_) {
   network_.set_latency(config_.network_latency);
   // Spans record this deployment's virtual time (last deployment wins when
@@ -72,6 +73,15 @@ Deployment::Deployment(DeploymentConfig config)
     (void)monitor_->join(lus, lrm_, config_.lease_duration);
   }
 
+  if (config_.with_historian) {
+    historian_ = std::make_shared<hist::Historian>("Historian",
+                                                   config_.historian);
+    historian_->attach_network(network_);
+    for (const auto& lus : lookups_) {
+      (void)historian_->join(lus, lrm_, config_.lease_duration);
+    }
+  }
+
   ManagerConfig manager_config;
   manager_config.lease_duration = config_.lease_duration;
   manager_config.collection = config_.collection;
@@ -79,12 +89,18 @@ Deployment::Deployment(DeploymentConfig config)
   // (no-rendezvous) collections across the deployment's worker pool.
   manager_config.collection.pool = pool_.get();
   manager_config.sampling = config_.sampling;
+  manager_config.history_push = config_.with_historian;
+  manager_config.history_feed = config_.history_feed;
   manager_ = std::make_unique<SensorNetworkManager>(accessor_, scheduler_,
                                                     lrm_, manager_config);
   manager_->attach_network(&network_);
   provisioner_ = std::make_unique<SensorServiceProvisioner>(
       *monitor_, accessor_, scheduler_, manager_config.collection,
       config_.sampling);
+  if (config_.with_historian && !lookups_.empty()) {
+    provisioner_->enable_history(config_.history_feed, lookups_.front(),
+                                 &lrm_);
+  }
   facade_ = std::make_shared<SensorcerFacade>(
       "SenSORCER Facade", accessor_, *manager_, provisioner_.get());
   facade_->attach_network(network_);

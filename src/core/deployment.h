@@ -18,6 +18,7 @@
 #include "core/facade.h"
 #include "core/network_manager.h"
 #include "core/provisioner.h"
+#include "hist/historian.h"
 #include "registry/discovery.h"
 #include "registry/event_mailbox.h"
 #include "registry/transaction.h"
@@ -47,6 +48,11 @@ struct DeploymentConfig {
   rio::MonitorConfig monitor;
   CollectionPolicy collection;
   SamplingPolicy sampling;
+  /// Boot a Historian service and feed it from every managed/provisioned
+  /// ESP (sampled readings pushed as appendBatch exertions).
+  bool with_historian = true;
+  hist::HistorianConfig historian;
+  hist::FeederConfig history_feed;
   std::uint64_t seed = 42;
 };
 
@@ -98,6 +104,8 @@ class Deployment {
     return cybernodes_;
   }
   rio::ProvisionMonitor& monitor() { return *monitor_; }
+  /// The historian, or null when with_historian is off.
+  hist::Historian* historian() { return historian_.get(); }
   SensorNetworkManager& manager() { return *manager_; }
   SensorServiceProvisioner& provisioner() { return *provisioner_; }
   SensorcerFacade& facade() { return *facade_; }
@@ -124,6 +132,7 @@ class Deployment {
   std::shared_ptr<sorcer::Spacer> spacer_;
   std::vector<std::shared_ptr<rio::Cybernode>> cybernodes_;
   std::shared_ptr<rio::ProvisionMonitor> monitor_;
+  std::shared_ptr<hist::Historian> historian_;
   std::unique_ptr<SensorNetworkManager> manager_;
   std::unique_ptr<SensorServiceProvisioner> provisioner_;
   std::shared_ptr<SensorcerFacade> facade_;

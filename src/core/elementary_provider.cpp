@@ -72,10 +72,36 @@ void ElementarySensorProvider::set_location(const std::string& location) {
   set_attributes(attrs);
 }
 
+void ElementarySensorProvider::record(const sensor::Reading& reading) {
+  log_.append(reading);
+  if (feeder_) feeder_->offer(reading);
+}
+
 void ElementarySensorProvider::sample_once() {
   esp_metrics().samples.add(1);
   auto reading = probe_->read(scheduler_.now());
-  if (reading.is_ok()) log_.append(reading.value());
+  if (reading.is_ok()) record(reading.value());
+}
+
+hist::HistorianFeeder& ElementarySensorProvider::enable_history(
+    sorcer::ServiceAccessor& accessor, hist::FeederConfig config) {
+  if (!feeder_) {
+    feeder_ = std::make_unique<hist::HistorianFeeder>(
+        provider_name(), scheduler_, accessor, config);
+  }
+  return *feeder_;
+}
+
+void ElementarySensorProvider::assume_state_from(
+    sorcer::ServiceProvider& predecessor) {
+  auto* esp = dynamic_cast<ElementarySensorProvider*>(&predecessor);
+  if (esp == nullptr) return;
+  // Adopt the surviving log (newer than anything we sampled so far).
+  esp->log().for_each(0, sensor::kEndOfTime,
+                      [this](const sensor::Reading& r) { log_.append(r); });
+  // Un-pushed readings of the dead instance would be lost; replaying the
+  // whole adopted log covers them (historian-side dedup drops the rest).
+  if (feeder_) feeder_->backfill(log_);
 }
 
 util::Result<sensor::Reading> ElementarySensorProvider::get_reading() {
@@ -99,7 +125,7 @@ util::Result<sensor::Reading> ElementarySensorProvider::get_reading() {
     }
     return reading.status();
   }
-  log_.append(reading.value());
+  record(reading.value());
   return reading;
 }
 

@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "core/interfaces.h"
+#include "hist/feeder.h"
 #include "sensor/data_log.h"
 #include "sensor/probe.h"
 #include "sorcer/provider.h"
@@ -51,8 +52,30 @@ class ElementarySensorProvider : public sorcer::ServiceProvider,
 
   void set_location(const std::string& location);
 
+  // --- historian push ------------------------------------------------------------
+
+  /// Start pushing every logged reading at the deployment's historian
+  /// through `accessor` (batched appendBatch exertions). The caller binds
+  /// the returned feeder to a lookup service so pushes start/stop with the
+  /// historian's registration.
+  hist::HistorianFeeder& enable_history(sorcer::ServiceAccessor& accessor,
+                                        hist::FeederConfig config = {});
+
+  /// The push feeder, or null when history is not enabled.
+  [[nodiscard]] hist::HistorianFeeder* history_feeder() {
+    return feeder_.get();
+  }
+
+  /// Failover: adopt the predecessor ESP's surviving DataLog and replay it
+  /// at the historian (idempotent — the historian dedups timestamps), so a
+  /// re-provisioned sensor leaves no gap in recorded history.
+  void assume_state_from(sorcer::ServiceProvider& predecessor) override;
+
  private:
   void install_operations();
+
+  /// Single ingest point: append to the local log and offer to the feeder.
+  void record(const sensor::Reading& reading);
 
   sensor::ProbePtr probe_;
   util::Scheduler& scheduler_;
@@ -60,6 +83,7 @@ class ElementarySensorProvider : public sorcer::ServiceProvider,
   sensor::DataLog log_;
   util::TimerId sample_timer_ = 0;
   std::string location_;
+  std::unique_ptr<hist::HistorianFeeder> feeder_;
 };
 
 }  // namespace sensorcer::core

@@ -1,5 +1,7 @@
 #include "core/facade.h"
 
+#include <algorithm>
+
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sorcer/exert.h"
@@ -55,6 +57,109 @@ util::Result<double> SensorcerFacade::get_value(
   auto value = task->context().get_double(path::kValue);
   span.set_ok(value.is_ok());
   return value;
+}
+
+namespace {
+
+/// Exert a historian query task and hand back its filled context.
+util::Result<sorcer::ExertionPtr> exert_hist_query(
+    sorcer::ServiceAccessor& accessor, const char* selector,
+    const std::string& sensor, util::SimTime from, util::SimTime to,
+    std::int64_t extra, const char* extra_path) {
+  facade_requests().add(1);
+  obs::Span span = obs::tracer().start_span(
+      std::string("facade.") + selector + ":" + sensor);
+  obs::ContextGuard guard(span.context());
+  auto task = sorcer::Task::make(
+      std::string("facade.hist:") + sensor,
+      sorcer::Signature{kDataCollectionType, selector, ""});
+  sorcer::ServiceContext& ctx = task->context();
+  ctx.put(path::kHistSensor, sensor, sorcer::PathDirection::kIn);
+  ctx.put(path::kHistFrom, static_cast<std::int64_t>(from),
+          sorcer::PathDirection::kIn);
+  ctx.put(path::kHistTo, static_cast<std::int64_t>(to),
+          sorcer::PathDirection::kIn);
+  ctx.put(extra_path, extra, sorcer::PathDirection::kIn);
+  (void)sorcer::exert(task, accessor);
+  if (task->status() != sorcer::ExertStatus::kDone) {
+    span.set_ok(false);
+    return task->error();
+  }
+  return sorcer::ExertionPtr(task);
+}
+
+std::int64_t int_or(const sorcer::ServiceContext& ctx, const char* path,
+                    std::int64_t fallback = 0) {
+  auto v = ctx.get(path);
+  if (!v.is_ok()) return fallback;
+  if (const auto* i = std::get_if<std::int64_t>(&v.value())) return *i;
+  if (const auto* d = std::get_if<double>(&v.value())) {
+    return static_cast<std::int64_t>(*d);
+  }
+  return fallback;
+}
+
+hist::SeriesResult parse_series(const sorcer::ServiceContext& ctx) {
+  hist::SeriesResult out;
+  auto timestamps = ctx.get_series(path::kHistTimestamps);
+  auto values = ctx.get_series(path::kHistValues);
+  if (timestamps.is_ok() && values.is_ok()) {
+    const std::size_t n =
+        std::min(timestamps.value().size(), values.value().size());
+    out.points.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.points.push_back({static_cast<util::SimTime>(timestamps.value()[i]),
+                            values.value()[i]});
+    }
+  }
+  out.source = ctx.get_string(path::kHistSource).value_or("");
+  if (auto t = ctx.get(path::kHistTruncated); t.is_ok()) {
+    if (const auto* b = std::get_if<bool>(&t.value())) out.truncated = *b;
+  }
+  return out;
+}
+
+}  // namespace
+
+util::Result<hist::StatsResult> SensorcerFacade::query_stats(
+    const std::string& sensor, util::SimTime from, util::SimTime to,
+    util::SimDuration max_resolution) {
+  auto done = exert_hist_query(accessor_, op::kHistStats, sensor, from, to,
+                               static_cast<std::int64_t>(max_resolution),
+                               path::kHistResolution);
+  if (!done.is_ok()) return done.status();
+  const sorcer::ServiceContext& ctx = done.value()->context();
+  hist::StatsResult out;
+  out.stats.count = static_cast<std::uint64_t>(int_or(ctx, path::kHistCount));
+  out.stats.min = ctx.get_double(path::kHistMin).value_or(0.0);
+  out.stats.max = ctx.get_double(path::kHistMax).value_or(0.0);
+  out.stats.sum = ctx.get_double(path::kHistSum).value_or(0.0);
+  out.stats.last = ctx.get_double(path::kHistLast).value_or(0.0);
+  out.from_effective = int_or(ctx, path::kHistFromEffective, from);
+  out.to_effective = int_or(ctx, path::kHistToEffective, to);
+  out.source = ctx.get_string(path::kHistSource).value_or("");
+  out.resolution = int_or(ctx, path::kHistResolution);
+  return out;
+}
+
+util::Result<hist::SeriesResult> SensorcerFacade::query_range(
+    const std::string& sensor, util::SimTime from, util::SimTime to,
+    std::size_t max_points) {
+  auto done = exert_hist_query(accessor_, op::kHistRange, sensor, from, to,
+                               static_cast<std::int64_t>(max_points),
+                               path::kHistPoints);
+  if (!done.is_ok()) return done.status();
+  return parse_series(done.value()->context());
+}
+
+util::Result<hist::SeriesResult> SensorcerFacade::query_downsample(
+    const std::string& sensor, util::SimTime from, util::SimTime to,
+    std::size_t points) {
+  auto done = exert_hist_query(accessor_, op::kHistDownsample, sensor, from,
+                               to, static_cast<std::int64_t>(points),
+                               path::kHistPoints);
+  if (!done.is_ok()) return done.status();
+  return parse_series(done.value()->context());
 }
 
 util::Status SensorcerFacade::compose_service(

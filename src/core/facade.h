@@ -11,6 +11,7 @@
 
 #include "core/network_manager.h"
 #include "core/provisioner.h"
+#include "hist/series.h"
 #include "sorcer/provider.h"
 
 namespace sensorcer::core {
@@ -47,6 +48,28 @@ class SensorcerFacade : public sorcer::ServiceProvider {
   /// Create a composite hosted locally (no provisioning).
   std::shared_ptr<CompositeSensorProvider> create_local_service(
       const std::string& name);
+
+  // --- historian queries ----------------------------------------------------------
+
+  /// Aggregate stats of `sensor` over [from, to), answered by the
+  /// historian from the coarsest rollup ring no wider than
+  /// `max_resolution` (0 demands the exact raw path). Routed through the
+  /// invocation pipeline like every other service-to-service call.
+  util::Result<hist::StatsResult> query_stats(
+      const std::string& sensor, util::SimTime from, util::SimTime to,
+      util::SimDuration max_resolution = 60 * util::kSecond);
+
+  /// Raw retained readings of `sensor` in [from, to).
+  util::Result<hist::SeriesResult> query_range(const std::string& sensor,
+                                               util::SimTime from,
+                                               util::SimTime to,
+                                               std::size_t max_points = 1024);
+
+  /// At most `points` downsampled (bucket-start, mean) pairs over [from, to).
+  util::Result<hist::SeriesResult> query_downsample(const std::string& sensor,
+                                                    util::SimTime from,
+                                                    util::SimTime to,
+                                                    std::size_t points = 64);
 
   /// Info card for the browser's "Sensor Service Information" pane.
   util::Result<SensorInfo> service_information(const std::string& name);

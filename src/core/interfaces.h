@@ -21,6 +21,9 @@ inline constexpr const char* kElementaryServiceType = "ElementarySensorService";
 inline constexpr const char* kCompositeServiceType = "CompositeSensorService";
 /// The façade's type.
 inline constexpr const char* kFacadeType = "SensorcerFacade";
+/// The historian's type (the "DataCollection" service of federated sensor
+/// networks: readings pushed by ESPs, queried over ranges).
+inline constexpr const char* kDataCollectionType = "DataCollection";
 
 /// Service-type tag shown in the browser ("Service Type:: COMPOSITE").
 enum class SensorServiceKind { kElementary, kComposite };
@@ -68,6 +71,28 @@ inline constexpr const char* kInfoKind = "sensor/info/kind";
 inline constexpr const char* kInfoMeasurement = "sensor/info/measurement";
 inline constexpr const char* kExpression = "composite/expression";
 inline constexpr const char* kComponentName = "composite/component";
+// Historian paths (hist/): appendBatch inputs ride as parallel arrays so a
+// batch of n readings marshals as three vector<double> values.
+inline constexpr const char* kHistSensor = "hist/sensor";
+inline constexpr const char* kHistFrom = "hist/from";
+inline constexpr const char* kHistTo = "hist/to";
+inline constexpr const char* kHistResolution = "hist/resolution";
+inline constexpr const char* kHistPoints = "hist/points";
+inline constexpr const char* kHistTimestamps = "hist/timestamps";
+inline constexpr const char* kHistValues = "hist/values";
+inline constexpr const char* kHistQualities = "hist/qualities";
+inline constexpr const char* kHistCount = "hist/count";
+inline constexpr const char* kHistMin = "hist/min";
+inline constexpr const char* kHistMax = "hist/max";
+inline constexpr const char* kHistSum = "hist/sum";
+inline constexpr const char* kHistMean = "hist/mean";
+inline constexpr const char* kHistLast = "hist/last";
+inline constexpr const char* kHistAccepted = "hist/accepted";
+inline constexpr const char* kHistDuplicates = "hist/duplicates";
+inline constexpr const char* kHistSource = "hist/source";
+inline constexpr const char* kHistFromEffective = "hist/from_effective";
+inline constexpr const char* kHistToEffective = "hist/to_effective";
+inline constexpr const char* kHistTruncated = "hist/truncated";
 }  // namespace path
 
 /// Operation selectors.
@@ -79,6 +104,11 @@ inline constexpr const char* kGetInfo = "getInfo";
 inline constexpr const char* kAddComponent = "addComponent";
 inline constexpr const char* kRemoveComponent = "removeComponent";
 inline constexpr const char* kSetExpression = "setExpression";
+// Historian operations.
+inline constexpr const char* kAppendBatch = "appendBatch";
+inline constexpr const char* kHistStats = "histStats";
+inline constexpr const char* kHistRange = "histRange";
+inline constexpr const char* kHistDownsample = "histDownsample";
 }  // namespace op
 
 }  // namespace sensorcer::core

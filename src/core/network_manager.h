@@ -22,6 +22,11 @@ struct ManagerConfig {
   util::SimDuration lease_duration = 30 * util::kSecond;
   CollectionPolicy collection;
   SamplingPolicy sampling;
+  /// Attach a HistorianFeeder to every ESP registered through the manager,
+  /// bound to the first known lookup service, so sampled readings flow to
+  /// the deployment's historian.
+  bool history_push = false;
+  hist::FeederConfig history_feed;
 };
 
 class SensorNetworkManager {

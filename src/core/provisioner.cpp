@@ -32,8 +32,16 @@ util::Status SensorServiceProvisioner::provision_elementary(
   element.factory = [this, probe_factory = std::move(probe_factory)](
                         const std::string& instance_name)
       -> std::shared_ptr<sorcer::ServiceProvider> {
-    return std::make_shared<ElementarySensorProvider>(
+    auto esp = std::make_shared<ElementarySensorProvider>(
         instance_name, probe_factory(instance_name), scheduler_, sampling_);
+    if (history_) {
+      hist::HistorianFeeder& feeder =
+          esp->enable_history(accessor_, history_feed_);
+      if (auto lus = history_lus_.lock(); lus && history_lrm_ != nullptr) {
+        feeder.bind(lus, *history_lrm_);
+      }
+    }
+    return esp;
   };
   opstring.elements.push_back(std::move(element));
   return monitor_.deploy(std::move(opstring));

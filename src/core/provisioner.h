@@ -46,6 +46,18 @@ class SensorServiceProvisioner {
     return monitor_.undeploy(name);
   }
 
+  /// Attach historian push to every ESP this provisioner instantiates —
+  /// including replacements the monitor re-provisions after a node failure,
+  /// which then backfill the historian from the adopted DataLog.
+  void enable_history(hist::FeederConfig config,
+                      std::weak_ptr<registry::LookupService> lus,
+                      registry::LeaseRenewalManager* lrm) {
+    history_ = true;
+    history_feed_ = config;
+    history_lus_ = std::move(lus);
+    history_lrm_ = lrm;
+  }
+
   [[nodiscard]] rio::ProvisionMonitor& monitor() { return monitor_; }
 
  private:
@@ -54,6 +66,10 @@ class SensorServiceProvisioner {
   util::Scheduler& scheduler_;
   CollectionPolicy collection_;
   SamplingPolicy sampling_;
+  bool history_ = false;
+  hist::FeederConfig history_feed_;
+  std::weak_ptr<registry::LookupService> history_lus_;
+  registry::LeaseRenewalManager* history_lrm_ = nullptr;
 };
 
 }  // namespace sensorcer::core

@@ -1,0 +1,184 @@
+#include "hist/feeder.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/interfaces.h"
+#include "obs/metrics.h"
+#include "sorcer/exert.h"
+#include "sorcer/exertion.h"
+
+namespace sensorcer::hist {
+
+namespace {
+
+struct FeederMetrics {
+  obs::Counter& pushed;
+  obs::Counter& dropped;
+  obs::Counter& failed_batches;
+};
+
+FeederMetrics& feeder_metrics() {
+  static FeederMetrics m{obs::metrics().counter("hist.feeder_pushed"),
+                         obs::metrics().counter("hist.feeder_dropped"),
+                         obs::metrics().counter("hist.feeder_failed")};
+  return m;
+}
+
+double encode_quality(sensor::Quality q) {
+  switch (q) {
+    case sensor::Quality::kGood: return 0.0;
+    case sensor::Quality::kSuspect: return 1.0;
+    case sensor::Quality::kBad: return 2.0;
+  }
+  return 0.0;
+}
+
+registry::ServiceTemplate historian_template() {
+  return registry::ServiceTemplate::by_type(core::kDataCollectionType);
+}
+
+}  // namespace
+
+HistorianFeeder::HistorianFeeder(std::string sensor, util::Scheduler& scheduler,
+                                 sorcer::ServiceAccessor& accessor,
+                                 FeederConfig config)
+    : sensor_(std::move(sensor)),
+      scheduler_(scheduler),
+      accessor_(accessor),
+      config_(config) {
+  if (config_.batch_size == 0) config_.batch_size = 1;
+  if (config_.max_batch == 0) config_.max_batch = 1;
+  if (config_.flush_period > 0) {
+    flush_timer_ =
+        scheduler_.schedule_every(config_.flush_period, [this] { flush(); });
+  }
+}
+
+HistorianFeeder::~HistorianFeeder() {
+  scheduler_.cancel(flush_timer_);
+  if (pending_flush_timer_ != 0) scheduler_.cancel(pending_flush_timer_);
+  unbind();
+}
+
+void HistorianFeeder::bind(const std::shared_ptr<registry::LookupService>& lus,
+                           registry::LeaseRenewalManager& lrm) {
+  unbind();
+  lus_ = lus;
+  lrm_ = &lrm;
+  registry::EventRegistration reg = lus->notify(
+      historian_template(), registry::kAllTransitions,
+      [this](const registry::ServiceEvent& event) { on_transition(event); },
+      config_.subscription_lease);
+  subscription_id_ = reg.id;
+  subscription_lease_ = reg.lease.id;
+  lrm.manage(reg.lease, lus, config_.subscription_lease);
+  bound_ = lus->lookup_one(historian_template()).is_ok();
+  if (bound_ && !pending_.empty()) schedule_flush();
+}
+
+void HistorianFeeder::unbind() {
+  if (auto lus = lus_.lock()) {
+    if (lrm_ != nullptr && !subscription_lease_.is_nil()) {
+      lrm_->release(subscription_lease_);
+    }
+    if (!subscription_id_.is_nil()) {
+      (void)lus->cancel_notify(subscription_id_);
+    }
+  }
+  lus_.reset();
+  lrm_ = nullptr;
+  subscription_id_ = util::Uuid{};
+  subscription_lease_ = util::Uuid{};
+  bound_ = false;
+}
+
+void HistorianFeeder::on_transition(const registry::ServiceEvent& event) {
+  if (event.transition == registry::Transition::kNoMatchToMatch) {
+    bound_ = true;
+    if (!pending_.empty()) schedule_flush();
+    return;
+  }
+  if (event.transition == registry::Transition::kMatchToNoMatch) {
+    // The historian that held our pushes is gone; stay bound only if
+    // another DataCollection provider remains registered.
+    auto lus = lus_.lock();
+    bound_ = lus != nullptr && lus->lookup_one(historian_template()).is_ok();
+  }
+}
+
+void HistorianFeeder::offer(const sensor::Reading& reading) {
+  pending_.push_back(reading);
+  while (pending_.size() > config_.pending_cap) {
+    pending_.pop_front();
+    ++dropped_;
+    feeder_metrics().dropped.add();
+  }
+  if (bound_ && pending_.size() >= config_.batch_size) schedule_flush();
+}
+
+void HistorianFeeder::backfill(const sensor::DataLog& log) {
+  log.for_each(0, sensor::kEndOfTime,
+               [this](const sensor::Reading& r) { offer(r); });
+  if (bound_) schedule_flush();
+}
+
+void HistorianFeeder::schedule_flush() {
+  if (flush_scheduled_ || flushing_) return;
+  flush_scheduled_ = true;
+  // Zero-delay timer: all push traffic happens inside scheduler pumps, so a
+  // wire-mode exert never starts from the middle of an offer().
+  pending_flush_timer_ = scheduler_.schedule_after(0, [this] {
+    flush_scheduled_ = false;
+    pending_flush_timer_ = 0;
+    flush();
+  });
+}
+
+std::size_t HistorianFeeder::flush() {
+  if (flushing_ || !bound_ || pending_.empty()) return 0;
+  flushing_ = true;
+  std::size_t total = 0;
+  while (bound_ && !pending_.empty()) {
+    const std::size_t n = std::min(pending_.size(), config_.max_batch);
+    std::vector<double> timestamps;
+    std::vector<double> values;
+    std::vector<double> qualities;
+    timestamps.reserve(n);
+    values.reserve(n);
+    qualities.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const sensor::Reading& r = pending_[i];
+      timestamps.push_back(static_cast<double>(r.timestamp));
+      values.push_back(r.value);
+      qualities.push_back(encode_quality(r.quality));
+    }
+    auto task = sorcer::Task::make(
+        "hist-append:" + sensor_,
+        {core::kDataCollectionType, core::op::kAppendBatch, ""});
+    sorcer::ServiceContext& ctx = task->context();
+    ctx.put(core::path::kHistSensor, sensor_, sorcer::PathDirection::kIn);
+    ctx.put(core::path::kHistTimestamps, std::move(timestamps),
+            sorcer::PathDirection::kIn);
+    ctx.put(core::path::kHistValues, std::move(values),
+            sorcer::PathDirection::kIn);
+    ctx.put(core::path::kHistQualities, std::move(qualities),
+            sorcer::PathDirection::kIn);
+    auto result = sorcer::exert(task, accessor_);
+    if (!result.is_ok() ||
+        result.value()->status() != sorcer::ExertStatus::kDone) {
+      ++failed_;
+      feeder_metrics().failed_batches.add();
+      break;  // keep pending; retried on the next flush
+    }
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<std::ptrdiff_t>(n));
+    pushed_ += n;
+    total += n;
+    feeder_metrics().pushed.add(n);
+  }
+  flushing_ = false;
+  return total;
+}
+
+}  // namespace sensorcer::hist

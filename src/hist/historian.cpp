@@ -1,0 +1,227 @@
+#include "hist/historian.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+
+#include "core/interfaces.h"
+#include "sorcer/context.h"
+
+namespace sensorcer::hist {
+
+namespace {
+
+/// Time/duration inputs ride as int64 or double (batch arrays are doubles).
+util::Result<util::SimTime> get_time(const sorcer::ServiceContext& ctx,
+                                     const std::string& path) {
+  auto raw = ctx.get(path);
+  if (!raw.is_ok()) return raw.status();
+  if (const auto* i = std::get_if<std::int64_t>(&raw.value())) return *i;
+  if (const auto* d = std::get_if<double>(&raw.value())) {
+    return static_cast<util::SimTime>(*d);
+  }
+  return util::Result<util::SimTime>(util::ErrorCode::kInvalidArgument,
+                                     "not a time: " + path);
+}
+
+sensor::Quality decode_quality(double q) {
+  switch (static_cast<int>(q)) {
+    case 1: return sensor::Quality::kSuspect;
+    case 2: return sensor::Quality::kBad;
+    default: return sensor::Quality::kGood;
+  }
+}
+
+void put_points(sorcer::ServiceContext& ctx, const SeriesResult& result) {
+  std::vector<double> timestamps;
+  std::vector<double> values;
+  timestamps.reserve(result.points.size());
+  values.reserve(result.points.size());
+  for (const Point& p : result.points) {
+    timestamps.push_back(static_cast<double>(p.timestamp));
+    values.push_back(p.value);
+  }
+  ctx.put(core::path::kHistTimestamps, std::move(timestamps),
+          sorcer::PathDirection::kOut);
+  ctx.put(core::path::kHistValues, std::move(values),
+          sorcer::PathDirection::kOut);
+  ctx.put(core::path::kHistSource, result.source, sorcer::PathDirection::kOut);
+  ctx.put(core::path::kHistTruncated, result.truncated,
+          sorcer::PathDirection::kOut);
+}
+
+}  // namespace
+
+Historian::Historian(std::string name, HistorianConfig config,
+                     HistorianCosts costs)
+    : ServiceProvider(std::move(name), {core::kDataCollectionType}),
+      store_(std::move(config)),
+      costs_(costs) {
+  install_operations();
+}
+
+std::vector<sensor::Reading> Historian::decode_batch(
+    const std::vector<double>& timestamps, const std::vector<double>& values,
+    const std::vector<double>& qualities) {
+  std::vector<sensor::Reading> out;
+  const std::size_t n = std::min(timestamps.size(), values.size());
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sensor::Reading r;
+    r.timestamp = static_cast<util::SimTime>(timestamps[i]);
+    r.value = values[i];
+    r.quality = i < qualities.size() ? decode_quality(qualities[i])
+                                     : sensor::Quality::kGood;
+    out.push_back(r);
+  }
+  return out;
+}
+
+util::SimDuration Historian::extra_invocation_latency(
+    const std::string& selector) const {
+  (void)selector;
+  return pending_extra_;
+}
+
+void Historian::install_operations() {
+  add_operation(
+      core::op::kAppendBatch,
+      [this](sorcer::ServiceContext& ctx) -> util::Status {
+        pending_extra_ = 0;
+        auto sensor_name = ctx.get_string(core::path::kHistSensor);
+        if (!sensor_name.is_ok()) return sensor_name.status();
+        auto timestamps = ctx.get_series(core::path::kHistTimestamps);
+        if (!timestamps.is_ok()) return timestamps.status();
+        auto values = ctx.get_series(core::path::kHistValues);
+        if (!values.is_ok()) return values.status();
+        if (timestamps.value().size() != values.value().size()) {
+          return {util::ErrorCode::kInvalidArgument,
+                  "appendBatch: timestamps/values length mismatch"};
+        }
+        std::vector<double> qualities;
+        if (ctx.has(core::path::kHistQualities)) {
+          auto q = ctx.get_series(core::path::kHistQualities);
+          if (q.is_ok()) qualities = std::move(q.value());
+        }
+        const auto readings =
+            decode_batch(timestamps.value(), values.value(), qualities);
+        const AppendOutcome outcome =
+            store_.append(sensor_name.value(), readings);
+        pending_extra_ = static_cast<util::SimDuration>(readings.size()) *
+                         costs_.per_reading;
+        ctx.put(core::path::kHistAccepted,
+                static_cast<std::int64_t>(outcome.accepted),
+                sorcer::PathDirection::kOut);
+        ctx.put(core::path::kHistDuplicates,
+                static_cast<std::int64_t>(outcome.duplicates),
+                sorcer::PathDirection::kOut);
+        ctx.put(core::path::kHistLast,
+                static_cast<std::int64_t>(
+                    store_.last_timestamp(sensor_name.value())),
+                sorcer::PathDirection::kOut);
+        return util::Status::ok();
+      },
+      costs_.base);
+
+  add_operation(
+      core::op::kHistStats,
+      [this](sorcer::ServiceContext& ctx) -> util::Status {
+        pending_extra_ = 0;
+        auto sensor_name = ctx.get_string(core::path::kHistSensor);
+        if (!sensor_name.is_ok()) return sensor_name.status();
+        auto from = get_time(ctx, core::path::kHistFrom);
+        if (!from.is_ok()) return from.status();
+        auto to = get_time(ctx, core::path::kHistTo);
+        if (!to.is_ok()) return to.status();
+        util::SimDuration resolution = 0;
+        if (ctx.has(core::path::kHistResolution)) {
+          auto r = get_time(ctx, core::path::kHistResolution);
+          if (r.is_ok()) resolution = r.value();
+        }
+        const StatsResult result =
+            store_.stats(sensor_name.value(), from.value(), to.value(),
+                         resolution);
+        ctx.put(core::path::kHistCount,
+                static_cast<std::int64_t>(result.stats.count),
+                sorcer::PathDirection::kOut);
+        ctx.put(core::path::kHistMin, result.stats.min,
+                sorcer::PathDirection::kOut);
+        ctx.put(core::path::kHistMax, result.stats.max,
+                sorcer::PathDirection::kOut);
+        ctx.put(core::path::kHistSum, result.stats.sum,
+                sorcer::PathDirection::kOut);
+        ctx.put(core::path::kHistMean, result.stats.mean(),
+                sorcer::PathDirection::kOut);
+        ctx.put(core::path::kHistLast, result.stats.last,
+                sorcer::PathDirection::kOut);
+        ctx.put(core::path::kHistSource, result.source,
+                sorcer::PathDirection::kOut);
+        ctx.put(core::path::kHistFromEffective,
+                static_cast<std::int64_t>(result.from_effective),
+                sorcer::PathDirection::kOut);
+        ctx.put(core::path::kHistToEffective,
+                static_cast<std::int64_t>(result.to_effective),
+                sorcer::PathDirection::kOut);
+        ctx.put(core::path::kHistResolution,
+                static_cast<std::int64_t>(result.resolution),
+                sorcer::PathDirection::kOut);
+        return util::Status::ok();
+      },
+      costs_.base);
+
+  add_operation(
+      core::op::kHistRange,
+      [this](sorcer::ServiceContext& ctx) -> util::Status {
+        pending_extra_ = 0;
+        auto sensor_name = ctx.get_string(core::path::kHistSensor);
+        if (!sensor_name.is_ok()) return sensor_name.status();
+        auto from = get_time(ctx, core::path::kHistFrom);
+        if (!from.is_ok()) return from.status();
+        auto to = get_time(ctx, core::path::kHistTo);
+        if (!to.is_ok()) return to.status();
+        std::size_t max_points = 1024;
+        if (ctx.has(core::path::kHistPoints)) {
+          auto p = get_time(ctx, core::path::kHistPoints);
+          if (p.is_ok() && p.value() > 0) {
+            max_points = static_cast<std::size_t>(p.value());
+          }
+        }
+        const SeriesResult result =
+            store_.range(sensor_name.value(), from.value(), to.value(),
+                         max_points);
+        pending_extra_ = static_cast<util::SimDuration>(result.points.size()) *
+                         costs_.per_point;
+        put_points(ctx, result);
+        return util::Status::ok();
+      },
+      costs_.base);
+
+  add_operation(
+      core::op::kHistDownsample,
+      [this](sorcer::ServiceContext& ctx) -> util::Status {
+        pending_extra_ = 0;
+        auto sensor_name = ctx.get_string(core::path::kHistSensor);
+        if (!sensor_name.is_ok()) return sensor_name.status();
+        auto from = get_time(ctx, core::path::kHistFrom);
+        if (!from.is_ok()) return from.status();
+        auto to = get_time(ctx, core::path::kHistTo);
+        if (!to.is_ok()) return to.status();
+        std::size_t target_points = 64;
+        if (ctx.has(core::path::kHistPoints)) {
+          auto p = get_time(ctx, core::path::kHistPoints);
+          if (p.is_ok() && p.value() > 0) {
+            target_points = static_cast<std::size_t>(p.value());
+          }
+        }
+        const SeriesResult result =
+            store_.downsample(sensor_name.value(), from.value(), to.value(),
+                              target_points);
+        pending_extra_ = static_cast<util::SimDuration>(result.points.size()) *
+                         costs_.per_point;
+        put_points(ctx, result);
+        return util::Status::ok();
+      },
+      costs_.base);
+}
+
+}  // namespace sensorcer::hist

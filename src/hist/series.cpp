@@ -1,0 +1,143 @@
+#include "hist/series.h"
+
+#include <algorithm>
+
+#include "util/sim_time.h"
+
+namespace sensorcer::hist {
+
+namespace {
+
+std::string ring_source(util::SimDuration resolution) {
+  return "rollup:" + util::format_duration(resolution);
+}
+
+}  // namespace
+
+SensorSeries::SensorSeries(const SeriesConfig& config)
+    : raw_(config.raw_capacity) {
+  std::vector<RingSpec> specs = config.rings;
+  std::sort(specs.begin(), specs.end(),
+            [](const RingSpec& a, const RingSpec& b) {
+              return a.resolution < b.resolution;
+            });
+  rings_.reserve(specs.size());
+  for (const RingSpec& spec : specs) {
+    if (spec.resolution <= 0 || spec.buckets == 0) continue;
+    rings_.emplace_back(spec.resolution, spec.buckets);
+  }
+  bytes_ = raw_.capacity() * sizeof(sensor::Reading);
+  for (const RollupRing& ring : rings_) bytes_ += ring.bytes();
+}
+
+SensorSeries::Append SensorSeries::append(const sensor::Reading& reading) {
+  if (reading.timestamp <= last_ts_) return Append::kDuplicate;
+  last_ts_ = reading.timestamp;
+  const bool evicts = raw_.size() == raw_.capacity();
+  raw_.append(reading);
+  if (reading.quality != sensor::Quality::kBad) {
+    for (RollupRing& ring : rings_) {
+      (void)ring.append(reading.timestamp, reading.value);
+    }
+  }
+  ++appended_;
+  return evicts ? Append::kAcceptedEvicted : Append::kAccepted;
+}
+
+const RollupRing* SensorSeries::pick_ring(
+    util::SimTime from, util::SimDuration max_resolution) const {
+  if (max_resolution <= 0) return nullptr;
+  // Coarsest acceptable ring that still retains the window start.
+  for (auto it = rings_.rbegin(); it != rings_.rend(); ++it) {
+    if (it->resolution() <= max_resolution && it->covers(from)) return &*it;
+  }
+  return nullptr;
+}
+
+StatsResult SensorSeries::stats(util::SimTime from, util::SimTime to,
+                                util::SimDuration max_resolution) const {
+  StatsResult out;
+  if (to <= from) {
+    out.source = "raw";
+    out.from_effective = from;
+    out.to_effective = to;
+    return out;
+  }
+  if (const RollupRing* ring = pick_ring(from, max_resolution)) {
+    out.stats = ring->aggregate(from, to);
+    out.from_effective = std::max(ring->align(from), ring->retained_from());
+    out.to_effective =
+        std::min(ring->align_up(to), ring->newest_start() + ring->resolution());
+    if (out.to_effective < out.from_effective) {
+      out.to_effective = out.from_effective;
+    }
+    out.source = ring_source(ring->resolution());
+    out.resolution = ring->resolution();
+    return out;
+  }
+  AggregateStats agg;
+  raw_.for_each(from, to, [&agg](const sensor::Reading& r) {
+    if (r.quality != sensor::Quality::kBad) {
+      agg.add_sample(r.timestamp, r.value);
+    }
+  });
+  out.stats = agg;
+  out.from_effective =
+      raw_.empty() ? from : std::max(from, raw_.oldest().timestamp);
+  out.to_effective = to;
+  out.source = "raw";
+  return out;
+}
+
+SeriesResult SensorSeries::range(util::SimTime from, util::SimTime to,
+                                 std::size_t max_points) const {
+  SeriesResult out;
+  out.source = "raw";
+  raw_.for_each(from, to, [&](const sensor::Reading& r) {
+    if (out.points.size() < max_points) {
+      out.points.push_back({r.timestamp, r.value});
+    } else {
+      out.truncated = true;
+    }
+  });
+  return out;
+}
+
+SeriesResult SensorSeries::downsample(util::SimTime from, util::SimTime to,
+                                      std::size_t target_points) const {
+  SeriesResult out;
+  if (to <= from || target_points == 0) {
+    out.source = "raw";
+    return out;
+  }
+  const util::SimDuration width = std::max<util::SimDuration>(
+      1, (to - from) / static_cast<util::SimDuration>(target_points));
+  std::vector<RollupBucket> bins(target_points);
+  const auto bin_for = [&](util::SimTime ts) -> RollupBucket& {
+    auto idx = ts <= from ? 0
+                          : static_cast<std::size_t>((ts - from) / width);
+    if (idx >= bins.size()) idx = bins.size() - 1;
+    bins[idx].start = from + static_cast<util::SimDuration>(idx) * width;
+    return bins[idx];
+  };
+  if (const RollupRing* ring = pick_ring(from, width)) {
+    // Re-bin the ring's buckets into the requested point count (the ring
+    // may be finer than the implied spacing when no coarser ring covers).
+    out.source = ring_source(ring->resolution());
+    ring->visit(from, to, [&](const RollupBucket& b) {
+      bin_for(b.start).merge(b);
+    });
+  } else {
+    out.source = "raw";
+    raw_.for_each(from, to, [&](const sensor::Reading& r) {
+      if (r.quality == sensor::Quality::kBad) return;
+      bin_for(r.timestamp).add(r.timestamp, r.value);
+    });
+  }
+  for (const RollupBucket& b : bins) {
+    if (!b.empty()) out.points.push_back({b.start, b.mean()});
+  }
+  return out;
+}
+
+}  // namespace sensorcer::hist

@@ -1,0 +1,126 @@
+#pragma once
+// Per-sensor storage segment of the historian: a raw ring of recent
+// readings (sensor::DataLog — the same building block each ESP already
+// uses as its local store) plus one RollupRing per configured resolution,
+// all maintained incrementally at append time.
+//
+// Queries go through a tiny planner: a stats or downsample request names
+// the coarsest bucket width it can accept, and the series answers from the
+// coarsest ring that (a) is at least that fine and (b) still retains the
+// start of the window — falling back to a raw scan (binary-searched start,
+// bounded walk) only when no ring qualifies. A wide aggregate therefore
+// costs O(buckets), not O(readings).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hist/rollup.h"
+#include "sensor/data_log.h"
+#include "sensor/reading.h"
+#include "util/sim_time.h"
+
+namespace sensorcer::hist {
+
+/// One rollup ring: bucket width and how many buckets are retained.
+struct RingSpec {
+  util::SimDuration resolution = util::kSecond;
+  std::size_t buckets = 600;
+};
+
+/// Storage layout of one sensor's segment. The defaults retain ~1.5h of
+/// 1 Hz data across three resolutions in ~200 KiB per sensor.
+struct SeriesConfig {
+  /// Raw readings retained (FIFO ring).
+  std::size_t raw_capacity = 4096;
+  /// Rollup resolutions; order does not matter (sorted on construction).
+  std::vector<RingSpec> rings{{util::kSecond, 600},
+                              {10 * util::kSecond, 360},
+                              {60 * util::kSecond, 240}};
+};
+
+/// A (timestamp, value) pair of a range or downsample result.
+struct Point {
+  util::SimTime timestamp = 0;
+  double value = 0.0;
+};
+
+/// Result of a stats query. `from_effective`/`to_effective` report the
+/// window actually answered: rollup answers are bucket-aligned, and both
+/// paths clamp to what is retained.
+struct StatsResult {
+  AggregateStats stats;
+  util::SimTime from_effective = 0;
+  util::SimTime to_effective = 0;
+  /// "raw" or "rollup:<resolution>", e.g. "rollup:60s".
+  std::string source;
+  /// Bucket width used; 0 for the raw path.
+  util::SimDuration resolution = 0;
+};
+
+/// Result of a range or downsample query.
+struct SeriesResult {
+  std::vector<Point> points;
+  std::string source;
+  /// True when a range query had more matching readings than max_points.
+  bool truncated = false;
+};
+
+class SensorSeries {
+ public:
+  explicit SensorSeries(const SeriesConfig& config = {});
+
+  enum class Append {
+    kAccepted,
+    kAcceptedEvicted,  // accepted; the raw ring evicted its oldest reading
+    kDuplicate,        // timestamp <= newest retained; dropped (dedup)
+  };
+
+  /// Append one reading. Raw keeps every quality; rollups aggregate only
+  /// good/suspect readings (kBad is excluded from aggregates, matching
+  /// DataLog::stats_since). Timestamps must be non-decreasing per series —
+  /// an equal-or-older timestamp is treated as a replayed duplicate (the
+  /// failover-backfill dedup rule) and dropped.
+  Append append(const sensor::Reading& reading);
+
+  [[nodiscard]] const sensor::DataLog& raw() const { return raw_; }
+  [[nodiscard]] const std::vector<RollupRing>& rings() const { return rings_; }
+  [[nodiscard]] util::SimTime last_timestamp() const { return last_ts_; }
+  [[nodiscard]] std::uint64_t appended() const { return appended_; }
+
+  /// Aggregate over [from, to). `max_resolution` is the coarsest bucket
+  /// width the caller accepts; 0 demands the exact raw path.
+  [[nodiscard]] StatsResult stats(util::SimTime from, util::SimTime to,
+                                  util::SimDuration max_resolution) const;
+
+  /// Raw readings in [from, to), oldest first, capped at max_points.
+  [[nodiscard]] SeriesResult range(util::SimTime from, util::SimTime to,
+                                   std::size_t max_points) const;
+
+  /// At most `target_points` (bucket-start, bucket-mean) points over
+  /// [from, to), answered from the coarsest ring whose buckets are no wider
+  /// than the implied point spacing.
+  [[nodiscard]] SeriesResult downsample(util::SimTime from, util::SimTime to,
+                                        std::size_t target_points) const;
+
+  /// Planner decision (exposed for tests): the ring that would answer a
+  /// query reaching back to `from` at `max_resolution`, or nullptr for the
+  /// raw path.
+  [[nodiscard]] const RollupRing* pick_ring(
+      util::SimTime from, util::SimDuration max_resolution) const;
+
+  /// Fixed memory footprint (raw ring + all rollup rings).
+  [[nodiscard]] std::size_t bytes() const { return bytes_; }
+
+  /// Readings aged out of the raw ring.
+  [[nodiscard]] std::uint64_t raw_evicted() const { return raw_.evicted(); }
+
+ private:
+  sensor::DataLog raw_;
+  std::vector<RollupRing> rings_;  // sorted fine → coarse
+  util::SimTime last_ts_ = -1;
+  std::uint64_t appended_ = 0;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace sensorcer::hist

@@ -1,0 +1,211 @@
+#include "hist/store.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/strings.h"
+
+namespace sensorcer::hist {
+
+namespace {
+
+/// Handles resolved once; updates are relaxed atomics (pool workers append
+/// concurrently). Same pattern as the ESP/accessor instrumentation.
+struct StoreMetrics {
+  obs::Counter& appends;
+  obs::Counter& append_batches;
+  obs::Counter& duplicates;
+  obs::Counter& evicted;
+  obs::Counter& series_evicted;
+  obs::Counter& query_raw;
+  obs::Counter& query_rollup;
+};
+
+StoreMetrics& store_metrics() {
+  static StoreMetrics m{
+      obs::metrics().counter("hist.appends"),
+      obs::metrics().counter("hist.append_batches"),
+      obs::metrics().counter("hist.duplicates"),
+      obs::metrics().counter("hist.evicted"),
+      obs::metrics().counter("hist.series_evicted"),
+      obs::metrics().counter("hist.query_raw"),
+      obs::metrics().counter("hist.query_rollup"),
+  };
+  return m;
+}
+
+bool is_rollup_source(const std::string& source) {
+  return util::starts_with(source, "rollup:");
+}
+
+}  // namespace
+
+HistorianStore::HistorianStore(HistorianConfig config)
+    : config_(std::move(config)) {
+  if (config_.shards == 0) config_.shards = 1;
+  shard_budget_ = config_.max_bytes == 0 ? 0 : config_.max_bytes / config_.shards;
+  shards_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+HistorianStore::Shard& HistorianStore::shard_for(const std::string& sensor) {
+  return *shards_[std::hash<std::string>{}(sensor) % shards_.size()];
+}
+
+const HistorianStore::Shard& HistorianStore::shard_for(
+    const std::string& sensor) const {
+  return *shards_[std::hash<std::string>{}(sensor) % shards_.size()];
+}
+
+void HistorianStore::evict_for_budget(Shard& shard) {
+  if (shard_budget_ == 0) return;
+  while (!shard.segments.empty() && shard.bytes >= shard_budget_) {
+    auto victim = shard.segments.begin();
+    for (auto it = shard.segments.begin(); it != shard.segments.end(); ++it) {
+      if (it->second.last_touch < victim->second.last_touch) victim = it;
+    }
+    shard.bytes -= victim->second.series->bytes();
+    evicted_readings_base_.fetch_add(victim->second.series->raw_evicted(),
+                                     std::memory_order_relaxed);
+    shard.segments.erase(victim);
+    evicted_series_.fetch_add(1, std::memory_order_relaxed);
+    store_metrics().series_evicted.add();
+  }
+}
+
+AppendOutcome HistorianStore::append(
+    const std::string& sensor, const std::vector<sensor::Reading>& readings) {
+  AppendOutcome out;
+  if (readings.empty()) return out;
+  Shard& shard = shard_for(sensor);
+  std::lock_guard lock(shard.mu);
+  auto it = shard.segments.find(sensor);
+  if (it == shard.segments.end()) {
+    evict_for_budget(shard);
+    Entry entry;
+    entry.series = std::make_unique<SensorSeries>(config_.series);
+    shard.bytes += entry.series->bytes();
+    it = shard.segments.emplace(sensor, std::move(entry)).first;
+  }
+  it->second.last_touch =
+      touch_clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::uint64_t raw_evictions = 0;
+  for (const sensor::Reading& r : readings) {
+    switch (it->second.series->append(r)) {
+      case SensorSeries::Append::kAccepted:
+        ++out.accepted;
+        break;
+      case SensorSeries::Append::kAcceptedEvicted:
+        ++out.accepted;
+        ++raw_evictions;
+        break;
+      case SensorSeries::Append::kDuplicate:
+        ++out.duplicates;
+        break;
+    }
+  }
+  appended_.fetch_add(out.accepted, std::memory_order_relaxed);
+  duplicates_.fetch_add(out.duplicates, std::memory_order_relaxed);
+  StoreMetrics& m = store_metrics();
+  m.appends.add(out.accepted);
+  m.append_batches.add();
+  if (out.duplicates > 0) m.duplicates.add(out.duplicates);
+  if (raw_evictions > 0) m.evicted.add(raw_evictions);
+  return out;
+}
+
+util::SimTime HistorianStore::last_timestamp(const std::string& sensor) const {
+  const Shard& shard = shard_for(sensor);
+  std::lock_guard lock(shard.mu);
+  auto it = shard.segments.find(sensor);
+  return it == shard.segments.end() ? -1 : it->second.series->last_timestamp();
+}
+
+StatsResult HistorianStore::stats(const std::string& sensor, util::SimTime from,
+                                  util::SimTime to,
+                                  util::SimDuration max_resolution) const {
+  const Shard& shard = shard_for(sensor);
+  std::lock_guard lock(shard.mu);
+  auto it = shard.segments.find(sensor);
+  if (it == shard.segments.end()) {
+    StatsResult empty;
+    empty.source = "none";
+    empty.from_effective = from;
+    empty.to_effective = to;
+    return empty;
+  }
+  StatsResult out = it->second.series->stats(from, to, max_resolution);
+  StoreMetrics& m = store_metrics();
+  (is_rollup_source(out.source) ? m.query_rollup : m.query_raw).add();
+  return out;
+}
+
+SeriesResult HistorianStore::range(const std::string& sensor,
+                                   util::SimTime from, util::SimTime to,
+                                   std::size_t max_points) const {
+  const Shard& shard = shard_for(sensor);
+  std::lock_guard lock(shard.mu);
+  auto it = shard.segments.find(sensor);
+  if (it == shard.segments.end()) {
+    SeriesResult empty;
+    empty.source = "none";
+    return empty;
+  }
+  SeriesResult out = it->second.series->range(from, to, max_points);
+  store_metrics().query_raw.add();
+  return out;
+}
+
+SeriesResult HistorianStore::downsample(const std::string& sensor,
+                                        util::SimTime from, util::SimTime to,
+                                        std::size_t target_points) const {
+  const Shard& shard = shard_for(sensor);
+  std::lock_guard lock(shard.mu);
+  auto it = shard.segments.find(sensor);
+  if (it == shard.segments.end()) {
+    SeriesResult empty;
+    empty.source = "none";
+    return empty;
+  }
+  SeriesResult out = it->second.series->downsample(from, to, target_points);
+  StoreMetrics& m = store_metrics();
+  (is_rollup_source(out.source) ? m.query_rollup : m.query_raw).add();
+  return out;
+}
+
+StoreStats HistorianStore::stats_snapshot() const {
+  StoreStats out;
+  out.appended = appended_.load(std::memory_order_relaxed);
+  out.duplicates = duplicates_.load(std::memory_order_relaxed);
+  out.evicted_series = evicted_series_.load(std::memory_order_relaxed);
+  out.evicted_readings = evicted_readings_base_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    out.series_count += shard->segments.size();
+    out.bytes += shard->bytes;
+    for (const auto& [name, entry] : shard->segments) {
+      (void)name;
+      out.evicted_readings += entry.series->raw_evicted();
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> HistorianStore::sensors() const {
+  std::vector<std::string> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    for (const auto& [name, entry] : shard->segments) {
+      (void)entry;
+      out.push_back(name);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace sensorcer::hist

@@ -1,0 +1,114 @@
+#pragma once
+// HistorianStore — the sharded segment map behind the Historian provider.
+//
+// Sensor name → SensorSeries, split across a fixed shard array (hash of the
+// name) so concurrent appends from pool workers contend only per shard.
+// Each shard carries a byte budget (total budget / shards); admitting a new
+// series past the budget evicts the shard's least-recently-appended series
+// wholesale, which models a historian node shedding cold sensors under
+// memory pressure. All ingest/query/eviction activity is mirrored onto the
+// obs metrics registry (hist.*) for the federation health report.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hist/series.h"
+#include "sensor/reading.h"
+#include "util/sim_time.h"
+
+namespace sensorcer::hist {
+
+/// Storage policy of one historian node.
+struct HistorianConfig {
+  /// Layout of every per-sensor segment.
+  SeriesConfig series;
+  /// Total byte budget across all segments; 0 = unbounded.
+  std::size_t max_bytes = 64 * 1024 * 1024;
+  /// Shard count (power of two recommended); clamped to >= 1.
+  std::size_t shards = 16;
+};
+
+/// Outcome of one append batch.
+struct AppendOutcome {
+  std::uint64_t accepted = 0;
+  std::uint64_t duplicates = 0;  // replayed timestamps dropped by dedup
+};
+
+/// Point-in-time counters for health rows and tests.
+struct StoreStats {
+  std::size_t series_count = 0;
+  std::size_t bytes = 0;
+  std::uint64_t appended = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t evicted_readings = 0;  // aged out of raw rings
+  std::uint64_t evicted_series = 0;    // whole segments shed by the budget
+};
+
+class HistorianStore {
+ public:
+  explicit HistorianStore(HistorianConfig config = {});
+
+  /// Append a batch of readings for one sensor. Creates the segment on
+  /// first contact (possibly evicting a cold one to stay in budget).
+  AppendOutcome append(const std::string& sensor,
+                       const std::vector<sensor::Reading>& readings);
+
+  /// Newest retained timestamp for `sensor`; -1 when unknown. Feeders use
+  /// this to trim backfills after a failover.
+  [[nodiscard]] util::SimTime last_timestamp(const std::string& sensor) const;
+
+  /// Aggregate over [from, to); see SensorSeries::stats. Counts toward
+  /// hist.query_rollup or hist.query_raw depending on the path taken.
+  [[nodiscard]] StatsResult stats(const std::string& sensor, util::SimTime from,
+                                  util::SimTime to,
+                                  util::SimDuration max_resolution) const;
+
+  /// Raw readings in [from, to), capped at max_points.
+  [[nodiscard]] SeriesResult range(const std::string& sensor,
+                                   util::SimTime from, util::SimTime to,
+                                   std::size_t max_points) const;
+
+  /// At most target_points bucket-mean points over [from, to).
+  [[nodiscard]] SeriesResult downsample(const std::string& sensor,
+                                        util::SimTime from, util::SimTime to,
+                                        std::size_t target_points) const;
+
+  [[nodiscard]] StoreStats stats_snapshot() const;
+  [[nodiscard]] const HistorianConfig& config() const { return config_; }
+
+  /// Sensor names currently retained (sorted; for browser/health output).
+  [[nodiscard]] std::vector<std::string> sensors() const;
+
+ private:
+  struct Entry {
+    std::unique_ptr<SensorSeries> series;
+    std::uint64_t last_touch = 0;  // global LRU stamp
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Entry> segments;
+    std::size_t bytes = 0;
+  };
+
+  [[nodiscard]] Shard& shard_for(const std::string& sensor);
+  [[nodiscard]] const Shard& shard_for(const std::string& sensor) const;
+  /// Called with the shard locked: make room for one more segment.
+  void evict_for_budget(Shard& shard);
+
+  HistorianConfig config_;
+  std::size_t shard_budget_ = 0;  // 0 = unbounded
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> touch_clock_{0};
+  std::atomic<std::uint64_t> appended_{0};
+  std::atomic<std::uint64_t> duplicates_{0};
+  std::atomic<std::uint64_t> evicted_series_{0};
+  /// Raw-ring evictions carried by segments that were themselves evicted.
+  std::atomic<std::uint64_t> evicted_readings_base_{0};
+};
+
+}  // namespace sensorcer::hist

@@ -66,6 +66,24 @@ std::string render_federation_health(const Snapshot& snap) {
                   latency_row(snap, "invoke.rtt_us")});
   rows.push_back({"collection", "CSP collection latency",
                   latency_row(snap, "csp.collection_latency_us")});
+  rows.push_back({"mailbox", "discarded / expired",
+                  std::to_string(snap.counter_or("mailbox.discarded")) +
+                      " / " +
+                      std::to_string(snap.counter_or("mailbox.expired"))});
+  rows.push_back({"historian", "readings appended / duplicates",
+                  std::to_string(snap.counter_or("hist.appends")) + " / " +
+                      std::to_string(snap.counter_or("hist.duplicates"))});
+  rows.push_back({"historian", "evicted readings / series",
+                  std::to_string(snap.counter_or("hist.evicted")) + " / " +
+                      std::to_string(snap.counter_or("hist.series_evicted"))});
+  rows.push_back(
+      {"historian", "queries rollup / raw",
+       std::to_string(snap.counter_or("hist.query_rollup")) + " / " +
+           std::to_string(snap.counter_or("hist.query_raw"))});
+  rows.push_back({"historian", "feeder pushed / dropped",
+                  std::to_string(snap.counter_or("hist.feeder_pushed")) +
+                      " / " +
+                      std::to_string(snap.counter_or("hist.feeder_dropped"))});
   rows.push_back({"provisioning", "provisions / re-provisions",
                   std::to_string(snap.counter_or("rio.provisions")) + " / " +
                       std::to_string(snap.counter_or("rio.reprovisions"))});

@@ -1,20 +1,69 @@
 #include "registry/event_mailbox.h"
 
+#include "obs/metrics.h"
+
 namespace sensorcer::registry {
 
-EventMailbox::Mailbox EventMailbox::open() {
+namespace {
+
+struct MailboxMetrics {
+  obs::Counter& discarded;
+  obs::Counter& expired;
+};
+
+MailboxMetrics& mailbox_metrics() {
+  static MailboxMetrics m{obs::metrics().counter("mailbox.discarded"),
+                          obs::metrics().counter("mailbox.expired")};
+  return m;
+}
+
+}  // namespace
+
+EventMailbox::EventMailbox(util::Scheduler& scheduler, std::size_t capacity,
+                           util::SimDuration sweep_period)
+    : capacity_(capacity), scheduler_(&scheduler) {
+  sweep_timer_ =
+      scheduler_->schedule_every(sweep_period, [this] { sweep_expired(); });
+}
+
+EventMailbox::~EventMailbox() {
+  if (scheduler_ != nullptr) scheduler_->cancel(sweep_timer_);
+}
+
+EventMailbox::Mailbox EventMailbox::open(util::SimDuration lease_duration) {
   const util::Uuid id = util::new_uuid();
-  boxes_.emplace(id, std::deque<ServiceEvent>{});
+  Box box;
+  Lease lease{id, util::kNever, 0};
+  if (scheduler_ != nullptr && lease_duration > 0) {
+    box.expiration = scheduler_->now() + lease_duration;
+    box.duration = lease_duration;
+    lease.expiration = box.expiration;
+    lease.duration = lease_duration;
+  }
+  boxes_.emplace(id, std::move(box));
   EventListener listener = [this, id](const ServiceEvent& ev) {
     auto it = boxes_.find(id);
-    if (it == boxes_.end()) return;  // mailbox closed; drop silently
-    if (it->second.size() >= capacity_) {
-      it->second.pop_front();
-      ++discarded_;
+    if (it == boxes_.end()) return;  // mailbox closed/expired; drop silently
+    if (it->second.events.size() >= capacity_) {
+      it->second.events.pop_front();
+      mailbox_metrics().discarded.add();
     }
-    it->second.push_back(ev);
+    it->second.events.push_back(ev);
   };
-  return {id, std::move(listener)};
+  return {id, lease, std::move(listener)};
+}
+
+util::Status EventMailbox::renew(const util::Uuid& mailbox_id,
+                                 util::SimDuration extension) {
+  auto it = boxes_.find(mailbox_id);
+  if (it == boxes_.end()) {
+    return {util::ErrorCode::kNotFound, "unknown or expired mailbox"};
+  }
+  if (scheduler_ != nullptr && extension > 0) {
+    it->second.expiration = scheduler_->now() + extension;
+    it->second.duration = extension;
+  }
+  return util::Status::ok();
 }
 
 void EventMailbox::close(const util::Uuid& mailbox_id) {
@@ -23,7 +72,7 @@ void EventMailbox::close(const util::Uuid& mailbox_id) {
 
 std::size_t EventMailbox::pending(const util::Uuid& mailbox_id) const {
   auto it = boxes_.find(mailbox_id);
-  return it == boxes_.end() ? 0 : it->second.size();
+  return it == boxes_.end() ? 0 : it->second.events.size();
 }
 
 std::vector<ServiceEvent> EventMailbox::drain(const util::Uuid& mailbox_id,
@@ -31,11 +80,28 @@ std::vector<ServiceEvent> EventMailbox::drain(const util::Uuid& mailbox_id,
   std::vector<ServiceEvent> out;
   auto it = boxes_.find(mailbox_id);
   if (it == boxes_.end()) return out;
-  while (!it->second.empty() && out.size() < max_events) {
-    out.push_back(std::move(it->second.front()));
-    it->second.pop_front();
+  while (!it->second.events.empty() && out.size() < max_events) {
+    out.push_back(std::move(it->second.events.front()));
+    it->second.events.pop_front();
   }
   return out;
+}
+
+std::uint64_t EventMailbox::discarded() {
+  return mailbox_metrics().discarded.value();
+}
+
+void EventMailbox::sweep_expired() {
+  const util::SimTime now = scheduler_->now();
+  for (auto it = boxes_.begin(); it != boxes_.end();) {
+    if (it->second.expiration <= now) {
+      it = boxes_.erase(it);
+      ++expired_;
+      mailbox_metrics().expired.add();
+    } else {
+      ++it;
+    }
+  }
 }
 
 }  // namespace sensorcer::registry

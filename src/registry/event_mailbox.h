@@ -3,26 +3,52 @@
 // the paper's Fig 2). Stores remote events on behalf of listeners that are
 // intermittently connected — e.g. the zero-install Sensor Browser on a
 // mobile device — and delivers them on demand.
+//
+// Like everything else handed out by the middleware, a mailbox is leased:
+// an abandoned browser that stops renewing loses its mailbox at the next
+// sweep instead of accumulating events forever. Opening with a zero lease
+// (or on a mailbox service with no scheduler) keeps the old non-expiring
+// behaviour for standalone use.
 
 #include <deque>
 #include <unordered_map>
 
 #include "registry/lookup.h"
+#include "util/scheduler.h"
 
 namespace sensorcer::registry {
 
 class EventMailbox : public ServiceProxy {
  public:
-  /// Events retained per mailbox before the oldest are discarded.
+  /// Standalone (no expiry): mailboxes live until closed.
   explicit EventMailbox(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  /// Leased mode: mailboxes opened with a lease expire unless renewed;
+  /// `sweep_period` bounds how late an expired mailbox is collected.
+  EventMailbox(util::Scheduler& scheduler, std::size_t capacity = 4096,
+               util::SimDuration sweep_period = 100 * util::kMillisecond);
+
+  ~EventMailbox() override;
+
+  EventMailbox(const EventMailbox&) = delete;
+  EventMailbox& operator=(const EventMailbox&) = delete;
 
   /// Open a mailbox; the returned listener can be handed to
   /// LookupService::notify to buffer events here.
   struct Mailbox {
     util::Uuid id;
+    /// Granted lease; expiration is far-future when unleased.
+    Lease lease;
     EventListener listener;
   };
-  Mailbox open();
+
+  /// `lease_duration` 0 — or a mailbox service without a scheduler — opens
+  /// a non-expiring mailbox.
+  Mailbox open(util::SimDuration lease_duration = 0);
+
+  /// Extend a mailbox lease by `extension` from now. kNotFound for unknown
+  /// (or already collected) mailboxes.
+  util::Status renew(const util::Uuid& mailbox_id, util::SimDuration extension);
 
   /// Close a mailbox, dropping buffered events.
   void close(const util::Uuid& mailbox_id);
@@ -34,13 +60,30 @@ class EventMailbox : public ServiceProxy {
   std::vector<ServiceEvent> drain(const util::Uuid& mailbox_id,
                                   std::size_t max_events = SIZE_MAX);
 
-  /// Events discarded across all mailboxes due to capacity.
-  [[nodiscard]] std::uint64_t discarded() const { return discarded_; }
+  /// Mailboxes currently open.
+  [[nodiscard]] std::size_t mailbox_count() const { return boxes_.size(); }
+
+  /// Events discarded due to per-mailbox capacity — process-wide, read from
+  /// the obs registry ("mailbox.discarded").
+  [[nodiscard]] static std::uint64_t discarded();
+
+  /// Mailboxes collected because their lease ran out (this instance).
+  [[nodiscard]] std::uint64_t expired_count() const { return expired_; }
 
  private:
+  struct Box {
+    std::deque<ServiceEvent> events;
+    util::SimTime expiration = util::kNever;
+    util::SimDuration duration = 0;
+  };
+
+  void sweep_expired();
+
   std::size_t capacity_;
-  std::unordered_map<util::Uuid, std::deque<ServiceEvent>> boxes_;
-  std::uint64_t discarded_ = 0;
+  util::Scheduler* scheduler_ = nullptr;
+  util::TimerId sweep_timer_ = 0;
+  std::unordered_map<util::Uuid, Box> boxes_;
+  std::uint64_t expired_ = 0;
 };
 
 }  // namespace sensorcer::registry

@@ -132,7 +132,17 @@ util::Status LookupService::renew_lease(const util::Uuid& lease_id,
                                         util::SimDuration extension) {
   auto it = lease_to_service_.find(lease_id);
   if (it == lease_to_service_.end()) {
-    return {util::ErrorCode::kNotFound, "unknown or expired lease"};
+    // Not a service lease — maybe an event-registration lease.
+    auto ev = lease_to_event_.find(lease_id);
+    if (ev == lease_to_event_.end()) {
+      return {util::ErrorCode::kNotFound, "unknown or expired lease"};
+    }
+    charge_rpc(24, 8);
+    lookup_metrics().renewals.add(1);
+    EventReg& reg = event_regs_.at(ev->second);
+    reg.lease.expiration = scheduler_.now() + extension;
+    reg.lease.duration = extension;
+    return util::Status::ok();
   }
   charge_rpc(24, 8);
   lookup_metrics().renewals.add(1);
@@ -145,7 +155,13 @@ util::Status LookupService::renew_lease(const util::Uuid& lease_id,
 util::Status LookupService::cancel_lease(const util::Uuid& lease_id) {
   auto it = lease_to_service_.find(lease_id);
   if (it == lease_to_service_.end()) {
-    return {util::ErrorCode::kNotFound, "unknown or expired lease"};
+    auto ev = lease_to_event_.find(lease_id);
+    if (ev == lease_to_event_.end()) {
+      return {util::ErrorCode::kNotFound, "unknown or expired lease"};
+    }
+    charge_rpc(24, 8);
+    lookup_metrics().cancellations.add(1);
+    return cancel_notify(ev->second);
   }
   charge_rpc(24, 8);
   const ServiceId service_id = it->second;
@@ -236,13 +252,17 @@ EventRegistration LookupService::notify(ServiceTemplate tmpl,
   charge_rpc(tmpl.attributes.wire_bytes() + 64, 48);
   event_regs_.emplace(
       out.id, EventReg{std::move(tmpl), mask, std::move(listener), out.lease});
+  lease_to_event_.emplace(out.lease.id, out.id);
   return out;
 }
 
 util::Status LookupService::cancel_notify(const util::Uuid& registration_id) {
-  if (event_regs_.erase(registration_id) == 0) {
+  auto it = event_regs_.find(registration_id);
+  if (it == event_regs_.end()) {
     return {util::ErrorCode::kNotFound, "unknown event registration"};
   }
+  lease_to_event_.erase(it->second.lease.id);
+  event_regs_.erase(it);
   return util::Status::ok();
 }
 
@@ -253,10 +273,18 @@ std::vector<ServiceItem> LookupService::all_services() const {
 void LookupService::sweep_expired() {
   const util::SimTime now = scheduler_.now();
 
-  // Expired event registrations are silently dropped (leases, again).
-  std::erase_if(event_regs_, [&](const auto& kv) {
-    return kv.second.lease.expiration <= now;
-  });
+  // Expired event registrations are dropped (leases, again) — e.g. the
+  // historian-push subscription of a crashed ESP stops receiving events.
+  for (auto it = event_regs_.begin(); it != event_regs_.end();) {
+    if (it->second.lease.expiration <= now) {
+      lease_to_event_.erase(it->second.lease.id);
+      it = event_regs_.erase(it);
+      ++expired_events_;
+      lookup_metrics().expirations.add(1);
+    } else {
+      ++it;
+    }
+  }
 
   std::vector<ServiceItem> disposed;
   for (auto it = services_.begin(); it != services_.end();) {

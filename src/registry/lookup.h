@@ -90,10 +90,13 @@ class LookupService : public ServiceProxy {
                                        util::SimDuration lease_duration);
 
   /// Extend a lease by `extension` from now. kNotFound for unknown/expired.
+  /// Covers both service leases and event-registration leases, so a
+  /// LeaseRenewalManager can keep notify() subscriptions alive too.
   util::Status renew_lease(const util::Uuid& lease_id,
                            util::SimDuration extension);
 
-  /// Cancel a lease, immediately disposing the registration.
+  /// Cancel a lease, immediately disposing the service registration or
+  /// event registration it guards.
   util::Status cancel_lease(const util::Uuid& lease_id);
 
   // --- lookup -------------------------------------------------------------
@@ -129,6 +132,16 @@ class LookupService : public ServiceProxy {
 
   /// Registrations disposed because their lease ran out (not cancelled).
   [[nodiscard]] std::uint64_t expired_count() const { return expired_; }
+
+  /// Event registrations dropped because their lease ran out.
+  [[nodiscard]] std::uint64_t expired_event_count() const {
+    return expired_events_;
+  }
+
+  /// Live event registrations.
+  [[nodiscard]] std::size_t event_registration_count() const {
+    return event_regs_.size();
+  }
 
   /// Total lookup() calls served (cache-ablation metric).
   [[nodiscard]] std::uint64_t lookup_count() const {
@@ -173,7 +186,9 @@ class LookupService : public ServiceProxy {
   std::unordered_map<std::string, std::unordered_set<ServiceId>> type_index_;
   std::unordered_map<std::string, std::unordered_set<ServiceId>> name_index_;
   std::unordered_map<util::Uuid, EventReg> event_regs_;
+  std::unordered_map<util::Uuid, util::Uuid> lease_to_event_;  // lease → reg id
   std::uint64_t expired_ = 0;
+  std::uint64_t expired_events_ = 0;
   // lookup() is served concurrently from exertion pool workers.
   mutable std::atomic<std::uint64_t> lookup_calls_{0};
 };

@@ -225,6 +225,9 @@ void ProvisionMonitor::poll_once() {
     const ServiceElement& element = opstring->elements[d.element_index];
     if (place(d.opstring, d.element_index, element, d.instance_name)
             .is_ok()) {
+      // State hand-off: the replacement adopts whatever survives of the dead
+      // instance (an ESP's DataLog backfills the historian from here).
+      deployments_.back().service->assume_state_from(*d.service);
       ++reprovisions_;
       rio_metrics().reprovisions.add(1);
       SENSORCER_LOG_INFO("rio", "re-provisioned '%s' (was on a failed node)",

@@ -23,22 +23,49 @@ const Reading& DataLog::latest() const {
   return buffer_[(head_ + size_ - 1) % buffer_.size()];
 }
 
-std::vector<Reading> DataLog::window(util::SimTime since) const {
+const Reading& DataLog::oldest() const {
+  assert(size_ > 0 && "oldest() on empty DataLog");
+  return buffer_[head_];
+}
+
+std::size_t DataLog::first_at_or_after(util::SimTime since) const {
+  // Timestamps are non-decreasing in append order, so the ring (read from
+  // head_) is sorted: binary-search the first logical index at or after
+  // `since` instead of scanning from the oldest element.
+  const std::size_t cap = buffer_.size();
+  std::size_t lo = 0;
+  std::size_t hi = size_;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (buffer_[(head_ + mid) % cap].timestamp < since) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::vector<Reading> DataLog::window(util::SimTime since,
+                                     util::SimTime until) const {
   std::vector<Reading> out;
-  out.reserve(size_);
-  for (std::size_t i = 0; i < size_; ++i) {
-    const Reading& r = buffer_[(head_ + i) % buffer_.size()];
-    if (r.timestamp >= since) out.push_back(r);
+  const std::size_t start = first_at_or_after(since);
+  out.reserve(size_ - start);
+  const std::size_t cap = buffer_.size();
+  for (std::size_t i = start; i < size_; ++i) {
+    const Reading& r = buffer_[(head_ + i) % cap];
+    if (r.timestamp >= until) break;
+    out.push_back(r);
   }
   return out;
 }
 
-util::StatAccumulator DataLog::stats_since(util::SimTime since) const {
+util::StatAccumulator DataLog::stats_since(util::SimTime since,
+                                           util::SimTime until) const {
   util::StatAccumulator acc;
-  for (std::size_t i = 0; i < size_; ++i) {
-    const Reading& r = buffer_[(head_ + i) % buffer_.size()];
-    if (r.timestamp >= since && r.quality != Quality::kBad) acc.add(r.value);
-  }
+  for_each(since, until, [&acc](const Reading& r) {
+    if (r.quality != Quality::kBad) acc.add(r.value);
+  });
   return acc;
 }
 

@@ -8,12 +8,17 @@
 // statistics, so aggregation never has to touch the device.
 
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 #include "sensor/reading.h"
 #include "util/stats.h"
 
 namespace sensorcer::sensor {
+
+/// Open upper bound for windowed DataLog queries.
+inline constexpr util::SimTime kEndOfTime =
+    std::numeric_limits<util::SimTime>::max();
 
 class DataLog {
  public:
@@ -32,15 +37,39 @@ class DataLog {
   /// Most recent reading; requires !empty().
   [[nodiscard]] const Reading& latest() const;
 
-  /// Readings with timestamp >= since, oldest first.
-  [[nodiscard]] std::vector<Reading> window(util::SimTime since) const;
+  /// Oldest retained reading; requires !empty().
+  [[nodiscard]] const Reading& oldest() const;
+
+  /// Logical index (0 = oldest) of the first retained reading with
+  /// timestamp >= since, or size() when none. Timestamps are appended in
+  /// non-decreasing order, so this is a binary search — the windowed
+  /// queries below start here instead of scanning from the oldest element.
+  [[nodiscard]] std::size_t first_at_or_after(util::SimTime since) const;
+
+  /// Readings with since <= timestamp < until, oldest first.
+  [[nodiscard]] std::vector<Reading> window(
+      util::SimTime since, util::SimTime until = kEndOfTime) const;
 
   /// All retained readings, oldest first.
   [[nodiscard]] std::vector<Reading> snapshot() const { return window(0); }
 
-  /// Streaming stats over readings with timestamp >= since (good+suspect
-  /// quality only; kBad readings are excluded from aggregates).
-  [[nodiscard]] util::StatAccumulator stats_since(util::SimTime since) const;
+  /// Streaming stats over readings with since <= timestamp < until
+  /// (good+suspect quality only; kBad readings are excluded from
+  /// aggregates).
+  [[nodiscard]] util::StatAccumulator stats_since(
+      util::SimTime since, util::SimTime until = kEndOfTime) const;
+
+  /// Visit readings with since <= timestamp < until, oldest first, without
+  /// materializing a vector (the historian's raw-scan query path).
+  template <typename Fn>
+  void for_each(util::SimTime since, util::SimTime until, Fn&& fn) const {
+    const std::size_t cap = buffer_.size();
+    for (std::size_t i = first_at_or_after(since); i < size_; ++i) {
+      const Reading& r = buffer_[(head_ + i) % cap];
+      if (r.timestamp >= until) break;
+      fn(r);
+    }
+  }
 
   void clear();
 

@@ -94,6 +94,13 @@ class ServiceProvider : public Servicer,
   /// The ServiceItem this provider registers (useful for direct LUS tests).
   [[nodiscard]] registry::ServiceItem service_item();
 
+  /// Failover hand-off: a replacement provider adopts whatever state of
+  /// `predecessor` survives its crash (e.g. an ESP's DataLog, which then
+  /// backfills the historian). Default: nothing carries over.
+  virtual void assume_state_from(ServiceProvider& predecessor) {
+    (void)predecessor;
+  }
+
  protected:
   /// Per-provider invocation lock; subclasses coordinating their own state
   /// with operations may lock it too.

@@ -1,0 +1,478 @@
+// Tests for the federated sensor-data historian (src/hist/): rollup-ring
+// correctness against brute force over randomized readings, retention and
+// eviction accounting, the coarsest-ring query planner, wire-mode ingestion
+// with byte accounting, feeder bind/unbind on historian transitions, and
+// the failover backfill leaving no gaps in recorded history.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/deployment.h"
+#include "hist/historian.h"
+#include "hist/rollup.h"
+#include "hist/series.h"
+#include "hist/store.h"
+#include "obs/metrics.h"
+#include "util/rng.h"
+
+namespace sensorcer::hist {
+namespace {
+
+using sensor::Quality;
+using sensor::Reading;
+using util::kSecond;
+
+Reading make_reading(util::SimTime t, double v, Quality q = Quality::kGood) {
+  return Reading{t, v, q, 0};
+}
+
+std::uint64_t counter(const std::string& name) {
+  return obs::metrics().counter(name).value();
+}
+
+// --- RollupRing -----------------------------------------------------------------------------
+
+TEST(RollupRing, BucketsAlignAndAggregate) {
+  RollupRing ring(10, 8);  // 10-unit buckets
+  EXPECT_TRUE(ring.empty());
+  EXPECT_TRUE(ring.append(3, 1.0));
+  EXPECT_TRUE(ring.append(7, 3.0));
+  EXPECT_TRUE(ring.append(15, 10.0));
+  EXPECT_FALSE(ring.empty());
+  EXPECT_EQ(ring.newest_start(), 10);
+  EXPECT_EQ(ring.retained_from(), 0);
+
+  const auto all = ring.aggregate(0, 20);
+  EXPECT_EQ(all.count, 3u);
+  EXPECT_DOUBLE_EQ(all.min, 1.0);
+  EXPECT_DOUBLE_EQ(all.max, 10.0);
+  EXPECT_DOUBLE_EQ(all.sum, 14.0);
+  EXPECT_DOUBLE_EQ(all.last, 10.0);
+
+  // Window [0, 10) covers only the first bucket.
+  const auto first = ring.aggregate(0, 10);
+  EXPECT_EQ(first.count, 2u);
+  EXPECT_DOUBLE_EQ(first.sum, 4.0);
+  // An unaligned window widens to bucket boundaries: [0, 10).
+  const auto widened = ring.aggregate(2, 8);
+  EXPECT_EQ(widened.count, 2u);
+}
+
+TEST(RollupRing, EvictsOldBucketsAndCountsReadings) {
+  RollupRing ring(10, 4);  // retains 4 buckets = 40 units
+  for (util::SimTime t = 0; t < 60; t += 5) ring.append(t, 1.0);
+  // Buckets 0 and 10 (2 readings each) aged out.
+  EXPECT_EQ(ring.evicted_readings(), 4u);
+  EXPECT_EQ(ring.retained_from(), 20);
+  EXPECT_EQ(ring.newest_start(), 50);
+  EXPECT_TRUE(ring.covers(20));
+  EXPECT_FALSE(ring.covers(19));
+  // A reading older than the retained window is rejected.
+  EXPECT_FALSE(ring.append(5, 1.0));
+  // An in-window out-of-order reading (backfill) lands in its bucket.
+  EXPECT_TRUE(ring.append(25, 7.0));
+  const auto b = ring.aggregate(20, 30);
+  EXPECT_EQ(b.count, 3u);
+  EXPECT_DOUBLE_EQ(b.max, 7.0);
+}
+
+TEST(RollupRing, JumpFarAheadResetsRing) {
+  RollupRing ring(10, 4);
+  ring.append(0, 1.0);
+  ring.append(1000, 2.0);  // > capacity buckets ahead: everything before ages out
+  EXPECT_EQ(ring.evicted_readings(), 1u);
+  EXPECT_EQ(ring.retained_from(), 1000);
+  const auto all = ring.aggregate(0, 2000);
+  EXPECT_EQ(all.count, 1u);
+  EXPECT_DOUBLE_EQ(all.last, 2.0);
+}
+
+TEST(RollupRing, RandomizedAggregateMatchesBruteForce) {
+  util::Rng rng(1234);
+  RollupRing ring(1 * kSecond, 4096);
+  std::vector<Reading> all;
+  util::SimTime t = 0;
+  for (int i = 0; i < 3000; ++i) {
+    t += rng.between(1, 900 * 1000);  // 1µs .. 0.9s steps: several per bucket
+    const double v = rng.next_double() * 200.0 - 100.0;
+    ring.append(t, v);
+    all.push_back(make_reading(t, v));
+  }
+  ASSERT_TRUE(ring.covers(0)) << "test span must fit in the ring";
+
+  for (int trial = 0; trial < 50; ++trial) {
+    const util::SimTime from = rng.between(0, t);
+    const util::SimTime to = from + rng.between(0, t - from);
+    const auto got = ring.aggregate(from, to);
+    // Brute force over the bucket-aligned window the ring answers.
+    AggregateStats want;
+    for (const auto& r : all) {
+      if (r.timestamp >= ring.align(from) && r.timestamp < ring.align_up(to)) {
+        want.add_sample(r.timestamp, r.value);
+      }
+    }
+    ASSERT_EQ(got.count, want.count) << "trial " << trial;
+    if (want.count > 0) {
+      EXPECT_DOUBLE_EQ(got.min, want.min);
+      EXPECT_DOUBLE_EQ(got.max, want.max);
+      EXPECT_NEAR(got.sum, want.sum, 1e-6 * std::abs(want.sum) + 1e-9);
+      EXPECT_DOUBLE_EQ(got.last, want.last);
+      EXPECT_EQ(got.last_ts, want.last_ts);
+    }
+  }
+}
+
+// --- SensorSeries ---------------------------------------------------------------------------
+
+SeriesConfig wide_config() {
+  // Rings wide enough to retain the whole randomized test span.
+  SeriesConfig config;
+  config.raw_capacity = 4096;
+  config.rings = {{1 * kSecond, 8192}, {10 * kSecond, 1024}, {60 * kSecond, 256}};
+  return config;
+}
+
+TEST(SensorSeries, RandomizedStatsMatchBruteForceOnEveryPath) {
+  util::Rng rng(99);
+  SensorSeries series(wide_config());
+  std::vector<Reading> all;
+  util::SimTime t = 0;
+  for (int i = 0; i < 2500; ++i) {
+    t += rng.between(1000, 2 * 1000 * 1000);  // 1ms..2s
+    const double v = rng.next_double() * 50.0;
+    const Quality q = rng.next_double() < 0.1 ? Quality::kBad : Quality::kGood;
+    const auto outcome = series.append(make_reading(t, v, q));
+    ASSERT_NE(outcome, SensorSeries::Append::kDuplicate);
+    all.push_back(make_reading(t, v, q));
+  }
+  ASSERT_EQ(series.raw_evicted(), 0u) << "test span must fit in the raw ring";
+
+  for (util::SimDuration max_res :
+       {util::SimDuration{0}, 1 * kSecond, 10 * kSecond, 60 * kSecond}) {
+    for (int trial = 0; trial < 30; ++trial) {
+      const util::SimTime from = rng.between(0, t);
+      const util::SimTime to = from + rng.between(0, t - from);
+      const auto got = series.stats(from, to, max_res);
+      // Brute force over the effective window the series reports, skipping
+      // kBad readings (excluded from aggregates on every path).
+      AggregateStats want;
+      for (const auto& r : all) {
+        if (r.quality != Quality::kBad && r.timestamp >= got.from_effective &&
+            r.timestamp < got.to_effective) {
+          want.add_sample(r.timestamp, r.value);
+        }
+      }
+      ASSERT_EQ(got.stats.count, want.count)
+          << "max_res=" << max_res << " trial=" << trial;
+      if (want.count > 0) {
+        EXPECT_DOUBLE_EQ(got.stats.min, want.min);
+        EXPECT_DOUBLE_EQ(got.stats.max, want.max);
+        EXPECT_NEAR(got.stats.sum, want.sum, 1e-6 * std::abs(want.sum) + 1e-9);
+        EXPECT_DOUBLE_EQ(got.stats.last, want.last);
+      }
+      if (max_res == 0) {
+        EXPECT_EQ(got.source, "raw");
+      } else {
+        EXPECT_TRUE(got.source.rfind("rollup:", 0) == 0) << got.source;
+      }
+    }
+  }
+}
+
+TEST(SensorSeries, PlannerPicksCoarsestCoveringRing) {
+  SensorSeries series;  // defaults: 1s x 600, 10s x 360, 60s x 240
+  for (util::SimTime s = 0; s < 5000; ++s) {
+    series.append(make_reading(s * kSecond, 1.0));
+  }
+  // Retention: 1s ring from 4400s, 10s ring from 1400s, 60s ring covers all.
+
+  // Wide tolerance picks the coarsest ring.
+  const RollupRing* ring = series.pick_ring(4900 * kSecond, 60 * kSecond);
+  ASSERT_NE(ring, nullptr);
+  EXPECT_EQ(ring->resolution(), 60 * kSecond);
+
+  // A 5s tolerance admits only the 1s ring.
+  ring = series.pick_ring(4900 * kSecond, 5 * kSecond);
+  ASSERT_NE(ring, nullptr);
+  EXPECT_EQ(ring->resolution(), 1 * kSecond);
+
+  // Reaching back past the 1s ring's retention with a 10s tolerance
+  // upgrades to the 10s ring, which still covers the window start.
+  ring = series.pick_ring(2000 * kSecond, 10 * kSecond);
+  ASSERT_NE(ring, nullptr);
+  EXPECT_EQ(ring->resolution(), 10 * kSecond);
+
+  // A 5s tolerance cannot use the 10s ring and the 1s ring aged out: raw.
+  EXPECT_EQ(series.pick_ring(2000 * kSecond, 5 * kSecond), nullptr);
+  // max_resolution 0 always demands the raw path.
+  EXPECT_EQ(series.pick_ring(4900 * kSecond, 0), nullptr);
+
+  // stats() agrees with the planner.
+  EXPECT_EQ(series.stats(4900 * kSecond, 5000 * kSecond, 60 * kSecond).resolution,
+            60 * kSecond);
+  EXPECT_EQ(series.stats(4900 * kSecond, 5000 * kSecond, 0).source, "raw");
+}
+
+TEST(SensorSeries, DedupsReplayedTimestamps) {
+  SensorSeries series;
+  EXPECT_EQ(series.append(make_reading(10, 1.0)), SensorSeries::Append::kAccepted);
+  EXPECT_EQ(series.append(make_reading(20, 2.0)), SensorSeries::Append::kAccepted);
+  EXPECT_EQ(series.append(make_reading(20, 9.0)), SensorSeries::Append::kDuplicate);
+  EXPECT_EQ(series.append(make_reading(15, 9.0)), SensorSeries::Append::kDuplicate);
+  EXPECT_EQ(series.raw().size(), 2u);
+  EXPECT_EQ(series.last_timestamp(), 20);
+  const auto stats = series.stats(0, 100, 0);
+  EXPECT_EQ(stats.stats.count, 2u);
+  EXPECT_DOUBLE_EQ(stats.stats.sum, 3.0);
+}
+
+TEST(SensorSeries, DownsampleCapsPoints) {
+  SensorSeries series(wide_config());
+  for (util::SimTime s = 0; s < 3600; ++s) {
+    series.append(make_reading(s * kSecond, static_cast<double>(s)));
+  }
+  for (std::size_t target : {1u, 7u, 64u, 500u}) {
+    const auto result = series.downsample(0, 3600 * kSecond, target);
+    EXPECT_LE(result.points.size(), target) << "target=" << target;
+    EXPECT_GT(result.points.size(), 0u);
+    // Points come back oldest first.
+    for (std::size_t i = 1; i < result.points.size(); ++i) {
+      EXPECT_LT(result.points[i - 1].timestamp, result.points[i].timestamp);
+    }
+  }
+  // Range queries report truncation when readings exceed max_points.
+  const auto range = series.range(0, 3600 * kSecond, 10);
+  EXPECT_EQ(range.points.size(), 10u);
+  EXPECT_TRUE(range.truncated);
+  EXPECT_EQ(range.source, "raw");
+}
+
+// --- HistorianStore -------------------------------------------------------------------------
+
+TEST(HistorianStore, CountsAppendsDuplicatesAndQueries) {
+  HistorianStore store;
+  const auto out1 = store.append("a", {make_reading(1, 1.0), make_reading(2, 2.0)});
+  EXPECT_EQ(out1.accepted, 2u);
+  EXPECT_EQ(out1.duplicates, 0u);
+  const auto out2 = store.append("a", {make_reading(2, 2.0), make_reading(3, 3.0)});
+  EXPECT_EQ(out2.accepted, 1u);
+  EXPECT_EQ(out2.duplicates, 1u);
+  EXPECT_EQ(store.last_timestamp("a"), 3);
+  EXPECT_EQ(store.last_timestamp("missing"), -1);
+
+  const auto snap = store.stats_snapshot();
+  EXPECT_EQ(snap.series_count, 1u);
+  EXPECT_EQ(snap.appended, 3u);
+  EXPECT_EQ(snap.duplicates, 1u);
+  EXPECT_GT(snap.bytes, 0u);
+  EXPECT_EQ(store.sensors(), std::vector<std::string>{"a"});
+
+  const auto raw_before = counter("hist.query_raw");
+  const auto rollup_before = counter("hist.query_rollup");
+  (void)store.stats("a", 0, 100, 0);
+  (void)store.stats("a", 0, 100, 60 * kSecond);
+  EXPECT_EQ(counter("hist.query_raw") - raw_before, 1u);
+  EXPECT_EQ(counter("hist.query_rollup") - rollup_before, 1u);
+}
+
+TEST(HistorianStore, ByteBudgetEvictsLeastRecentlyAppendedSeries) {
+  // Measure one segment's footprint with an unbounded store first.
+  HistorianConfig probe_config;
+  probe_config.series.raw_capacity = 32;
+  probe_config.series.rings = {{1 * kSecond, 16}};
+  probe_config.max_bytes = 0;
+  HistorianStore probe(probe_config);
+  probe.append("x", {make_reading(1, 1.0)});
+  const std::size_t per_series = probe.stats_snapshot().bytes;
+  ASSERT_GT(per_series, 0u);
+
+  HistorianConfig config = probe_config;
+  config.max_bytes = per_series * 5 / 2;  // room for two segments, not three
+  config.shards = 1;
+  HistorianStore store(config);
+  store.append("a", {make_reading(1, 1.0)});
+  store.append("b", {make_reading(1, 1.0)});
+  store.append("a", {make_reading(2, 2.0)});  // "b" is now least recent
+  store.append("c", {make_reading(1, 1.0)});  // past budget
+  store.append("d", {make_reading(1, 1.0)});  // forces an eviction
+  const auto snap = store.stats_snapshot();
+  EXPECT_GE(snap.evicted_series, 1u);
+  EXPECT_EQ(store.last_timestamp("b"), -1) << "LRU series should be shed";
+  EXPECT_EQ(store.last_timestamp("a"), 2);
+}
+
+// --- Historian provider ---------------------------------------------------------------------
+
+TEST(Historian, DecodeBatchMapsQualities) {
+  const auto readings = Historian::decode_batch(
+      {1.0, 2.0, 3.0}, {10.0, 20.0, 30.0}, {0.0, 1.0, 2.0});
+  ASSERT_EQ(readings.size(), 3u);
+  EXPECT_EQ(readings[0].quality, Quality::kGood);
+  EXPECT_EQ(readings[1].quality, Quality::kSuspect);
+  EXPECT_EQ(readings[2].quality, Quality::kBad);
+  EXPECT_EQ(readings[1].timestamp, 2);
+  EXPECT_DOUBLE_EQ(readings[2].value, 30.0);
+  // Mismatched array lengths clamp to the shortest.
+  EXPECT_EQ(Historian::decode_batch({1.0, 2.0}, {10.0}, {}).size(), 1u);
+}
+
+// --- deployment integration -----------------------------------------------------------------
+
+TEST(HistorianDeployment, SampledReadingsReachTheHistorianAndTheFacade) {
+  core::DeploymentConfig config;
+  config.history_feed.flush_period = 2 * kSecond;
+  core::Deployment lab(config);
+  lab.add_temperature_sensor("Fern-Sensor", 21.0);
+  lab.pump(30 * kSecond);
+
+  ASSERT_NE(lab.historian(), nullptr);
+  const auto snap = lab.historian()->store().stats_snapshot();
+  EXPECT_GE(snap.appended, 20u);
+  EXPECT_EQ(snap.series_count, 1u);
+
+  // Facade queries route through the invocation pipeline to the historian.
+  const auto stats =
+      lab.facade().query_stats("Fern-Sensor", 0, lab.now(), 60 * kSecond);
+  ASSERT_TRUE(stats.is_ok());
+  EXPECT_GE(stats.value().stats.count, 20u);
+  EXPECT_GT(stats.value().stats.mean(), 0.0);
+
+  const auto series =
+      lab.facade().query_downsample("Fern-Sensor", 0, lab.now(), 8);
+  ASSERT_TRUE(series.is_ok());
+  EXPECT_LE(series.value().points.size(), 8u);
+  EXPECT_GT(series.value().points.size(), 0u);
+
+  const auto range =
+      lab.facade().query_range("Fern-Sensor", 0, lab.now(), 1024);
+  ASSERT_TRUE(range.is_ok());
+  EXPECT_EQ(range.value().points.size(), stats.value().stats.count);
+}
+
+TEST(HistorianDeployment, WireModeIngestionIsByteAccounted) {
+  core::DeploymentConfig config;
+  config.invoke.transport = sorcer::Transport::kWire;
+  config.history_feed.flush_period = 2 * kSecond;
+  core::Deployment lab(config);
+  lab.add_temperature_sensor("Moss-Sensor", 19.0);
+  lab.pump(kSecond);  // settle registrations
+
+  lab.network().reset_stats();
+  const auto wire_before = counter("invoke.wire_calls");
+  const auto appended_before = counter("hist.appends");
+  lab.pump(10 * kSecond);
+
+  // appendBatch pushes really crossed the fabric as wire calls carrying
+  // marshalled payload bytes.
+  EXPECT_GT(counter("hist.appends") - appended_before, 0u);
+  EXPECT_GT(counter("invoke.wire_calls") - wire_before, 0u);
+  EXPECT_GT(lab.network().totals().payload_bytes_sent, 0u);
+  EXPECT_GT(lab.network().totals().header_bytes_sent, 0u);
+
+  // The pushed readings are queryable over the same wire pipeline.
+  const auto stats =
+      lab.facade().query_stats("Moss-Sensor", 0, lab.now(), 60 * kSecond);
+  ASSERT_TRUE(stats.is_ok());
+  EXPECT_GT(stats.value().stats.count, 0u);
+}
+
+TEST(HistorianDeployment, FeederUnbindsWhenHistorianLeavesAndRebinds) {
+  core::Deployment lab;
+  auto esp = lab.add_temperature_sensor("Ivy-Sensor", 20.0);
+  ASSERT_NE(esp->history_feeder(), nullptr);
+  EXPECT_TRUE(esp->history_feeder()->bound());
+  lab.pump(10 * kSecond);
+  const auto pushed_before = esp->history_feeder()->pushed();
+  EXPECT_GT(pushed_before, 0u);
+
+  // Historian departs: the registry transition unbinds the feeder, which
+  // buffers readings instead of pushing into the void.
+  lab.historian()->leave();
+  EXPECT_FALSE(esp->history_feeder()->bound());
+  lab.pump(10 * kSecond);
+  EXPECT_EQ(esp->history_feeder()->pushed(), pushed_before);
+  EXPECT_GT(esp->history_feeder()->pending(), 0u);
+
+  // It comes back: the feeder rebinds and drains the buffer.
+  for (const auto& lus : lab.lookups()) {
+    ASSERT_TRUE(lab.historian()
+                    ->join(lus, lab.lease_renewal(), 30 * kSecond)
+                    .is_ok());
+  }
+  EXPECT_TRUE(esp->history_feeder()->bound());
+  lab.pump(10 * kSecond);
+  EXPECT_GT(esp->history_feeder()->pushed(), pushed_before);
+  // Only the post-rebind sampling tail may still be in flight; the
+  // disconnection backlog has drained.
+  (void)esp->history_feeder()->flush();
+  EXPECT_EQ(esp->history_feeder()->pending(), 0u);
+}
+
+TEST(HistorianDeployment, FailoverBackfillLeavesNoGaps) {
+  core::DeploymentConfig config;
+  config.history_feed.flush_period = 2 * kSecond;
+  core::Deployment lab(config);
+  ASSERT_TRUE(lab.provisioner()
+                  .provision_elementary(
+                      "Aster-Sensor",
+                      [](const std::string& name) {
+                        return sensor::make_temperature_probe(name, 7, 22.0);
+                      },
+                      rio::QosRequirement{})
+                  .is_ok());
+  lab.pump(15 * kSecond);
+  const util::SimTime crash_time = lab.now();
+  ASSERT_GT(lab.historian()->store().stats_snapshot().appended, 0u);
+
+  // Kill the hosting cybernode; the monitor re-provisions the ESP, the
+  // replacement adopts the predecessor's DataLog and backfills.
+  rio::Cybernode* host = nullptr;
+  for (const auto& node : lab.cybernodes()) {
+    if (node->hosted_count() > 0) host = node.get();
+  }
+  ASSERT_NE(host, nullptr);
+  host->fail();
+  lab.pump(20 * kSecond);
+  EXPECT_GE(lab.monitor().reprovision_count(), 1u);
+
+  const auto instances = lab.monitor().deployed_instances("Aster-Sensor");
+  ASSERT_EQ(instances.size(), 1u);
+  auto* replacement =
+      dynamic_cast<core::ElementarySensorProvider*>(instances[0].get());
+  ASSERT_NE(replacement, nullptr);
+  // The replacement adopted pre-crash history into its own log.
+  ASSERT_FALSE(replacement->log().empty());
+  EXPECT_LT(replacement->log().oldest().timestamp, crash_time);
+  // Push the sampling tail still sitting in the feeder's batch buffer.
+  ASSERT_NE(replacement->history_feeder(), nullptr);
+  (void)replacement->history_feeder()->flush();
+
+  // Every sample either incarnation ever logged made it into the historian:
+  // the replay plus fresh pushes leave zero missing samples...
+  const auto recorded = lab.historian()->store().range(
+      "Aster-Sensor", 0, sensor::kEndOfTime, 100000);
+  std::set<util::SimTime> have;
+  for (const auto& p : recorded.points) have.insert(p.timestamp);
+  std::size_t logged = 0;
+  replacement->log().for_each(0, sensor::kEndOfTime,
+                              [&](const Reading&) { ++logged; });
+  std::size_t missing = 0;
+  replacement->log().for_each(0, sensor::kEndOfTime, [&](const Reading& r) {
+    if (!have.contains(r.timestamp)) ++missing;
+  });
+  EXPECT_GT(logged, 0u);
+  EXPECT_EQ(missing, 0u) << "backfill left gaps in recorded history";
+  // ...and the idempotent replay double-counted none of them.
+  EXPECT_EQ(have.size(), recorded.points.size());
+  EXPECT_GT(lab.historian()->store().stats_snapshot().duplicates, 0u)
+      << "the backfill should have replayed already-recorded readings";
+  // History spans the crash: readings from before and after it survive.
+  EXPECT_LT(*have.begin(), crash_time);
+  EXPECT_GT(*have.rbegin(), crash_time);
+}
+
+}  // namespace
+}  // namespace sensorcer::hist

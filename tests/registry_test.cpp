@@ -394,15 +394,101 @@ TEST(EventMailbox, CapacityDiscardsOldest) {
   util::Scheduler sched;
   LookupService lus("lus", sched);
   EventMailbox mailbox(2);
+  // discarded() is a process-wide obs counter; assert on the delta.
+  const auto discarded_before = EventMailbox::discarded();
   auto box = mailbox.open();
   lus.notify(ServiceTemplate{}, kAllTransitions, box.listener, 60 * kSecond);
   for (int i = 0; i < 5; ++i) {
     lus.register_service(make_item("s" + std::to_string(i)), 10 * kSecond);
   }
   EXPECT_EQ(mailbox.pending(box.id), 2u);
-  EXPECT_EQ(mailbox.discarded(), 3u);
+  EXPECT_EQ(EventMailbox::discarded() - discarded_before, 3u);
   auto events = mailbox.drain(box.id);
   EXPECT_EQ(events[0].item.attributes.get_string(attr::kName), "s3");
+}
+
+TEST(EventMailbox, LeaseExpiryCollectsMailbox) {
+  util::Scheduler sched;
+  LookupService lus("lus", sched);
+  EventMailbox mailbox(sched);
+  auto box = mailbox.open(2 * kSecond);
+  EXPECT_GT(box.lease.expiration, sched.now());
+  lus.notify(ServiceTemplate{}, kAllTransitions, box.listener, 60 * kSecond);
+  lus.register_service(make_item("a"), 60 * kSecond);
+  EXPECT_EQ(mailbox.pending(box.id), 1u);
+  EXPECT_EQ(mailbox.mailbox_count(), 1u);
+
+  sched.run_for(3 * kSecond);  // lease lapses, sweep collects it
+  EXPECT_EQ(mailbox.mailbox_count(), 0u);
+  EXPECT_EQ(mailbox.expired_count(), 1u);
+  EXPECT_TRUE(mailbox.drain(box.id).empty());
+  // Events for a collected mailbox are dropped silently.
+  lus.register_service(make_item("b"), 60 * kSecond);
+  EXPECT_EQ(mailbox.pending(box.id), 0u);
+}
+
+TEST(EventMailbox, RenewKeepsMailboxAlive) {
+  util::Scheduler sched;
+  EventMailbox mailbox(sched);
+  auto box = mailbox.open(2 * kSecond);
+  for (int i = 0; i < 4; ++i) {
+    sched.run_for(1 * kSecond);
+    EXPECT_TRUE(mailbox.renew(box.id, 2 * kSecond).is_ok());
+  }
+  EXPECT_EQ(mailbox.mailbox_count(), 1u);
+  sched.run_for(3 * kSecond);  // stop renewing: collected
+  EXPECT_EQ(mailbox.mailbox_count(), 0u);
+  EXPECT_FALSE(mailbox.renew(box.id, 2 * kSecond).is_ok());
+}
+
+TEST(EventMailbox, UnleasedMailboxNeverExpires) {
+  util::Scheduler sched;
+  EventMailbox mailbox(sched);
+  auto box = mailbox.open();  // zero lease: non-expiring
+  sched.run_for(3600 * kSecond);
+  EXPECT_EQ(mailbox.mailbox_count(), 1u);
+  EXPECT_EQ(mailbox.expired_count(), 0u);
+  mailbox.close(box.id);
+  EXPECT_EQ(mailbox.mailbox_count(), 0u);
+}
+
+TEST(LookupEvents, EventLeaseExpiresAndCanBeRenewed) {
+  util::Scheduler sched;
+  LookupService lus("lus", sched);
+  int fired = 0;
+  auto reg = lus.notify(
+      ServiceTemplate{}, kAllTransitions,
+      [&](const ServiceEvent&) { ++fired; }, 2 * kSecond);
+  EXPECT_EQ(lus.event_registration_count(), 1u);
+
+  // Renew through the unified lease API (what a LeaseRenewalManager does).
+  sched.run_for(1 * kSecond);
+  EXPECT_TRUE(lus.renew_lease(reg.lease.id, 5 * kSecond).is_ok());
+  sched.run_for(3 * kSecond);  // would have lapsed without the renewal
+  EXPECT_EQ(lus.event_registration_count(), 1u);
+  lus.register_service(make_item("a"), 60 * kSecond);
+  EXPECT_EQ(fired, 1);
+
+  sched.run_for(6 * kSecond);  // renewed lease lapses now
+  EXPECT_EQ(lus.event_registration_count(), 0u);
+  EXPECT_EQ(lus.expired_event_count(), 1u);
+  lus.register_service(make_item("b"), 60 * kSecond);
+  EXPECT_EQ(fired, 1);  // no longer notified
+  EXPECT_FALSE(lus.renew_lease(reg.lease.id, 5 * kSecond).is_ok());
+}
+
+TEST(LookupEvents, CancelEventLeaseDropsRegistration) {
+  util::Scheduler sched;
+  LookupService lus("lus", sched);
+  int fired = 0;
+  auto reg = lus.notify(
+      ServiceTemplate{}, kAllTransitions,
+      [&](const ServiceEvent&) { ++fired; }, 60 * kSecond);
+  EXPECT_TRUE(lus.cancel_lease(reg.lease.id).is_ok());
+  EXPECT_EQ(lus.event_registration_count(), 0u);
+  lus.register_service(make_item("a"), 60 * kSecond);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(lus.expired_event_count(), 0u);  // cancelled, not expired
 }
 
 TEST(EventMailbox, ClosedMailboxDropsSilently) {

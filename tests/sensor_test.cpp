@@ -298,6 +298,61 @@ TEST(DataLog, ClearEmptiesButKeepsCapacity) {
   EXPECT_DOUBLE_EQ(log.latest().value, 2.0);
 }
 
+TEST(DataLog, FirstAtOrAfterBinarySearchMatchesLinearScan) {
+  // Regression for the binary-search start index: exercise a wrapped ring
+  // (head != 0) and duplicate timestamps, comparing against a linear scan.
+  DataLog log(8);
+  for (int i = 0; i < 12; ++i) {
+    log.append(make_reading(i * 10, i));
+    if (i % 3 == 0) log.append(make_reading(i * 10, i + 0.5));  // duplicate ts
+  }
+  const auto all = log.snapshot();
+  for (util::SimTime since = -5; since <= 125; ++since) {
+    std::size_t linear = all.size();
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      if (all[i].timestamp >= since) {
+        linear = i;
+        break;
+      }
+    }
+    EXPECT_EQ(log.first_at_or_after(since), linear) << "since=" << since;
+  }
+}
+
+TEST(DataLog, WindowWithUpperBound) {
+  DataLog log(16);
+  for (int i = 0; i < 10; ++i) log.append(make_reading(i * 100, i));
+  // Half-open [300, 700): readings at 300..600.
+  const auto window = log.window(300, 700);
+  ASSERT_EQ(window.size(), 4u);
+  EXPECT_DOUBLE_EQ(window.front().value, 3.0);
+  EXPECT_DOUBLE_EQ(window.back().value, 6.0);
+  EXPECT_TRUE(log.window(700, 300).empty());
+  EXPECT_TRUE(log.window(5000).empty());
+}
+
+TEST(DataLog, StatsSinceWithUpperBound) {
+  DataLog log(16);
+  for (int i = 0; i < 10; ++i) log.append(make_reading(i, 10.0 * i));
+  const auto stats = log.stats_since(2, 5);  // values 20, 30, 40
+  EXPECT_EQ(stats.count(), 3u);
+  EXPECT_DOUBLE_EQ(stats.min(), 20.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 40.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 30.0);
+}
+
+TEST(DataLog, ForEachRespectsBoundsAfterWrap) {
+  DataLog log(4);
+  for (int i = 0; i < 10; ++i) log.append(make_reading(i, i));
+  // Retained: 6..9. Visit [7, 9).
+  std::vector<util::SimTime> seen;
+  log.for_each(7, 9, [&](const Reading& r) { seen.push_back(r.timestamp); });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], 7);
+  EXPECT_EQ(seen[1], 8);
+  EXPECT_EQ(log.oldest().timestamp, 6);
+}
+
 TEST(DataLog, ZeroCapacityClampsToOne) {
   DataLog log(0);
   log.append(make_reading(0, 1.0));
