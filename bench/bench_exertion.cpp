@@ -5,14 +5,27 @@
 // flow over compute-heavy tasks. Expected shape: sequence grows linearly
 // with fan-out; parallel stays flat; pull interpolates by crew size; real
 // threads give genuine speedup on compute-bound operations.
+//
+// The wire-mode section reruns the fan-out sweep under Transport::kWire,
+// where every dispatch is a request/response message pair on the simnet
+// fabric: parallel push scatters all children and gathers them with one
+// shared scheduler pump, so N round-trips overlap in virtual time instead
+// of serializing.
+//
+// `bench_exertion wire` runs just the wire section; `bench_exertion smoke`
+// runs a seconds-scale wire subset (CI under ASan).
 
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <thread>
 
 #include "registry/lease_renewal.h"
+#include "simnet/network.h"
 #include "sorcer/exert.h"
+#include "sorcer/invoke.h"
 #include "sorcer/jobber.h"
 #include "sorcer/spacer.h"
 #include "util/strings.h"
@@ -47,29 +60,114 @@ struct Fixture {
     (void)spacer->join(lus, lrm, 3600 * util::kSecond);
   }
 
-  std::shared_ptr<Job> make_job(std::size_t fanout, Flow flow,
-                                Access access) {
-    auto job = Job::make("job", {flow, access, true});
-    for (std::size_t i = 0; i < fanout; ++i) {
-      job->add(Task::make("t" + std::to_string(i),
-                          Signature{type::kTasker, "work", ""}));
-    }
-    return job;
+};
+
+std::shared_ptr<Job> make_job(std::size_t fanout, Flow flow, Access access) {
+  auto job = Job::make("job", {flow, access, true});
+  for (std::size_t i = 0; i < fanout; ++i) {
+    job->add(Task::make("t" + std::to_string(i),
+                        Signature{type::kTasker, "work", ""}));
+  }
+  return job;
+}
+
+// Same federation, but every service-to-service dispatch crosses the simnet
+// fabric as a request/response message pair (Transport::kWire).
+struct WireFixture {
+  util::Scheduler sched;
+  simnet::Network net{sched};
+  std::shared_ptr<registry::LookupService> lus =
+      std::make_shared<registry::LookupService>("lus", sched);
+  registry::LeaseRenewalManager lrm{sched};
+  ServiceAccessor accessor;
+  ExertSpace space;
+  RemoteInvoker invoker{net, InvokeConfig{Transport::kWire}};
+  std::shared_ptr<Tasker> tasker;
+  std::shared_ptr<Jobber> jobber;
+  std::shared_ptr<Spacer> spacer;
+
+  explicit WireFixture(std::size_t spacer_workers) {
+    accessor.add_lookup(lus);
+    accessor.set_invoker(&invoker);
+    tasker = std::make_shared<Tasker>("Worker");
+    tasker->add_operation(
+        "work", [](ServiceContext&) { return util::Status::ok(); },
+        10 * util::kMillisecond);
+    tasker->attach_network(net);
+    (void)tasker->join(lus, lrm, 3600 * util::kSecond);
+    jobber = std::make_shared<Jobber>("Jobber", accessor, nullptr);
+    jobber->attach_network(net);
+    (void)jobber->join(lus, lrm, 3600 * util::kSecond);
+    spacer = std::make_shared<Spacer>("Spacer", accessor, space,
+                                      spacer_workers, nullptr);
+    spacer->attach_network(net);
+    (void)spacer->join(lus, lrm, 3600 * util::kSecond);
   }
 };
 
+// Wire-mode fan-out sweep: elapsed fabric (virtual) time at the requestor,
+// so overlapped round-trips show up directly. Sequence serializes one
+// round-trip per child; scatter-gather parallel push overlaps them all in
+// one shared scheduler pump, so the batch costs ~the slowest child.
+void run_wire_section(bool smoke) {
+  std::puts("Wire-mode fan-out sweep (Transport::kWire, 200us one-way fabric "
+            "latency; elapsed requestor time in virtual fabric time):");
+  const std::vector<std::size_t> fanouts =
+      smoke ? std::vector<std::size_t>{1, 8}
+            : std::vector<std::size_t>{1, 2, 4, 8, 16, 32};
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t fanout : fanouts) {
+    WireFixture fx(4);
+    auto run = [&](Flow flow, Access access) -> util::SimDuration {
+      auto job = make_job(fanout, flow, access);
+      const util::SimTime t0 = fx.sched.now();
+      (void)exert(job, fx.accessor);
+      if (job->status() != ExertStatus::kDone) {
+        std::puts("FAILED to execute wire-mode job");
+        std::exit(1);
+      }
+      return fx.sched.now() - t0;
+    };
+    const auto seq = run(Flow::kSequence, Access::kPush);
+    const auto par = run(Flow::kParallel, Access::kPush);
+    const auto pull = run(Flow::kParallel, Access::kPull);
+    rows.push_back({std::to_string(fanout), util::format_duration(seq),
+                    util::format_duration(par), util::format_duration(pull),
+                    util::format("%.1fx", static_cast<double>(seq) /
+                                              static_cast<double>(par))});
+  }
+  std::puts(util::render_table({"tasks", "sequence push", "scatter-gather par",
+                                "pull (4 workers)", "par speedup"},
+                               rows)
+                .c_str());
+  std::puts("Expected shape: sequence ~ N x (RTT + 10ms service time); "
+            "scatter-gather parallel push ~ one slowest child plus per-child "
+            "dispatch overhead (>= 4x speedup by N=8); pull tracks the "
+            "4-worker makespan model over the fabric.");
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string mode = argc > 1 ? argv[1] : "";
+  if (mode == "wire" || mode == "smoke") {
+    // Wire section only: `wire` for the full sweep (run_bench.sh appends it
+    // to the default run anyway; this entry point exists for targeted runs),
+    // `smoke` for the seconds-scale CI/ASan subset.
+    std::puts("=== CLM-6: exertion federation — wire-mode section ===\n");
+    run_wire_section(mode == "smoke");
+    return 0;
+  }
+
   std::puts("=== CLM-6: exertion federation — control-strategy latency ===\n");
   std::puts("Per-task service time 10ms (virtual); Spacer crew = 4.\n");
 
   std::vector<std::vector<std::string>> rows;
   for (std::size_t fanout : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
     Fixture fx(4, nullptr);
-    auto seq = fx.make_job(fanout, Flow::kSequence, Access::kPush);
-    auto par = fx.make_job(fanout, Flow::kParallel, Access::kPush);
-    auto pull = fx.make_job(fanout, Flow::kParallel, Access::kPull);
+    auto seq = make_job(fanout, Flow::kSequence, Access::kPush);
+    auto par = make_job(fanout, Flow::kParallel, Access::kPush);
+    auto pull = make_job(fanout, Flow::kParallel, Access::kPull);
     (void)exert(seq, fx.accessor);
     (void)exert(par, fx.accessor);
     (void)exert(pull, fx.accessor);
@@ -97,7 +195,7 @@ int main() {
   std::vector<std::vector<std::string>> crew_rows;
   for (std::size_t workers : {1u, 2u, 4u, 8u, 16u, 32u}) {
     Fixture fx(workers, nullptr);
-    auto job = fx.make_job(32, Flow::kParallel, Access::kPull);
+    auto job = make_job(32, Flow::kParallel, Access::kPull);
     (void)exert(job, fx.accessor);
     crew_rows.push_back(
         {std::to_string(workers), util::format_duration(job->latency())});
@@ -151,6 +249,8 @@ int main() {
             "flat; pull interpolates with ceil(tasks/workers); wall time "
             "shrinks with pool size up to the host's core count (flat on a "
             "single-core host — the virtual-time model above carries the "
-            "parallelism analysis).");
+            "parallelism analysis).\n");
+
+  run_wire_section(false);
   return 0;
 }

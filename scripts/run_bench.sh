@@ -12,6 +12,9 @@
 # report-style benches (virtual-time tables from their own main); their
 # outputs are captured verbatim. The last two track the wire invocation
 # pipeline: per-hop protocol/header cost and partition-driven failover.
+# BENCH_exertion.txt includes the wire-mode scatter-gather table (sequence
+# vs overlapped parallel push vs pull on the fabric) and BENCH_historian.txt
+# the pipelined feeder-ingest delta.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

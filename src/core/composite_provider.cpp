@@ -1,7 +1,7 @@
 #include "core/composite_provider.h"
 
 #include <algorithm>
-#include <future>
+#include <utility>
 
 #include "obs/metrics.h"
 #include "sorcer/jobber.h"
@@ -176,42 +176,38 @@ std::vector<std::optional<double>> CompositeSensorProvider::fan_out(
     if (federated) *latency = job->latency();
   }
   if (!federated) {
-    // No rendezvous peer on the network: invoke components directly through
-    // the invocation pipeline. With a worker pool the fan-out runs in
-    // parallel and costs the slowest child plus the per-child dispatch
-    // overhead — the Jobber's parallel latency model; without one it
-    // degrades to the sequential child-latency sum. Wire transport forces
-    // the inline path: blocked wire calls pump the single-threaded
-    // virtual-time scheduler and must not park pool threads.
-    const auto dispatch = [this](const std::shared_ptr<sorcer::Task>& task) {
+    // No rendezvous peer on the network: resolve the prebuilt plan to
+    // servicers and issue it as one batch through the invocation pipeline —
+    // scatter-gathered on the fabric under wire transport, fanned across
+    // the policy pool in-process. invoke_servicer_all (not exert) keeps the
+    // historical no-substitution semantics and metric counts of the direct
+    // path. A pooled batch costs the slowest child plus the per-child
+    // dispatch overhead — the Jobber's parallel latency model; a wire batch
+    // already paid its overlapped window in fabric time, so only one batch
+    // dispatch overhead rides on top; a sequential one degrades to the
+    // child-latency sum.
+    std::vector<std::pair<std::shared_ptr<sorcer::Servicer>,
+                          sorcer::ExertionPtr>>
+        calls;
+    calls.reserve(tasks.size());
+    for (const auto& task : tasks) {
       auto servicer = accessor_.find_servicer(task->signature());
-      if (servicer.is_ok()) {
-        (void)sorcer::invoke_servicer(accessor_, servicer.value(), task,
-                                      nullptr);
-      }
-    };
-    if (policy_.pool != nullptr && tasks.size() > 1 &&
-        !accessor_.wire_transport()) {
-      std::vector<std::future<void>> futures;
-      futures.reserve(tasks.size());
-      for (const auto& task : tasks) {
-        futures.push_back(policy_.pool->submit([&dispatch, task] {
-          dispatch(task);
-        }));
-      }
-      for (auto& f : futures) f.get();
+      if (servicer.is_ok()) calls.emplace_back(servicer.value(), task);
+    }
+    const sorcer::FanOut fan_out =
+        sorcer::invoke_servicer_all(accessor_, calls, nullptr, policy_.pool);
+    if (fan_out != sorcer::FanOut::kSequence) {
       util::SimDuration slowest = 0;
       for (const auto& task : tasks) {
         slowest = std::max(slowest, task->latency());
       }
-      *latency = slowest + static_cast<util::SimDuration>(tasks.size()) *
-                               sorcer::Jobber::kDispatchOverhead;
+      const auto dispatches = fan_out == sorcer::FanOut::kWire
+                                  ? static_cast<util::SimDuration>(1)
+                                  : static_cast<util::SimDuration>(tasks.size());
+      *latency = slowest + dispatches * sorcer::Jobber::kDispatchOverhead;
     } else {
       util::SimDuration total = 0;
-      for (const auto& task : tasks) {
-        dispatch(task);
-        total += task->latency();
-      }
+      for (const auto& task : tasks) total += task->latency();
       *latency = total;
     }
   }

@@ -15,9 +15,11 @@
 //     cached collection without any fan-out;
 //   * concurrent collections coalesce — N simultaneous readers pay one
 //     fan-out (single-flight);
-//   * with no rendezvous peer on the network, the direct fallback fans out
-//     across the worker pool under the same slowest-child latency model the
-//     Jobber uses, instead of a sequential child-latency sum.
+//   * with no rendezvous peer on the network, the direct fallback issues the
+//     prebuilt plan as one scatter-gather batch — overlapped on the fabric
+//     under wire transport, fanned across the worker pool in-process — under
+//     the same slowest-child latency model the Jobber uses, instead of a
+//     sequential child-latency sum.
 
 #include <atomic>
 #include <condition_variable>
@@ -53,8 +55,9 @@ struct CollectionPolicy {
   /// from the cached component values (stamped with the collection time);
   /// 0 disables the cache and every read re-collects.
   util::SimDuration freshness = 0;
-  /// Worker pool for the direct (no-rendezvous) fan-out; null keeps the
-  /// sequential fallback and its sum-of-children latency model.
+  /// Worker pool for the in-process direct (no-rendezvous) fan-out; null
+  /// keeps the sequential fallback and its sum-of-children latency model.
+  /// Wire transport overlaps the batch on the fabric regardless of pool.
   util::ThreadPool* pool = nullptr;
 };
 

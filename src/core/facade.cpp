@@ -5,6 +5,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sorcer/exert.h"
+#include "util/strings.h"
 
 namespace sensorcer::core {
 
@@ -57,6 +58,37 @@ util::Result<double> SensorcerFacade::get_value(
   auto value = task->context().get_double(path::kValue);
   span.set_ok(value.is_ok());
   return value;
+}
+
+std::vector<util::Result<double>> SensorcerFacade::get_values(
+    const std::vector<std::string>& service_names) {
+  facade_requests().add(1);
+  obs::Span span = obs::tracer().start_span(
+      util::format("facade.getValues[%zu]", service_names.size()));
+  obs::ContextGuard guard(span.context());
+  std::vector<sorcer::ExertionPtr> batch;
+  batch.reserve(service_names.size());
+  for (const std::string& name : service_names) {
+    batch.push_back(sorcer::Task::make(
+        "facade.read:" + name,
+        sorcer::Signature{kSensorDataAccessorType, op::kGetValue, name}));
+  }
+  (void)sorcer::exert_all(batch, accessor_);
+  std::vector<util::Result<double>> out;
+  out.reserve(batch.size());
+  bool all_ok = true;
+  for (const auto& task : batch) {
+    if (task->status() != sorcer::ExertStatus::kDone) {
+      out.emplace_back(task->error());
+      all_ok = false;
+      continue;
+    }
+    auto value = task->context().get_double(path::kValue);
+    if (!value.is_ok()) all_ok = false;
+    out.push_back(std::move(value));
+  }
+  span.set_ok(all_ok);
+  return out;
 }
 
 namespace {

@@ -138,9 +138,21 @@ void HistorianFeeder::schedule_flush() {
 std::size_t HistorianFeeder::flush() {
   if (flushing_ || !bound_ || pending_.empty()) return 0;
   flushing_ = true;
-  std::size_t total = 0;
-  while (bound_ && !pending_.empty()) {
-    const std::size_t n = std::min(pending_.size(), config_.max_batch);
+  // Snapshot the pending window: readings offered while the batch pumps the
+  // fabric land behind it, and failed chunks re-queue at the front so
+  // ordering survives a partial failure.
+  std::vector<sensor::Reading> window(pending_.begin(), pending_.end());
+  pending_.clear();
+
+  // Marshal every max_batch chunk up front and pipeline all appendBatch
+  // calls as one scatter-gather batch: K chunks cost ~one round-trip on the
+  // wire, not K. The historian's timestamp dedup makes any replay of a
+  // chunk whose response was lost idempotent.
+  std::vector<sorcer::ExertionPtr> chunks;
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;  // offset, count
+  for (std::size_t offset = 0; offset < window.size();
+       offset += config_.max_batch) {
+    const std::size_t n = std::min(window.size() - offset, config_.max_batch);
     std::vector<double> timestamps;
     std::vector<double> values;
     std::vector<double> qualities;
@@ -148,7 +160,7 @@ std::size_t HistorianFeeder::flush() {
     values.reserve(n);
     qualities.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
-      const sensor::Reading& r = pending_[i];
+      const sensor::Reading& r = window[offset + i];
       timestamps.push_back(static_cast<double>(r.timestamp));
       values.push_back(r.value);
       qualities.push_back(encode_quality(r.quality));
@@ -164,18 +176,28 @@ std::size_t HistorianFeeder::flush() {
             sorcer::PathDirection::kIn);
     ctx.put(core::path::kHistQualities, std::move(qualities),
             sorcer::PathDirection::kIn);
-    auto result = sorcer::exert(task, accessor_);
-    if (!result.is_ok() ||
-        result.value()->status() != sorcer::ExertStatus::kDone) {
+    chunks.push_back(std::move(task));
+    ranges.emplace_back(offset, n);
+  }
+  (void)sorcer::exert_all(chunks, accessor_);
+
+  std::size_t total = 0;
+  std::vector<sensor::Reading> requeue;
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    const auto [offset, n] = ranges[i];
+    if (chunks[i]->status() == sorcer::ExertStatus::kDone) {
+      pushed_ += n;
+      total += n;
+      feeder_metrics().pushed.add(n);
+    } else {
       ++failed_;
       feeder_metrics().failed_batches.add();
-      break;  // keep pending; retried on the next flush
+      requeue.insert(requeue.end(), window.begin() + static_cast<std::ptrdiff_t>(offset),
+                     window.begin() + static_cast<std::ptrdiff_t>(offset + n));
     }
-    pending_.erase(pending_.begin(),
-                   pending_.begin() + static_cast<std::ptrdiff_t>(n));
-    pushed_ += n;
-    total += n;
-    feeder_metrics().pushed.add(n);
+  }
+  if (!requeue.empty()) {
+    pending_.insert(pending_.begin(), requeue.begin(), requeue.end());
   }
   flushing_ = false;
   return total;

@@ -74,8 +74,10 @@ class HistorianFeeder {
   /// Safe to replay readings the historian already holds (server dedup).
   void backfill(const sensor::DataLog& log);
 
-  /// Push pending readings now (also the timer body). Returns readings
-  /// successfully pushed in this call.
+  /// Push pending readings now (also the timer body): all max_batch chunks
+  /// go out as one pipelined scatter-gather batch (overlapped round-trips
+  /// under wire transport); failed chunks re-queue at the front of the
+  /// pending window. Returns readings successfully pushed in this call.
   std::size_t flush();
 
   [[nodiscard]] bool bound() const { return bound_; }

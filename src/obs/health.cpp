@@ -64,6 +64,15 @@ std::string render_federation_health(const Snapshot& snap) {
                       std::to_string(snap.counter_or("invoke.late_responses"))});
   rows.push_back({"invoke", "wire round-trip",
                   latency_row(snap, "invoke.rtt_us")});
+  rows.push_back(
+      {"invoke", "outstanding / idle waits",
+       util::format("%.0f", snap.gauge_or("invoke.outstanding")) + " / " +
+           std::to_string(snap.counter_or("invoke.idle_waits"))});
+  rows.push_back({"invoke", "overlap saved",
+                  util::format("%.3f ms",
+                               static_cast<double>(snap.counter_or(
+                                   "invoke.overlap_saved_ns")) /
+                                   1e6)});
   rows.push_back({"collection", "CSP collection latency",
                   latency_row(snap, "csp.collection_latency_us")});
   rows.push_back({"mailbox", "discarded / expired",

@@ -1,9 +1,13 @@
 #include "sorcer/exert.h"
 
+#include <future>
+#include <utility>
+
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sorcer/invoke.h"
 #include "sorcer/servicer.h"
+#include "util/thread_pool.h"
 
 namespace sensorcer::sorcer {
 
@@ -71,6 +75,138 @@ util::Result<ExertionPtr> exert_impl(const ExertionPtr& exertion,
   return invoke_servicer(accessor, rendezvous.value(), exertion, txn);
 }
 
+/// One scatter-gather flight: exert()'s routing + substitution state
+/// machine, advanced as its wire calls complete instead of blocking on
+/// each. The flight's span plays exert()'s span; its `tried` list and
+/// attempt budget reproduce the exclusion-retry loop.
+struct Flight {
+  ExertionPtr exertion;
+  obs::Span span;
+  PendingCall call;
+  std::vector<registry::ServiceId> tried;
+  registry::ServiceId last_provider{};
+  int attempts = 0;
+  int max_attempts = 1;
+  bool finished = false;
+  bool result_ok = true;
+};
+
+/// Resolve the flight's next target and scatter its request. Routing
+/// failure (no matching provider / no rendezvous peer) finishes the flight
+/// with the error on the exertion, mirroring exert_impl().
+void launch_flight(Flight& f, ServiceAccessor& accessor,
+                   registry::Transaction* txn) {
+  RemoteInvoker* invoker = accessor.invoker();
+  obs::ContextGuard guard(f.span.context());
+  if (f.exertion->kind() == Exertion::Kind::kTask) {
+    auto task = std::static_pointer_cast<Task>(f.exertion);
+    auto resolved = accessor.resolve(task->signature(), f.tried);
+    if (!resolved.is_ok()) {
+      task->set_error(resolved.status());
+      f.finished = true;
+      return;
+    }
+    f.last_provider = resolved.value().id;
+    ++f.attempts;
+    f.call = invoker->begin_invoke(resolved.value().servicer, f.exertion, txn);
+    return;
+  }
+  auto job = std::static_pointer_cast<Job>(f.exertion);
+  const char* rendezvous_type = job->strategy().access == Access::kPull
+                                    ? type::kSpacer
+                                    : type::kJobber;
+  auto rendezvous =
+      accessor.find_servicer(Signature{rendezvous_type, "service", ""});
+  if (!rendezvous.is_ok()) {
+    job->set_error({util::ErrorCode::kNotFound,
+                    std::string("no rendezvous peer of type ") +
+                        rendezvous_type + " on the network"});
+    f.finished = true;
+    return;
+  }
+  ++f.attempts;
+  f.call = invoker->begin_invoke(rendezvous.value(), f.exertion, txn);
+}
+
+/// Consume the flight's completed call: either the flight is done, or the
+/// task is substitutable (kUnavailable/kTimeout, attempts left) and is
+/// re-resolved with exclusion and re-scattered while sibling flights keep
+/// flying.
+void settle_flight(Flight& f, ServiceAccessor& accessor,
+                   registry::Transaction* txn) {
+  f.result_ok = f.call.result().is_ok();
+  if (f.exertion->kind() == Exertion::Kind::kTask) {
+    auto task = std::static_pointer_cast<Task>(f.exertion);
+    const bool substitutable =
+        task->status() == ExertStatus::kFailed &&
+        (task->error().code() == util::ErrorCode::kUnavailable ||
+         task->error().code() == util::ErrorCode::kTimeout);
+    if (substitutable && f.attempts < f.max_attempts) {
+      exert_metrics().substitutions.add(1);
+      f.tried.push_back(f.last_provider);
+      task->reset();
+      launch_flight(f, accessor, txn);
+      return;
+    }
+  }
+  f.finished = true;
+}
+
+FanOut exert_all_wire(const std::vector<ExertionPtr>& batch,
+                      ServiceAccessor& accessor, registry::Transaction* txn) {
+  RemoteInvoker* invoker = accessor.invoker();
+  std::vector<Flight> flights;
+  flights.reserve(batch.size());
+  for (const auto& exertion : batch) {
+    Flight f;
+    f.exertion = exertion;
+    if (!exertion) {
+      f.finished = true;
+      f.result_ok = false;
+      flights.push_back(std::move(f));
+      continue;
+    }
+    exert_metrics().exertions.add(1);
+    obs::TraceContext parent = exertion->trace_context().valid()
+                                   ? exertion->trace_context()
+                                   : obs::current_context();
+    f.span = obs::tracer().start_span("exert:" + exertion->name(), parent);
+    exertion->set_trace_context(f.span.context());
+    if (exertion->kind() == Exertion::Kind::kTask) {
+      auto task = std::static_pointer_cast<Task>(exertion);
+      f.max_attempts = task->signature().provider_name.empty() ? 3 : 1;
+    }
+    launch_flight(f, accessor, txn);
+    flights.push_back(std::move(f));
+  }
+
+  for (;;) {
+    // Advance every flight whose current call has completed (synchronously
+    // in begin_invoke, or during an earlier pump) — a settle may re-scatter
+    // a substituted attempt — then gather all still-open calls with one
+    // shared pump so their round-trips overlap.
+    std::vector<PendingCall*> open;
+    for (Flight& f : flights) {
+      while (!f.finished && f.call.completed()) {
+        settle_flight(f, accessor, txn);
+      }
+      if (!f.finished) open.push_back(&f.call);
+    }
+    if (open.empty()) break;
+    invoker->pump_until_all(open);
+  }
+
+  for (Flight& f : flights) {
+    if (!f.exertion) continue;
+    const bool failed =
+        !f.result_ok || f.exertion->status() == ExertStatus::kFailed;
+    if (failed) exert_metrics().failures.add(1);
+    f.span.set_ok(!failed);
+    f.span.finish();
+  }
+  return FanOut::kWire;
+}
+
 }  // namespace
 
 util::Result<ExertionPtr> exert(const ExertionPtr& exertion,
@@ -98,6 +234,28 @@ util::Result<ExertionPtr> exert(const ExertionPtr& exertion,
   if (failed) exert_metrics().failures.add(1);
   span.set_ok(!failed);
   return result;
+}
+
+FanOut exert_all(const std::vector<ExertionPtr>& batch,
+                 ServiceAccessor& accessor, registry::Transaction* txn,
+                 util::ThreadPool* pool) {
+  if (batch.empty()) return FanOut::kSequence;
+  // Under wire transport, concurrency comes from the fabric: scatter all
+  // the requests, gather with one shared pump. Threads would only serialize
+  // behind the single virtual-time scheduler.
+  if (accessor.wire_transport()) return exert_all_wire(batch, accessor, txn);
+  if (pool != nullptr && batch.size() > 1) {
+    std::vector<std::future<void>> futures;
+    futures.reserve(batch.size());
+    for (const auto& exertion : batch) {
+      futures.push_back(pool->submit(
+          [&accessor, exertion, txn] { (void)exert(exertion, accessor, txn); }));
+    }
+    for (auto& f : futures) f.get();
+    return FanOut::kPooled;
+  }
+  for (const auto& exertion : batch) (void)exert(exertion, accessor, txn);
+  return FanOut::kSequence;
 }
 
 }  // namespace sensorcer::sorcer

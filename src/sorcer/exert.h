@@ -8,9 +8,16 @@
 // a task binds to a matching task peer; a job routes to a rendezvous peer —
 // a Jobber under PUSH access, a Spacer under PULL.
 
+#include <vector>
+
 #include "registry/transaction.h"
 #include "sorcer/accessor.h"
 #include "sorcer/exertion.h"
+#include "sorcer/invoke.h"
+
+namespace sensorcer::util {
+class ThreadPool;
+}
 
 namespace sensorcer::sorcer {
 
@@ -21,5 +28,20 @@ namespace sensorcer::sorcer {
 util::Result<ExertionPtr> exert(const ExertionPtr& exertion,
                                 ServiceAccessor& accessor,
                                 registry::Transaction* txn = nullptr);
+
+/// Scatter-gather exert(): submit every exertion in `batch` with the same
+/// routing, substitution-retry, metric and tracing semantics as exert() —
+/// but overlapped. Under wire transport every call is scattered onto the
+/// fabric through begin_invoke() and one shared pump gathers them, so the
+/// batch costs ~max(latency) instead of the sum; a task that times out is
+/// re-resolved with exclusion and re-issued while its siblings keep flying.
+/// In-process, a `pool` fans the batch across its threads; with neither,
+/// the exertions run sequentially. Outcomes land on the exertions. The
+/// returned FanOut says how the batch actually progressed — callers pick
+/// their latency model from it (see invoke.h).
+FanOut exert_all(const std::vector<ExertionPtr>& batch,
+                 ServiceAccessor& accessor,
+                 registry::Transaction* txn = nullptr,
+                 util::ThreadPool* pool = nullptr);
 
 }  // namespace sensorcer::sorcer

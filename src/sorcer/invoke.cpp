@@ -1,12 +1,14 @@
 #include "sorcer/invoke.h"
 
 #include <any>
+#include <cassert>
+#include <future>
 
 #include "obs/metrics.h"
-#include "obs/trace.h"
 #include "sorcer/accessor.h"
 #include "sorcer/provider.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace sensorcer::sorcer {
 
@@ -20,6 +22,9 @@ struct InvokeMetrics {
   obs::Counter& late_responses;
   obs::Counter& pings;
   obs::Counter& ping_failures;
+  obs::Counter& idle_waits;
+  obs::Counter& overlap_saved_ns;
+  obs::Gauge& outstanding;
   obs::Histogram& rtt_us;
 };
 
@@ -31,6 +36,9 @@ InvokeMetrics& invoke_metrics() {
                          obs::metrics().counter("invoke.late_responses"),
                          obs::metrics().counter("invoke.pings"),
                          obs::metrics().counter("invoke.ping_failures"),
+                         obs::metrics().counter("invoke.idle_waits"),
+                         obs::metrics().counter("invoke.overlap_saved_ns"),
+                         obs::metrics().gauge("invoke.outstanding"),
                          obs::metrics().histogram("invoke.rtt_us")};
   return m;
 }
@@ -56,6 +64,24 @@ util::Result<ExertionPtr> in_process_call(
 
 }  // namespace
 
+RemoteInvoker::PumpGuard::PumpGuard(RemoteInvoker& invoker) : inv(invoker) {
+  if (inv.pump_depth_ == 0) {
+    inv.pump_thread_ = std::this_thread::get_id();
+  } else {
+    // Only the thread that owns the outermost pump may step the scheduler:
+    // nested frames are the event loop recursing in time order, but a pump
+    // from a second thread would interleave two event loops over one
+    // scheduler and corrupt virtual time.
+    assert(inv.pump_thread_ == std::this_thread::get_id() &&
+           "nested scheduler pump from a different thread");
+  }
+  ++inv.pump_depth_;
+}
+
+RemoteInvoker::PumpGuard::~PumpGuard() {
+  if (--inv.pump_depth_ == 0) inv.pump_thread_ = {};
+}
+
 RemoteInvoker::RemoteInvoker(simnet::Network& net, InvokeConfig config)
     : net_(net), config_(config), addr_(util::new_uuid()) {
   net_.attach(addr_, [this](const simnet::Message& msg) { on_message(msg); });
@@ -74,34 +100,57 @@ void RemoteInvoker::on_message(const simnet::Message& msg) {
     invoke_metrics().late_responses.add(1);
     return;
   }
-  done_.emplace(rsp->call_id, rsp->transport_status);
+  invoke_metrics().outstanding.set(static_cast<double>(pending_.size()));
+  // Stamp the arrival time: an outer pump frame may gather this response
+  // later in virtual time, and the call's RTT must not include that gap.
+  done_.emplace(rsp->call_id,
+                Arrival{rsp->transport_status, net_.scheduler().now()});
 }
 
 bool RemoteInvoker::pump_until(std::uint64_t call_id, util::SimTime deadline) {
+  PumpGuard guard(*this);
   util::Scheduler& sched = net_.scheduler();
   // Step event-by-event so the clock never overshoots the deadline while a
   // response is still in flight. Nested calls (a provider invoking
   // downstream mid-dispatch) pump the same scheduler recursively; lookups
   // into done_ re-check after every step because a nested pump may have
   // completed this call already.
-  while (!done_.contains(call_id)) {
+  while (!done_.contains(call_id) && sched.now() < deadline) {
     const util::SimTime next = sched.next_event_time();
-    if (next > deadline) break;
+    if (next > deadline) {
+      // Nothing on the fabric can complete this call in time; fast-forward
+      // the idle window so the blocking wait is visible on the virtual
+      // clock without stepping through unrelated far-future events.
+      invoke_metrics().idle_waits.add(1);
+      sched.run_until(deadline);
+      break;
+    }
     sched.run_until(next);
   }
-  if (done_.contains(call_id)) return true;
-  // Nothing more can arrive in time; idle out the rest of the deadline so
-  // the requestor's blocking wait is visible on the virtual clock.
-  sched.run_until(deadline);
   return done_.contains(call_id);
 }
 
 util::Result<ExertionPtr> RemoteInvoker::invoke(
     const std::shared_ptr<Servicer>& servicer, const ExertionPtr& exertion,
     registry::Transaction* txn) {
+  PendingCall call = begin_invoke(servicer, exertion, txn);
+  if (!call.completed()) {
+    PendingCall* calls[] = {&call};
+    pump_until_all(calls);
+  }
+  return std::move(call.result());
+}
+
+PendingCall RemoteInvoker::begin_invoke(
+    const std::shared_ptr<Servicer>& servicer, const ExertionPtr& exertion,
+    registry::Transaction* txn) {
+  PendingCall call;
+  call.exertion_ = exertion;
   if (!servicer || !exertion) {
-    return util::Status{util::ErrorCode::kInvalidArgument,
-                        "null servicer or exertion"};
+    call.completed_ = true;
+    call.result_.emplace(util::Status{util::ErrorCode::kInvalidArgument,
+                                      "null servicer or exertion"});
+    return call;
   }
   invoke_metrics().calls.add(1);
   auto* provider = dynamic_cast<ServiceProvider*>(servicer.get());
@@ -111,82 +160,153 @@ util::Result<ExertionPtr> RemoteInvoker::invoke(
                              net_.is_attached(provider->network_address());
   if (!wire_eligible) {
     invoke_metrics().inprocess_calls.add(1);
-    return in_process_call(provider, servicer, exertion, txn);
+    call.completed_ = true;
+    call.result_.emplace(in_process_call(provider, servicer, exertion, txn));
+    return call;
   }
-  return invoke_wire(provider, exertion, txn);
-}
 
-util::Result<ExertionPtr> RemoteInvoker::invoke_wire(
-    ServiceProvider* provider, const ExertionPtr& exertion,
-    registry::Transaction* txn) {
   invoke_metrics().wire_calls.add(1);
   util::Scheduler& sched = net_.scheduler();
 
   obs::TraceContext parent = exertion->trace_context().valid()
                                  ? exertion->trace_context()
                                  : obs::current_context();
-  obs::Span span = obs::tracer().start_span(
+  call.span_ = obs::tracer().start_span(
       "rpc:" + exertion->name() + "->" + provider->provider_name(), parent);
-  obs::ContextGuard guard(span.context());
+  // The request must be stamped with the rpc span's context so the
+  // provider-side dispatch span links under it.
+  obs::ContextGuard guard(call.span_.context());
 
-  const std::uint64_t call_id = next_call_id_++;
-  const util::SimTime started = sched.now();
-  const util::SimDuration accrued_before = exertion->latency();
+  call.call_id_ = next_call_id_++;
+  call.started_ = sched.now();
+  call.deadline_ = call.started_ + config_.call_timeout;
+  call.accrued_before_ = exertion->latency();
+  call.target_name_ = provider->provider_name();
 
   simnet::Message req;
   req.source = addr_;
   req.destination = provider->network_address();
   req.topic = wire::kRequestTopic;
-  req.body = wire::Request{call_id, addr_, exertion, txn};
+  req.body = wire::Request{call.call_id_, addr_, exertion, txn};
   req.payload_bytes =
       exertion->context().wire_bytes() + wire::kRequestEnvelopeBytes;
   req.protocol = simnet::Protocol::kTcp;
 
-  pending_.insert(call_id);
   if (util::Status sent = net_.send(req); !sent.is_ok()) {
-    pending_.erase(call_id);
-    span.set_ok(false);
+    call.span_.set_ok(false);
+    call.span_.finish();
     exertion->set_error({util::ErrorCode::kUnavailable,
                          util::format("endpoint of '%s' unreachable: %s",
                                       provider->provider_name().c_str(),
                                       sent.message().c_str())});
-    return util::Result<ExertionPtr>(exertion);
+    call.call_id_ = 0;
+    call.completed_ = true;
+    call.result_.emplace(util::Result<ExertionPtr>(exertion));
+    return call;
   }
+  pending_.insert(call.call_id_);
+  invoke_metrics().outstanding.set(static_cast<double>(pending_.size()));
+  return call;
+}
 
-  if (!pump_until(call_id, started + config_.call_timeout)) {
-    pending_.erase(call_id);
+void RemoteInvoker::finish_call(PendingCall& call,
+                                std::optional<util::SimTime> arrived_at,
+                                util::Status transport_status) {
+  if (arrived_at.has_value()) {
+    // The round trip advanced the virtual clock by the real wire delays
+    // plus the provider's modeled service time; top the exertion's latency
+    // account up to what the requestor actually waited, so wire-mode
+    // latency reflects transport cost too (never less than the modeled
+    // in-process figure).
+    call.elapsed_ = *arrived_at - call.started_;
+    const util::SimDuration accrued =
+        call.exertion_->latency() - call.accrued_before_;
+    if (call.elapsed_ > accrued) {
+      call.exertion_->add_latency(call.elapsed_ - accrued);
+    }
+    invoke_metrics().rtt_us.observe(static_cast<double>(call.elapsed_));
+    if (!transport_status.is_ok()) {
+      call.span_.set_ok(false);
+      call.result_.emplace(transport_status);
+    } else {
+      call.span_.set_ok(call.exertion_->status() != ExertStatus::kFailed);
+      call.result_.emplace(util::Result<ExertionPtr>(call.exertion_));
+    }
+  } else {
+    // Deadline expired: leave the pending set so a late response is dropped
+    // and counted. At-most-once from the requestor's view — the request (or
+    // its response) was lost to the fabric; the provider may still have
+    // executed.
+    pending_.erase(call.call_id_);
+    invoke_metrics().outstanding.set(static_cast<double>(pending_.size()));
     invoke_metrics().timeouts.add(1);
-    span.set_ok(false);
-    // At-most-once from the requestor's view: the request (or its response)
-    // was lost to the fabric — loss, partition, or a dead endpoint. The
-    // provider may still have executed; a late response is dropped.
-    exertion->set_error({util::ErrorCode::kTimeout,
-                         util::format("no response from '%s' within %s",
-                                      provider->provider_name().c_str(),
-                                      util::format_duration(
-                                          config_.call_timeout)
-                                          .c_str())});
-    return util::Result<ExertionPtr>(exertion);
+    call.span_.set_ok(false);
+    call.exertion_->set_error(
+        {util::ErrorCode::kTimeout,
+         util::format(
+             "no response from '%s' within %s", call.target_name_.c_str(),
+             util::format_duration(config_.call_timeout).c_str())});
+    call.result_.emplace(util::Result<ExertionPtr>(call.exertion_));
+  }
+  call.span_.finish();
+  call.completed_ = true;
+}
+
+void RemoteInvoker::pump_until_all(std::span<PendingCall* const> calls) {
+  PumpGuard guard(*this);
+  util::Scheduler& sched = net_.scheduler();
+  const util::SimTime pump_started = sched.now();
+  util::SimDuration gathered_rtt = 0;
+  std::size_t gathered = 0;
+
+  for (;;) {
+    // Harvest pass: complete everything whose response has landed or whose
+    // deadline has passed, then find the earliest deadline still open.
+    bool any_open = false;
+    util::SimTime earliest = util::kNever;
+    for (PendingCall* call : calls) {
+      if (call == nullptr || call->completed_) continue;
+      if (auto it = done_.find(call->call_id_); it != done_.end()) {
+        const Arrival arrival = it->second;
+        done_.erase(it);
+        finish_call(*call, arrival.at, arrival.status);
+        gathered_rtt += call->elapsed_;
+        ++gathered;
+        continue;
+      }
+      if (sched.now() >= call->deadline_) {
+        finish_call(*call, std::nullopt, util::Status::ok());
+        ++gathered;
+        continue;
+      }
+      any_open = true;
+      earliest = std::min(earliest, call->deadline_);
+    }
+    if (!any_open) break;
+
+    // One scheduler step serves every outstanding call at once — this is
+    // where N round-trips overlap instead of serializing. When the fabric
+    // has no event before the earliest open deadline, fast-forward straight
+    // to it instead of busy-stepping unrelated far-future events.
+    const util::SimTime next = sched.next_event_time();
+    if (next > earliest) {
+      invoke_metrics().idle_waits.add(1);
+      sched.run_until(earliest);
+    } else {
+      sched.run_until(next);
+    }
   }
 
-  const util::Status transport_status = done_.at(call_id);
-  done_.erase(call_id);
-
-  // The round trip advanced the virtual clock by the real wire delays plus
-  // the provider's modeled service time; top the exertion's latency account
-  // up to what the requestor actually waited, so wire-mode latency reflects
-  // transport cost too (never less than the modeled in-process figure).
-  const util::SimDuration elapsed = sched.now() - started;
-  const util::SimDuration accrued = exertion->latency() - accrued_before;
-  if (elapsed > accrued) exertion->add_latency(elapsed - accrued);
-  invoke_metrics().rtt_us.observe(static_cast<double>(elapsed));
-
-  if (!transport_status.is_ok()) {
-    span.set_ok(false);
-    return transport_status;
+  // Overlap accounting: the sum of the gathered RTTs is what these calls
+  // would have cost serialized; the batch actually advanced the clock by
+  // the pump window. The difference is fabric concurrency won.
+  if (gathered > 1) {
+    const util::SimDuration batch_window = sched.now() - pump_started;
+    if (gathered_rtt > batch_window) {
+      invoke_metrics().overlap_saved_ns.add(
+          static_cast<std::uint64_t>(gathered_rtt - batch_window) * 1000u);
+    }
   }
-  span.set_ok(exertion->status() != ExertStatus::kFailed);
-  return util::Result<ExertionPtr>(exertion);
 }
 
 util::Status RemoteInvoker::ping(simnet::Address target,
@@ -243,6 +363,46 @@ util::Result<ExertionPtr> invoke_servicer(
   // call, still byte-modeled when the provider sits on a fabric.
   return in_process_call(dynamic_cast<ServiceProvider*>(servicer.get()),
                          servicer, exertion, txn);
+}
+
+FanOut invoke_servicer_all(
+    ServiceAccessor& accessor,
+    const std::vector<std::pair<std::shared_ptr<Servicer>, ExertionPtr>>&
+        calls,
+    registry::Transaction* txn, util::ThreadPool* pool) {
+  if (calls.empty()) return FanOut::kSequence;
+  RemoteInvoker* invoker = accessor.invoker();
+  if (invoker != nullptr && invoker->transport() == Transport::kWire) {
+    // Scatter every request onto the fabric, then gather them with one
+    // shared pump: the round-trips overlap in virtual time.
+    std::vector<PendingCall> pending;
+    pending.reserve(calls.size());
+    for (const auto& [servicer, exertion] : calls) {
+      pending.push_back(invoker->begin_invoke(servicer, exertion, txn));
+    }
+    std::vector<PendingCall*> open;
+    open.reserve(pending.size());
+    for (PendingCall& call : pending) {
+      if (!call.completed()) open.push_back(&call);
+    }
+    if (!open.empty()) invoker->pump_until_all(open);
+    return FanOut::kWire;
+  }
+  if (pool != nullptr && calls.size() > 1) {
+    std::vector<std::future<void>> futures;
+    futures.reserve(calls.size());
+    for (const auto& [servicer, exertion] : calls) {
+      futures.push_back(pool->submit([&accessor, servicer, exertion, txn] {
+        (void)invoke_servicer(accessor, servicer, exertion, txn);
+      }));
+    }
+    for (auto& f : futures) f.get();
+    return FanOut::kPooled;
+  }
+  for (const auto& [servicer, exertion] : calls) {
+    (void)invoke_servicer(accessor, servicer, exertion, txn);
+  }
+  return FanOut::kSequence;
 }
 
 }  // namespace sensorcer::sorcer

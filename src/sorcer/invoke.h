@@ -12,20 +12,38 @@
 // and per-call deadlines (kTimeout) all come from the fabric for free —
 // once calls are messages, they can be observed, dropped, and re-routed.
 //
+// The pipeline is asynchronous at its core: begin_invoke() scatters a
+// request and hands back a PendingCall; pump_until_all() steps the
+// scheduler once for every outstanding call, completing each as its
+// response (or deadline) arrives. N overlapping round-trips therefore cost
+// max(child latency), not the sum — fan-out concurrency lives in the
+// messaging layer, not in threads. invoke() is the one-call degenerate
+// case.
+//
 // Transport::kInProcess (the default) keeps the historical direct virtual
 // call plus account_rpc() byte modeling, so unit tests and the PR 2
 // read-path numbers stay comparable.
 
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <span>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
+#include "obs/trace.h"
 #include "registry/transaction.h"
 #include "simnet/network.h"
 #include "sorcer/exertion.h"
 #include "sorcer/servicer.h"
+
+namespace sensorcer::util {
+class ThreadPool;
+}
 
 namespace sensorcer::sorcer {
 
@@ -82,12 +100,49 @@ struct InvokeConfig {
   util::SimDuration ping_timeout = 50 * util::kMillisecond;
 };
 
+/// One scattered invocation, owned by its issuer until gathered through
+/// pump_until_all(). A call that never crossed the fabric — in-process
+/// transport, wire-ineligible target, send failure — is born completed with
+/// its result already in place. Move-only: the invoker keeps only the call
+/// id in its pending set; the handle is the sole completion slot.
+class PendingCall {
+ public:
+  PendingCall() = default;
+  PendingCall(PendingCall&&) noexcept = default;
+  PendingCall& operator=(PendingCall&&) noexcept = default;
+  PendingCall(const PendingCall&) = delete;
+  PendingCall& operator=(const PendingCall&) = delete;
+
+  [[nodiscard]] bool completed() const { return completed_; }
+  /// The invocation outcome; valid only once completed().
+  [[nodiscard]] util::Result<ExertionPtr>& result() { return *result_; }
+  [[nodiscard]] const ExertionPtr& exertion() const { return exertion_; }
+  /// Virtual-time deadline of the in-flight call (0 once born completed).
+  [[nodiscard]] util::SimTime deadline() const { return deadline_; }
+
+ private:
+  friend class RemoteInvoker;
+
+  std::uint64_t call_id_ = 0;  // 0 = never crossed the fabric
+  util::SimTime started_ = 0;
+  util::SimTime deadline_ = 0;
+  util::SimDuration accrued_before_ = 0;
+  util::SimDuration elapsed_ = 0;
+  ExertionPtr exertion_;
+  std::string target_name_;
+  obs::Span span_;
+  bool completed_ = false;
+  std::optional<util::Result<ExertionPtr>> result_;
+};
+
 /// Client half of the pipeline ("requestor proxy" in SORCER terms — the
 /// dynamically downloaded service stub). One per deployment; the accessor
-/// hands it to every call site. Wire mode is single-threaded by design: a
-/// blocked call pumps the virtual-time scheduler until its response lands,
-/// so nested calls (provider invoking downstream providers mid-dispatch)
-/// interleave on one stack, exactly like the fabric's event loop.
+/// hands it to every call site. Wire mode is single-threaded by design: the
+/// issuer of a batch pumps the virtual-time scheduler until every response
+/// lands, and nested dispatches (a provider invoking downstream providers
+/// mid-call) pump the same scheduler recursively on the same stack, exactly
+/// like the fabric's event loop unwinding in time order. Pumping from a
+/// second thread is a bug and is guarded against.
 class RemoteInvoker {
  public:
   RemoteInvoker(simnet::Network& net, InvokeConfig config = {});
@@ -106,6 +161,23 @@ class RemoteInvoker {
                                    const ExertionPtr& exertion,
                                    registry::Transaction* txn);
 
+  /// Scatter half of invoke(): issue the request and return without
+  /// waiting. The handle completes synchronously for anything that does not
+  /// cross the fabric; otherwise gather it with pump_until_all(). Issuing N
+  /// calls before gathering overlaps their round-trips on the fabric.
+  PendingCall begin_invoke(const std::shared_ptr<Servicer>& servicer,
+                           const ExertionPtr& exertion,
+                           registry::Transaction* txn);
+
+  /// Gather: step the scheduler once for *all* the given calls, completing
+  /// each as its response lands or its deadline passes (timed-out ids leave
+  /// the pending set, so their late responses are dropped and counted).
+  /// Already-completed entries and nulls are skipped. Windows where the
+  /// fabric has no event before the earliest deadline fast-forward straight
+  /// to that deadline (invoke.idle_waits). Returns when every call is
+  /// complete.
+  void pump_until_all(std::span<PendingCall* const> calls);
+
   /// Liveness probe: round-trips a ping datagram to `target`. kTimeout when
   /// no pong arrives within the deadline (partitioned / detached / dead),
   /// kNotFound when the endpoint is not attached at all.
@@ -120,23 +192,45 @@ class RemoteInvoker {
   [[nodiscard]] simnet::Address address() const { return addr_; }
 
  private:
+  /// RAII nesting guard for scheduler pumping: nested frames on the pumping
+  /// thread are legal (they ARE the event loop, recursing in time order);
+  /// a pump from any other thread would interleave two event loops over one
+  /// scheduler and is rejected.
+  struct PumpGuard {
+    explicit PumpGuard(RemoteInvoker& inv);
+    ~PumpGuard();
+    RemoteInvoker& inv;
+  };
+  friend struct PumpGuard;
+
   util::Result<ExertionPtr> invoke_in_process(
       ServiceProvider* provider, const std::shared_ptr<Servicer>& servicer,
       const ExertionPtr& exertion, registry::Transaction* txn);
-  util::Result<ExertionPtr> invoke_wire(ServiceProvider* provider,
-                                        const ExertionPtr& exertion,
-                                        registry::Transaction* txn);
+  /// Complete `call` from its arrived response (latency top-up from the
+  /// response's arrival time, not the harvest time — an outer pump frame may
+  /// gather it later) or, when `arrived_at` is empty, from deadline expiry.
+  void finish_call(PendingCall& call, std::optional<util::SimTime> arrived_at,
+                   util::Status transport_status);
   void on_message(const simnet::Message& msg);
   /// Pump the fabric until `call_id` completes or `deadline` passes.
   /// Returns true on completion.
   bool pump_until(std::uint64_t call_id, util::SimTime deadline);
+
+  /// A response that landed but has not been gathered yet: the dispatch
+  /// status plus when it arrived (virtual time).
+  struct Arrival {
+    util::Status status;
+    util::SimTime at = 0;
+  };
 
   simnet::Network& net_;
   InvokeConfig config_;
   simnet::Address addr_;
   std::uint64_t next_call_id_ = 1;
   std::unordered_set<std::uint64_t> pending_;
-  std::unordered_map<std::uint64_t, util::Status> done_;
+  std::unordered_map<std::uint64_t, Arrival> done_;
+  int pump_depth_ = 0;
+  std::thread::id pump_thread_{};
 };
 
 /// A bound stub: the pairing of a resolved Servicer proxy with the invoker
@@ -165,5 +259,26 @@ class ServicerStub {
 util::Result<ExertionPtr> invoke_servicer(
     ServiceAccessor& accessor, const std::shared_ptr<Servicer>& servicer,
     const ExertionPtr& exertion, registry::Transaction* txn);
+
+/// How a batch dispatch actually progressed — callers pick their latency
+/// model from it. kWire means the round-trips overlapped on the fabric, so
+/// the batch window already elapsed in virtual time (modeling serialized
+/// per-call costs on top would double-count); kPooled means real threads
+/// overlapped wall-clock work but virtual time stood still (the caller's
+/// parallel model supplies the virtual cost); kSequence means the calls ran
+/// one after another.
+enum class FanOut { kSequence, kPooled, kWire };
+
+/// Batch counterpart of invoke_servicer(): dispatch every (servicer,
+/// exertion) pair and gather them all. Under wire transport the calls are
+/// scattered through begin_invoke() and their round-trips overlap on the
+/// fabric; in-process with a `pool` they fan out across its threads;
+/// otherwise they run sequentially. Outcomes land on the exertions
+/// themselves.
+FanOut invoke_servicer_all(
+    ServiceAccessor& accessor,
+    const std::vector<std::pair<std::shared_ptr<Servicer>, ExertionPtr>>&
+        calls,
+    registry::Transaction* txn = nullptr, util::ThreadPool* pool = nullptr);
 
 }  // namespace sensorcer::sorcer

@@ -1,7 +1,6 @@
 #include "sorcer/jobber.h"
 
 #include <algorithm>
-#include <future>
 
 #include "obs/metrics.h"
 #include "sorcer/exert.h"
@@ -121,30 +120,30 @@ void Jobber::run_sequence(Job& job, registry::Transaction* txn) {
 void Jobber::run_parallel(Job& job, registry::Transaction* txn) {
   const auto& children = job.children();
 
-  // Wire transport is single-threaded: a dispatched child blocks pumping
-  // the virtual-time scheduler, so parking pool threads on children would
-  // deadlock the event loop. Children then run inline (interleaved on the
-  // fabric) but keep the parallel latency model below.
-  if (pool_ != nullptr && children.size() > 1 && !accessor_.wire_transport()) {
-    std::vector<std::future<void>> futures;
-    futures.reserve(children.size());
-    for (const auto& child : children) {
-      futures.push_back(
-          pool_->submit([this, child, txn] { (void)run_child(child, txn); }));
-    }
-    for (auto& f : futures) f.get();
-  } else {
-    for (const auto& child : children) (void)run_child(child, txn);
-  }
+  // One scatter-gather batch through the invocation pipeline: under wire
+  // transport the children are all scattered onto the fabric and gathered
+  // with one shared pump, so their round-trips overlap in virtual time;
+  // in-process they fan out across the worker pool. Each child keeps
+  // exert()'s full routing and substitution-retry semantics.
+  const FanOut fan_out = exert_all(children, accessor_, txn, pool_);
 
   // Parallel latency model: all children progress together, so the job pays
-  // the slowest child plus one dispatch overhead per child (fan-out cost).
+  // the slowest child plus dispatch overhead.
   util::SimDuration slowest = 0;
   for (const auto& child : children) {
     slowest = std::max(slowest, child->latency());
   }
-  job.add_latency(slowest + static_cast<util::SimDuration>(children.size()) *
-                                kDispatchOverhead);
+  if (fan_out == FanOut::kWire) {
+    // The fabric already charged the overlapped batch window in virtual
+    // time (each child's latency carries its own round-trip); the job adds
+    // one batch-dispatch overhead, not one per child — per-child costs on
+    // top of measured fabric time would double-count the fan-out.
+    job.add_latency(slowest + kDispatchOverhead);
+  } else {
+    job.add_latency(slowest +
+                    static_cast<util::SimDuration>(children.size()) *
+                        kDispatchOverhead);
+  }
 
   for (const auto& child : children) {
     if (child->status() == ExertStatus::kFailed && job.strategy().fail_fast) {

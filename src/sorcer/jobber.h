@@ -5,8 +5,11 @@
 //
 // Latency model: a job's virtual latency is the sum of child latencies under
 // kSequence and the max under kParallel (plus a fixed per-child coordination
-// overhead). Under kParallel the real invocations also run concurrently on
-// the worker pool — providers serialize their own invocations.
+// overhead). Under kParallel the real invocations also run concurrently:
+// in-process across the worker pool (providers serialize their own
+// invocations), under wire transport as one scatter-gather batch whose
+// round-trips overlap on the fabric — concurrency comes from the messaging
+// layer there, not from threads.
 
 #include <memory>
 

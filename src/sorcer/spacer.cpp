@@ -1,7 +1,6 @@
 #include "sorcer/spacer.h"
 
 #include <algorithm>
-#include <future>
 
 #include "obs/metrics.h"
 #include "sorcer/exert.h"
@@ -86,21 +85,19 @@ util::Result<ExertionPtr> Spacer::service(ExertionPtr exertion,
 
   for (const auto& task : tasks) space_.write(task);
 
-  // Drain with the worker crew (real threads when a pool is available).
-  // Under wire transport execution is single-threaded — a blocked take()
-  // executor pumps the scheduler — so the crew runs inline; the makespan
-  // model below still charges worker-parallel virtual time.
-  if (pool_ != nullptr && workers_ > 1 && !accessor_.wire_transport()) {
-    std::vector<std::future<void>> crew;
-    for (std::size_t w = 0; w < workers_; ++w) {
-      crew.push_back(pool_->submit([this, txn] {
-        while (auto env = space_.take()) execute_envelope(*env, txn);
-      }));
-    }
-    for (auto& f : crew) f.get();
-  } else {
-    while (auto env = space_.take()) execute_envelope(*env, txn);
-  }
+  // Drain the space: take every envelope, then run the whole batch through
+  // the scatter-gather pipeline — overlapped on the fabric under wire
+  // transport, fanned across the pool in-process. Workers are a latency
+  // model, not an execution mechanism: the makespan charge below still
+  // reflects a crew of `workers_` pulling from the space.
+  std::vector<ExertSpace::Envelope> taken;
+  taken.reserve(tasks.size());
+  while (auto env = space_.take()) taken.push_back(std::move(*env));
+  std::vector<ExertionPtr> drained;
+  drained.reserve(taken.size());
+  for (const auto& env : taken) drained.push_back(env.task);
+  (void)exert_all(drained, accessor_, txn, pool_);
+  for (const auto& env : taken) space_.complete(env.id);
 
   // Makespan model: greedily assign task latencies to the earliest-free
   // worker, in the order tasks were written.

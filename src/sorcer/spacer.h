@@ -1,13 +1,14 @@
 #pragma once
 // Spacer — the PULL rendezvous peer. Writes a job's tasks into the exertion
-// space; a fixed crew of workers takes envelopes, resolves providers through
-// the accessor, executes, and completes them.
+// space, takes every envelope back out, and dispatches the drained batch
+// through the scatter-gather pipeline: in-process the pool's threads play
+// the worker crew; under wire transport the batch overlaps on the fabric.
 //
 // Latency model: tasks are assigned greedily (in take order) to the
-// earliest-free worker; the job pays the resulting makespan plus two space
-// operations per task. With enough workers this converges to the Jobber's
-// parallel model; with one worker it degenerates to sequential flow — the
-// exertion bench shows the whole curve.
+// earliest-free of `workers_` crew slots; the job pays the resulting
+// makespan plus two space operations per task. With enough workers this
+// converges to the Jobber's parallel model; with one worker it degenerates
+// to sequential flow — the exertion bench shows the whole curve.
 
 #include "sorcer/accessor.h"
 #include "sorcer/provider.h"

@@ -379,6 +379,45 @@ TEST(HistorianDeployment, WireModeIngestionIsByteAccounted) {
   EXPECT_GT(stats.value().stats.count, 0u);
 }
 
+TEST(HistorianDeployment, PipelinedFlushOverlapsAppendBatchCalls) {
+  core::DeploymentConfig config;
+  config.sampling.sample_period = 0;  // quiet fabric: we drive the feeder
+  config.invoke.transport = sorcer::Transport::kWire;
+  config.history_feed.flush_period = 0;
+  config.history_feed.max_batch = 16;
+  core::Deployment lab(config);
+  auto esp = lab.add_temperature_sensor("Pipe-Sensor", 20.0);
+  auto* feeder = esp->history_feeder();
+  ASSERT_NE(feeder, nullptr);
+  ASSERT_TRUE(feeder->bound());
+
+  const auto offer_n = [&](std::size_t n, util::SimTime base) {
+    for (std::size_t i = 0; i < n; ++i) {
+      feeder->offer({base + static_cast<util::SimTime>(i) * 1000, 20.0,
+                     Quality::kGood, 0});
+    }
+  };
+
+  // Calibrate: one chunk = one appendBatch round-trip in virtual time.
+  offer_n(16, 1);
+  util::SimTime t0 = lab.now();
+  ASSERT_EQ(feeder->flush(), 16u);
+  const util::SimDuration single = lab.now() - t0;
+  ASSERT_GT(single, 0);
+
+  // Four chunks pipelined as one scatter-gather batch cost ~one overlapped
+  // round-trip, not four sequential ones.
+  const auto saved_before = counter("invoke.overlap_saved_ns");
+  offer_n(64, 1'000'000);
+  t0 = lab.now();
+  ASSERT_EQ(feeder->flush(), 64u);
+  const util::SimDuration batch = lab.now() - t0;
+  EXPECT_LT(batch, 3 * single);
+  EXPECT_GT(counter("invoke.overlap_saved_ns") - saved_before, 0u);
+  EXPECT_EQ(feeder->pending(), 0u);
+  EXPECT_EQ(lab.historian()->store().stats_snapshot().appended, 80u);
+}
+
 TEST(HistorianDeployment, FeederUnbindsWhenHistorianLeavesAndRebinds) {
   core::Deployment lab;
   auto esp = lab.add_temperature_sensor("Ivy-Sensor", 20.0);

@@ -127,6 +127,27 @@ TEST(WireInvokeTest, TotalLossExpiresTheDeadlineWithTimeout) {
   EXPECT_EQ(retry->status(), sorcer::ExertStatus::kDone);
 }
 
+TEST(WireInvokeTest, IdleWindowsFastForwardToTheDeadline) {
+  DeploymentConfig config = wire_config();
+  config.invoke.call_timeout = 50 * kMillisecond;
+  Deployment lab(config);
+  lab.add_temperature_sensor("Quiet-Sensor");
+  lab.network().set_loss_rate(1.0);
+  const auto idle_before = counter("invoke.idle_waits");
+
+  const util::SimTime t0 = lab.now();
+  auto task = read_task("Quiet-Sensor");  // pinned name: no substitution
+  (void)sorcer::exert(task, lab.accessor());
+  EXPECT_EQ(task->status(), sorcer::ExertStatus::kFailed);
+  EXPECT_EQ(task->error().code(), util::ErrorCode::kTimeout);
+
+  // The request was lost, so the fabric had no event that could complete
+  // the call: the pump jumped straight to the deadline instead of stepping
+  // through unrelated far-future timers — and landed exactly on it.
+  EXPECT_GE(counter("invoke.idle_waits") - idle_before, 1u);
+  EXPECT_EQ(lab.now() - t0, config.invoke.call_timeout);
+}
+
 TEST(WireInvokeTest, PartitionTimesOutThenSubstitutesAnotherProvider) {
   DeploymentConfig config = wire_config();
   config.invoke.call_timeout = 20 * kMillisecond;
@@ -179,6 +200,157 @@ TEST(WireInvokeTest, LateResponsesAreDroppedNotMisdelivered) {
   // Let the straggler response land: it must be counted and discarded.
   lab.pump(100 * kMillisecond);
   EXPECT_GE(counter("invoke.late_responses") - late_before, 1u);
+}
+
+// --- scatter-gather ----------------------------------------------------------
+
+TEST(ScatterGatherTest, ParallelPushOverlapsRoundTripsOnTheFabric) {
+  Deployment lab(wire_config());
+  for (int i = 0; i < 8; ++i) {
+    lab.add_temperature_sensor("SG-" + std::to_string(i), 20.0 + i);
+  }
+
+  const auto run = [&lab](sorcer::Flow flow) {
+    auto job = sorcer::Job::make("sg", {flow, sorcer::Access::kPush, true});
+    for (int i = 0; i < 8; ++i) {
+      job->add(read_task("SG-" + std::to_string(i)));
+    }
+    const util::SimTime t0 = lab.now();
+    (void)sorcer::exert(job, lab.accessor());
+    EXPECT_EQ(job->status(), sorcer::ExertStatus::kDone);
+    return lab.now() - t0;
+  };
+
+  const util::SimDuration sequential = run(sorcer::Flow::kSequence);
+  const auto saved_before = counter("invoke.overlap_saved_ns");
+  const util::SimDuration scattered = run(sorcer::Flow::kParallel);
+
+  // Eight equal children scattered as one batch cost ~the slowest child's
+  // round-trip plus dispatch overhead, not eight round-trips.
+  EXPECT_GT(scattered, 0);
+  EXPECT_GE(sequential, 4 * scattered);
+  // The fabric concurrency is accounted: serialized RTT sum minus the
+  // actual batch window.
+  EXPECT_GT(counter("invoke.overlap_saved_ns") - saved_before, 0u);
+  // Every scattered call was gathered; nothing is left outstanding.
+  EXPECT_EQ(obs::metrics().gauge("invoke.outstanding").value(), 0.0);
+}
+
+TEST(ScatterGatherTest, NestedDispatchPumpsTheSchedulerRecursively) {
+  // Regression: a provider whose dispatch invokes downstream providers
+  // mid-call (the CSP's fan-out runs inside its own wire dispatch event)
+  // pumps the scheduler from a nested frame on the same stack. The guard
+  // must accept this — it is the event loop recursing in time order — and
+  // the nested batch must still gather correctly.
+  Deployment lab(wire_config());
+  lab.add_temperature_sensor("Leaf-A", 10.0);
+  lab.add_temperature_sensor("Leaf-B", 30.0);
+  auto csp = lab.facade().create_local_service("Nested-Composite");
+  ASSERT_NE(csp, nullptr);
+  ASSERT_TRUE(
+      lab.facade()
+          .compose_service("Nested-Composite", {"Leaf-A", "Leaf-B"})
+          .is_ok());
+
+  auto value = lab.facade().get_value("Nested-Composite");
+  ASSERT_TRUE(value.is_ok());
+  // Average of the two leaves, modulo probe noise.
+  EXPECT_GT(value.value(), 5.0);
+  EXPECT_LT(value.value(), 35.0);
+  EXPECT_EQ(obs::metrics().gauge("invoke.outstanding").value(), 0.0);
+}
+
+TEST(ScatterGatherTest, SlowChildSubstitutesWhileSiblingsComplete) {
+  DeploymentConfig config = wire_config();
+  config.invoke.call_timeout = 20 * kMillisecond;
+  Deployment lab(config);
+  for (const char* name : {"Mix-A", "Mix-B", "Mix-C"}) {
+    lab.add_temperature_sensor(name, 20.0);
+  }
+
+  // Learn which provider the unpinned signature binds first, partition the
+  // requestor away from it, and pin the two sibling reads to the survivors.
+  const sorcer::Signature sig{kSensorDataAccessorType, op::kGetValue, ""};
+  auto first = lab.accessor().resolve(sig);
+  ASSERT_TRUE(first.is_ok());
+  auto* victim =
+      dynamic_cast<sorcer::ServiceProvider*>(first.value().servicer.get());
+  ASSERT_NE(victim, nullptr);
+  lab.network().partition(lab.invoker().address(),
+                          victim->network_address());
+  std::vector<std::string> survivors;
+  for (const char* name : {"Mix-A", "Mix-B", "Mix-C"}) {
+    if (name != victim->provider_name()) survivors.push_back(name);
+  }
+  ASSERT_EQ(survivors.size(), 2u);
+
+  const auto timeouts_before = counter("invoke.timeouts");
+  const auto subs_before = counter("sorcer.substitutions");
+  const util::SimTime t0 = lab.now();
+  std::vector<sorcer::ExertionPtr> batch = {
+      read_task(survivors[0]), read_task(survivors[1]),
+      sorcer::Task::make("read:any", sig)};  // unpinned: may substitute
+  (void)sorcer::exert_all(batch, lab.accessor());
+
+  // The partitioned call hit its deadline and was re-issued with the victim
+  // excluded while its siblings completed; every exertion still succeeds.
+  for (const auto& task : batch) {
+    EXPECT_EQ(task->status(), sorcer::ExertStatus::kDone) << task->name();
+  }
+  EXPECT_GE(counter("invoke.timeouts") - timeouts_before, 1u);
+  EXPECT_GE(counter("sorcer.substitutions") - subs_before, 1u);
+  // The slow child's deadline is visible on the virtual clock, and only
+  // once: the siblings' windows overlapped it instead of queuing behind it.
+  EXPECT_GE(lab.now() - t0, config.invoke.call_timeout);
+  EXPECT_LT(lab.now() - t0, 2 * config.invoke.call_timeout);
+}
+
+TEST(ScatterGatherTest, EachTimedOutCallDropsItsOwnLateResponse) {
+  DeploymentConfig config = wire_config();
+  // Shorter than the round trip: every call times out, every response is a
+  // straggler.
+  config.network_latency = 5 * kMillisecond;
+  config.invoke.call_timeout = 6 * kMillisecond;
+  Deployment lab(config);
+  for (const char* name : {"Late-A", "Late-B", "Late-C"}) {
+    lab.add_temperature_sensor(name, 20.0);
+  }
+  const auto timeouts_before = counter("invoke.timeouts");
+  const auto late_before = counter("invoke.late_responses");
+
+  std::vector<sorcer::ExertionPtr> batch = {
+      read_task("Late-A"), read_task("Late-B"), read_task("Late-C")};
+  const util::SimTime t0 = lab.now();
+  (void)sorcer::exert_all(batch, lab.accessor());
+  for (const auto& task : batch) {
+    EXPECT_EQ(task->status(), sorcer::ExertStatus::kFailed);
+    EXPECT_EQ(std::static_pointer_cast<sorcer::Task>(task)->error().code(),
+              util::ErrorCode::kTimeout);
+  }
+  EXPECT_EQ(counter("invoke.timeouts") - timeouts_before, 3u);
+  // The timed-out calls overlapped too: the batch waited one shared
+  // deadline window, not three in sequence.
+  EXPECT_LT(lab.now() - t0, 2 * config.invoke.call_timeout);
+
+  // Let the stragglers land: each is dropped and counted per call.
+  lab.pump(100 * kMillisecond);
+  EXPECT_EQ(counter("invoke.late_responses") - late_before, 3u);
+  EXPECT_EQ(obs::metrics().gauge("invoke.outstanding").value(), 0.0);
+}
+
+TEST(ScatterGatherTest, FacadeMultiReadGathersOneBatch) {
+  Deployment lab(wire_config());
+  lab.add_temperature_sensor("Page-A", 20.0);
+  lab.add_temperature_sensor("Page-B", 21.0);
+  lab.add_temperature_sensor("Page-C", 22.0);
+
+  auto values = lab.facade().get_values({"Page-A", "Page-B", "Page-C",
+                                         "Page-Missing"});
+  ASSERT_EQ(values.size(), 4u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(values[static_cast<std::size_t>(i)].is_ok());
+  }
+  EXPECT_EQ(values[3].status().code(), util::ErrorCode::kNotFound);
 }
 
 // --- in-process escape hatch -------------------------------------------------
