@@ -24,3 +24,4 @@ sensorcer_add_bench(bench_ablation)
 sensorcer_add_bench(bench_observability)
 sensorcer_add_bench(bench_read_path)
 sensorcer_add_bench(bench_historian)
+sensorcer_add_bench(bench_flow)

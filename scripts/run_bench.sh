@@ -14,7 +14,8 @@
 # pipeline: per-hop protocol/header cost and partition-driven failover.
 # BENCH_exertion.txt includes the wire-mode scatter-gather table (sequence
 # vs overlapped parallel push vs pull on the fabric) and BENCH_historian.txt
-# the pipelined feeder-ingest delta.
+# the pipelined feeder-ingest delta. BENCH_flow.txt sweeps the streaming
+# dataflow's stage reduction and sensor count, edge-fused vs central relay.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -24,7 +25,7 @@ FILTER="${SENSORCER_BENCH_FILTER:-}"
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target bench_read_path bench_exertion bench_lease_churn \
-  bench_header_overhead bench_failover bench_historian
+  bench_header_overhead bench_failover bench_historian bench_flow
 
 echo "=== bench_read_path -> BENCH_read_path.json ==="
 "$BUILD_DIR/bench/bench_read_path" \
@@ -32,7 +33,7 @@ echo "=== bench_read_path -> BENCH_read_path.json ==="
   --benchmark_out_format=json \
   --benchmark_out=BENCH_read_path.json
 
-for b in exertion lease_churn header_overhead failover historian; do
+for b in exertion lease_churn header_overhead failover historian flow; do
   echo "=== bench_$b -> BENCH_$b.txt ==="
   "$BUILD_DIR/bench/bench_$b" | tee "BENCH_$b.txt"
 done

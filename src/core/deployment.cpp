@@ -101,8 +101,41 @@ Deployment::Deployment(DeploymentConfig config)
     provisioner_->enable_history(config_.history_feed, lookups_.front(),
                                  &lrm_);
   }
+  if (config_.with_flow) {
+    flow::FlowManagerConfig flow_config = config_.flow;
+    flow_config.sample_period = config_.sampling.sample_period;
+    flow_manager_ = std::make_shared<flow::FlowManager>(
+        "FlowManager", accessor_, scheduler_, lrm_, monitor_.get(),
+        flow_config);
+    flow_manager_->attach_network(network_);
+    for (const auto& lus : lookups_) {
+      (void)flow_manager_->join(lus, lrm_, config_.lease_duration);
+    }
+    // Flow sources ride the managed ESPs' record() taps: a flow consumes
+    // the readings the sampling loop already takes, never re-reading.
+    flow_manager_->set_source_binder(
+        [this](const std::string& sensor,
+               std::function<void(const sensor::Reading&)> tap)
+            -> util::Result<flow::TapHandle> {
+          auto found = manager_->find_sensor(sensor);
+          if (!found.is_ok()) return found.status();
+          auto esp = std::dynamic_pointer_cast<ElementarySensorProvider>(
+              found.value());
+          if (!esp) {
+            return util::Status{
+                util::ErrorCode::kFailedPrecondition,
+                "flow source '" + sensor + "' is not an elementary sensor"};
+          }
+          const std::uint64_t id = esp->add_reading_tap(std::move(tap));
+          std::weak_ptr<ElementarySensorProvider> weak = esp;
+          return flow::TapHandle{[weak, id] {
+            if (auto strong = weak.lock()) strong->remove_reading_tap(id);
+          }};
+        });
+  }
   facade_ = std::make_shared<SensorcerFacade>(
       "SenSORCER Facade", accessor_, *manager_, provisioner_.get());
+  facade_->set_flow_manager(flow_manager_.get());
   facade_->attach_network(network_);
   for (const auto& lus : lookups_) {
     (void)facade_->join(lus, lrm_, config_.lease_duration);

@@ -18,6 +18,7 @@
 #include "core/facade.h"
 #include "core/network_manager.h"
 #include "core/provisioner.h"
+#include "flow/manager.h"
 #include "hist/historian.h"
 #include "registry/discovery.h"
 #include "registry/event_mailbox.h"
@@ -53,6 +54,10 @@ struct DeploymentConfig {
   bool with_historian = true;
   hist::HistorianConfig historian;
   hist::FeederConfig history_feed;
+  /// Boot a FlowManager wired to the managed sensors' reading taps and the
+  /// provision monitor (streaming dataflows with cost-modeled placement).
+  bool with_flow = true;
+  flow::FlowManagerConfig flow;
   std::uint64_t seed = 42;
 };
 
@@ -106,6 +111,8 @@ class Deployment {
   rio::ProvisionMonitor& monitor() { return *monitor_; }
   /// The historian, or null when with_historian is off.
   hist::Historian* historian() { return historian_.get(); }
+  /// The flow manager, or null when with_flow is off.
+  flow::FlowManager* flow_manager() { return flow_manager_.get(); }
   SensorNetworkManager& manager() { return *manager_; }
   SensorServiceProvisioner& provisioner() { return *provisioner_; }
   SensorcerFacade& facade() { return *facade_; }
@@ -135,6 +142,7 @@ class Deployment {
   std::shared_ptr<hist::Historian> historian_;
   std::unique_ptr<SensorNetworkManager> manager_;
   std::unique_ptr<SensorServiceProvisioner> provisioner_;
+  std::shared_ptr<flow::FlowManager> flow_manager_;
   std::shared_ptr<SensorcerFacade> facade_;
   std::unique_ptr<SensorBrowser> browser_;
   std::uint64_t sensor_seed_ = 1000;

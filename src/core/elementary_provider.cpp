@@ -75,6 +75,18 @@ void ElementarySensorProvider::set_location(const std::string& location) {
 void ElementarySensorProvider::record(const sensor::Reading& reading) {
   log_.append(reading);
   if (feeder_) feeder_->offer(reading);
+  for (const auto& [id, tap] : taps_) tap(reading);
+}
+
+std::uint64_t ElementarySensorProvider::add_reading_tap(
+    std::function<void(const sensor::Reading&)> tap) {
+  const std::uint64_t id = next_tap_id_++;
+  taps_.emplace_back(id, std::move(tap));
+  return id;
+}
+
+void ElementarySensorProvider::remove_reading_tap(std::uint64_t id) {
+  std::erase_if(taps_, [id](const auto& t) { return t.first == id; });
 }
 
 void ElementarySensorProvider::sample_once() {

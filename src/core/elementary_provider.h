@@ -4,7 +4,11 @@
 // a local DataLog (the data-flow-reversal buffer of §II), and serves values
 // through both the SensorDataAccessor interface and exertion operations.
 
+#include <cstdint>
+#include <functional>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "core/interfaces.h"
 #include "hist/feeder.h"
@@ -66,6 +70,17 @@ class ElementarySensorProvider : public sorcer::ServiceProvider,
     return feeder_.get();
   }
 
+  // --- reading taps --------------------------------------------------------------
+
+  /// Observe every reading this provider records (sampled or read on
+  /// demand), at the single ingest point the feeder already hangs off —
+  /// consumers like flows ride the sampling loop instead of issuing reads
+  /// of their own. Returns an id for remove_reading_tap.
+  std::uint64_t add_reading_tap(
+      std::function<void(const sensor::Reading&)> tap);
+  void remove_reading_tap(std::uint64_t id);
+  [[nodiscard]] std::size_t reading_tap_count() const { return taps_.size(); }
+
   /// Failover: adopt the predecessor ESP's surviving DataLog and replay it
   /// at the historian (idempotent — the historian dedups timestamps), so a
   /// re-provisioned sensor leaves no gap in recorded history.
@@ -84,6 +99,10 @@ class ElementarySensorProvider : public sorcer::ServiceProvider,
   util::TimerId sample_timer_ = 0;
   std::string location_;
   std::unique_ptr<hist::HistorianFeeder> feeder_;
+  std::vector<
+      std::pair<std::uint64_t, std::function<void(const sensor::Reading&)>>>
+      taps_;
+  std::uint64_t next_tap_id_ = 1;
 };
 
 }  // namespace sensorcer::core

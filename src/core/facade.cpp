@@ -213,6 +213,34 @@ util::Status SensorcerFacade::create_service(const std::string& name,
   return provisioner_->provision_composite(name, qos);
 }
 
+util::Status SensorcerFacade::create_flow(const flow::FlowSpec& spec) {
+  if (flows_ == nullptr) {
+    return {util::ErrorCode::kUnavailable, "no flow manager is deployed"};
+  }
+  return flows_->create_flow(spec);
+}
+
+util::Status SensorcerFacade::destroy_flow(const std::string& name) {
+  if (flows_ == nullptr) {
+    return {util::ErrorCode::kUnavailable, "no flow manager is deployed"};
+  }
+  return flows_->destroy_flow(name);
+}
+
+std::vector<flow::FlowStats> SensorcerFacade::list_flows() {
+  if (flows_ == nullptr) return {};
+  return flows_->list_flows();
+}
+
+util::Result<flow::FlowStats> SensorcerFacade::flow_stats(
+    const std::string& name) {
+  if (flows_ == nullptr) {
+    return util::Status{util::ErrorCode::kUnavailable,
+                        "no flow manager is deployed"};
+  }
+  return flows_->stats(name);
+}
+
 std::shared_ptr<CompositeSensorProvider> SensorcerFacade::create_local_service(
     const std::string& name) {
   return manager_.create_composite(name);

@@ -11,6 +11,7 @@
 
 #include "core/network_manager.h"
 #include "core/provisioner.h"
+#include "flow/manager.h"
 #include "hist/series.h"
 #include "sorcer/provider.h"
 
@@ -79,6 +80,19 @@ class SensorcerFacade : public sorcer::ServiceProvider {
                                                     util::SimTime to,
                                                     std::size_t points = 64);
 
+  // --- streaming dataflows --------------------------------------------------------
+
+  /// The deployment wires its FlowManager in; null leaves the flow
+  /// operations failing with kUnavailable.
+  void set_flow_manager(flow::FlowManager* flows) { flows_ = flows; }
+  [[nodiscard]] flow::FlowManager* flow_manager() { return flows_; }
+
+  /// "Create Flow": compile, place and start a streaming dataflow.
+  util::Status create_flow(const flow::FlowSpec& spec);
+  util::Status destroy_flow(const std::string& name);
+  std::vector<flow::FlowStats> list_flows();
+  util::Result<flow::FlowStats> flow_stats(const std::string& name);
+
   /// Info card for the browser's "Sensor Service Information" pane.
   util::Result<SensorInfo> service_information(const std::string& name);
 
@@ -92,6 +106,7 @@ class SensorcerFacade : public sorcer::ServiceProvider {
   sorcer::ServiceAccessor& accessor_;
   SensorNetworkManager& manager_;
   SensorServiceProvisioner* provisioner_;
+  flow::FlowManager* flows_ = nullptr;
 };
 
 }  // namespace sensorcer::core

@@ -41,6 +41,15 @@ class SensorServiceProvisioner {
       std::function<sensor::ProbePtr(const std::string&)> probe_factory,
       const rio::QosRequirement& qos, std::size_t replicas = 1);
 
+  /// Provision an arbitrary service element under its own operational
+  /// string — the generic hook subsystems (flow relays, custom peers) use
+  /// to ride Rio placement and failover without a bespoke method here.
+  util::Status provision_service(const std::string& opstring_name,
+                                 rio::ServiceElement element) {
+    return monitor_.deploy(
+        rio::OperationalString{opstring_name, {std::move(element)}});
+  }
+
   /// Tear down a previously provisioned service.
   util::Status unprovision(const std::string& name) {
     return monitor_.undeploy(name);

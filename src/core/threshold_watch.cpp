@@ -76,45 +76,66 @@ void ThresholdWatch::raise(const std::string& sensor, AlarmKind kind,
   if (listener_) listener_(alarm);
 }
 
+void ThresholdWatch::apply(const std::string& sensor, Watched& watched,
+                           bool reachable, double value) {
+  SensorState next;
+  if (!reachable) {
+    next = SensorState::kUnreachable;
+  } else if (value < watched.rule.low) {
+    next = SensorState::kLow;
+  } else if (value > watched.rule.high) {
+    next = SensorState::kHigh;
+  } else {
+    next = SensorState::kNormal;
+  }
+
+  if (next == watched.state) return;  // alarms fire on transitions only
+  switch (next) {
+    case SensorState::kLow:
+      raise(sensor, AlarmKind::kLow, value);
+      break;
+    case SensorState::kHigh:
+      raise(sensor, AlarmKind::kHigh, value);
+      break;
+    case SensorState::kUnreachable:
+      raise(sensor, AlarmKind::kUnreachable, 0.0);
+      break;
+    case SensorState::kNormal:
+      raise(sensor, AlarmKind::kRecovered, value);
+      break;
+  }
+  watched.state = next;
+}
+
+void ThresholdWatch::ingest(const std::string& sensor, double value,
+                            bool reachable) {
+  auto it = rules_.find(sensor);
+  if (it == rules_.end()) return;
+  apply(sensor, it->second, reachable, value);
+}
+
+void ThresholdWatch::set_flow_fed(const std::string& sensor, bool flow_fed) {
+  auto it = rules_.find(sensor);
+  if (it != rules_.end()) it->second.flow_fed = flow_fed;
+}
+
 void ThresholdWatch::poll_once() {
   for (auto& [sensor, watched] : rules_) {
+    // Flow-fed rules are evaluated by pushed emissions; reading them here
+    // again would double up on the sensor.
+    if (watched.flow_fed) continue;
     // Read through the federation, like any requestor would.
     auto task = sorcer::Task::make(
         "watch.read",
         sorcer::Signature{kSensorDataAccessorType, op::kGetValue, sensor});
     (void)sorcer::exert(task, accessor_);
 
-    SensorState next;
-    double value = 0.0;
     if (task->status() != sorcer::ExertStatus::kDone) {
-      next = SensorState::kUnreachable;
+      apply(sensor, watched, /*reachable=*/false, 0.0);
     } else {
-      value = task->context().get_double(path::kValue).value_or(0.0);
-      if (value < watched.rule.low) {
-        next = SensorState::kLow;
-      } else if (value > watched.rule.high) {
-        next = SensorState::kHigh;
-      } else {
-        next = SensorState::kNormal;
-      }
+      apply(sensor, watched, /*reachable=*/true,
+            task->context().get_double(path::kValue).value_or(0.0));
     }
-
-    if (next == watched.state) continue;  // alarms fire on transitions only
-    switch (next) {
-      case SensorState::kLow:
-        raise(sensor, AlarmKind::kLow, value);
-        break;
-      case SensorState::kHigh:
-        raise(sensor, AlarmKind::kHigh, value);
-        break;
-      case SensorState::kUnreachable:
-        raise(sensor, AlarmKind::kUnreachable, 0.0);
-        break;
-      case SensorState::kNormal:
-        raise(sensor, AlarmKind::kRecovered, value);
-        break;
-    }
-    watched.state = next;
   }
 }
 
@@ -124,6 +145,14 @@ std::size_t ThresholdWatch::active_alarm_count() const {
     if (watched.state != SensorState::kNormal) ++n;
   }
   return n;
+}
+
+flow::SinkSpec watch_sink(ThresholdWatch& watch) {
+  return flow::SinkSpec::to_trigger(
+      [&watch](const std::string& sensor, const sensor::Reading& reading) {
+        watch.ingest(sensor, reading.value,
+                     reading.quality != sensor::Quality::kBad);
+      });
 }
 
 }  // namespace sensorcer::core

@@ -14,6 +14,7 @@
 #include <map>
 
 #include "core/interfaces.h"
+#include "flow/spec.h"
 #include "sorcer/accessor.h"
 #include "sorcer/provider.h"
 #include "util/scheduler.h"
@@ -72,6 +73,18 @@ class ThresholdWatch : public sorcer::ServiceProvider {
     listener_ = std::move(listener);
   }
 
+  // --- push evaluation --------------------------------------------------------
+
+  /// Evaluate one pushed value against the sensor's rule (same state
+  /// machine as polling). `reachable = false` models a bad/unreachable
+  /// reading. Unwatched sensors are ignored.
+  void ingest(const std::string& sensor, double value, bool reachable = true);
+
+  /// Mark a sensor's rule as fed by a flow: the poll loop stops reading it
+  /// through the federation (ingest() is the only evaluation path), so a
+  /// watch riding a flow adds zero sensor reads of its own.
+  void set_flow_fed(const std::string& sensor, bool flow_fed = true);
+
   // --- state -----------------------------------------------------------------
 
   /// Evaluate every rule now (also runs automatically on the period).
@@ -91,9 +104,13 @@ class ThresholdWatch : public sorcer::ServiceProvider {
   struct Watched {
     AlarmRule rule;
     SensorState state = SensorState::kNormal;
+    bool flow_fed = false;
   };
 
   void raise(const std::string& sensor, AlarmKind kind, double value);
+  /// Shared transition logic of the poll and push paths.
+  void apply(const std::string& sensor, Watched& watched, bool reachable,
+             double value);
 
   sorcer::ServiceAccessor& accessor_;
   util::Scheduler& scheduler_;
@@ -103,5 +120,11 @@ class ThresholdWatch : public sorcer::ServiceProvider {
   AlarmListener listener_;
   std::deque<Alarm> history_;
 };
+
+/// Adapt `watch` into a flow trigger sink: flow emissions push-evaluate
+/// their sensor's rule via ingest(). Pair with set_flow_fed so the watch
+/// also stops polling those sensors — alarms then cost no reads beyond the
+/// sampling the flow already taps. The watch must outlive the flow.
+flow::SinkSpec watch_sink(ThresholdWatch& watch);
 
 }  // namespace sensorcer::core

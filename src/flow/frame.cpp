@@ -1,0 +1,87 @@
+#include "flow/frame.h"
+
+#include <utility>
+
+#include "flow/spec.h"
+
+namespace sensorcer::flow {
+
+namespace {
+
+double encode_quality(sensor::Quality q) {
+  switch (q) {
+    case sensor::Quality::kGood: return 0.0;
+    case sensor::Quality::kSuspect: return 1.0;
+    case sensor::Quality::kBad: return 2.0;
+  }
+  return 0.0;
+}
+
+sensor::Quality decode_quality(double q) {
+  if (q >= 2.0) return sensor::Quality::kBad;
+  if (q >= 1.0) return sensor::Quality::kSuspect;
+  return sensor::Quality::kGood;
+}
+
+}  // namespace
+
+void FlowFrame::push(const sensor::Reading& reading) {
+  timestamps.push_back(static_cast<double>(reading.timestamp));
+  values.push_back(reading.value);
+  qualities.push_back(encode_quality(reading.quality));
+}
+
+sensor::Reading FlowFrame::reading_at(std::size_t i) const {
+  return sensor::Reading{static_cast<util::SimTime>(timestamps[i]), values[i],
+                         decode_quality(qualities[i]), 0};
+}
+
+FlowFrame FramePool::acquire() {
+  if (free_.empty()) {
+    FlowFrame frame;
+    frame.reserve(frame_capacity_);
+    return frame;
+  }
+  FlowFrame frame = std::move(free_.back());
+  free_.pop_back();
+  frame.clear();
+  return frame;
+}
+
+void FramePool::release(FlowFrame&& frame) {
+  if (free_.size() >= max_retained_) return;  // let it deallocate
+  free_.push_back(std::move(frame));
+}
+
+void marshal_frame(const std::string& flow_name, const FlowFrame& frame,
+                   sorcer::ServiceContext& ctx) {
+  ctx.put(path::kFlow, flow_name, sorcer::PathDirection::kIn);
+  ctx.put(path::kSensor, frame.sensor, sorcer::PathDirection::kIn);
+  ctx.put(path::kTimestamps, frame.timestamps, sorcer::PathDirection::kIn);
+  ctx.put(path::kValues, frame.values, sorcer::PathDirection::kIn);
+  ctx.put(path::kQualities, frame.qualities, sorcer::PathDirection::kIn);
+}
+
+util::Result<FlowFrame> unmarshal_frame(const sorcer::ServiceContext& ctx) {
+  FlowFrame frame;
+  auto sensor = ctx.get_string(path::kSensor);
+  if (!sensor.is_ok()) return sensor.status();
+  frame.sensor = sensor.value();
+  auto timestamps = ctx.get_series(path::kTimestamps);
+  auto values = ctx.get_series(path::kValues);
+  auto qualities = ctx.get_series(path::kQualities);
+  if (!timestamps.is_ok()) return timestamps.status();
+  if (!values.is_ok()) return values.status();
+  if (!qualities.is_ok()) return qualities.status();
+  frame.timestamps = timestamps.value();
+  frame.values = values.value();
+  frame.qualities = qualities.value();
+  if (frame.values.size() != frame.timestamps.size() ||
+      frame.qualities.size() != frame.timestamps.size()) {
+    return util::Status{util::ErrorCode::kInvalidArgument,
+                        "frame arrays disagree on length"};
+  }
+  return frame;
+}
+
+}  // namespace sensorcer::flow

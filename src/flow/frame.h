@@ -1,0 +1,75 @@
+#pragma once
+// FlowFrame — the batched wire unit of a streaming flow.
+//
+// Readings never cross the fabric one at a time: a source accumulates them
+// into a frame (SensCord-style: preallocated, recycled through a pool so
+// the steady state allocates nothing) and ships the frame as one pushFrame
+// exertion. On the wire a frame of n readings marshals as three parallel
+// vector<double> context values — 3·(4+8n) payload bytes plus one request
+// envelope, instead of n envelopes.
+
+#include <string>
+#include <vector>
+
+#include "sensor/reading.h"
+#include "sorcer/context.h"
+
+namespace sensorcer::flow {
+
+struct FlowFrame {
+  std::string sensor;
+  std::vector<double> timestamps;
+  std::vector<double> values;
+  std::vector<double> qualities;
+
+  [[nodiscard]] std::size_t size() const { return timestamps.size(); }
+  [[nodiscard]] bool empty() const { return timestamps.empty(); }
+
+  void clear() {
+    sensor.clear();
+    timestamps.clear();
+    values.clear();
+    qualities.clear();
+  }
+
+  void reserve(std::size_t n) {
+    timestamps.reserve(n);
+    values.reserve(n);
+    qualities.reserve(n);
+  }
+
+  void push(const sensor::Reading& reading);
+
+  /// Reading i of the frame (quality decoded; sequence not carried).
+  [[nodiscard]] sensor::Reading reading_at(std::size_t i) const;
+};
+
+/// Recycles frames so a long-lived source reuses the same backing vectors.
+/// acquire() hands out a cleared frame with `frame_capacity` reserved;
+/// release() takes it back (up to `max_retained` kept).
+class FramePool {
+ public:
+  explicit FramePool(std::size_t frame_capacity, std::size_t max_retained = 16)
+      : frame_capacity_(frame_capacity ? frame_capacity : 1),
+        max_retained_(max_retained) {}
+
+  FlowFrame acquire();
+  void release(FlowFrame&& frame);
+
+  [[nodiscard]] std::size_t retained() const { return free_.size(); }
+
+ private:
+  std::size_t frame_capacity_;
+  std::size_t max_retained_;
+  std::vector<FlowFrame> free_;
+};
+
+/// Marshal `frame` into the pushFrame input paths of `ctx`.
+void marshal_frame(const std::string& flow_name, const FlowFrame& frame,
+                   sorcer::ServiceContext& ctx);
+
+/// Rebuild a frame from pushFrame inputs; kInvalidArgument on missing or
+/// length-mismatched arrays.
+util::Result<FlowFrame> unmarshal_frame(const sorcer::ServiceContext& ctx);
+
+}  // namespace sensorcer::flow

@@ -1,0 +1,280 @@
+#include "flow/manager.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace sensorcer::flow {
+
+namespace {
+
+std::string relay_name_for(const std::string& flow) { return "flow-op:" + flow; }
+std::string opstring_for(const std::string& flow) { return "flow:" + flow; }
+
+}  // namespace
+
+FlowManager::FlowManager(std::string name, sorcer::ServiceAccessor& accessor,
+                         util::Scheduler& scheduler,
+                         registry::LeaseRenewalManager& lrm,
+                         rio::ProvisionMonitor* monitor,
+                         FlowManagerConfig config)
+    : ServiceProvider(std::move(name), {kFlowManagerType}),
+      accessor_(accessor),
+      scheduler_(scheduler),
+      lrm_(lrm),
+      monitor_(monitor),
+      config_(std::move(config)) {
+  add_operation(
+      op::kListFlows,
+      [this](sorcer::ServiceContext& ctx) -> util::Status {
+        ctx.put(path::kReport, render_flows(), sorcer::PathDirection::kOut);
+        return util::Status::ok();
+      },
+      util::kMillisecond);
+  add_operation(
+      op::kFlowStats,
+      [this](sorcer::ServiceContext& ctx) -> util::Status {
+        auto flow = ctx.get_string(path::kFlow);
+        if (!flow.is_ok()) return flow.status();
+        auto s = stats(flow.value());
+        if (!s.is_ok()) return s.status();
+        ctx.put(path::kPlacement, s.value().placement,
+                sorcer::PathDirection::kOut);
+        ctx.put(path::kReadingsIn,
+                static_cast<std::int64_t>(s.value().readings_in),
+                sorcer::PathDirection::kOut);
+        ctx.put(path::kEmitted, static_cast<std::int64_t>(s.value().emitted),
+                sorcer::PathDirection::kOut);
+        return util::Status::ok();
+      },
+      util::kMillisecond);
+}
+
+FlowManager::~FlowManager() {
+  // Local teardown only: release the sensor taps and drop runners/sources.
+  // The destructor must not reach into the provision monitor — a lookup
+  // registration's proxy can hold the last reference to this manager and
+  // release it during registry teardown, after the monitor is already gone.
+  // Undeploying a live flow's relay is destroy_flow()'s concern.
+  for (auto& [name, flow] : flows_) {
+    release_taps(flow);
+    for (auto& source : flow.sources) source->unbind();
+  }
+  flows_.clear();
+}
+
+util::Status FlowManager::create_flow(const FlowSpec& spec) {
+  if (flows_.contains(spec.name)) {
+    return {util::ErrorCode::kInvalidArgument,
+            "flow '" + spec.name + "' already exists"};
+  }
+  if (!binder_) {
+    return {util::ErrorCode::kFailedPrecondition,
+            "flow manager has no source binder (deployment wiring missing)"};
+  }
+  auto stages = compile_stages(spec);
+  if (!stages.is_ok()) return stages.status();
+
+  // Price the placements against the current fleet. Without a provision
+  // monitor there is nowhere to relay, so everything runs edge.
+  std::vector<NodeLoad> loads;
+  if (monitor_ != nullptr) loads = snapshot_loads(monitor_->known_cybernodes());
+  if (monitor_ == nullptr && spec.placement == Placement::kForceCentral) {
+    return {util::ErrorCode::kFailedPrecondition,
+            "central placement requires a provision monitor"};
+  }
+  ActiveFlow flow;
+  flow.spec = spec;
+  flow.plan = plan_placement(spec, config_.sample_period, loads);
+  if (monitor_ == nullptr) {
+    flow.plan.edge = true;
+    flow.plan.explanation = "edge: no provision monitor in this deployment";
+  }
+
+  if (flow.plan.edge) {
+    // Stages fuse into the sources: one shared runner fed by every tap.
+    flow.runner = std::make_unique<StageRunner>(
+        spec.name, stages.value(), spec.sink, accessor_, scheduler_,
+        config_.sink);
+  } else {
+    // Central: deploy the relay through the monitor, then aim one frame
+    // source per sensor at its registration.
+    flow.relay_name = relay_name_for(spec.name);
+    flow.opstring = opstring_for(spec.name);
+    rio::ServiceElement element;
+    element.name = flow.relay_name;
+    element.qos = config_.relay_qos;
+    element.placement_score = relay_node_scorer();
+    // The factory re-runs on failover; it captures only immutable copies so
+    // a replacement instance rebuilds the same pipeline.
+    const CompiledStages compiled = stages.value();
+    const SinkSpec sink = spec.sink;
+    const std::string flow_name = spec.name;
+    sorcer::ServiceAccessor& accessor = accessor_;
+    util::Scheduler& scheduler = scheduler_;
+    const FlushConfig sink_config = config_.sink;
+    element.factory =
+        [flow_name, compiled, sink, &accessor, &scheduler,
+         sink_config](const std::string& instance_name) {
+          return std::make_shared<FlowOperator>(instance_name, flow_name,
+                                                compiled, sink, accessor,
+                                                scheduler, sink_config);
+        };
+    if (util::Status deployed = monitor_->deploy(
+            rio::OperationalString{flow.opstring, {std::move(element)}});
+        !deployed.is_ok()) {
+      return deployed;
+    }
+    auto lookups = accessor_.lookups();
+    if (lookups.empty()) {
+      (void)monitor_->undeploy(flow.opstring);
+      return {util::ErrorCode::kFailedPrecondition,
+              "no lookup service for flow source subscriptions"};
+    }
+    for (const std::string& sensor : spec.sensors) {
+      auto source = std::make_unique<FlowSource>(spec.name, sensor,
+                                                 flow.relay_name, scheduler_,
+                                                 accessor_, config_.source);
+      source->bind(lookups.front(), lrm_);
+      flow.sources.push_back(std::move(source));
+    }
+  }
+
+  // Tap every sensor's record() path — the flow consumes the very readings
+  // the sampling loop already produced, never re-reading the hardware.
+  for (std::size_t i = 0; i < spec.sensors.size(); ++i) {
+    const std::string& sensor = spec.sensors[i];
+    util::Result<TapHandle> tap =
+        flow.plan.edge
+            ? binder_(sensor,
+                      [runner = flow.runner.get(), sensor](
+                          const sensor::Reading& reading) {
+                        (void)runner->ingest(sensor, reading);
+                      })
+            : binder_(sensor, [source = flow.sources[i].get()](
+                                  const sensor::Reading& reading) {
+                source->offer(reading);
+              });
+    if (!tap.is_ok()) {
+      release_taps(flow);
+      for (auto& source : flow.sources) source->unbind();
+      if (!flow.opstring.empty()) (void)monitor_->undeploy(flow.opstring);
+      return tap.status();
+    }
+    flow.taps.push_back(std::move(tap).value());
+  }
+
+  SENSORCER_LOG_INFO("flow", "flow '%s' created (%s)", spec.name.c_str(),
+                     flow.plan.explanation.c_str());
+  flows_.emplace(spec.name, std::move(flow));
+  obs::metrics().gauge("flow.flows").set(static_cast<double>(flows_.size()));
+  return util::Status::ok();
+}
+
+util::Status FlowManager::destroy_flow(const std::string& name) {
+  auto it = flows_.find(name);
+  if (it == flows_.end()) {
+    return {util::ErrorCode::kNotFound, "unknown flow '" + name + "'"};
+  }
+  ActiveFlow& flow = it->second;
+  release_taps(flow);
+  for (auto& source : flow.sources) source->unbind();
+  if (!flow.opstring.empty() && monitor_ != nullptr) {
+    (void)monitor_->undeploy(flow.opstring);
+  }
+  flows_.erase(it);
+  obs::metrics().gauge("flow.flows").set(static_cast<double>(flows_.size()));
+  return util::Status::ok();
+}
+
+void FlowManager::release_taps(ActiveFlow& flow) {
+  for (auto& tap : flow.taps) {
+    if (tap.release) tap.release();
+  }
+  flow.taps.clear();
+}
+
+FlowOperator* FlowManager::relay_for(const ActiveFlow& flow) const {
+  if (monitor_ == nullptr || flow.opstring.empty()) return nullptr;
+  FlowOperator* found = nullptr;
+  for (const auto& instance : monitor_->deployed_instances(flow.opstring)) {
+    auto* relay = dynamic_cast<FlowOperator*>(instance.get());
+    if (relay == nullptr) continue;
+    // Prefer the live successor over a retired predecessor.
+    if (found == nullptr || !relay->retired()) found = relay;
+  }
+  return found;
+}
+
+FlowStats FlowManager::stats_for(const ActiveFlow& flow) const {
+  FlowStats s;
+  s.name = flow.spec.name;
+  s.placement = flow.plan.edge ? "edge" : "central";
+  s.explanation = flow.plan.explanation;
+  s.sensors = flow.spec.sensors.size();
+  const StageRunner* runner = flow.runner.get();
+  if (!flow.plan.edge) {
+    FlowOperator* relay = relay_for(flow);
+    s.relay_deployed = relay != nullptr;
+    if (relay != nullptr) runner = &relay->runner();
+  }
+  if (runner != nullptr) {
+    const StageCounters& c = runner->counters();
+    s.readings_in = c.readings_in;
+    s.duplicates_dropped = c.duplicates_dropped;
+    s.filtered_out = c.filtered_out;
+    s.emitted = c.emitted;
+    s.sink_pushed = c.sink_pushed;
+    s.sink_failures = c.sink_failures;
+    s.dropped = c.dropped;
+    s.pending += runner->pending_sink();
+  }
+  for (const auto& source : flow.sources) {
+    s.frames_pushed += source->frames_pushed();
+    s.frames_requeued += source->frames_requeued();
+    s.rebinds += source->rebinds();
+    s.dropped += source->dropped();
+    s.pending += source->pending_readings();
+  }
+  return s;
+}
+
+std::vector<FlowStats> FlowManager::list_flows() const {
+  std::vector<FlowStats> out;
+  out.reserve(flows_.size());
+  for (const auto& [name, flow] : flows_) out.push_back(stats_for(flow));
+  return out;
+}
+
+util::Result<FlowStats> FlowManager::stats(const std::string& name) const {
+  auto it = flows_.find(name);
+  if (it == flows_.end()) {
+    return util::Status{util::ErrorCode::kNotFound,
+                        "unknown flow '" + name + "'"};
+  }
+  return stats_for(it->second);
+}
+
+const PlacementPlan* FlowManager::plan(const std::string& name) const {
+  auto it = flows_.find(name);
+  return it == flows_.end() ? nullptr : &it->second.plan;
+}
+
+std::string FlowManager::render_flows() const {
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& [name, flow] : flows_) {
+    const FlowStats s = stats_for(flow);
+    rows.push_back({name, s.placement, util::format("%zu", s.sensors),
+                    util::format("%llu", (unsigned long long)s.readings_in),
+                    util::format("%llu", (unsigned long long)s.emitted),
+                    util::format("%llu", (unsigned long long)s.sink_pushed),
+                    util::format("%zu", s.pending)});
+  }
+  return util::render_table(
+      {"flow", "placement", "sensors", "in", "emitted", "sunk", "pending"},
+      rows);
+}
+
+}  // namespace sensorcer::flow

@@ -1,0 +1,140 @@
+#pragma once
+// FlowManager — the provider that turns FlowSpecs into running pipelines.
+//
+// create_flow() compiles the spec's expressions, prices the two placements
+// (placement.h), and instantiates the operators: under edge placement one
+// shared StageRunner is fed straight from the sensors' reading taps and
+// only emissions ever touch the fabric; under central placement a relay
+// FlowOperator is deployed through the provision monitor (cost-model node
+// scorer attached to its ServiceElement) and per-sensor FlowSources stream
+// batched frames at it. Relays ride the existing failover machinery: the
+// monitor re-places them on node death and hands state over, while sources
+// buffer and rebind through their leased notify() subscriptions.
+//
+// The host environment injects a SourceBinder — the hook that attaches a
+// reading tap to a named sensor (core wires it to the ESP's record() path,
+// so a flow consumes the same sampled readings the historian feeder does:
+// zero additional sensor reads).
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flow/operator.h"
+#include "flow/placement.h"
+#include "flow/spec.h"
+#include "registry/lease_renewal.h"
+#include "rio/monitor.h"
+#include "sorcer/accessor.h"
+#include "sorcer/provider.h"
+#include "util/scheduler.h"
+
+namespace sensorcer::flow {
+
+struct FlowManagerConfig {
+  /// Frame batching of central-placement sources.
+  FlushConfig source;
+  /// Emission batching of the stage runner's historian sink.
+  FlushConfig sink;
+  /// QoS a relay operator demands of its hosting cybernode.
+  rio::QosRequirement relay_qos{0.25, 32.0, "", {}};
+  /// Sensors' sampling period — the cost model's rate input.
+  util::SimDuration sample_period = util::kSecond;
+};
+
+/// Releases a reading tap installed by a SourceBinder.
+struct TapHandle {
+  std::function<void()> release;
+};
+
+/// Attach `tap` to every reading the named sensor records. Injected by the
+/// host (core/deployment) so the flow layer stays below core.
+using SourceBinder = std::function<util::Result<TapHandle>(
+    const std::string& sensor,
+    std::function<void(const sensor::Reading&)> tap)>;
+
+/// Aggregated per-flow counters (sources + stage runner).
+struct FlowStats {
+  std::string name;
+  std::string placement;    // "edge" / "central"
+  std::string explanation;  // cost-model decision trace
+  std::size_t sensors = 0;
+  bool relay_deployed = false;
+  std::uint64_t readings_in = 0;
+  std::uint64_t duplicates_dropped = 0;
+  std::uint64_t filtered_out = 0;
+  std::uint64_t emitted = 0;
+  std::uint64_t sink_pushed = 0;
+  std::uint64_t sink_failures = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t frames_pushed = 0;
+  std::uint64_t frames_requeued = 0;
+  std::uint64_t rebinds = 0;
+  std::size_t pending = 0;
+};
+
+class FlowManager : public sorcer::ServiceProvider {
+ public:
+  /// `monitor` may be null (no Rio in the deployment): flows then always
+  /// run edge-placed; kForceCentral fails with kFailedPrecondition.
+  FlowManager(std::string name, sorcer::ServiceAccessor& accessor,
+              util::Scheduler& scheduler, registry::LeaseRenewalManager& lrm,
+              rio::ProvisionMonitor* monitor = nullptr,
+              FlowManagerConfig config = {});
+
+  ~FlowManager() override;
+
+  void set_source_binder(SourceBinder binder) { binder_ = std::move(binder); }
+
+  /// Cost-model rate input (deployment wires its sampling policy through).
+  void set_sample_period(util::SimDuration period) {
+    config_.sample_period = period;
+  }
+
+  // --- flow lifecycle ---------------------------------------------------------
+
+  util::Status create_flow(const FlowSpec& spec);
+  util::Status destroy_flow(const std::string& name);
+
+  // --- introspection ----------------------------------------------------------
+
+  [[nodiscard]] std::vector<FlowStats> list_flows() const;
+  [[nodiscard]] util::Result<FlowStats> stats(const std::string& name) const;
+  /// The placement decision for `name`, or null.
+  [[nodiscard]] const PlacementPlan* plan(const std::string& name) const;
+  /// Flows table for the browser / ops tooling.
+  [[nodiscard]] std::string render_flows() const;
+  [[nodiscard]] std::size_t flow_count() const { return flows_.size(); }
+
+  [[nodiscard]] const FlowManagerConfig& config() const { return config_; }
+
+ private:
+  struct ActiveFlow {
+    FlowSpec spec;
+    PlacementPlan plan;
+    /// Edge placement: the fused runner every tap feeds.
+    std::unique_ptr<StageRunner> runner;
+    /// Central placement: per-sensor frame pushers + the relay's names.
+    std::vector<std::unique_ptr<FlowSource>> sources;
+    std::string relay_name;
+    std::string opstring;
+    std::vector<TapHandle> taps;
+  };
+
+  [[nodiscard]] FlowStats stats_for(const ActiveFlow& flow) const;
+  void release_taps(ActiveFlow& flow);
+  [[nodiscard]] FlowOperator* relay_for(const ActiveFlow& flow) const;
+
+  sorcer::ServiceAccessor& accessor_;
+  util::Scheduler& scheduler_;
+  registry::LeaseRenewalManager& lrm_;
+  rio::ProvisionMonitor* monitor_;
+  FlowManagerConfig config_;
+  SourceBinder binder_;
+  std::map<std::string, ActiveFlow> flows_;
+};
+
+}  // namespace sensorcer::flow

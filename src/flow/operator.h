@@ -1,0 +1,247 @@
+#pragma once
+// Flow operators — the executable stages a FlowSpec compiles into.
+//
+// StageRunner is the movable middle of a pipeline (dedup → filter → window
+// → map → sink adapter). It runs in one of two places, decided by the
+// placement cost model:
+//   - fused into the per-sensor edge sources (only post-stage emissions
+//     ever cross the fabric), or
+//   - inside a FlowOperator relay provisioned onto a cybernode, fed batched
+//     FlowFrames through the pushFrame wire operation.
+//
+// FlowSource is the upstream half under central placement: it taps a
+// sensor's recorded readings, batches them into pooled frames, and pushes
+// them at the relay feeder-style — lease-bound notify() binding on the
+// relay's registration, buffer-while-unbound, rebind-and-drain, failed
+// frames re-queued at the front. A per-sensor timestamp watermark in the
+// runner makes frame replays idempotent, so source retries after a relay
+// failover never double-deliver (mirroring the historian's dedup).
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flow/frame.h"
+#include "flow/spec.h"
+#include "registry/lease_renewal.h"
+#include "registry/lookup.h"
+#include "sorcer/accessor.h"
+#include "sorcer/provider.h"
+#include "util/scheduler.h"
+
+namespace sensorcer::flow {
+
+/// Sink/push batching knobs shared by edge-fused runners and relays.
+struct FlushConfig {
+  /// Flush as soon as this many emissions (or frames, for sources) pend.
+  std::size_t batch_size = 32;
+  /// Periodic flush of partial batches; 0 disables the timer.
+  util::SimDuration flush_period = 5 * util::kSecond;
+  /// Pending cap while the downstream is unreachable (oldest dropped past it).
+  std::size_t pending_cap = 4096;
+  /// Max readings marshalled into one task.
+  std::size_t max_batch = 256;
+  /// Lease duration of a source's notify() subscription.
+  util::SimDuration subscription_lease = 30 * util::kSecond;
+};
+
+/// Counters one runner/source accumulates (merged into FlowStats).
+struct StageCounters {
+  std::uint64_t readings_in = 0;
+  std::uint64_t duplicates_dropped = 0;
+  std::uint64_t filtered_out = 0;
+  std::uint64_t emitted = 0;
+  std::uint64_t sink_pushed = 0;
+  std::uint64_t sink_failures = 0;
+  std::uint64_t dropped = 0;
+};
+
+/// Executes the movable stages over a stream of (sensor, reading) pairs and
+/// adapts emissions to the sink. Historian emissions are written under the
+/// series "<flow>/<sensor>" (never the raw series, which the historian
+/// feeder owns) and are batched through the same pipelined appendBatch path
+/// the feeder uses. Not a provider itself — it is owned by either a relay
+/// FlowOperator or the flow's edge sources.
+class StageRunner {
+ public:
+  StageRunner(std::string flow, CompiledStages stages, SinkSpec sink,
+              sorcer::ServiceAccessor& accessor, util::Scheduler& scheduler,
+              FlushConfig config = {});
+  ~StageRunner();
+
+  StageRunner(const StageRunner&) = delete;
+  StageRunner& operator=(const StageRunner&) = delete;
+
+  /// Run one reading through dedup → filter → window → map → sink. Returns
+  /// true when the reading was accepted (not a replay duplicate).
+  bool ingest(const std::string& sensor, const sensor::Reading& reading);
+
+  /// Push pending historian emissions now (also the timer body). Trigger
+  /// and listener sinks deliver synchronously in ingest and never pend.
+  std::size_t flush_sink();
+
+  /// Failover hand-off: adopt the predecessor runner's watermarks, window
+  /// state, pending emissions and counters, so a re-placed relay resumes
+  /// mid-window with no gap and replayed frames still dedup.
+  void adopt(StageRunner& predecessor);
+
+  [[nodiscard]] const StageCounters& counters() const { return counters_; }
+  [[nodiscard]] std::size_t pending_sink() const { return pending_.size(); }
+  [[nodiscard]] const std::string& flow() const { return flow_; }
+
+ private:
+  struct WindowState {
+    std::size_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double last = 0.0;
+    util::SimTime last_timestamp = 0;
+    /// kTime: bucket index currently accumulating; -1 = none yet.
+    std::int64_t bucket = -1;
+  };
+
+  struct PerSensor {
+    /// Highest timestamp already processed — replayed frames dedup here.
+    util::SimTime watermark = -1;
+    WindowState window;
+  };
+
+  struct Emission {
+    std::string sensor;
+    sensor::Reading reading;
+  };
+
+  void emit(const std::string& sensor, const sensor::Reading& reading);
+  void deliver(const std::string& sensor, const sensor::Reading& reading);
+  /// Fold `reading` into the window; returns an aggregate reading when the
+  /// window closes.
+  bool window_accept(WindowState& w, const sensor::Reading& reading,
+                     sensor::Reading& out);
+  [[nodiscard]] double aggregate_value(const WindowState& w) const;
+  void schedule_flush();
+
+  std::string flow_;
+  CompiledStages stages_;
+  SinkSpec sink_;
+  sorcer::ServiceAccessor& accessor_;
+  util::Scheduler& scheduler_;
+  FlushConfig config_;
+
+  std::map<std::string, PerSensor> sensors_;
+  std::deque<Emission> pending_;
+  bool flushing_ = false;  // wire pushes pump the scheduler; bar re-entry
+  bool flush_scheduled_ = false;
+  util::TimerId flush_timer_ = 0;
+  util::TimerId pending_flush_timer_ = 0;
+  std::uint64_t event_sequence_ = 0;
+  StageCounters counters_;
+};
+
+/// The relay form: a provisioned ServiceProvider exporting pushFrame. On
+/// node failure the provision monitor re-places it and hands state over via
+/// assume_state_from — which also *retires* the predecessor, so late frames
+/// reaching the dead instance's still-attached endpoint bounce with
+/// kUnavailable (and get re-queued by the source) instead of vanishing.
+class FlowOperator : public sorcer::ServiceProvider {
+ public:
+  FlowOperator(std::string name, std::string flow, CompiledStages stages,
+               SinkSpec sink, sorcer::ServiceAccessor& accessor,
+               util::Scheduler& scheduler, FlushConfig config = {});
+
+  [[nodiscard]] StageRunner& runner() { return *runner_; }
+  [[nodiscard]] const StageRunner& runner() const { return *runner_; }
+
+  /// Refuse further frames (handed over to a successor).
+  void retire() { retired_ = true; }
+  [[nodiscard]] bool retired() const { return retired_; }
+
+  void assume_state_from(sorcer::ServiceProvider& predecessor) override;
+
+ private:
+  std::unique_ptr<StageRunner> runner_;
+  bool retired_ = false;
+};
+
+/// Per-sensor upstream stage under central placement: batches tapped
+/// readings into pooled frames and pushes them at the relay named
+/// `relay_name` as pushFrame exertions (one scatter-gather batch per
+/// flush). Under edge placement no FlowSource exists — the tap feeds the
+/// fused StageRunner directly.
+class FlowSource {
+ public:
+  FlowSource(std::string flow, std::string sensor, std::string relay_name,
+             util::Scheduler& scheduler, sorcer::ServiceAccessor& accessor,
+             FlushConfig config = {});
+  ~FlowSource();
+
+  FlowSource(const FlowSource&) = delete;
+  FlowSource& operator=(const FlowSource&) = delete;
+
+  /// Subscribe to the relay's registration transitions on `lus`: pushes
+  /// run only while a relay instance is registered; in between, frames
+  /// buffer (up to pending_cap readings) and drain on rebind.
+  void bind(const std::shared_ptr<registry::LookupService>& lus,
+            registry::LeaseRenewalManager& lrm);
+  void unbind();
+
+  /// Enqueue one tapped reading. Never pushes synchronously — full frames
+  /// go out on a zero-delay timer so fabric traffic happens inside
+  /// scheduler pumps (the feeder discipline).
+  void offer(const sensor::Reading& reading);
+
+  /// Push every queued frame now as one pipelined scatter-gather batch.
+  /// Failed frames re-queue at the front. Returns readings pushed.
+  std::size_t flush();
+
+  [[nodiscard]] bool bound() const { return bound_; }
+  [[nodiscard]] std::size_t pending_readings() const;
+  [[nodiscard]] std::uint64_t frames_pushed() const { return frames_pushed_; }
+  [[nodiscard]] std::uint64_t frames_requeued() const {
+    return frames_requeued_;
+  }
+  [[nodiscard]] std::uint64_t readings_pushed() const {
+    return readings_pushed_;
+  }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t rebinds() const { return rebinds_; }
+  [[nodiscard]] const std::string& sensor() const { return sensor_; }
+
+ private:
+  void on_transition(const registry::ServiceEvent& event);
+  void schedule_flush();
+  void seal_current();
+
+  std::string flow_;
+  std::string sensor_;
+  std::string relay_name_;
+  util::Scheduler& scheduler_;
+  sorcer::ServiceAccessor& accessor_;
+  FlushConfig config_;
+
+  FramePool pool_;
+  FlowFrame current_;
+  bool current_open_ = false;
+  std::deque<FlowFrame> queued_;
+  bool bound_ = false;
+  bool flushing_ = false;
+  bool flush_scheduled_ = false;
+  util::TimerId flush_timer_ = 0;
+  util::TimerId pending_flush_timer_ = 0;
+
+  std::weak_ptr<registry::LookupService> lus_;
+  registry::LeaseRenewalManager* lrm_ = nullptr;
+  util::Uuid subscription_id_{};
+  util::Uuid subscription_lease_{};
+
+  std::uint64_t frames_pushed_ = 0;
+  std::uint64_t frames_requeued_ = 0;
+  std::uint64_t readings_pushed_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t rebinds_ = 0;
+};
+
+}  // namespace sensorcer::flow

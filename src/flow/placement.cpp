@@ -1,0 +1,101 @@
+#include "flow/placement.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace sensorcer::flow {
+
+std::vector<NodeLoad> snapshot_loads(
+    const std::vector<std::shared_ptr<rio::Cybernode>>& nodes) {
+  std::vector<NodeLoad> out;
+  out.reserve(nodes.size());
+  for (const auto& node : nodes) {
+    if (!node || !node->is_alive()) continue;
+    out.push_back(NodeLoad{node->provider_name(), node->utilization(),
+                           node->capability().labels.contains("edge")});
+  }
+  return out;
+}
+
+std::function<double(const rio::Cybernode&)> relay_node_scorer() {
+  return [](const rio::Cybernode& node) {
+    double score = 1.0 - node.utilization();
+    if (node.capability().labels.contains("edge")) score -= 10.0;
+    return score;
+  };
+}
+
+PlacementPlan plan_placement(const FlowSpec& spec,
+                             util::SimDuration sample_period,
+                             const std::vector<NodeLoad>& nodes) {
+  PlacementPlan plan;
+  plan.stage_reduction =
+      spec.selectivity_hint * spec.window.reduction(sample_period);
+
+  // Input rate across the flow's sensors, readings per second of virtual
+  // time. With background sampling off the model still ranks the options by
+  // per-reading cost (rate cancels), so use 1 Hz as the neutral rate.
+  const double per_sensor_hz =
+      sample_period > 0
+          ? static_cast<double>(util::kSecond) / static_cast<double>(sample_period)
+          : 1.0;
+  const double rate = per_sensor_hz * static_cast<double>(spec.sensors.size());
+
+  // Only historian emissions cross the fabric after the stages; trigger and
+  // listener sinks deliver to in-process callbacks wherever the stage runs.
+  const double emission_rate =
+      spec.sink.kind == SinkKind::kHistorian ? rate * plan.stage_reduction
+                                             : 0.0;
+  plan.edge_bytes_per_sec = emission_rate * kBytesPerReading;
+  plan.central_bytes_per_sec =
+      rate * kBytesPerReading + emission_rate * kBytesPerReading;
+
+  // The relay would land on the least-utilized non-edge candidate; its load
+  // surcharges the central option.
+  double best_util = 1.0;
+  bool any_backbone = false;
+  for (const NodeLoad& node : nodes) {
+    if (node.edge_labeled) continue;
+    any_backbone = true;
+    best_util = std::min(best_util, node.utilization);
+  }
+  // Edge: emissions cross the sensor uplink, plus the compute premium.
+  // Central: raw crosses the uplink, onward emissions ride discounted
+  // backbone links, all weighted by the best candidate's load.
+  const double raw_bytes = rate * kBytesPerReading;
+  plan.edge_cost = plan.edge_bytes_per_sec * (1.0 + kEdgeComputePremium);
+  plan.central_cost =
+      (raw_bytes + kBackboneDiscount * plan.edge_bytes_per_sec) *
+      (1.0 + best_util);
+
+  switch (spec.placement) {
+    case Placement::kForceEdge:
+      plan.edge = true;
+      plan.explanation = "forced edge";
+      return plan;
+    case Placement::kForceCentral:
+      plan.edge = false;
+      plan.explanation = "forced central";
+      return plan;
+    case Placement::kAuto:
+      break;
+  }
+  if (nodes.empty() || !any_backbone) {
+    plan.edge = true;
+    plan.explanation = "edge: no backbone cybernode to host a relay";
+    return plan;
+  }
+  plan.edge = plan.edge_cost <= plan.central_cost;
+  plan.explanation = util::format(
+      "%s: edge cost %.1f (emissions %.1f B/s, x%.2f compute premium) vs "
+      "central cost %.1f (raw %.1f B/s uplink, best node util %.2f), "
+      "stage reduction %.3f",
+      plan.edge ? "edge" : "central", plan.edge_cost, plan.edge_bytes_per_sec,
+      1.0 + kEdgeComputePremium, plan.central_cost,
+      plan.central_bytes_per_sec - plan.edge_bytes_per_sec, best_util,
+      plan.stage_reduction);
+  return plan;
+}
+
+}  // namespace sensorcer::flow

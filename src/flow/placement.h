@@ -1,0 +1,79 @@
+#pragma once
+// Placement cost model — decides where a flow's movable stages run.
+//
+// The paper's header-overhead argument (§II) cuts both ways: shipping every
+// raw reading to a central operator costs the fabric the full sample rate,
+// while fusing filter/window into the edge sources costs only the
+// post-stage emission rate — at the price of spending sensor-side compute.
+// The model prices the scarce resource — sensor-uplink bytes per second.
+// Edge emissions cross the uplink directly and carry a fixed sensor-compute
+// premium (weak, battery-bound devices). A central relay takes the full raw
+// rate over the uplink, but its onward emissions ride provisioned backbone
+// links priced at a deep discount, and the whole option is weighted by the
+// load of the best candidate cybernode (a busy fleet makes relaying
+// dearer). Reduction-heavy flows therefore fuse at the edge; near-pass-
+// through flows relay centrally. kForceEdge/kForceCentral bypass the
+// comparison (benchmarks use them as the two ends of the sweep).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "flow/spec.h"
+#include "rio/cybernode.h"
+
+namespace sensorcer::flow {
+
+/// Modeled marshalled cost of one reading inside a frame: three doubles of
+/// the parallel arrays (envelope and array headers amortize across the
+/// frame).
+inline constexpr double kBytesPerReading = 24.0;
+
+/// Sensor-side compute premium: running stages on the (weak, battery-bound)
+/// edge devices is charged this fraction on top of the byte cost.
+inline constexpr double kEdgeComputePremium = 0.25;
+
+/// Backbone links are provisioned for bulk transfer; bytes a central relay
+/// forwards to its sink cost this fraction of a sensor-uplink byte.
+inline constexpr double kBackboneDiscount = 0.1;
+
+/// Load view of one candidate cybernode.
+struct NodeLoad {
+  std::string name;
+  double utilization = 0.0;  // [0,1]
+  bool edge_labeled = false;  // advertises the "edge" QoS label
+};
+
+struct PlacementPlan {
+  /// True: stages fuse into the per-sensor sources, only emissions cross
+  /// the fabric. False: a relay FlowOperator is provisioned centrally.
+  bool edge = true;
+  /// Filter selectivity × window reduction (expected emissions per reading).
+  double stage_reduction = 1.0;
+  /// Modeled fabric load of each option, bytes/second.
+  double edge_bytes_per_sec = 0.0;
+  double central_bytes_per_sec = 0.0;
+  /// Load-weighted costs the decision compared.
+  double edge_cost = 0.0;
+  double central_cost = 0.0;
+  /// Human-readable decision trace (health report / browser).
+  std::string explanation;
+};
+
+/// Price both placements for `spec` given the sensors' sample period and
+/// the current fleet load, honoring spec.placement overrides. An empty
+/// `nodes` list forces edge placement (nowhere to relay).
+PlacementPlan plan_placement(const FlowSpec& spec,
+                             util::SimDuration sample_period,
+                             const std::vector<NodeLoad>& nodes);
+
+/// Snapshot a cybernode list into the cost model's load view.
+std::vector<NodeLoad> snapshot_loads(
+    const std::vector<std::shared_ptr<rio::Cybernode>>& nodes);
+
+/// Node scorer for the relay's ServiceElement: prefer the least-utilized
+/// node and penalize "edge"-labeled ones — a relay concentrates the flow's
+/// traffic and belongs on backbone compute, not on a sensor-side device.
+std::function<double(const rio::Cybernode&)> relay_node_scorer();
+
+}  // namespace sensorcer::flow

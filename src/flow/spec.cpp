@@ -1,0 +1,123 @@
+#include "flow/spec.h"
+
+#include "expr/evaluator.h"
+
+namespace sensorcer::flow {
+
+const char* window_kind_name(WindowKind kind) {
+  switch (kind) {
+    case WindowKind::kNone: return "none";
+    case WindowKind::kCount: return "count";
+    case WindowKind::kTime: return "time";
+  }
+  return "?";
+}
+
+const char* aggregate_name(Aggregate agg) {
+  switch (agg) {
+    case Aggregate::kLast: return "last";
+    case Aggregate::kMean: return "mean";
+    case Aggregate::kMin: return "min";
+    case Aggregate::kMax: return "max";
+    case Aggregate::kSum: return "sum";
+    case Aggregate::kCount: return "count";
+  }
+  return "?";
+}
+
+const char* sink_kind_name(SinkKind kind) {
+  switch (kind) {
+    case SinkKind::kHistorian: return "historian";
+    case SinkKind::kTrigger: return "trigger";
+    case SinkKind::kListener: return "listener";
+  }
+  return "?";
+}
+
+const char* placement_name(Placement placement) {
+  switch (placement) {
+    case Placement::kAuto: return "auto";
+    case Placement::kForceEdge: return "edge";
+    case Placement::kForceCentral: return "central";
+  }
+  return "?";
+}
+
+double WindowSpec::reduction(util::SimDuration sample_period) const {
+  switch (kind) {
+    case WindowKind::kNone:
+      return 1.0;
+    case WindowKind::kCount:
+      return count > 1 ? 1.0 / static_cast<double>(count) : 1.0;
+    case WindowKind::kTime: {
+      if (span <= 0 || sample_period <= 0) return 1.0;
+      const double r =
+          static_cast<double>(sample_period) / static_cast<double>(span);
+      return r < 1.0 ? r : 1.0;
+    }
+  }
+  return 1.0;
+}
+
+util::Status validate(const FlowSpec& spec) {
+  if (spec.name.empty()) {
+    return {util::ErrorCode::kInvalidArgument, "flow needs a name"};
+  }
+  if (spec.sensors.empty()) {
+    return {util::ErrorCode::kInvalidArgument,
+            "flow '" + spec.name + "' selects no sensors"};
+  }
+  if (spec.window.kind == WindowKind::kCount && spec.window.count < 2) {
+    return {util::ErrorCode::kInvalidArgument,
+            "count window needs count >= 2"};
+  }
+  if (spec.window.kind == WindowKind::kTime && spec.window.span <= 0) {
+    return {util::ErrorCode::kInvalidArgument,
+            "time window needs a positive span"};
+  }
+  if (spec.sink.kind == SinkKind::kTrigger && !spec.sink.trigger) {
+    return {util::ErrorCode::kInvalidArgument,
+            "trigger sink needs a callback"};
+  }
+  if (spec.sink.kind == SinkKind::kListener && !spec.sink.listener) {
+    return {util::ErrorCode::kInvalidArgument,
+            "listener sink needs a listener"};
+  }
+  if (!(spec.selectivity_hint > 0.0) || spec.selectivity_hint > 1.0) {
+    return {util::ErrorCode::kInvalidArgument,
+            "selectivity hint must be in (0, 1]"};
+  }
+  return util::Status::ok();
+}
+
+namespace {
+
+util::Result<expr::CompiledProgram> compile_over_v(const std::string& source) {
+  auto parsed = expr::Expression::compile(source);
+  if (!parsed.is_ok()) return parsed.status();
+  static const std::string kSlots[] = {"v"};
+  return parsed.value().bind(kSlots);
+}
+
+}  // namespace
+
+util::Result<CompiledStages> compile_stages(const FlowSpec& spec) {
+  if (util::Status valid = validate(spec); !valid.is_ok()) return valid;
+  CompiledStages stages;
+  stages.window = spec.window;
+  if (!spec.filter.empty()) {
+    auto program = compile_over_v(spec.filter);
+    if (!program.is_ok()) return program.status();
+    stages.filter = program.value();
+    stages.has_filter = true;
+  }
+  if (!spec.map.empty()) {
+    auto program = compile_over_v(spec.map);
+    if (!program.is_ok()) return program.status();
+    stages.map = program.value();
+    stages.has_map = true;
+  }
+  return stages;
+}
+
+}  // namespace sensorcer::flow

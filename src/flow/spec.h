@@ -1,0 +1,141 @@
+#pragma once
+// FlowSpec — declarative description of a push-based streaming pipeline:
+// source(sensor selector) → filter → window(count|time) → map → sink.
+//
+// A spec is pure data; the FlowManager compiles its filter/map expressions
+// into slot-indexed programs (expr/compiled.h), decides where the movable
+// stages run (placement.h), and instantiates the operators. The shape
+// mirrors EMMA's service choreographies of operators placed on nodes: the
+// declaration says *what* flows, the cost model says *where* it runs.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "registry/lookup.h"
+#include "expr/compiled.h"
+#include "sensor/reading.h"
+#include "util/sim_time.h"
+#include "util/status.h"
+
+namespace sensorcer::flow {
+
+/// The flow manager's interface name (signatures and lookup templates).
+inline constexpr const char* kFlowManagerType = "FlowManager";
+
+/// Context paths of the pushFrame operation: a frame of n readings rides as
+/// three parallel vector<double> arrays, like the historian's appendBatch.
+namespace path {
+inline constexpr const char* kFlow = "flow/name";
+inline constexpr const char* kSensor = "flow/sensor";
+inline constexpr const char* kTimestamps = "flow/timestamps";
+inline constexpr const char* kValues = "flow/values";
+inline constexpr const char* kQualities = "flow/qualities";
+inline constexpr const char* kAccepted = "flow/accepted";
+inline constexpr const char* kDuplicates = "flow/duplicates";
+// FlowManager introspection operations.
+inline constexpr const char* kReport = "flow/report";
+inline constexpr const char* kPlacement = "flow/placement";
+inline constexpr const char* kReadingsIn = "flow/readings_in";
+inline constexpr const char* kEmitted = "flow/emitted";
+}  // namespace path
+
+/// FlowManager service selectors (pushFrame is framework-level and lives in
+/// sorcer::op — relays answer it under the FlowOperator type).
+namespace op {
+inline constexpr const char* kListFlows = "listFlows";
+inline constexpr const char* kFlowStats = "flowStats";
+}  // namespace op
+
+enum class WindowKind {
+  kNone,   // pass each accepted reading through
+  kCount,  // aggregate every `count` accepted readings
+  kTime,   // aggregate per `span` bucket of virtual time
+};
+
+enum class Aggregate { kLast, kMean, kMin, kMax, kSum, kCount };
+
+const char* window_kind_name(WindowKind kind);
+const char* aggregate_name(Aggregate agg);
+
+struct WindowSpec {
+  WindowKind kind = WindowKind::kNone;
+  std::size_t count = 0;        // kCount: readings per emission
+  util::SimDuration span = 0;   // kTime: bucket width
+  Aggregate aggregate = Aggregate::kMean;
+
+  /// Expected output readings per input reading (cost-model input).
+  [[nodiscard]] double reduction(util::SimDuration sample_period) const;
+};
+
+enum class SinkKind {
+  kHistorian,  // appendBatch at the DataCollection service, series "<flow>/<sensor>"
+  kTrigger,    // local callback (e.g. threshold-watch push evaluation)
+  kListener,   // registry event listener (e.g. an EventMailbox)
+};
+
+const char* sink_kind_name(SinkKind kind);
+
+using TriggerFn =
+    std::function<void(const std::string& sensor, const sensor::Reading&)>;
+
+struct SinkSpec {
+  SinkKind kind = SinkKind::kHistorian;
+  TriggerFn trigger;                  // kTrigger
+  registry::EventListener listener;   // kListener
+
+  static SinkSpec historian() { return {}; }
+  static SinkSpec to_trigger(TriggerFn fn) {
+    return {SinkKind::kTrigger, std::move(fn), nullptr};
+  }
+  static SinkSpec to_listener(registry::EventListener listener) {
+    return {SinkKind::kListener, nullptr, std::move(listener)};
+  }
+};
+
+/// Where the movable stages (filter/window/map) execute.
+enum class Placement {
+  kAuto,          // cost model decides
+  kForceEdge,     // fuse into the per-sensor sources
+  kForceCentral,  // relay operator provisioned onto a cybernode
+};
+
+const char* placement_name(Placement placement);
+
+struct FlowSpec {
+  std::string name;
+  std::vector<std::string> sensors;
+  /// Filter expression over variable `v` (the reading's value); empty keeps
+  /// every reading.
+  std::string filter;
+  WindowSpec window;
+  /// Map expression over `v` applied to emitted values; empty is identity.
+  std::string map;
+  SinkSpec sink;
+  Placement placement = Placement::kAuto;
+  /// Estimated fraction of readings the filter passes — the requestor's
+  /// hint to the placement cost model (measured selectivity would need the
+  /// flow to already run somewhere).
+  double selectivity_hint = 1.0;
+};
+
+/// Structural validation: name/sensors present, window parameters coherent,
+/// sink callbacks present for their kind, selectivity hint in (0,1].
+util::Status validate(const FlowSpec& spec);
+
+/// The movable stages of a spec, lowered to slot-indexed programs over the
+/// single slot `v`. Immutable after compile; cheap to copy into operator
+/// factories (replacement relay instances rebuild from the same programs).
+struct CompiledStages {
+  bool has_filter = false;
+  expr::CompiledProgram filter;
+  bool has_map = false;
+  expr::CompiledProgram map;
+  WindowSpec window;
+};
+
+/// Parse + bind the spec's filter/map. Fails with the expression error on
+/// invalid source or variables other than `v`.
+util::Result<CompiledStages> compile_stages(const FlowSpec& spec);
+
+}  // namespace sensorcer::flow

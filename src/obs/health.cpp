@@ -93,6 +93,22 @@ std::string render_federation_health(const Snapshot& snap) {
                   std::to_string(snap.counter_or("hist.feeder_pushed")) +
                       " / " +
                       std::to_string(snap.counter_or("hist.feeder_dropped"))});
+  rows.push_back({"flow", "active flows",
+                  util::format("%.0f", snap.gauge_or("flow.flows"))});
+  rows.push_back({"flow", "readings in / emitted",
+                  std::to_string(snap.counter_or("flow.readings_in")) + " / " +
+                      std::to_string(snap.counter_or("flow.emitted"))});
+  rows.push_back(
+      {"flow", "filtered out / duplicates dropped",
+       std::to_string(snap.counter_or("flow.filtered_out")) + " / " +
+           std::to_string(snap.counter_or("flow.duplicates_dropped"))});
+  rows.push_back({"flow", "frames pushed / requeued",
+                  std::to_string(snap.counter_or("flow.frames_pushed")) +
+                      " / " +
+                      std::to_string(snap.counter_or("flow.frames_requeued"))});
+  rows.push_back({"flow", "sink pushed / failures",
+                  std::to_string(snap.counter_or("flow.sink_pushed")) + " / " +
+                      std::to_string(snap.counter_or("flow.sink_failures"))});
   rows.push_back({"provisioning", "provisions / re-provisions",
                   std::to_string(snap.counter_or("rio.provisions")) + " / " +
                       std::to_string(snap.counter_or("rio.reprovisions"))});

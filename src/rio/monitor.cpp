@@ -53,18 +53,26 @@ std::vector<std::shared_ptr<Cybernode>> ProvisionMonitor::known_cybernodes() {
 }
 
 util::Result<std::shared_ptr<Cybernode>> ProvisionMonitor::pick_node(
-    const QosRequirement& req) {
+    const ServiceElement& element) {
+  // Least-utilized placement spreads load across the fleet unless the
+  // element brings its own policy.
+  const auto score = [&element](const Cybernode& node) {
+    return element.placement_score ? element.placement_score(node)
+                                   : -node.utilization();
+  };
   std::shared_ptr<Cybernode> best;
+  double best_score = 0.0;
   for (auto& node : known_cybernodes()) {
-    if (!node->can_host(req)) continue;
-    // Least-utilized placement spreads load across the fleet.
-    if (!best || node->utilization() < best->utilization()) {
+    if (!node->can_host(element.qos)) continue;
+    const double s = score(*node);
+    if (!best || s > best_score) {
       best = std::move(node);
+      best_score = s;
     }
   }
   if (!best) {
     return util::Status{util::ErrorCode::kCapacity,
-                        "no cybernode satisfies " + req.to_string()};
+                        "no cybernode satisfies " + element.qos.to_string()};
   }
   return best;
 }
@@ -100,7 +108,7 @@ util::Status ProvisionMonitor::place(const std::string& opstring_name,
                                      std::size_t element_index,
                                      const ServiceElement& element,
                                      const std::string& instance_name) {
-  auto node = pick_node(element.qos);
+  auto node = pick_node(element);
   if (!node.is_ok()) {
     ++failed_placements_;
     rio_metrics().failed_placements.add(1);

@@ -80,7 +80,7 @@ class ProvisionMonitor : public sorcer::ServiceProvider {
   };
 
   util::Result<std::shared_ptr<Cybernode>> pick_node(
-      const QosRequirement& req);
+      const ServiceElement& element);
   /// Node health for the poll loop. Beyond local bookkeeping (is_alive /
   /// hosts), a node on the fabric is pinged over the wire when the
   /// accessor's pipeline runs in wire transport, so partitions and dead

@@ -13,10 +13,17 @@
 
 namespace sensorcer::rio {
 
+class Cybernode;
+
 /// Creates a fresh service instance. `instance_name` is unique per replica
 /// ("Neem-Sensor", "New-Composite-2", ...).
 using ServiceFactory = std::function<std::shared_ptr<sorcer::ServiceProvider>(
     const std::string& instance_name)>;
+
+/// Ranks QoS-eligible cybernodes for one element; the highest score wins.
+/// Lets deployers encode placement policy beyond hard QoS matching (the
+/// flow subsystem steers relays away from "edge"-labeled nodes this way).
+using NodeScorer = std::function<double(const Cybernode&)>;
 
 /// One deployable service type within an operational string.
 struct ServiceElement {
@@ -24,6 +31,8 @@ struct ServiceElement {
   ServiceFactory factory;
   std::size_t planned = 1;   // desired replica count
   QosRequirement qos;
+  /// Optional ranking over eligible nodes; default is least-utilized.
+  NodeScorer placement_score;
 };
 
 /// A named deployment: the set of service elements that must be kept

@@ -31,6 +31,16 @@ inline constexpr const char* kServicer = "Servicer";
 inline constexpr const char* kTasker = "Tasker";
 inline constexpr const char* kJobber = "Jobber";
 inline constexpr const char* kSpacer = "Spacer";
+/// A relay stage of a streaming dataflow (flow/): receives batched reading
+/// frames push-style and runs the flow's operators over them.
+inline constexpr const char* kFlowOperator = "FlowOperator";
 }  // namespace type
+
+/// Framework-level operation selectors. Domain selectors live with their
+/// subsystems (core::op); pushFrame is generic — the one streaming-push
+/// entry every frame-consuming servicer exports.
+namespace op {
+inline constexpr const char* kPushFrame = "pushFrame";
+}  // namespace op
 
 }  // namespace sensorcer::sorcer
