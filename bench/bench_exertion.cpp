@@ -13,22 +13,44 @@
 // of serializing.
 //
 // `bench_exertion wire` runs just the wire section; `bench_exertion smoke`
-// runs a seconds-scale wire subset (CI under ASan).
+// runs a seconds-scale subset (marshalling table + wire sweep, CI under
+// ASan). The marshalling micro-table compares the legacy string envelope
+// against the flat interned codec (PERF-5) on real wall-clock time, payload
+// bytes and heap allocations per call.
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <new>
 #include <string>
 #include <thread>
 
 #include "registry/lease_renewal.h"
 #include "simnet/network.h"
+#include "sorcer/codec.h"
 #include "sorcer/exert.h"
 #include "sorcer/invoke.h"
 #include "sorcer/jobber.h"
 #include "sorcer/spacer.h"
 #include "util/strings.h"
+
+// Counting allocator: every global new/delete bumps a relaxed counter so the
+// marshalling table can report allocs/call. Delegates to malloc/free, so the
+// sanitizers still see every allocation.
+static std::atomic<std::uint64_t> g_alloc_count{0};
+
+void* operator new(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 using namespace sensorcer;
 using namespace sensorcer::sorcer;
@@ -146,6 +168,159 @@ void run_wire_section(bool smoke) {
             "4-worker makespan model over the fabric.");
 }
 
+// --- PERF-5 marshalling micro-table -----------------------------------------
+// Wall-clock encode+decode round trips for representative contexts, legacy
+// string envelope vs flat interned codec. Legacy models the pre-flat wire
+// path faithfully: a fresh payload buffer and a fresh decode target per call
+// (nothing was pooled), full path strings on every entry, map-staged decode,
+// 64-byte envelope. Flat runs warm: pooled buffer, per-pair intern tables,
+// in-place reload into a recycled context, 28-byte envelope.
+
+struct MarshalStats {
+  double ns_per_call = 0;
+  double bytes_per_call = 0;  // payload + envelope
+  double allocs_per_call = 0;
+};
+
+template <typename Fn>
+MarshalStats time_marshal(std::size_t iters, Fn&& per_call) {
+  MarshalStats s;
+  double bytes = 0;
+  const std::uint64_t allocs0 =
+      g_alloc_count.load(std::memory_order_relaxed);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < iters; ++i) bytes += per_call();
+  const auto t1 = std::chrono::steady_clock::now();
+  const std::uint64_t allocs1 =
+      g_alloc_count.load(std::memory_order_relaxed);
+  const double n = static_cast<double>(iters);
+  s.ns_per_call =
+      std::chrono::duration<double, std::nano>(t1 - t0).count() / n;
+  s.bytes_per_call = bytes / n;
+  s.allocs_per_call = static_cast<double>(allocs1 - allocs0) / n;
+  return s;
+}
+
+MarshalStats marshal_legacy(const ServiceContext& src, std::size_t iters) {
+  return time_marshal(iters, [&]() -> double {
+    WireBuffer buf;
+    encode_context_legacy(src, buf);
+    ServiceContext dst;
+    if (!decode_context_legacy(buf.data(), buf.size(), dst).is_ok()) {
+      std::puts("FAILED: legacy decode error in marshalling table");
+      std::exit(1);
+    }
+    return static_cast<double>(buf.size() + wire::kRequestEnvelopeBytes);
+  });
+}
+
+MarshalStats marshal_flat(const ServiceContext& src, std::size_t iters) {
+  auto pool = BufferPool::make();
+  PathInternTable encode_side;
+  PathInternTable decode_side;
+  ServiceContext dst;
+  // One warm-up round trip: interns every path on both sides and sizes the
+  // recycled buffer/context, exactly like the second call on a live pair.
+  {
+    BufferPool::Handle buf = pool->acquire();
+    encode_context(src, encode_side, *buf);
+    (void)decode_context(buf->data(), buf->size(), decode_side, dst);
+  }
+  return time_marshal(iters, [&]() -> double {
+    BufferPool::Handle buf = pool->acquire();
+    encode_context(src, encode_side, *buf);
+    if (!decode_context(buf->data(), buf->size(), decode_side, dst).is_ok()) {
+      std::puts("FAILED: flat decode error in marshalling table");
+      std::exit(1);
+    }
+    return static_cast<double>(buf->size() + wire::kFlatRequestEnvelopeBytes);
+  });
+}
+
+void run_marshal_section(bool smoke) {
+  std::puts("Marshalling micro-bench (PERF-5): encode+decode round trip per "
+            "call, wall clock.");
+  std::puts("legacy = string envelope, fresh buffer+context per call, +64B "
+            "envelope; flat = warm interned codec, pooled buffer, recycled "
+            "context, +28B envelope.");
+  const std::size_t iters = smoke ? 20000 : 200000;
+
+  // Representative wire payloads, smallest to largest.
+  ServiceContext fanout("task");
+  fanout.put("task/op", std::string("work"), PathDirection::kIn);
+  fanout.put("task/arg/window", std::int64_t{64}, PathDirection::kIn);
+  fanout.put("task/arg/threshold", 0.75, PathDirection::kIn);
+  fanout.put("task/out/value", ContextValue{}, PathDirection::kOut);
+
+  ServiceContext reply("read-reply");
+  reply.put("sensor/name", std::string("building-3/floor-2/hvac/temp-11"),
+            PathDirection::kIn);
+  reply.put("sensor/value", 21.625);
+  reply.put("sensor/timestamp", std::int64_t{1722470400123456});
+  reply.put("sensor/quality", 0.98);
+  reply.put("sensor/unit", std::string("celsius"));
+  reply.put("sensor/stale", false);
+
+  ServiceContext batch("append-batch");
+  {
+    std::vector<double> ts(64), vals(64), quals(64);
+    for (std::size_t i = 0; i < 64; ++i) {
+      ts[i] = 1.7e15 + 1e4 * static_cast<double>(i);
+      vals[i] = 20.0 + 0.01 * static_cast<double>(i);
+      quals[i] = 1.0;
+    }
+    batch.put("hist/sensor", std::string("building-3/floor-2/hvac/temp-11"),
+              PathDirection::kIn);
+    batch.put("hist/timestamps", std::move(ts), PathDirection::kIn);
+    batch.put("hist/values", std::move(vals), PathDirection::kIn);
+    batch.put("hist/qualities", std::move(quals), PathDirection::kIn);
+  }
+
+  struct Row {
+    const char* label;
+    const ServiceContext* ctx;
+    bool asserted;  // the wire fan-out row carries the regression gate
+  };
+  const Row bench_rows[] = {{"fan-out task (4 entries)", &fanout, true},
+                            {"sensor-read reply (6 entries)", &reply, false},
+                            {"appendBatch (3x64-double series)", &batch,
+                             false}};
+
+  std::vector<std::vector<std::string>> rows;
+  for (const Row& r : bench_rows) {
+    const MarshalStats legacy = marshal_legacy(*r.ctx, iters);
+    const MarshalStats flat = marshal_flat(*r.ctx, iters);
+    const double ns_ratio = legacy.ns_per_call / flat.ns_per_call;
+    const double byte_ratio = legacy.bytes_per_call / flat.bytes_per_call;
+    rows.push_back(
+        {r.label, util::format("%.0f", legacy.ns_per_call),
+         util::format("%.0f", flat.ns_per_call),
+         util::format("%.1fx", ns_ratio),
+         util::format("%.0f", legacy.bytes_per_call),
+         util::format("%.0f", flat.bytes_per_call),
+         util::format("%.2fx", byte_ratio),
+         util::format("%.1f", legacy.allocs_per_call),
+         util::format("%.1f", flat.allocs_per_call)});
+    if (r.asserted && (ns_ratio < 1.5 || byte_ratio < 1.25)) {
+      std::printf("FAILED: flat codec regression on '%s' — need >=1.5x ns "
+                  "and >=1.25x bytes over legacy, got %.2fx ns / %.2fx "
+                  "bytes\n",
+                  r.label, ns_ratio, byte_ratio);
+      std::exit(1);
+    }
+  }
+  std::puts(util::render_table({"context", "legacy ns", "flat ns", "ns ratio",
+                                "legacy B", "flat B", "B ratio",
+                                "legacy allocs", "flat allocs"},
+                               rows)
+                .c_str());
+  std::puts("Expected shape: warm flat calls intern every path to a 1-byte "
+            "id and reuse buffer/context storage, so allocs/call drop to ~0 "
+            "and small-payload bytes shrink well past the 64B->28B envelope "
+            "saving; the series row narrows in ns (raw 8-byte copies "
+            "dominate both codecs) but still wins on bytes.\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -153,8 +328,10 @@ int main(int argc, char** argv) {
   if (mode == "wire" || mode == "smoke") {
     // Wire section only: `wire` for the full sweep (run_bench.sh appends it
     // to the default run anyway; this entry point exists for targeted runs),
-    // `smoke` for the seconds-scale CI/ASan subset.
+    // `smoke` for the seconds-scale CI/ASan subset (which also gates on the
+    // marshalling table so the codec perf floor is CI-enforced).
     std::puts("=== CLM-6: exertion federation — wire-mode section ===\n");
+    if (mode == "smoke") run_marshal_section(true);
     run_wire_section(mode == "smoke");
     return 0;
   }
@@ -251,6 +428,7 @@ int main(int argc, char** argv) {
             "single-core host — the virtual-time model above carries the "
             "parallelism analysis).\n");
 
+  run_marshal_section(false);
   run_wire_section(false);
   return 0;
 }

@@ -13,8 +13,10 @@
 # outputs are captured verbatim. The last two track the wire invocation
 # pipeline: per-hop protocol/header cost and partition-driven failover.
 # BENCH_exertion.txt includes the wire-mode scatter-gather table (sequence
-# vs overlapped parallel push vs pull on the fabric) and BENCH_historian.txt
-# the pipelined feeder-ingest delta. BENCH_flow.txt sweeps the streaming
+# vs overlapped parallel push vs pull on the fabric) plus the PERF-5
+# marshalling micro-table (legacy string envelope vs flat interned codec:
+# ns/call, bytes/call, allocs/call — the fan-out row is a hard regression
+# gate), and BENCH_historian.txt the pipelined feeder-ingest delta. BENCH_flow.txt sweeps the streaming
 # dataflow's stage reduction and sensor count, edge-fused vs central relay.
 set -euo pipefail
 

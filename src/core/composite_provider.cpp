@@ -215,9 +215,12 @@ std::vector<std::optional<double>> CompositeSensorProvider::fan_out(
   std::vector<std::optional<double>> out;
   out.reserve(tasks.size());
   for (const auto& task : tasks) {
-    auto v = task->context().get_double(path::kValue);
-    if (task->status() == sorcer::ExertStatus::kDone && v.is_ok()) {
-      out.emplace_back(v.value());
+    // Borrow the reply value in place (this is the collection hot path —
+    // one lookup per component per read).
+    const sorcer::ContextValue* v = task->context().find(path::kValue);
+    const double* d = v != nullptr ? std::get_if<double>(v) : nullptr;
+    if (task->status() == sorcer::ExertStatus::kDone && d != nullptr) {
+      out.emplace_back(*d);
     } else {
       out.emplace_back(std::nullopt);
     }

@@ -122,10 +122,10 @@ util::Result<sorcer::ExertionPtr> exert_hist_query(
 
 std::int64_t int_or(const sorcer::ServiceContext& ctx, const char* path,
                     std::int64_t fallback = 0) {
-  auto v = ctx.get(path);
-  if (!v.is_ok()) return fallback;
-  if (const auto* i = std::get_if<std::int64_t>(&v.value())) return *i;
-  if (const auto* d = std::get_if<double>(&v.value())) {
+  const sorcer::ContextValue* v = ctx.find(path);
+  if (v == nullptr) return fallback;
+  if (const auto* i = std::get_if<std::int64_t>(v)) return *i;
+  if (const auto* d = std::get_if<double>(v)) {
     return static_cast<std::int64_t>(*d);
   }
   return fallback;
@@ -133,20 +133,21 @@ std::int64_t int_or(const sorcer::ServiceContext& ctx, const char* path,
 
 hist::SeriesResult parse_series(const sorcer::ServiceContext& ctx) {
   hist::SeriesResult out;
-  auto timestamps = ctx.get_series(path::kHistTimestamps);
-  auto values = ctx.get_series(path::kHistValues);
-  if (timestamps.is_ok() && values.is_ok()) {
-    const std::size_t n =
-        std::min(timestamps.value().size(), values.value().size());
+  // Borrow the reply columns in place instead of copying both series out of
+  // the context (`ctx` is not mutated while the borrows live).
+  const auto* timestamps = ctx.peek_series(path::kHistTimestamps);
+  const auto* values = ctx.peek_series(path::kHistValues);
+  if (timestamps != nullptr && values != nullptr) {
+    const std::size_t n = std::min(timestamps->size(), values->size());
     out.points.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
-      out.points.push_back({static_cast<util::SimTime>(timestamps.value()[i]),
-                            values.value()[i]});
+      out.points.push_back(
+          {static_cast<util::SimTime>((*timestamps)[i]), (*values)[i]});
     }
   }
-  out.source = ctx.get_string(path::kHistSource).value_or("");
-  if (auto t = ctx.get(path::kHistTruncated); t.is_ok()) {
-    if (const auto* b = std::get_if<bool>(&t.value())) out.truncated = *b;
+  out.source = ctx.peek_string(path::kHistSource).value_or("");
+  if (const sorcer::ContextValue* t = ctx.find(path::kHistTruncated)) {
+    if (const auto* b = std::get_if<bool>(t)) out.truncated = *b;
   }
   return out;
 }
@@ -169,7 +170,7 @@ util::Result<hist::StatsResult> SensorcerFacade::query_stats(
   out.stats.last = ctx.get_double(path::kHistLast).value_or(0.0);
   out.from_effective = int_or(ctx, path::kHistFromEffective, from);
   out.to_effective = int_or(ctx, path::kHistToEffective, to);
-  out.source = ctx.get_string(path::kHistSource).value_or("");
+  out.source = ctx.peek_string(path::kHistSource).value_or("");
   out.resolution = int_or(ctx, path::kHistResolution);
   return out;
 }

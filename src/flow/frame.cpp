@@ -62,25 +62,36 @@ void marshal_frame(const std::string& flow_name, const FlowFrame& frame,
   ctx.put(path::kQualities, frame.qualities, sorcer::PathDirection::kIn);
 }
 
+util::Status unmarshal_frame_into(const sorcer::ServiceContext& ctx,
+                                  FlowFrame& frame) {
+  frame.clear();
+  // Borrow every column in place; the only copies are the assigns into the
+  // frame's own (capacity-retaining) vectors.
+  const auto sensor = ctx.peek_string(path::kSensor);
+  if (!sensor.has_value()) {
+    return {util::ErrorCode::kInvalidArgument, "frame missing sensor name"};
+  }
+  const auto* timestamps = ctx.peek_series(path::kTimestamps);
+  const auto* values = ctx.peek_series(path::kValues);
+  const auto* qualities = ctx.peek_series(path::kQualities);
+  if (timestamps == nullptr || values == nullptr || qualities == nullptr) {
+    return {util::ErrorCode::kInvalidArgument, "frame missing data arrays"};
+  }
+  if (values->size() != timestamps->size() ||
+      qualities->size() != timestamps->size()) {
+    return {util::ErrorCode::kInvalidArgument,
+            "frame arrays disagree on length"};
+  }
+  frame.sensor = *sensor;
+  frame.timestamps = *timestamps;
+  frame.values = *values;
+  frame.qualities = *qualities;
+  return util::Status::ok();
+}
+
 util::Result<FlowFrame> unmarshal_frame(const sorcer::ServiceContext& ctx) {
   FlowFrame frame;
-  auto sensor = ctx.get_string(path::kSensor);
-  if (!sensor.is_ok()) return sensor.status();
-  frame.sensor = sensor.value();
-  auto timestamps = ctx.get_series(path::kTimestamps);
-  auto values = ctx.get_series(path::kValues);
-  auto qualities = ctx.get_series(path::kQualities);
-  if (!timestamps.is_ok()) return timestamps.status();
-  if (!values.is_ok()) return values.status();
-  if (!qualities.is_ok()) return qualities.status();
-  frame.timestamps = timestamps.value();
-  frame.values = values.value();
-  frame.qualities = qualities.value();
-  if (frame.values.size() != frame.timestamps.size() ||
-      frame.qualities.size() != frame.timestamps.size()) {
-    return util::Status{util::ErrorCode::kInvalidArgument,
-                        "frame arrays disagree on length"};
-  }
+  if (util::Status s = unmarshal_frame_into(ctx, frame); !s.is_ok()) return s;
   return frame;
 }
 

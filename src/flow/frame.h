@@ -72,4 +72,10 @@ void marshal_frame(const std::string& flow_name, const FlowFrame& frame,
 /// length-mismatched arrays.
 util::Result<FlowFrame> unmarshal_frame(const sorcer::ServiceContext& ctx);
 
+/// In-place variant: fill `frame` (typically a pooled one) from pushFrame
+/// inputs, reusing its vector capacity instead of allocating a fresh frame
+/// per unmarshal. `frame` is cleared first; same error contract as above.
+util::Status unmarshal_frame_into(const sorcer::ServiceContext& ctx,
+                                  FlowFrame& frame);
+
 }  // namespace sensorcer::flow

@@ -361,13 +361,14 @@ FlowOperator::FlowOperator(std::string name, std::string flow,
           return {util::ErrorCode::kUnavailable,
                   "flow operator retired (state handed to successor)"};
         }
-        auto frame = unmarshal_frame(ctx);
-        if (!frame.is_ok()) return frame.status();
+        if (util::Status s = unmarshal_frame_into(ctx, rx_frame_);
+            !s.is_ok()) {
+          return s;
+        }
         std::int64_t accepted = 0;
         std::int64_t duplicates = 0;
-        for (std::size_t i = 0; i < frame.value().size(); ++i) {
-          if (runner_->ingest(frame.value().sensor,
-                              frame.value().reading_at(i))) {
+        for (std::size_t i = 0; i < rx_frame_.size(); ++i) {
+          if (runner_->ingest(rx_frame_.sensor, rx_frame_.reading_at(i))) {
             ++accepted;
           } else {
             ++duplicates;

@@ -163,6 +163,10 @@ class FlowOperator : public sorcer::ServiceProvider {
 
  private:
   std::unique_ptr<StageRunner> runner_;
+  /// Receive-side scratch frame: every pushFrame unmarshals into it in
+  /// place, so steady-state ingest reuses one set of backing vectors
+  /// (dispatch is serialized per provider by the invoke mutex).
+  FlowFrame rx_frame_;
   bool retired_ = false;
 };
 

@@ -147,9 +147,13 @@ std::size_t HistorianFeeder::flush() {
   // Marshal every max_batch chunk up front and pipeline all appendBatch
   // calls as one scatter-gather batch: K chunks cost ~one round-trip on the
   // wire, not K. The historian's timestamp dedup makes any replay of a
-  // chunk whose response was lost idempotent.
+  // chunk whose response was lost idempotent. Columns are moved into the
+  // context, where the shared wire codec (sorcer/codec.h) encodes them as
+  // raw 8-byte runs with interned batch paths — the feeder never touches
+  // serialization itself.
   std::vector<sorcer::ExertionPtr> chunks;
   std::vector<std::pair<std::size_t, std::size_t>> ranges;  // offset, count
+  chunks.reserve((window.size() + config_.max_batch - 1) / config_.max_batch);
   for (std::size_t offset = 0; offset < window.size();
        offset += config_.max_batch) {
     const std::size_t n = std::min(window.size() - offset, config_.max_batch);
@@ -169,6 +173,7 @@ std::size_t HistorianFeeder::flush() {
         "hist-append:" + sensor_,
         {core::kDataCollectionType, core::op::kAppendBatch, ""});
     sorcer::ServiceContext& ctx = task->context();
+    ctx.reserve(7);  // 4 inputs + the historian's 3 outputs, one allocation
     ctx.put(core::path::kHistSensor, sensor_, sorcer::PathDirection::kIn);
     ctx.put(core::path::kHistTimestamps, std::move(timestamps),
             sorcer::PathDirection::kIn);

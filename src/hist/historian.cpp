@@ -90,21 +90,28 @@ void Historian::install_operations() {
         pending_extra_ = 0;
         auto sensor_name = ctx.get_string(core::path::kHistSensor);
         if (!sensor_name.is_ok()) return sensor_name.status();
-        auto timestamps = ctx.get_series(core::path::kHistTimestamps);
-        if (!timestamps.is_ok()) return timestamps.status();
-        auto values = ctx.get_series(core::path::kHistValues);
-        if (!values.is_ok()) return values.status();
-        if (timestamps.value().size() != values.value().size()) {
+        // Borrow the batch columns in place — the ingest hot path used to
+        // copy all three series out of the context per call. The peeks are
+        // only used to build `readings`, before any put() below moves the
+        // entry storage.
+        const auto* timestamps = ctx.peek_series(core::path::kHistTimestamps);
+        if (timestamps == nullptr) {
+          return {util::ErrorCode::kInvalidArgument,
+                  "appendBatch: missing timestamps series"};
+        }
+        const auto* values = ctx.peek_series(core::path::kHistValues);
+        if (values == nullptr) {
+          return {util::ErrorCode::kInvalidArgument,
+                  "appendBatch: missing values series"};
+        }
+        if (timestamps->size() != values->size()) {
           return {util::ErrorCode::kInvalidArgument,
                   "appendBatch: timestamps/values length mismatch"};
         }
-        std::vector<double> qualities;
-        if (ctx.has(core::path::kHistQualities)) {
-          auto q = ctx.get_series(core::path::kHistQualities);
-          if (q.is_ok()) qualities = std::move(q.value());
-        }
-        const auto readings =
-            decode_batch(timestamps.value(), values.value(), qualities);
+        static const std::vector<double> kNoQualities;
+        const auto* qualities = ctx.peek_series(core::path::kHistQualities);
+        const auto readings = decode_batch(
+            *timestamps, *values, qualities ? *qualities : kNoQualities);
         const AppendOutcome outcome =
             store_.append(sensor_name.value(), readings);
         pending_extra_ = static_cast<util::SimDuration>(readings.size()) *

@@ -73,6 +73,48 @@ std::string render_federation_health(const Snapshot& snap) {
                                static_cast<double>(snap.counter_or(
                                    "invoke.overlap_saved_ns")) /
                                    1e6)});
+  // Wire-path codec health: how warm the zero-copy marshalling machinery
+  // runs (sorcer/codec.h). Hit/reuse rates near 1.0 mean steady-state calls
+  // ship interned ids and recycled buffers only.
+  rows.push_back({"wire", "marshal time",
+                  util::format("%.3f ms",
+                               static_cast<double>(snap.counter_or(
+                                   "invoke.marshal_ns")) /
+                                   1e6)});
+  {
+    const auto hits = snap.counter_or("invoke.intern_hits");
+    const auto misses = snap.counter_or("invoke.intern_misses");
+    const double rate =
+        hits + misses == 0
+            ? 0.0
+            : static_cast<double>(hits) / static_cast<double>(hits + misses);
+    rows.push_back({"wire", "path intern hit rate",
+                    util::format("%.1f%% (%llu/%llu)", 100.0 * rate,
+                                 static_cast<unsigned long long>(hits),
+                                 static_cast<unsigned long long>(hits + misses))});
+  }
+  {
+    const auto acquires = snap.counter_or("invoke.pool_acquires");
+    const auto reuse = snap.counter_or("invoke.pool_reuse");
+    const double rate = acquires == 0 ? 0.0
+                                      : static_cast<double>(reuse) /
+                                            static_cast<double>(acquires);
+    rows.push_back({"wire", "buffer pool reuse rate",
+                    util::format("%.1f%% (%llu/%llu)", 100.0 * rate,
+                                 static_cast<unsigned long long>(reuse),
+                                 static_cast<unsigned long long>(acquires))});
+  }
+  {
+    const auto wire_calls = snap.counter_or("invoke.wire_calls");
+    const auto arena = snap.counter_or("invoke.arena_bytes");
+    rows.push_back(
+        {"wire", "arena bytes total / per call",
+         wire_calls == 0
+             ? std::to_string(arena) + " / n/a"
+             : std::to_string(arena) + " / " +
+                   util::format("%.1f", static_cast<double>(arena) /
+                                            static_cast<double>(wire_calls))});
+  }
   rows.push_back({"collection", "CSP collection latency",
                   latency_row(snap, "csp.collection_latency_us")});
   rows.push_back({"mailbox", "discarded / expired",

@@ -1,10 +1,29 @@
 #include "sorcer/context.h"
 
+#include <algorithm>
+#include <cassert>
 #include <cstdio>
 
 #include "util/strings.h"
 
 namespace sensorcer::sorcer {
+
+namespace {
+
+std::string path_str(std::string_view path) { return std::string(path); }
+
+struct SizeVisitor {
+  std::size_t operator()(std::monostate) const { return 1; }
+  std::size_t operator()(double) const { return 8; }
+  std::size_t operator()(std::int64_t) const { return 8; }
+  std::size_t operator()(bool) const { return 1; }
+  std::size_t operator()(const std::string& s) const { return s.size() + 2; }
+  std::size_t operator()(const std::vector<double>& v) const {
+    return 4 + 8 * v.size();
+  }
+};
+
+}  // namespace
 
 std::string context_value_to_string(const ContextValue& value) {
   struct Visitor {
@@ -31,21 +50,61 @@ std::string context_value_to_string(const ContextValue& value) {
   return std::visit(Visitor{}, value);
 }
 
-void ServiceContext::put(const std::string& path, ContextValue value,
+const ServiceContext::Entry* ServiceContext::find_entry(
+    std::string_view path) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), path,
+      [](const Entry& e, std::string_view p) { return e.path < p; });
+  if (it == entries_.end() || it->path != path) return nullptr;
+  return &*it;
+}
+
+void ServiceContext::put(std::string_view path, ContextValue value,
                          PathDirection direction) {
-  values_[path] = Slot{std::move(value), direction};
-}
-
-util::Result<ContextValue> ServiceContext::get(const std::string& path) const {
-  auto it = values_.find(path);
-  if (it == values_.end()) {
-    return util::Status{util::ErrorCode::kNotFound,
-                        util::format("no context path '%s'", path.c_str())};
+  wire_bytes_dirty_ = true;
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), path,
+      [](const Entry& e, std::string_view p) { return e.path < p; });
+  if (it != entries_.end() && it->path == path) {
+    it->value = std::move(value);
+    it->direction = direction;
+    return;
   }
-  return it->second.value;
+  entries_.insert(it, Entry{std::string(path), std::move(value), direction});
 }
 
-util::Result<double> ServiceContext::get_double(const std::string& path) const {
+util::Result<ContextValue> ServiceContext::get(std::string_view path) const {
+  const Entry* e = find_entry(path);
+  if (e == nullptr) {
+    return util::Status{
+        util::ErrorCode::kNotFound,
+        util::format("no context path '%s'", path_str(path).c_str())};
+  }
+  return e->value;
+}
+
+const ContextValue* ServiceContext::find(std::string_view path) const {
+  const Entry* e = find_entry(path);
+  return e == nullptr ? nullptr : &e->value;
+}
+
+std::optional<std::string_view> ServiceContext::peek_string(
+    std::string_view path) const {
+  const ContextValue* v = find(path);
+  if (v == nullptr) return std::nullopt;
+  const auto* s = std::get_if<std::string>(v);
+  if (s == nullptr) return std::nullopt;
+  return std::string_view(*s);
+}
+
+const std::vector<double>* ServiceContext::peek_series(
+    std::string_view path) const {
+  const ContextValue* v = find(path);
+  if (v == nullptr) return nullptr;
+  return std::get_if<std::vector<double>>(v);
+}
+
+util::Result<double> ServiceContext::get_double(std::string_view path) const {
   auto v = get(path);
   if (!v.is_ok()) return v.status();
   if (const auto* d = std::get_if<double>(&v.value())) return *d;
@@ -54,66 +113,68 @@ util::Result<double> ServiceContext::get_double(const std::string& path) const {
   }
   return util::Status{util::ErrorCode::kInvalidArgument,
                       util::format("context path '%s' is not numeric",
-                                   path.c_str())};
+                                   path_str(path).c_str())};
 }
 
 util::Result<std::string> ServiceContext::get_string(
-    const std::string& path) const {
+    std::string_view path) const {
   auto v = get(path);
   if (!v.is_ok()) return v.status();
   if (const auto* s = std::get_if<std::string>(&v.value())) return *s;
   return util::Status{util::ErrorCode::kInvalidArgument,
                       util::format("context path '%s' is not a string",
-                                   path.c_str())};
+                                   path_str(path).c_str())};
 }
 
 util::Result<std::vector<double>> ServiceContext::get_series(
-    const std::string& path) const {
+    std::string_view path) const {
   auto v = get(path);
   if (!v.is_ok()) return v.status();
   if (const auto* s = std::get_if<std::vector<double>>(&v.value())) return *s;
   return util::Status{util::ErrorCode::kInvalidArgument,
                       util::format("context path '%s' is not a series",
-                                   path.c_str())};
+                                   path_str(path).c_str())};
+}
+
+bool ServiceContext::remove(std::string_view path) {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), path,
+      [](const Entry& e, std::string_view p) { return e.path < p; });
+  if (it == entries_.end() || it->path != path) return false;
+  entries_.erase(it);
+  wire_bytes_dirty_ = true;
+  return true;
 }
 
 std::vector<std::string> ServiceContext::paths() const {
   std::vector<std::string> out;
-  out.reserve(values_.size());
-  for (const auto& [path, slot] : values_) out.push_back(path);
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.path);
   return out;
 }
 
 std::vector<std::string> ServiceContext::paths_with(PathDirection d) const {
   std::vector<std::string> out;
-  for (const auto& [path, slot] : values_) {
-    if (slot.direction == d) out.push_back(path);
+  for (const Entry& e : entries_) {
+    if (e.direction == d) out.push_back(e.path);
   }
   return out;
 }
 
 void ServiceContext::merge(const ServiceContext& other) {
-  for (const auto& [path, slot] : other.values_) values_[path] = slot;
+  entries_.reserve(entries_.size() + other.entries_.size());
+  for (const Entry& e : other.entries_) put(e.path, e.value, e.direction);
 }
 
 std::size_t ServiceContext::wire_bytes() const {
+  if (!wire_bytes_dirty_) return wire_bytes_cache_;
   std::size_t bytes = name_.size() + 4;
-  for (const auto& [path, slot] : values_) {
-    bytes += path.size() + 2;
-    struct SizeVisitor {
-      std::size_t operator()(std::monostate) const { return 1; }
-      std::size_t operator()(double) const { return 8; }
-      std::size_t operator()(std::int64_t) const { return 8; }
-      std::size_t operator()(bool) const { return 1; }
-      std::size_t operator()(const std::string& s) const {
-        return s.size() + 2;
-      }
-      std::size_t operator()(const std::vector<double>& v) const {
-        return 4 + 8 * v.size();
-      }
-    };
-    bytes += std::visit(SizeVisitor{}, slot.value);
+  for (const Entry& e : entries_) {
+    bytes += e.path.size() + 2;
+    bytes += std::visit(SizeVisitor{}, e.value);
   }
+  wire_bytes_cache_ = bytes;
+  wire_bytes_dirty_ = false;
   return bytes;
 }
 
@@ -121,10 +182,36 @@ std::string ServiceContext::to_string() const {
   std::string out = "context";
   if (!name_.empty()) out += " '" + name_ + "'";
   out += ":\n";
-  for (const auto& [path, slot] : values_) {
-    out += "  " + path + " = " + context_value_to_string(slot.value) + "\n";
+  for (const Entry& e : entries_) {
+    out += "  " + e.path + " = " + context_value_to_string(e.value) + "\n";
   }
   return out;
+}
+
+void ServiceContext::reload_begin(std::string_view name) {
+  name_.assign(name);
+  reload_count_ = 0;
+  wire_bytes_dirty_ = true;
+}
+
+ContextValue& ServiceContext::reload_slot(std::string_view path,
+                                          PathDirection direction) {
+  // Encoder iterates sorted, so decode appends stay sorted by construction.
+  assert(reload_count_ == 0 || entries_[reload_count_ - 1].path < path);
+  if (reload_count_ < entries_.size()) {
+    Entry& e = entries_[reload_count_++];
+    e.path.assign(path);
+    e.direction = direction;
+    return e.value;
+  }
+  entries_.push_back(Entry{std::string(path), ContextValue{}, direction});
+  ++reload_count_;
+  return entries_.back().value;
+}
+
+void ServiceContext::reload_end() {
+  entries_.resize(reload_count_);
+  wire_bytes_dirty_ = true;
 }
 
 }  // namespace sensorcer::sorcer

@@ -203,6 +203,8 @@ FanOut exert_all_wire(const std::vector<ExertionPtr>& batch,
     if (failed) exert_metrics().failures.add(1);
     f.span.set_ok(!failed);
     f.span.finish();
+    // Outcomes live on the exertions; the call shell goes back to the pool.
+    invoker->recycle(std::move(f.call));
   }
   return FanOut::kWire;
 }

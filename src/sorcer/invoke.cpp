@@ -2,6 +2,7 @@
 
 #include <any>
 #include <cassert>
+#include <chrono>
 #include <future>
 
 #include "obs/metrics.h"
@@ -24,6 +25,7 @@ struct InvokeMetrics {
   obs::Counter& ping_failures;
   obs::Counter& idle_waits;
   obs::Counter& overlap_saved_ns;
+  obs::Counter& marshal_ns;
   obs::Gauge& outstanding;
   obs::Histogram& rtt_us;
 };
@@ -38,10 +40,23 @@ InvokeMetrics& invoke_metrics() {
                          obs::metrics().counter("invoke.ping_failures"),
                          obs::metrics().counter("invoke.idle_waits"),
                          obs::metrics().counter("invoke.overlap_saved_ns"),
+                         obs::metrics().counter("invoke.marshal_ns"),
                          obs::metrics().gauge("invoke.outstanding"),
                          obs::metrics().histogram("invoke.rtt_us")};
   return m;
 }
+
+/// Real (wall-clock) nanoseconds spent marshalling, accumulated into
+/// invoke.marshal_ns — the codec cost is genuine CPU work, not virtual time.
+struct MarshalTimer {
+  std::chrono::steady_clock::time_point t0 = std::chrono::steady_clock::now();
+  ~MarshalTimer() {
+    invoke_metrics().marshal_ns.add(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
+  }
+};
 
 /// The historical direct-call path, shared by the invoker's kInProcess mode
 /// and by call sites with no invoker wired at all: a direct virtual call,
@@ -103,8 +118,11 @@ void RemoteInvoker::on_message(const simnet::Message& msg) {
   invoke_metrics().outstanding.set(static_cast<double>(pending_.size()));
   // Stamp the arrival time: an outer pump frame may gather this response
   // later in virtual time, and the call's RTT must not include that gap.
-  done_.emplace(rsp->call_id,
-                Arrival{rsp->transport_status, net_.scheduler().now()});
+  // The payload handle rides along so a late harvest can still unmarshal;
+  // the source address selects the per-provider decode intern table.
+  done_.emplace(rsp->call_id, Arrival{rsp->transport_status,
+                                      net_.scheduler().now(), rsp->payload,
+                                      msg.source});
 }
 
 bool RemoteInvoker::pump_until(std::uint64_t call_id, util::SimTime deadline) {
@@ -138,13 +156,39 @@ util::Result<ExertionPtr> RemoteInvoker::invoke(
     PendingCall* calls[] = {&call};
     pump_until_all(calls);
   }
-  return std::move(call.result());
+  util::Result<ExertionPtr> result = std::move(call.result());
+  recycle(std::move(call));
+  return result;
+}
+
+PendingCall RemoteInvoker::acquire_call() {
+  const std::lock_guard<std::mutex> lock(call_pool_mu_);
+  if (call_pool_.empty()) return {};
+  PendingCall call = std::move(call_pool_.back());
+  call_pool_.pop_back();
+  return call;
+}
+
+void RemoteInvoker::recycle(PendingCall&& call) {
+  const std::lock_guard<std::mutex> lock(call_pool_mu_);
+  if (!call.completed_ || call_pool_.size() >= 64) return;
+  call.call_id_ = 0;
+  call.started_ = 0;
+  call.deadline_ = 0;
+  call.accrued_before_ = 0;
+  call.elapsed_ = 0;
+  call.exertion_.reset();
+  call.target_name_.clear();  // capacity retained
+  call.span_ = obs::Span{};
+  call.completed_ = false;
+  call.result_.reset();
+  call_pool_.push_back(std::move(call));
 }
 
 PendingCall RemoteInvoker::begin_invoke(
     const std::shared_ptr<Servicer>& servicer, const ExertionPtr& exertion,
     registry::Transaction* txn) {
-  PendingCall call;
+  PendingCall call = acquire_call();
   call.exertion_ = exertion;
   if (!servicer || !exertion) {
     call.completed_ = true;
@@ -183,13 +227,24 @@ PendingCall RemoteInvoker::begin_invoke(
   call.accrued_before_ = exertion->latency();
   call.target_name_ = provider->provider_name();
 
+  // Marshal the request context through the flat codec into a pooled
+  // buffer. The fabric charges the encoding's actual size (paths collapse to
+  // interned ids once this destination's table is warm), and the provider
+  // decodes the buffer back into the exertion before dispatch.
+  BufferPool::Handle payload = codec_.buffers->acquire();
+  {
+    MarshalTimer timer;
+    encode_context(exertion->context(),
+                   codec_.encode[provider->network_address()], *payload);
+  }
+
   simnet::Message req;
   req.source = addr_;
   req.destination = provider->network_address();
   req.topic = wire::kRequestTopic;
-  req.body = wire::Request{call.call_id_, addr_, exertion, txn};
-  req.payload_bytes =
-      exertion->context().wire_bytes() + wire::kRequestEnvelopeBytes;
+  req.payload_bytes = payload->size() + wire::kFlatRequestEnvelopeBytes;
+  req.body = wire::Request{call.call_id_, addr_, exertion, txn,
+                           std::move(payload)};
   req.protocol = simnet::Protocol::kTcp;
 
   if (util::Status sent = net_.send(req); !sent.is_ok()) {
@@ -209,22 +264,31 @@ PendingCall RemoteInvoker::begin_invoke(
   return call;
 }
 
-void RemoteInvoker::finish_call(PendingCall& call,
-                                std::optional<util::SimTime> arrived_at,
-                                util::Status transport_status) {
-  if (arrived_at.has_value()) {
+void RemoteInvoker::finish_call(PendingCall& call, const Arrival* arrival) {
+  if (arrival != nullptr) {
     // The round trip advanced the virtual clock by the real wire delays
     // plus the provider's modeled service time; top the exertion's latency
     // account up to what the requestor actually waited, so wire-mode
     // latency reflects transport cost too (never less than the modeled
     // in-process figure).
-    call.elapsed_ = *arrived_at - call.started_;
+    call.elapsed_ = arrival->at - call.started_;
     const util::SimDuration accrued =
         call.exertion_->latency() - call.accrued_before_;
     if (call.elapsed_ > accrued) {
       call.exertion_->add_latency(call.elapsed_ - accrued);
     }
     invoke_metrics().rtt_us.observe(static_cast<double>(call.elapsed_));
+    util::Status transport_status = arrival->status;
+    if (transport_status.is_ok() && arrival->payload) {
+      // Unmarshal the provider's response context back into the exertion —
+      // the requestor-side half of the real codec work the payload_bytes
+      // charge was sized from.
+      MarshalTimer timer;
+      transport_status =
+          decode_context(arrival->payload->data(), arrival->payload->size(),
+                         codec_.decode[arrival->from],
+                         call.exertion_->context());
+    }
     if (!transport_status.is_ok()) {
       call.span_.set_ok(false);
       call.result_.emplace(transport_status);
@@ -267,15 +331,15 @@ void RemoteInvoker::pump_until_all(std::span<PendingCall* const> calls) {
     for (PendingCall* call : calls) {
       if (call == nullptr || call->completed_) continue;
       if (auto it = done_.find(call->call_id_); it != done_.end()) {
-        const Arrival arrival = it->second;
+        const Arrival arrival = std::move(it->second);
         done_.erase(it);
-        finish_call(*call, arrival.at, arrival.status);
+        finish_call(*call, &arrival);
         gathered_rtt += call->elapsed_;
         ++gathered;
         continue;
       }
       if (sched.now() >= call->deadline_) {
-        finish_call(*call, std::nullopt, util::Status::ok());
+        finish_call(*call, nullptr);
         ++gathered;
         continue;
       }
@@ -386,6 +450,8 @@ FanOut invoke_servicer_all(
       if (!call.completed()) open.push_back(&call);
     }
     if (!open.empty()) invoker->pump_until_all(open);
+    // Outcomes landed on the exertions; return the call shells to the pool.
+    for (PendingCall& call : pending) invoker->recycle(std::move(call));
     return FanOut::kWire;
   }
   if (pool != nullptr && calls.size() > 1) {

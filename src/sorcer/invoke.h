@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -38,6 +39,7 @@
 #include "obs/trace.h"
 #include "registry/transaction.h"
 #include "simnet/network.h"
+#include "sorcer/codec.h"
 #include "sorcer/exertion.h"
 #include "sorcer/servicer.h"
 
@@ -72,20 +74,35 @@ inline constexpr std::size_t kRequestEnvelopeBytes = 64;
 inline constexpr std::size_t kResponseEnvelopeBytes = 32;
 inline constexpr std::size_t kPingBytes = 16;
 
-/// Request body: the exertion rides by reference (the fabric charges
-/// payload_bytes for the modeled serialized form).
+/// Envelope sizes for the flat binary codec (sorcer/codec.h) used on the
+/// wire transport: the string envelope's fixed fields shrink to varint call
+/// id + 16-byte reply uuid + interned signature id on the request, varint
+/// call id + status code on the response. The kInProcess model keeps the
+/// historical constants above so PR 2/3 byte accounting stays comparable.
+inline constexpr std::size_t kFlatRequestEnvelopeBytes = 28;
+inline constexpr std::size_t kFlatResponseEnvelopeBytes = 12;
+
+/// Request body: the exertion rides by reference; `payload` is the
+/// flat-codec encoding of its context (a pooled buffer — what the fabric's
+/// payload_bytes charge is sized from). The provider decodes it into the
+/// exertion's context before dispatch, which is the real marshalling work
+/// a serialized transport would do.
 struct Request {
   std::uint64_t call_id = 0;
   simnet::Address reply_to;
   ExertionPtr exertion;
   registry::Transaction* txn = nullptr;
+  BufferPool::Handle payload;
 };
 
 /// Response body. `transport_status` reports dispatch-layer failures only;
-/// application failures travel inside the exertion itself.
+/// application failures travel inside the exertion itself. `payload` is the
+/// flat-codec encoding of the post-dispatch context, decoded requestor-side
+/// on gather.
 struct Response {
   std::uint64_t call_id = 0;
   util::Status transport_status = util::Status::ok();
+  BufferPool::Handle payload;
 };
 }  // namespace wire
 
@@ -191,6 +208,16 @@ class RemoteInvoker {
   [[nodiscard]] simnet::Network& network() { return net_; }
   [[nodiscard]] simnet::Address address() const { return addr_; }
 
+  /// Return a gathered call's shell for reuse: its string/span/result slots
+  /// are cleared (capacity retained) and the next begin_invoke() recycles it
+  /// instead of constructing fresh. Callers that batch (exert fan-out,
+  /// invoke_servicer_all) recycle after harvesting outcomes.
+  void recycle(PendingCall&& call);
+
+  /// Per-peer codec state (intern tables + payload buffer pool); exposed so
+  /// tests can observe intern warming and pool reuse.
+  [[nodiscard]] const WireCodecState& codec_state() const { return codec_; }
+
  private:
   /// RAII nesting guard for scheduler pumping: nested frames on the pumping
   /// thread are legal (they ARE the event loop, recursing in time order);
@@ -206,22 +233,29 @@ class RemoteInvoker {
   util::Result<ExertionPtr> invoke_in_process(
       ServiceProvider* provider, const std::shared_ptr<Servicer>& servicer,
       const ExertionPtr& exertion, registry::Transaction* txn);
+
+  /// A response that landed but has not been gathered yet: the dispatch
+  /// status, when it arrived (virtual time), its encoded context payload
+  /// and the provider endpoint that sent it (selects the decode table).
+  struct Arrival {
+    util::Status status;
+    util::SimTime at = 0;
+    BufferPool::Handle payload;
+    simnet::Address from;
+  };
+
   /// Complete `call` from its arrived response (latency top-up from the
   /// response's arrival time, not the harvest time — an outer pump frame may
-  /// gather it later) or, when `arrived_at` is empty, from deadline expiry.
-  void finish_call(PendingCall& call, std::optional<util::SimTime> arrived_at,
-                   util::Status transport_status);
+  /// gather it later; payload decoded into the exertion's context) or, when
+  /// `arrival` is null, from deadline expiry.
+  void finish_call(PendingCall& call, const Arrival* arrival);
   void on_message(const simnet::Message& msg);
   /// Pump the fabric until `call_id` completes or `deadline` passes.
   /// Returns true on completion.
   bool pump_until(std::uint64_t call_id, util::SimTime deadline);
 
-  /// A response that landed but has not been gathered yet: the dispatch
-  /// status plus when it arrived (virtual time).
-  struct Arrival {
-    util::Status status;
-    util::SimTime at = 0;
-  };
+  /// A recycled call shell, or a fresh one when the pool is dry.
+  PendingCall acquire_call();
 
   simnet::Network& net_;
   InvokeConfig config_;
@@ -229,6 +263,11 @@ class RemoteInvoker {
   std::uint64_t next_call_id_ = 1;
   std::unordered_set<std::uint64_t> pending_;
   std::unordered_map<std::uint64_t, Arrival> done_;
+  WireCodecState codec_;
+  // In-process calls run invoke() concurrently from pool threads (the wire
+  // path is scheduler-thread only), so the recycling pool takes a mutex.
+  std::mutex call_pool_mu_;
+  std::vector<PendingCall> call_pool_;
   int pump_depth_ = 0;
   std::thread::id pump_thread_{};
 };

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <any>
+#include <chrono>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sorcer/codec.h"
 #include "sorcer/invoke.h"
 #include "util/strings.h"
 
@@ -24,6 +26,23 @@ TaskMetrics& task_metrics() {
                        obs::metrics().histogram("sorcer.task.latency_us")};
   return m;
 }
+
+/// Provider-side share of the wall-clock codec cost (same counter the
+/// requestor side accumulates in sorcer/invoke.cpp).
+obs::Counter& marshal_ns_counter() {
+  static obs::Counter& c = obs::metrics().counter("invoke.marshal_ns");
+  return c;
+}
+
+struct MarshalTimer {
+  std::chrono::steady_clock::time_point t0 = std::chrono::steady_clock::now();
+  ~MarshalTimer() {
+    marshal_ns_counter().add(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
+  }
+};
 
 }  // namespace
 
@@ -61,6 +80,7 @@ void ServiceProvider::attach_network(simnet::Network& net) {
   if (net_ != nullptr) net_->detach(net_addr_);
   net_ = &net;
   if (net_addr_.is_nil()) net_addr_ = util::new_uuid();
+  if (!codec_) codec_ = std::make_unique<WireCodecState>();
   net.attach(net_addr_,
              [this](const simnet::Message& msg) { handle_network_message(msg); });
 }
@@ -90,16 +110,49 @@ void ServiceProvider::handle_network_message(const simnet::Message& msg) {
   const util::SimTime started = sched.now();
   const util::SimDuration accrued_before = req->exertion->latency();
 
+  // Unmarshal the request context from its flat encoding before dispatch —
+  // the provider-side half of the codec work the request's payload_bytes
+  // charge was sized from. A malformed payload is a transport failure: the
+  // operation never runs and the requestor sees the decode status.
+  if (req->payload) {
+    MarshalTimer timer;
+    util::Status decoded = decode_context(
+        req->payload->data(), req->payload->size(), codec_->decode[msg.source],
+        req->exertion->context());
+    if (!decoded.is_ok()) {
+      simnet::Message err;
+      err.source = net_addr_;
+      err.destination = req->reply_to;
+      err.topic = wire::kResponseTopic;
+      err.body = wire::Response{req->call_id, std::move(decoded)};
+      err.payload_bytes = wire::kFlatResponseEnvelopeBytes;
+      err.protocol = simnet::Protocol::kTcp;
+      err.trace = obs::current_context();
+      (void)net_->send(err);
+      return;
+    }
+  }
+
   auto result = service(req->exertion, req->txn);
+
+  // Marshal the post-dispatch context into a pooled buffer; the requestor
+  // unmarshals it on gather. The response's intern table is keyed by the
+  // requestor endpoint, so repeated calls from one peer shrink to ids.
+  BufferPool::Handle payload = codec_->buffers->acquire();
+  {
+    MarshalTimer timer;
+    encode_context(req->exertion->context(), codec_->encode[req->reply_to],
+                   *payload);
+  }
 
   simnet::Message rsp;
   rsp.source = net_addr_;
   rsp.destination = req->reply_to;
   rsp.topic = wire::kResponseTopic;
+  rsp.payload_bytes = payload->size() + wire::kFlatResponseEnvelopeBytes;
   rsp.body = wire::Response{
-      req->call_id, result.is_ok() ? util::Status::ok() : result.status()};
-  rsp.payload_bytes =
-      req->exertion->context().wire_bytes() + wire::kResponseEnvelopeBytes;
+      req->call_id, result.is_ok() ? util::Status::ok() : result.status(),
+      std::move(payload)};
   rsp.protocol = simnet::Protocol::kTcp;
   // The deferred send below runs from a bare scheduler callback with no
   // thread-local trace; stamp the propagation header now.

@@ -21,6 +21,8 @@
 
 namespace sensorcer::sorcer {
 
+struct WireCodecState;
+
 /// A provider operation: transforms the exertion's service context.
 using Operation = std::function<util::Status(ServiceContext&)>;
 
@@ -141,6 +143,9 @@ class ServiceProvider : public Servicer,
   std::uint64_t invocations_ = 0;
   simnet::Network* net_ = nullptr;
   simnet::Address net_addr_;
+  /// Wire-path codec state: per-requestor intern tables plus the response
+  /// payload buffer pool. Allocated on first fabric attachment.
+  std::unique_ptr<WireCodecState> codec_;
 };
 
 /// Domain task peer: a plain ServiceProvider exporting the "Tasker" type.

@@ -5,8 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <string_view>
+#include <thread>
+#include <vector>
+
 #include "core/deployment.h"
 #include "obs/metrics.h"
+#include "sorcer/codec.h"
 #include "sorcer/exert.h"
 #include "sorcer/invoke.h"
 
@@ -437,6 +442,261 @@ TEST(EndpointTest, ReattachKeepsTheAddressStable) {
   tasker->attach_network(net);  // idempotent re-attach
   EXPECT_EQ(tasker->network_address(), addr);
   EXPECT_TRUE(net.is_attached(addr));
+}
+
+// --- flat binary codec -------------------------------------------------------
+
+/// A context exercising every ContextValue alternative plus awkward paths:
+/// empty-string values, deep nesting, unicode path bytes.
+sorcer::ServiceContext codec_sample_context() {
+  sorcer::ServiceContext ctx("sample-ctx");
+  ctx.put("", std::monostate{});  // empty path, empty value
+  ctx.put("a/deeply/nested/sensor/path/value", 21.5,
+          sorcer::PathDirection::kIn);
+  ctx.put("count", std::int64_t{-12345678901}, sorcer::PathDirection::kOut);
+  ctx.put("flags/ok", true);
+  ctx.put("name", std::string("Neem \xc3\xa5\xc3\xa4\xc3\xb6"));
+  ctx.put("empty-string", std::string(""));
+  ctx.put("s\xc3\xa9ries/unicode-path", std::vector<double>{1.5, -2.25, 1e300});
+  ctx.put("series/empty", std::vector<double>{});
+  return ctx;
+}
+
+void expect_context_eq(const sorcer::ServiceContext& a,
+                       const sorcer::ServiceContext& b) {
+  EXPECT_EQ(a.name(), b.name());
+  ASSERT_EQ(a.paths(), b.paths());
+  for (const std::string& path : a.paths()) {
+    const sorcer::ContextValue* va = a.find(path);
+    const sorcer::ContextValue* vb = b.find(path);
+    ASSERT_NE(va, nullptr) << path;
+    ASSERT_NE(vb, nullptr) << path;
+    EXPECT_TRUE(*va == *vb) << "value mismatch at '" << path << "'";
+  }
+  for (auto d : {sorcer::PathDirection::kIn, sorcer::PathDirection::kOut,
+                 sorcer::PathDirection::kInOut}) {
+    EXPECT_EQ(a.paths_with(d), b.paths_with(d));
+  }
+}
+
+TEST(CodecTest, FlatRoundTripPreservesEveryAlternative) {
+  const sorcer::ServiceContext original = codec_sample_context();
+  sorcer::PathInternTable encode_side;
+  sorcer::PathInternTable decode_side;
+  sorcer::WireBuffer buf;
+  sorcer::encode_context(original, encode_side, buf);
+
+  sorcer::ServiceContext decoded;
+  ASSERT_TRUE(
+      sorcer::decode_context(buf.data(), buf.size(), decode_side, decoded)
+          .is_ok());
+  expect_context_eq(original, decoded);
+}
+
+TEST(CodecTest, EmptyContextRoundTrips) {
+  sorcer::ServiceContext original;
+  sorcer::PathInternTable table_enc, table_dec;
+  sorcer::WireBuffer buf;
+  sorcer::encode_context(original, table_enc, buf);
+  sorcer::ServiceContext decoded;
+  decoded.put("stale", 1.0);  // must be trimmed by the in-place reload
+  ASSERT_TRUE(
+      sorcer::decode_context(buf.data(), buf.size(), table_dec, decoded)
+          .is_ok());
+  EXPECT_EQ(decoded.size(), 0u);
+  EXPECT_EQ(decoded.name(), "");
+}
+
+TEST(CodecTest, LegacyRoundTripMatchesFlat) {
+  const sorcer::ServiceContext original = codec_sample_context();
+  sorcer::WireBuffer legacy_buf;
+  sorcer::encode_context_legacy(original, legacy_buf);
+  sorcer::ServiceContext via_legacy;
+  ASSERT_TRUE(sorcer::decode_context_legacy(legacy_buf.data(),
+                                            legacy_buf.size(), via_legacy)
+                  .is_ok());
+  expect_context_eq(original, via_legacy);
+
+  sorcer::PathInternTable table_enc, table_dec;
+  sorcer::WireBuffer flat_buf;
+  sorcer::encode_context(original, table_enc, flat_buf);
+  sorcer::ServiceContext via_flat;
+  ASSERT_TRUE(sorcer::decode_context(flat_buf.data(), flat_buf.size(),
+                                     table_dec, via_flat)
+                  .is_ok());
+  expect_context_eq(via_legacy, via_flat);
+}
+
+TEST(CodecTest, InternWarmingShrinksTheSecondEncoding) {
+  const sorcer::ServiceContext ctx = codec_sample_context();
+  sorcer::PathInternTable encode_side;
+  sorcer::PathInternTable decode_side;
+  const auto hits_before = counter("invoke.intern_hits");
+
+  sorcer::WireBuffer cold, warm;
+  sorcer::encode_context(ctx, encode_side, cold);    // defines every path
+  sorcer::encode_context(ctx, encode_side, warm);    // all ids, no literals
+  EXPECT_LT(warm.size(), cold.size());
+  EXPECT_GE(counter("invoke.intern_hits") - hits_before, ctx.size());
+
+  // Both encodings decode identically through one decoder table: the cold
+  // pass teaches it the ids the warm pass relies on.
+  sorcer::ServiceContext from_cold, from_warm;
+  ASSERT_TRUE(sorcer::decode_context(cold.data(), cold.size(), decode_side,
+                                     from_cold)
+                  .is_ok());
+  ASSERT_TRUE(sorcer::decode_context(warm.data(), warm.size(), decode_side,
+                                     from_warm)
+                  .is_ok());
+  expect_context_eq(from_cold, from_warm);
+}
+
+TEST(CodecTest, UnknownInternIdIsRejected) {
+  const sorcer::ServiceContext ctx = codec_sample_context();
+  sorcer::PathInternTable warm_encoder;
+  sorcer::WireBuffer cold, warm;
+  sorcer::encode_context(ctx, warm_encoder, cold);
+  sorcer::encode_context(ctx, warm_encoder, warm);
+
+  // A decoder that never saw the defining (cold) encoding cannot resolve
+  // the warm one's bare ids.
+  sorcer::PathInternTable fresh_decoder;
+  sorcer::ServiceContext decoded;
+  EXPECT_EQ(sorcer::decode_context(warm.data(), warm.size(), fresh_decoder,
+                                   decoded)
+                .code(),
+            util::ErrorCode::kInvalidArgument);
+}
+
+TEST(CodecTest, TruncatedEncodingIsRejectedNotCrashed) {
+  const sorcer::ServiceContext ctx = codec_sample_context();
+  sorcer::PathInternTable table;
+  sorcer::WireBuffer buf;
+  sorcer::encode_context(ctx, table, buf);
+  for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+    sorcer::PathInternTable fresh;
+    sorcer::ServiceContext decoded;
+    (void)sorcer::decode_context(buf.data(), cut, fresh, decoded);
+    // Any outcome but a crash/UB is fine; most cuts must report truncation.
+  }
+  SUCCEED();
+}
+
+TEST(CodecTest, DecodeReusesSeriesCapacityInPlace) {
+  sorcer::ServiceContext src("frames");
+  src.put("flow/values", std::vector<double>(256, 1.0));
+  sorcer::PathInternTable enc, dec;
+  sorcer::WireBuffer buf;
+  sorcer::encode_context(src, enc, buf);
+
+  sorcer::ServiceContext target;
+  ASSERT_TRUE(
+      sorcer::decode_context(buf.data(), buf.size(), dec, target).is_ok());
+  const std::vector<double>* first = target.peek_series("flow/values");
+  ASSERT_NE(first, nullptr);
+  const double* backing = first->data();
+
+  // Decoding the same shape again must land in the same heap storage.
+  ASSERT_TRUE(
+      sorcer::decode_context(buf.data(), buf.size(), dec, target).is_ok());
+  const std::vector<double>* second = target.peek_series("flow/values");
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(second->data(), backing);
+}
+
+TEST(CodecTest, WirePathWarmsInternTablesAcrossCalls) {
+  Deployment lab(wire_config());
+  lab.add_temperature_sensor("Warm-Sensor", 21.0);
+
+  auto first = read_task("Warm-Sensor");
+  ASSERT_TRUE(sorcer::exert(first, lab.accessor()).is_ok());
+  lab.network().reset_stats();
+  auto second = read_task("Warm-Sensor");
+  ASSERT_TRUE(sorcer::exert(second, lab.accessor()).is_ok());
+  const auto warm_sent =
+      lab.network().stats_for(lab.invoker().address()).payload_bytes_sent;
+
+  lab.network().reset_stats();
+  auto third = read_task("Warm-Sensor");
+  ASSERT_TRUE(sorcer::exert(third, lab.accessor()).is_ok());
+  const auto steady_sent =
+      lab.network().stats_for(lab.invoker().address()).payload_bytes_sent;
+
+  // Steady-state calls ship interned ids only — no larger than the warmed
+  // second call, and both strictly smaller than a cold legacy envelope.
+  EXPECT_LE(steady_sent, warm_sent);
+  EXPECT_LT(steady_sent,
+            first->context().wire_bytes() + sorcer::wire::kRequestEnvelopeBytes);
+}
+
+TEST(CodecTest, BufferPoolRecyclesAcrossRoundTrips) {
+  auto pool = sorcer::BufferPool::make(4);
+  const auto reuse_before = counter("invoke.pool_reuse");
+  {
+    auto handle = pool->acquire();
+    handle->assign(128, 0xab);
+  }  // handle returns its buffer to the pool
+  EXPECT_EQ(pool->retained(), 1u);
+  {
+    auto recycled = pool->acquire();
+    EXPECT_TRUE(recycled->empty());  // cleared on reuse
+    EXPECT_GE(recycled->capacity(), 128u);
+  }
+  EXPECT_GE(counter("invoke.pool_reuse") - reuse_before, 1u);
+}
+
+TEST(CodecTest, BufferPoolSurvivesConcurrentRecycling) {
+  // TSan-exercised: handles bounce between threads while the pool recycles
+  // underneath them.
+  auto pool = sorcer::BufferPool::make(8);
+  std::vector<std::thread> workers;
+  workers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&pool, t] {
+      for (int i = 0; i < 500; ++i) {
+        auto handle = pool->acquire();
+        handle->push_back(static_cast<std::uint8_t>(t));
+        handle->insert(handle->end(), 32, static_cast<std::uint8_t>(i));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_LE(pool->retained(), 8u);
+}
+
+TEST(CodecTest, PoolOutlivedHandlesFreeInsteadOfCrashing) {
+  sorcer::BufferPool::Handle survivor;
+  {
+    auto pool = sorcer::BufferPool::make(4);
+    survivor = pool->acquire();
+  }  // pool destroyed first
+  survivor->push_back(1);
+  survivor.reset();  // deleter finds the pool gone and frees
+  SUCCEED();
+}
+
+TEST(CodecTest, ContextArenaStoresStableViews) {
+  sorcer::ContextArena arena(64);  // tiny blocks to force growth
+  std::vector<std::string_view> views;
+  std::vector<std::string> sources;
+  sources.reserve(100);
+  for (int i = 0; i < 100; ++i) {
+    sources.push_back("sensor/path/number/" + std::to_string(i));
+    views.push_back(arena.store(sources.back()));
+  }
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(views[i], sources[i]);
+  EXPECT_GT(arena.bytes_allocated(), 0u);
+}
+
+TEST(CodecTest, ContextArenaRecyclesContextShells) {
+  sorcer::ContextArena arena;
+  sorcer::ServiceContext ctx = arena.acquire();
+  ctx.put("a", std::vector<double>(64, 0.0));
+  arena.release(std::move(ctx));
+  EXPECT_EQ(arena.retained_contexts(), 1u);
+  sorcer::ServiceContext again = arena.acquire();
+  EXPECT_EQ(again.size(), 0u);  // logically cleared
+  EXPECT_EQ(arena.retained_contexts(), 0u);
 }
 
 }  // namespace

@@ -91,6 +91,76 @@ TEST(Context, WireBytesGrowWithContent) {
   EXPECT_GE(ctx.wire_bytes(), empty + 800);
 }
 
+TEST(Context, WireBytesCacheInvalidatedByEveryMutation) {
+  // wire_bytes() is cached behind a dirty flag; put / remove / merge must
+  // each invalidate it or traffic accounting silently goes stale.
+  ServiceContext ctx;
+  ctx.put("a", 1.0);
+  const std::size_t with_a = ctx.wire_bytes();
+  EXPECT_EQ(ctx.wire_bytes(), with_a);  // repeated reads: cached, stable
+
+  ctx.put("b", std::vector<double>(10, 0.0));
+  const std::size_t with_ab = ctx.wire_bytes();
+  EXPECT_GT(with_ab, with_a);
+
+  // Overwriting an existing path with a differently-sized value must also
+  // invalidate (same path, new size).
+  ctx.put("b", std::vector<double>(20, 0.0));
+  EXPECT_GT(ctx.wire_bytes(), with_ab);
+
+  EXPECT_TRUE(ctx.remove("b"));
+  EXPECT_EQ(ctx.wire_bytes(), with_a);
+
+  ServiceContext other;
+  other.put("c", std::string("hello"));
+  ctx.merge(other);
+  EXPECT_GT(ctx.wire_bytes(), with_a);
+}
+
+TEST(Context, FindAndPeekAccessors) {
+  ServiceContext ctx;
+  ctx.put("s", std::string("text"));
+  ctx.put("v", std::vector<double>{1, 2, 3});
+  ctx.put("d", 4.5);
+
+  const ContextValue* found = ctx.find("d");
+  ASSERT_NE(found, nullptr);
+  EXPECT_DOUBLE_EQ(std::get<double>(*found), 4.5);
+  EXPECT_EQ(ctx.find("missing"), nullptr);
+
+  auto sv = ctx.peek_string("s");
+  ASSERT_TRUE(sv.has_value());
+  EXPECT_EQ(*sv, "text");
+  EXPECT_FALSE(ctx.peek_string("d").has_value());  // wrong type
+  EXPECT_FALSE(ctx.peek_string("missing").has_value());
+
+  const std::vector<double>* series = ctx.peek_series("v");
+  ASSERT_NE(series, nullptr);
+  EXPECT_EQ(series->size(), 3u);
+  EXPECT_EQ(ctx.peek_series("s"), nullptr);  // wrong type
+  EXPECT_EQ(ctx.peek_series("missing"), nullptr);
+}
+
+TEST(Context, ReloadReusesStorageAndStaysSorted) {
+  ServiceContext ctx("orig");
+  ctx.put("a", 1.0);
+  ctx.put("b", std::string("keep-my-capacity"));
+  ctx.put("c", 3.0);
+
+  ctx.reload_begin("reloaded");
+  ctx.reload_slot("a", PathDirection::kIn) = 10.0;
+  ctx.reload_slot("b", PathDirection::kOut) = std::string("new");
+  ctx.reload_end();
+
+  EXPECT_EQ(ctx.name(), "reloaded");
+  EXPECT_EQ(ctx.size(), 2u);
+  EXPECT_FALSE(ctx.has("c"));  // trimmed by reload_end
+  EXPECT_DOUBLE_EQ(ctx.get_double("a").value(), 10.0);
+  EXPECT_EQ(ctx.get_string("b").value(), "new");
+  EXPECT_EQ(ctx.paths_with(PathDirection::kOut),
+            (std::vector<std::string>{"b"}));
+}
+
 TEST(Context, ToStringListsPaths) {
   ServiceContext ctx("c");
   ctx.put("sensor/value", 21.5);
