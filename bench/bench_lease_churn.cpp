@@ -4,16 +4,26 @@
 //
 // Simulates a churning population of sensor services: services join, live
 // for a random time, then either leave cleanly or crash (stop renewing).
+// Every service hands its lease to the real LeaseRenewalManager; each lease
+// duration is run twice — with per-lease renewal messages (batching off,
+// the pre-PR-8 wire protocol) and with per-(shard, window) renewAll batches.
 // Sweeps the lease duration and reports, per setting: how long crashed
 // services lingered as stale registry entries (detection latency), and the
-// renewal traffic paid for freshness. Expected shape: stale time ~ lease
-// duration (bounded by lease + sweep), renewal message rate ~ 1/duration —
-// the classic leasing freshness/traffic trade-off.
+// renewal traffic paid for freshness in both modes. Expected shape: stale
+// time ~ lease duration (bounded by lease + sweep), individual renewal
+// message rate ~ 1/duration, and batching collapses that by >= 10x at CLM-3
+// scale while converging to the identical final population.
+//
+// `bench_lease_churn smoke` runs only the harshest setting (300 services,
+// 1s leases) and exits nonzero unless the >= 10x message reduction and the
+// convergence equivalence both hold — CI's renewal-traffic regression gate.
 
 #include <cstdio>
+#include <cstring>
 #include <limits>
 
 #include "obs/metrics.h"
+#include "registry/lease_renewal.h"
 #include "registry/lookup.h"
 #include "util/rng.h"
 #include "util/strings.h"
@@ -37,19 +47,26 @@ registry::ServiceItem make_item(const std::string& name) {
 struct ChurnResult {
   double stale_mean = 0.0;  // crash -> disposed (seconds)
   double stale_max = 0.0;
-  std::uint64_t renewals = 0;
+  std::uint64_t renewal_msgs = 0;  // wire messages carrying renewals
   std::size_t final_population = 0;
   std::size_t expected_population = 0;
 };
 
-ChurnResult run_churn(util::SimDuration lease) {
+ChurnResult run_churn(util::SimDuration lease, bool batched) {
   util::Scheduler sched;
-  LookupService lus("lus", sched);
+  auto lus = std::make_shared<LookupService>("lus", sched);
+  // The renewal window tracks the half-life: every renewal falling due
+  // within half a lease rides the same per-shard renewAll message.
+  registry::LeaseRenewalManager lrm(
+      sched, registry::LeaseBatchConfig{batched, lease / 2});
+  // Same seed in both modes: identical fates, so the final populations are
+  // directly comparable (the convergence-equivalence half of the CI gate).
   util::Rng rng(static_cast<std::uint64_t>(lease) * 7919 + 1);
 
   ChurnResult result;
-  // The LUS itself counts renewals in the global obs registry; measure this
-  // run as a delta instead of keeping a parallel hand-rolled counter.
+  // The LUS counts per-lease renewals in the global obs registry; in
+  // individual mode each renewal is one wire message, so the delta is the
+  // message count. Batched mode counts renewAll messages at the LRM.
   obs::Counter& renewals = obs::metrics().counter("registry.renewals");
   const std::uint64_t renewals_before = renewals.value();
   // Stale-time distribution straight into an obs histogram (sum/mean/max are
@@ -64,7 +81,7 @@ ChurnResult run_churn(util::SimDuration lease) {
   std::vector<Crashed> crashed;
 
   // Watch disposals to time stale entries.
-  lus.notify(
+  lus->notify(
       registry::ServiceTemplate{},
       static_cast<unsigned>(registry::Transition::kMatchToNoMatch),
       [&](const registry::ServiceEvent& ev) {
@@ -83,38 +100,27 @@ ChurnResult run_churn(util::SimDuration lease) {
   std::size_t alive_forever = 0;
   for (int i = 0; i < kServices; ++i) {
     auto reg =
-        lus.register_service(make_item("s" + std::to_string(i)), lease);
+        lus->register_service(make_item("s" + std::to_string(i)), lease);
+    lrm.manage(reg.lease, lus, lease);
 
     // Fate: 60% crash at a random time, 20% leave cleanly, 20% live on.
     const double fate = rng.next_double();
     const auto lifetime = static_cast<util::SimDuration>(
         rng.between(1, 60)) * util::kSecond;
-    // Each service renews its own lease at half-life (the harness plays the
-    // provider's LeaseRenewalManager so renewals can be counted).
-    auto renew_loop = std::make_shared<std::function<void()>>();
     const auto lease_id = reg.lease.id;
-    const auto stop_at = fate < 0.8
-                             ? sched.now() + lifetime
-                             : std::numeric_limits<util::SimTime>::max();
-    *renew_loop = [&lus, &sched, &result, lease_id, lease, stop_at,
-                   renew_loop] {
-      if (sched.now() >= stop_at) return;  // dead: no more renewals
-      if (lus.renew_lease(lease_id, lease).is_ok()) {
-        sched.schedule_after(lease / 2, *renew_loop);
-      }
-    };
-    sched.schedule_after(lease / 2, *renew_loop);
-
     if (fate < 0.6) {
-      // Crash: mark for stale-time measurement at the moment renewals stop.
-      sched.schedule_at(stop_at, [&crashed, &sched, id = reg.service_id] {
-        crashed.push_back({id, sched.now()});
-      });
+      // Crash: renewals stop (release), the stale entry lingers until the
+      // lease runs out. Mark for stale-time measurement.
+      sched.schedule_at(sched.now() + lifetime,
+                        [&crashed, &lrm, &sched, lease_id,
+                         id = reg.service_id] {
+                          lrm.release(lease_id);
+                          crashed.push_back({id, sched.now()});
+                        });
     } else if (fate < 0.8) {
-      // Clean leave: cancel the lease at end of life.
-      sched.schedule_at(stop_at, [&lus, lease_id] {
-        (void)lus.cancel_lease(lease_id);
-      });
+      // Clean leave: cancel at the LUS immediately at end of life.
+      sched.schedule_at(sched.now() + lifetime,
+                        [&lrm, lease_id] { lrm.cancel(lease_id); });
     } else {
       ++alive_forever;
     }
@@ -124,38 +130,87 @@ ChurnResult run_churn(util::SimDuration lease) {
   sched.run_for(120 * util::kSecond);  // all lifetimes + leases settle
   result.stale_mean = stale.mean();
   result.stale_max = stale.max();
-  result.renewals = renewals.value() - renewals_before;
-  result.final_population = lus.service_count();
+  result.renewal_msgs =
+      batched ? lrm.batches_sent() : renewals.value() - renewals_before;
+  result.final_population = lus->service_count();
   result.expected_population = alive_forever;
   return result;
 }
 
-}  // namespace
-
-int main() {
+int run_sweep() {
   std::puts("=== CLM-3: leasing keeps the network healthy (§IV.B) ===\n");
   std::puts("300 services; 60% crash, 20% leave cleanly, 20% stay; "
-            "virtual-time simulation.\n");
+            "virtual-time simulation.");
+  std::puts("Renewals via LeaseRenewalManager: individual = one message per "
+            "lease renewal; batched = one renewAll per (shard, half-life "
+            "window).\n");
   std::vector<std::vector<std::string>> rows;
   for (util::SimDuration lease :
        {1 * util::kSecond, 2 * util::kSecond, 5 * util::kSecond,
         10 * util::kSecond, 30 * util::kSecond}) {
-    const ChurnResult r = run_churn(lease);
+    const ChurnResult indiv = run_churn(lease, /*batched=*/false);
+    const ChurnResult batch = run_churn(lease, /*batched=*/true);
     rows.push_back({
         util::format_duration(lease),
-        util::format("%.2fs", r.stale_mean),
-        util::format("%.2fs", r.stale_max),
-        std::to_string(r.renewals),
-        util::format("%zu / %zu", r.final_population,
-                     r.expected_population),
+        util::format("%.2fs", batch.stale_mean),
+        util::format("%.2fs", batch.stale_max),
+        std::to_string(indiv.renewal_msgs),
+        std::to_string(batch.renewal_msgs),
+        util::format("%.1fx", batch.renewal_msgs == 0
+                                  ? 0.0
+                                  : static_cast<double>(indiv.renewal_msgs) /
+                                        static_cast<double>(
+                                            batch.renewal_msgs)),
+        util::format("%zu / %zu", batch.final_population,
+                     batch.expected_population),
     });
   }
   std::puts(util::render_table({"lease", "mean stale", "max stale",
-                                "renewal msgs", "final pop (got/want)"},
+                                "msgs indiv", "msgs batched", "reduction",
+                                "final pop (got/want)"},
                                rows)
                 .c_str());
   std::puts("Expected shape: stale window grows with lease duration; renewal "
-            "traffic shrinks with it; the registry always converges to "
-            "exactly the still-alive population (self-healing).");
+            "traffic shrinks with it; batching cuts messages by an order of "
+            "magnitude on top; the registry always converges to exactly the "
+            "still-alive population (self-healing).");
   return 0;
+}
+
+int run_smoke() {
+  // CI gate at CLM-3's harshest point: 300 services renewing 1s leases.
+  const util::SimDuration lease = 1 * util::kSecond;
+  const ChurnResult indiv = run_churn(lease, /*batched=*/false);
+  const ChurnResult batch = run_churn(lease, /*batched=*/true);
+  const double reduction =
+      batch.renewal_msgs == 0
+          ? 0.0
+          : static_cast<double>(indiv.renewal_msgs) /
+                static_cast<double>(batch.renewal_msgs);
+  std::printf("smoke: 300 services, 1s leases: %llu individual msgs, "
+              "%llu batched msgs (%.1fx reduction)\n",
+              static_cast<unsigned long long>(indiv.renewal_msgs),
+              static_cast<unsigned long long>(batch.renewal_msgs), reduction);
+  std::printf("smoke: convergence individual %zu/%zu, batched %zu/%zu\n",
+              indiv.final_population, indiv.expected_population,
+              batch.final_population, batch.expected_population);
+  bool ok = true;
+  if (reduction < 10.0) {
+    std::puts("FAIL: batched renewal must send >= 10x fewer messages");
+    ok = false;
+  }
+  if (indiv.final_population != indiv.expected_population ||
+      batch.final_population != batch.expected_population) {
+    std::puts("FAIL: both modes must converge to the still-alive population");
+    ok = false;
+  }
+  std::puts(ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "smoke") == 0) return run_smoke();
+  return run_sweep();
 }

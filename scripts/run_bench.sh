@@ -18,6 +18,10 @@
 # ns/call, bytes/call, allocs/call — the fan-out row is a hard regression
 # gate), and BENCH_historian.txt the pipelined feeder-ingest delta. BENCH_flow.txt sweeps the streaming
 # dataflow's stage reduction and sensor count, edge-fused vs central relay.
+# bench_discovery (google-benchmark) sweeps federated-registry operations to
+# 1e6 entries — register/renew/lookup-by-id must stay near-flat (PERF-6) —
+# and BENCH_lease_churn.txt carries the batched-vs-individual renewal
+# message columns.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -27,13 +31,18 @@ FILTER="${SENSORCER_BENCH_FILTER:-}"
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target bench_read_path bench_exertion bench_lease_churn \
-  bench_header_overhead bench_failover bench_historian bench_flow
+  bench_header_overhead bench_failover bench_historian bench_flow \
+  bench_discovery
 
 echo "=== bench_read_path -> BENCH_read_path.json ==="
 "$BUILD_DIR/bench/bench_read_path" \
   ${FILTER:+--benchmark_filter="$FILTER"} \
   --benchmark_out_format=json \
   --benchmark_out=BENCH_read_path.json
+
+echo "=== bench_discovery -> BENCH_discovery.txt ==="
+"$BUILD_DIR/bench/bench_discovery" \
+  ${FILTER:+--benchmark_filter="$FILTER"} | tee BENCH_discovery.txt
 
 for b in exertion lease_churn header_overhead failover historian flow; do
   echo "=== bench_$b -> BENCH_$b.txt ==="

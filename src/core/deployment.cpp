@@ -8,7 +8,7 @@ namespace sensorcer::core {
 Deployment::Deployment(DeploymentConfig config)
     : config_(config),
       network_(scheduler_, config.seed),
-      lrm_(scheduler_),
+      lrm_(scheduler_, config.lease_batch),
       txn_manager_(scheduler_),
       mailbox_(scheduler_),
       discovery_(network_, scheduler_) {
@@ -27,7 +27,8 @@ Deployment::Deployment(DeploymentConfig config)
   // the accessor directly (unicast discovery), so clients work immediately.
   for (std::size_t i = 0; i < config_.lookup_services; ++i) {
     auto lus = std::make_shared<registry::LookupService>(
-        util::format("lus-%zu", i), scheduler_, &network_);
+        util::format("lus-%zu", i), scheduler_, &network_,
+        100 * util::kMillisecond, config_.lus_shards);
     discovery_.advertise(lus);
     accessor_.add_lookup(lus);
     lookups_.push_back(std::move(lus));

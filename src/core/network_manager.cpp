@@ -193,7 +193,33 @@ obs::Snapshot SensorNetworkManager::health_snapshot() const {
 }
 
 std::string SensorNetworkManager::health_report() const {
-  return obs::render_federation_health(health_snapshot());
+  std::string report = obs::render_federation_health(health_snapshot());
+  // Per-registry shard balance: live populations straight from each known
+  // federation (the obs gauges only track the most recently active one).
+  const auto lookups = accessor_.lookups();
+  if (!lookups.empty()) {
+    report += "\nregistry shard balance\n";
+    for (const auto& lus : lookups) {
+      const std::vector<std::size_t> sizes = lus->shard_sizes();
+      std::size_t total = 0;
+      std::size_t max_size = 0;
+      std::string row;
+      for (std::size_t i = 0; i < sizes.size(); ++i) {
+        total += sizes[i];
+        max_size = std::max(max_size, sizes[i]);
+        row += (i == 0 ? "" : " ") + std::to_string(sizes[i]);
+      }
+      const double mean =
+          sizes.empty() ? 0.0
+                        : static_cast<double>(total) /
+                              static_cast<double>(sizes.size());
+      report += util::format(
+          "  %-12s %zu shards [%s]  imbalance %.2f\n", lus->name().c_str(),
+          sizes.size(), row.c_str(),
+          mean > 0.0 ? static_cast<double>(max_size) / mean : 0.0);
+    }
+  }
+  return report;
 }
 
 }  // namespace sensorcer::core

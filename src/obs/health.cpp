@@ -35,6 +35,35 @@ std::string render_federation_health(const Snapshot& snap) {
       {"registry", "lease renewals / expirations",
        std::to_string(snap.counter_or("registry.renewals")) + " / " +
            std::to_string(snap.counter_or("registry.expirations"))});
+  // Federated registry (PR 8): shard balance of the most recently active
+  // federation and the batched renewAll traffic that replaced per-lease
+  // renewal messages.
+  {
+    std::string balance;
+    for (const auto& [name, value] : snap.gauges) {
+      if (!name.starts_with("registry.shard_services.")) continue;
+      if (!balance.empty()) balance += " ";
+      balance += util::format("%.0f", value);
+    }
+    rows.push_back(
+        {"registry", "shards / balance / imbalance",
+         util::format("%.0f", snap.gauge_or("registry.shards")) + " / [" +
+             balance + "] / " +
+             util::format("%.2f", snap.gauge_or("registry.shard_imbalance"))});
+  }
+  {
+    const auto batches = snap.counter_or("registry.renew_batches");
+    const auto leases = snap.counter_or("registry.renew_batch_leases");
+    rows.push_back(
+        {"registry", "renew batches / leases per batch",
+         std::to_string(batches) + " / " +
+             (batches == 0 ? std::string("n/a")
+                           : util::format("%.1f", static_cast<double>(leases) /
+                                                      static_cast<double>(
+                                                          batches)))});
+    rows.push_back({"registry", "batch renewals denied",
+                    std::to_string(snap.counter_or("registry.renew_denied"))});
+  }
   rows.push_back({"discovery", "latency",
                   latency_row(snap, "discovery.latency_us")});
   rows.push_back({"discovery", "announcements / discovered",

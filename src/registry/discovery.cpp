@@ -56,14 +56,26 @@ void DiscoveryManager::advertise(std::shared_ptr<LookupService> lus,
   std::weak_ptr<LookupService> weak = lus;
   const util::TimerId timer =
       scheduler_.schedule_every(announce_period, [this, weak] {
-        if (auto strong = weak.lock()) announce(strong);
+        if (auto strong = weak.lock()) {
+          announce(strong);
+        } else {
+          purge_dead_advertised();
+        }
       });
-  advertised_.push_back({std::move(lus), timer});
+  advertised_.push_back({weak, lus->address(), timer});
 }
 
 void DiscoveryManager::withdraw(const std::shared_ptr<LookupService>& lus) {
   std::erase_if(advertised_, [&](Advertised& ad) {
-    if (ad.lus != lus) return false;
+    if (ad.lus.lock() != lus) return false;
+    scheduler_.cancel(ad.announce_timer);
+    return true;
+  });
+}
+
+void DiscoveryManager::purge_dead_advertised() {
+  std::erase_if(advertised_, [&](Advertised& ad) {
+    if (!ad.lus.expired()) return false;
     scheduler_.cancel(ad.announce_timer);
     return true;
   });
@@ -83,9 +95,14 @@ void DiscoveryManager::start_discovery(DiscoveryListener listener) {
   listener_ = std::move(listener);
   discovering_ = true;
   // Report anything already known (e.g. learned from announcements that
-  // arrived before the client asked).
-  for (auto& [addr, weak] : known_) {
-    if (auto strong = weak.lock(); strong && listener_) listener_(strong);
+  // arrived before the client asked), pruning entries whose LUS died.
+  for (auto it = known_.begin(); it != known_.end();) {
+    if (auto strong = it->second.lock()) {
+      if (listener_) listener_(strong);
+      ++it;
+    } else {
+      it = known_.erase(it);
+    }
   }
   simnet::Message msg;
   msg.source = address_;
@@ -103,13 +120,15 @@ void DiscoveryManager::handle_message(const simnet::Message& msg) {
     return;
   }
   if (msg.topic == kTopicRequest) {
-    // Answer with a unicast response for each LUS we advertise.
+    // Answer with a unicast response for each LUS we advertise. A LUS that
+    // died without withdraw() is purged instead of answered for.
+    purge_dead_advertised();
     for (const auto& ad : advertised_) {
       simnet::Message reply;
       reply.source = address_;
       reply.destination = msg.source;
       reply.topic = kTopicResponse;
-      reply.body = LusAdvertisement{ad.lus, ad.lus->address()};
+      reply.body = LusAdvertisement{ad.lus, ad.lus_address};
       reply.payload_bytes = kResponseBytes;
       reply.protocol = simnet::Protocol::kTcp;  // Jini unicast discovery is TCP
       (void)network_.send(std::move(reply));
@@ -119,7 +138,12 @@ void DiscoveryManager::handle_message(const simnet::Message& msg) {
 
 void DiscoveryManager::note_discovered(const LusAdvertisement& ad) {
   auto strong = ad.lus.lock();
-  if (!strong) return;
+  if (!strong) {
+    // An advertisement can outlive its LUS (in-flight message, stale cache
+    // entry): make sure the address is not kept as a dead known_ entry.
+    known_.erase(ad.lus_address);
+    return;
+  }
   const bool is_new = !known_.contains(ad.lus_address);
   known_[ad.lus_address] = ad.lus;
   if (is_new) {

@@ -70,11 +70,18 @@ class DiscoveryManager {
   util::Scheduler& scheduler_;
   simnet::Address address_;
 
+  // Weak: advertising must not pin a LUS alive. A LUS destroyed without
+  // withdraw() is purged from here (and from clients' known_ maps) instead
+  // of being re-announced as an empty proxy forever.
   struct Advertised {
-    std::shared_ptr<LookupService> lus;
+    std::weak_ptr<LookupService> lus;
+    simnet::Address lus_address;
     util::TimerId announce_timer;
   };
   std::vector<Advertised> advertised_;
+
+  /// Drop advertised entries whose LUS has been destroyed.
+  void purge_dead_advertised();
 
   DiscoveryListener listener_;
   std::unordered_map<simnet::Address, std::weak_ptr<LookupService>> known_;

@@ -1,196 +1,16 @@
 #pragma once
-// The Jini Lookup Service (LUS).
+// The Jini Lookup Service (LUS) — compatibility spelling.
 //
-// Service providers register with a lease; requestors locate services by
-// template; listeners receive remote events on registry transitions. Leases
-// not renewed in time expire, and the service is disposed from the network —
-// this is the health mechanism of §IV.B that the lease-churn experiment
-// measures.
+// PR 8 federated the registry: the monolithic LookupService became
+// RegistryFederation (federation.h) over per-shard storage (shard.h). Every
+// layer that held a LookupService keeps compiling through this alias; the
+// protocol types (Lease, ServiceRegistration, transitions, events) now live
+// in shard.h and are re-exported via the federation header.
 
-#include <atomic>
-#include <cstdint>
-#include <functional>
-#include <string>
-#include <unordered_map>
-#include <unordered_set>
-#include <vector>
-
-#include "registry/service_item.h"
-#include "simnet/network.h"
-#include "util/scheduler.h"
-#include "util/status.h"
+#include "registry/federation.h"
 
 namespace sensorcer::registry {
 
-/// A granted lease.
-struct Lease {
-  util::Uuid id;
-  util::SimTime expiration = 0;
-  util::SimDuration duration = 0;
-};
-
-/// Result of registering a service.
-struct ServiceRegistration {
-  ServiceId service_id;
-  Lease lease;
-};
-
-/// Registry transition kinds, mirroring Jini's TRANSITION_* masks.
-enum class Transition : unsigned {
-  kNoMatchToMatch = 1u << 0,  // service joined (or started matching)
-  kMatchToNoMatch = 1u << 1,  // service left / lease expired
-  kMatchToMatch = 1u << 2,    // attributes of a matching service changed
-};
-
-/// Bitwise-or of Transition values.
-using TransitionMask = unsigned;
-
-inline constexpr TransitionMask kAllTransitions =
-    static_cast<unsigned>(Transition::kNoMatchToMatch) |
-    static_cast<unsigned>(Transition::kMatchToNoMatch) |
-    static_cast<unsigned>(Transition::kMatchToMatch);
-
-/// Event pushed to registered listeners.
-struct ServiceEvent {
-  util::Uuid registration_id;   // the event registration this belongs to
-  std::uint64_t sequence = 0;   // per-registration monotonic number
-  Transition transition = Transition::kNoMatchToMatch;
-  ServiceItem item;             // post-transition state of the service
-  util::SimTime timestamp = 0;
-};
-
-using EventListener = std::function<void(const ServiceEvent&)>;
-
-/// Handle for an event registration (leased, like everything in Jini).
-struct EventRegistration {
-  util::Uuid id;
-  Lease lease;
-};
-
-class LookupService : public ServiceProxy {
- public:
-  /// `network` may be null for standalone/unit-test use; when present,
-  /// every registry RPC is charged to it for traffic accounting.
-  /// `sweep_period` controls how often expired leases are collected — the
-  /// upper bound it adds to disposal latency is an ablation knob.
-  LookupService(std::string name, util::Scheduler& scheduler,
-                simnet::Network* network = nullptr,
-                util::SimDuration sweep_period = 100 * util::kMillisecond);
-
-  ~LookupService() override;
-
-  [[nodiscard]] const std::string& name() const { return name_; }
-  [[nodiscard]] simnet::Address address() const { return address_; }
-
-  // --- registration -------------------------------------------------------
-
-  /// Register (or re-register, keyed by item.id) a service for
-  /// `lease_duration` of virtual time. A nil item id is assigned one.
-  ServiceRegistration register_service(ServiceItem item,
-                                       util::SimDuration lease_duration);
-
-  /// Extend a lease by `extension` from now. kNotFound for unknown/expired.
-  /// Covers both service leases and event-registration leases, so a
-  /// LeaseRenewalManager can keep notify() subscriptions alive too.
-  util::Status renew_lease(const util::Uuid& lease_id,
-                           util::SimDuration extension);
-
-  /// Cancel a lease, immediately disposing the service registration or
-  /// event registration it guards.
-  util::Status cancel_lease(const util::Uuid& lease_id);
-
-  // --- lookup -------------------------------------------------------------
-
-  /// All matching items, up to `max_matches`.
-  [[nodiscard]] std::vector<ServiceItem> lookup(
-      const ServiceTemplate& tmpl, std::size_t max_matches = SIZE_MAX) const;
-
-  /// First match or kNotFound.
-  [[nodiscard]] util::Result<ServiceItem> lookup_one(
-      const ServiceTemplate& tmpl) const;
-
-  /// Update the attributes of a registered service (fires kMatchToMatch).
-  util::Status modify_attributes(ServiceId service_id, Entry new_attributes);
-
-  // --- events -------------------------------------------------------------
-
-  /// Register interest in transitions of services matching `tmpl`.
-  EventRegistration notify(ServiceTemplate tmpl, TransitionMask mask,
-                           EventListener listener,
-                           util::SimDuration lease_duration);
-
-  /// Drop an event registration.
-  util::Status cancel_notify(const util::Uuid& registration_id);
-
-  // --- introspection ------------------------------------------------------
-
-  [[nodiscard]] std::size_t service_count() const { return services_.size(); }
-  [[nodiscard]] bool contains(ServiceId id) const {
-    return services_.contains(id);
-  }
-  [[nodiscard]] std::vector<ServiceItem> all_services() const;
-
-  /// Registrations disposed because their lease ran out (not cancelled).
-  [[nodiscard]] std::uint64_t expired_count() const { return expired_; }
-
-  /// Event registrations dropped because their lease ran out.
-  [[nodiscard]] std::uint64_t expired_event_count() const {
-    return expired_events_;
-  }
-
-  /// Live event registrations.
-  [[nodiscard]] std::size_t event_registration_count() const {
-    return event_regs_.size();
-  }
-
-  /// Total lookup() calls served (cache-ablation metric).
-  [[nodiscard]] std::uint64_t lookup_count() const {
-    return lookup_calls_.load(std::memory_order_relaxed);
-  }
-
- private:
-  struct Registration {
-    ServiceItem item;
-    Lease lease;
-  };
-  struct EventReg {
-    ServiceTemplate tmpl;
-    TransitionMask mask;
-    EventListener listener;
-    Lease lease;
-    std::uint64_t next_sequence = 1;
-  };
-
-  void sweep_expired();
-  void fire(Transition transition, const ServiceItem& item);
-  void charge_rpc(std::size_t request_bytes, std::size_t response_bytes) const;
-
-  // Secondary indexes: interface name → ids, `name` attribute → ids. They
-  // keep the common lookups (by type, by type+name) off the full scan so
-  // resolution cost does not grow with the registry population (§VII).
-  void index_add(const ServiceItem& item);
-  void index_remove(const ServiceItem& item);
-  /// Candidate ids for a template, from the most selective index available;
-  /// nullptr means "no index applies, scan everything".
-  const std::unordered_set<ServiceId>* candidates(
-      const ServiceTemplate& tmpl) const;
-
-  std::string name_;
-  util::Scheduler& scheduler_;
-  simnet::Network* network_;
-  simnet::Address address_;
-  util::TimerId sweep_timer_ = 0;
-
-  std::unordered_map<ServiceId, Registration> services_;
-  std::unordered_map<util::Uuid, ServiceId> lease_to_service_;
-  std::unordered_map<std::string, std::unordered_set<ServiceId>> type_index_;
-  std::unordered_map<std::string, std::unordered_set<ServiceId>> name_index_;
-  std::unordered_map<util::Uuid, EventReg> event_regs_;
-  std::unordered_map<util::Uuid, util::Uuid> lease_to_event_;  // lease → reg id
-  std::uint64_t expired_ = 0;
-  std::uint64_t expired_events_ = 0;
-  // lookup() is served concurrently from exertion pool workers.
-  mutable std::atomic<std::uint64_t> lookup_calls_{0};
-};
+using LookupService = RegistryFederation;
 
 }  // namespace sensorcer::registry

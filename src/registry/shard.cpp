@@ -1,0 +1,162 @@
+#include "registry/shard.h"
+
+namespace sensorcer::registry {
+
+void LusShard::index_add(const ServiceItem& item) {
+  for (const auto& type : item.types) type_index_[type].insert(item.id);
+  const std::string name = item.attributes.get_string(attr::kName);
+  if (!name.empty()) name_index_[name].insert(item.id);
+}
+
+void LusShard::index_remove(const ServiceItem& item) {
+  for (const auto& type : item.types) {
+    auto it = type_index_.find(type);
+    if (it != type_index_.end()) {
+      it->second.erase(item.id);
+      if (it->second.empty()) type_index_.erase(it);
+    }
+  }
+  const std::string name = item.attributes.get_string(attr::kName);
+  auto it = name_index_.find(name);
+  if (it != name_index_.end()) {
+    it->second.erase(item.id);
+    if (it->second.empty()) name_index_.erase(it);
+  }
+}
+
+const std::unordered_set<ServiceId>* LusShard::candidates(
+    const ServiceTemplate& tmpl) const {
+  static const std::unordered_set<ServiceId> kEmpty{};
+  const std::unordered_set<ServiceId>* best = nullptr;
+
+  const std::string name = tmpl.attributes.get_string(attr::kName);
+  if (!name.empty()) {
+    auto it = name_index_.find(name);
+    best = it == name_index_.end() ? &kEmpty : &it->second;
+  }
+  for (const auto& type : tmpl.types) {
+    auto it = type_index_.find(type);
+    const auto* bucket = it == type_index_.end() ? &kEmpty : &it->second;
+    if (best == nullptr || bucket->size() < best->size()) best = bucket;
+  }
+  return best;
+}
+
+bool LusShard::register_service(ServiceItem item, Lease lease) {
+  bool replaced = false;
+  // Re-registration replaces the previous lease and item atomically.
+  if (auto it = services_.find(item.id); it != services_.end()) {
+    lease_to_service_.erase(it->second.lease.id);
+    index_remove(it->second.item);
+    services_.erase(it);
+    replaced = true;
+  }
+  expiry_.arm(lease.expiration, lease.id);
+  lease_to_service_.emplace(lease.id, item.id);
+  index_add(item);
+  services_.emplace(item.id, Registration{std::move(item), lease});
+  return replaced;
+}
+
+bool LusShard::renew(const util::Uuid& lease_id, util::SimTime now,
+                     util::SimDuration extension) {
+  auto it = lease_to_service_.find(lease_id);
+  if (it == lease_to_service_.end()) return false;
+  Registration& reg = services_.at(it->second);
+  reg.lease.expiration = now + extension;
+  reg.lease.duration = extension;
+  // The expiry heap is untouched: its entry re-arms lazily when popped.
+  return true;
+}
+
+std::optional<ServiceItem> LusShard::cancel(const util::Uuid& lease_id) {
+  auto it = lease_to_service_.find(lease_id);
+  if (it == lease_to_service_.end()) return std::nullopt;
+  const ServiceId service_id = it->second;
+  ServiceItem item = services_.at(service_id).item;
+  lease_to_service_.erase(it);
+  index_remove(item);
+  services_.erase(service_id);
+  return item;
+}
+
+std::optional<ServiceItem> LusShard::modify_attributes(ServiceId service_id,
+                                                       Entry new_attributes) {
+  auto it = services_.find(service_id);
+  if (it == services_.end()) return std::nullopt;
+  index_remove(it->second.item);  // the name attribute may change
+  it->second.item.attributes = std::move(new_attributes);
+  index_add(it->second.item);
+  return it->second.item;
+}
+
+void LusShard::lookup_into(const ServiceTemplate& tmpl,
+                           std::vector<ServiceItem>& out) const {
+  if (tmpl.id) {
+    auto it = services_.find(*tmpl.id);
+    if (it != services_.end() && tmpl.matches(it->second.item)) {
+      out.push_back(it->second.item);
+    }
+  } else if (const auto* ids = candidates(tmpl)) {
+    for (const ServiceId& id : *ids) {
+      const Registration& reg = services_.at(id);
+      if (tmpl.matches(reg.item)) out.push_back(reg.item);
+    }
+  } else {
+    for (const auto& [id, reg] : services_) {
+      if (tmpl.matches(reg.item)) out.push_back(reg.item);
+    }
+  }
+}
+
+const ServiceItem* LusShard::find(ServiceId id) const {
+  auto it = services_.find(id);
+  return it == services_.end() ? nullptr : &it->second.item;
+}
+
+void LusShard::sweep(util::SimTime now, std::vector<ServiceItem>& disposed) {
+  expiry_.drain(
+      now,
+      [this](const util::Uuid& lease_id) -> util::SimTime {
+        auto it = lease_to_service_.find(lease_id);
+        if (it == lease_to_service_.end()) return kLeaseGone;
+        return services_.at(it->second).lease.expiration;
+      },
+      [this, &disposed](const util::Uuid& lease_id) {
+        const ServiceId service_id = lease_to_service_.at(lease_id);
+        auto it = services_.find(service_id);
+        disposed.push_back(it->second.item);
+        lease_to_service_.erase(lease_id);
+        index_remove(it->second.item);
+        services_.erase(it);
+        ++expired_;
+      });
+}
+
+std::vector<LusShard::Registration> LusShard::extract_if_not(
+    const std::function<bool(const ServiceId&)>& keep) {
+  std::vector<Registration> moved;
+  for (auto it = services_.begin(); it != services_.end();) {
+    if (keep(it->first)) {
+      ++it;
+      continue;
+    }
+    moved.push_back(std::move(it->second));
+    lease_to_service_.erase(moved.back().lease.id);
+    index_remove(moved.back().item);
+    it = services_.erase(it);
+  }
+  // Orphaned expiry entries for the moved leases resolve to kLeaseGone and
+  // fall out on the next sweep.
+  return moved;
+}
+
+void LusShard::adopt(Registration reg) {
+  expiry_.arm(reg.lease.expiration, reg.lease.id);
+  lease_to_service_.emplace(reg.lease.id, reg.item.id);
+  index_add(reg.item);
+  const ServiceId id = reg.item.id;
+  services_.emplace(id, std::move(reg));
+}
+
+}  // namespace sensorcer::registry

@@ -1,0 +1,219 @@
+#pragma once
+// Registry shard internals: the leased storage half of the lookup service.
+//
+// PR 8 splits the monolithic LookupService into LusShard (per-shard item
+// storage, secondary indexes and an expiry min-heap) fronted by
+// RegistryFederation (federation.h), which consistent-hashes service ids
+// across shards. The protocol types (Lease, ServiceRegistration, the
+// transition/event vocabulary) live here because both halves — and every
+// client layer — speak them.
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "registry/service_item.h"
+#include "util/scheduler.h"
+
+namespace sensorcer::registry {
+
+/// Shard routing hint carried inside a granted lease so renewals can be
+/// batched per shard without a registry round-trip to rediscover placement.
+/// Event-registration leases are not sharded; they live at the federation
+/// front and carry this sentinel.
+inline constexpr std::uint32_t kEventLeaseShard = 0xFFFFFFFFu;
+
+/// A granted lease.
+struct Lease {
+  util::Uuid id;
+  util::SimTime expiration = 0;
+  util::SimDuration duration = 0;
+  std::uint32_t shard = 0;  // owning shard, or kEventLeaseShard
+};
+
+/// Result of registering a service.
+struct ServiceRegistration {
+  ServiceId service_id;
+  Lease lease;
+};
+
+/// Registry transition kinds, mirroring Jini's TRANSITION_* masks.
+enum class Transition : unsigned {
+  kNoMatchToMatch = 1u << 0,  // service joined (or started matching)
+  kMatchToNoMatch = 1u << 1,  // service left / lease expired
+  kMatchToMatch = 1u << 2,    // attributes of a matching service changed
+};
+
+/// Bitwise-or of Transition values.
+using TransitionMask = unsigned;
+
+inline constexpr TransitionMask kAllTransitions =
+    static_cast<unsigned>(Transition::kNoMatchToMatch) |
+    static_cast<unsigned>(Transition::kMatchToNoMatch) |
+    static_cast<unsigned>(Transition::kMatchToMatch);
+
+/// Event pushed to registered listeners.
+struct ServiceEvent {
+  util::Uuid registration_id;   // the event registration this belongs to
+  std::uint64_t sequence = 0;   // per-registration monotonic number
+  Transition transition = Transition::kNoMatchToMatch;
+  ServiceItem item;             // post-transition state of the service
+  util::SimTime timestamp = 0;
+};
+
+using EventListener = std::function<void(const ServiceEvent&)>;
+
+/// Handle for an event registration (leased, like everything in Jini).
+struct EventRegistration {
+  util::Uuid id;
+  Lease lease;
+};
+
+/// Sentinel a drain() resolver returns for a lease that no longer exists
+/// (cancelled, replaced, or already disposed).
+inline constexpr util::SimTime kLeaseGone = -1;
+
+/// Lazy min-heap expiry index: sweep cost tracks the number of leases whose
+/// scheduled expiration has arrived, not the registry population.
+///
+/// Invariant: every live lease has exactly one heap entry with
+/// `due <= lease.expiration` (entries are armed at grant time; renewals only
+/// move the true expiration later and never touch the heap). A drain at time
+/// `now` therefore pops a superset of the truly-expired leases; entries whose
+/// lease was renewed re-arm at the current expiration, entries whose lease
+/// vanished (cancel / re-register) are dropped.
+class ExpiryIndex {
+ public:
+  void arm(util::SimTime due, const util::Uuid& lease_id) {
+    heap_.push_back({due, lease_id});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+
+  /// Pop every entry due at or before `now`. `resolve(lease_id)` returns the
+  /// lease's current expiration (kLeaseGone when unknown); `on_due(lease_id)`
+  /// disposes a lease whose expiration has truly arrived.
+  template <typename Resolve, typename OnDue>
+  void drain(util::SimTime now, Resolve&& resolve, OnDue&& on_due) {
+    while (!heap_.empty() && heap_.front().due <= now) {
+      const Entry e = heap_.front();
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      heap_.pop_back();
+      const util::SimTime expiration = resolve(e.lease_id);
+      if (expiration == kLeaseGone) continue;  // cancelled/replaced: drop
+      if (expiration <= now) {
+        on_due(e.lease_id);
+      } else {
+        arm(expiration, e.lease_id);  // renewed since armed: re-index
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+ private:
+  struct Entry {
+    util::SimTime due;
+    util::Uuid lease_id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.due > b.due;  // min-heap on due time
+    }
+  };
+  std::vector<Entry> heap_;
+};
+
+/// One shard of the federated lookup service: item storage, lease table,
+/// type/name secondary indexes and an expiry heap. Shards are passive — the
+/// RegistryFederation front owns time, transition events, traffic accounting
+/// and metrics; shard methods take `now` explicitly and report outcomes for
+/// the front to act on.
+class LusShard {
+ public:
+  struct Registration {
+    ServiceItem item;
+    Lease lease;
+  };
+
+  explicit LusShard(std::uint32_t index) : index_(index) {}
+
+  [[nodiscard]] std::uint32_t index() const { return index_; }
+
+  /// Insert (or replace, keyed by item.id) a registration. Returns true when
+  /// an existing registration was replaced (population unchanged).
+  bool register_service(ServiceItem item, Lease lease);
+
+  /// Extend a lease to `now + extension`. False for unknown leases.
+  bool renew(const util::Uuid& lease_id, util::SimTime now,
+             util::SimDuration extension);
+
+  [[nodiscard]] bool has_lease(const util::Uuid& lease_id) const {
+    return lease_to_service_.contains(lease_id);
+  }
+
+  /// Remove the registration guarded by `lease_id`; returns the disposed
+  /// item so the front can fire kMatchToNoMatch.
+  std::optional<ServiceItem> cancel(const util::Uuid& lease_id);
+
+  /// Swap a registered service's attributes; returns the post-change item
+  /// for the front's kMatchToMatch event. nullopt when not registered here.
+  std::optional<ServiceItem> modify_attributes(ServiceId service_id,
+                                               Entry new_attributes);
+
+  /// Append every item matching `tmpl` to `out` (unordered; the federation
+  /// front merges and orders across shards).
+  void lookup_into(const ServiceTemplate& tmpl,
+                   std::vector<ServiceItem>& out) const;
+
+  [[nodiscard]] bool contains(ServiceId id) const {
+    return services_.contains(id);
+  }
+  [[nodiscard]] const ServiceItem* find(ServiceId id) const;
+
+  /// True when at least one registered service exports `type` — drives the
+  /// federation's type-scoped shard fan-out.
+  [[nodiscard]] bool has_type(const std::string& type) const {
+    return type_index_.contains(type);
+  }
+
+  [[nodiscard]] std::size_t size() const { return services_.size(); }
+  [[nodiscard]] std::uint64_t expired() const { return expired_; }
+
+  /// Dispose every registration whose lease has expired by `now`, appending
+  /// the disposed items to `disposed`. Cost is proportional to the number of
+  /// due expiry-heap entries, not to size().
+  void sweep(util::SimTime now, std::vector<ServiceItem>& disposed);
+
+  /// Remove and return every registration for which `keep` is false —
+  /// federation reshard support. No events fire; leases survive the move.
+  std::vector<Registration> extract_if_not(
+      const std::function<bool(const ServiceId&)>& keep);
+
+  /// Re-home a registration moved from another shard, preserving its lease
+  /// (id and expiration). The caller fixes the lease's shard field.
+  void adopt(Registration reg);
+
+ private:
+  void index_add(const ServiceItem& item);
+  void index_remove(const ServiceItem& item);
+  const std::unordered_set<ServiceId>* candidates(
+      const ServiceTemplate& tmpl) const;
+
+  std::uint32_t index_;
+  std::unordered_map<ServiceId, Registration> services_;
+  std::unordered_map<util::Uuid, ServiceId> lease_to_service_;
+  // Secondary indexes: interface name → ids, `name` attribute → ids. They
+  // keep the common lookups (by type, by type+name) off the full scan so
+  // resolution cost does not grow with the shard population (§VII).
+  std::unordered_map<std::string, std::unordered_set<ServiceId>> type_index_;
+  std::unordered_map<std::string, std::unordered_set<ServiceId>> name_index_;
+  ExpiryIndex expiry_;
+  std::uint64_t expired_ = 0;
+};
+
+}  // namespace sensorcer::registry

@@ -28,6 +28,10 @@ namespace {
 void reset_global_obs() {
   obs::metrics().reset();
   obs::span_collector().clear();
+  // Rewind the process-wide uuid stream: since the registry federated,
+  // shard-placement gauges depend on service ids, so "identical runs" must
+  // draw identical ids.
+  util::global_id_generator() = util::IdGenerator{};
 }
 
 // --- instruments -------------------------------------------------------------

@@ -734,5 +734,303 @@ TEST(Discovery, WithdrawStopsAnnouncements) {
   EXPECT_EQ(found, 0);
 }
 
+TEST(Discovery, DeadLusWithoutWithdrawIsPurged) {
+  util::Scheduler sched;
+  simnet::Network net(sched);
+  auto lus = std::make_shared<LookupService>("lus-Z", sched, &net);
+  DiscoveryManager server(net, sched);
+  server.advertise(lus, 1 * kSecond);
+
+  DiscoveryManager client(net, sched);
+  int found = 0;
+  client.start_discovery([&](const auto&) { ++found; });
+  sched.run_for(2 * kSecond);
+  ASSERT_EQ(found, 1);
+  ASSERT_EQ(client.discovered().size(), 1u);
+
+  // The LUS dies without withdraw() (crash, not clean shutdown). The server
+  // must stop announcing it and clients must not keep a dead entry around.
+  lus.reset();
+  sched.run_for(5 * kSecond);
+  EXPECT_EQ(client.discovered().size(), 0u);
+  EXPECT_EQ(found, 1);  // never re-reported, dead or alive
+
+  // A fresh client discovering after the death finds nothing: the server's
+  // advertised_ list was purged, so requests go unanswered.
+  DiscoveryManager late(net, sched);
+  int late_found = 0;
+  late.start_discovery([&](const auto&) { ++late_found; });
+  sched.run_for(5 * kSecond);
+  EXPECT_EQ(late_found, 0);
+}
+
+// --- RegistryFederation (PR 8): sharding, batched renewAll, expiry heap ------------
+
+TEST(ConsistentRingTest, AddingShardMovesOnlyAFraction) {
+  ConsistentRing before(4);
+  ConsistentRing after(5);
+  const int kIds = 2000;
+  int moved = 0;
+  for (int i = 0; i < kIds; ++i) {
+    const util::Uuid id = util::new_uuid();
+    if (before.shard_for(id) != after.shard_for(id)) ++moved;
+  }
+  // Consistent hashing re-homes ~1/5 of the keys; anything staying under
+  // half the population proves placement is sticky (modulo hashing would
+  // move ~4/5). It must move *something*, or the new shard is dead weight.
+  EXPECT_GT(moved, 0);
+  EXPECT_LT(moved, kIds / 2);
+}
+
+TEST(ConsistentRingTest, RemovalOnlyRehomesTheRemovedShardsKeys) {
+  ConsistentRing before(5);
+  ConsistentRing after(5);
+  after.remove_shard(4);
+  for (int i = 0; i < 2000; ++i) {
+    const util::Uuid id = util::new_uuid();
+    const std::uint32_t owner = before.shard_for(id);
+    if (owner != 4) {
+      EXPECT_EQ(after.shard_for(id), owner);  // survivors never move
+    } else {
+      EXPECT_NE(after.shard_for(id), 4u);
+    }
+  }
+}
+
+class FederationTest : public ::testing::Test {
+ protected:
+  util::Scheduler sched;
+};
+
+TEST_F(FederationTest, PlacementAndLeasesSurviveShardAddRemove) {
+  RegistryFederation fed("fed", sched, nullptr, 100 * kMillisecond, 4);
+  std::vector<ServiceRegistration> regs;
+  for (int i = 0; i < 100; ++i) {
+    regs.push_back(fed.register_service(
+        make_item("svc-" + std::to_string(i)), 60 * kSecond));
+  }
+  ASSERT_EQ(fed.service_count(), 100u);
+
+  auto sizes_sum = [&] {
+    std::size_t total = 0;
+    for (std::size_t s : fed.shard_sizes()) total += s;
+    return total;
+  };
+  EXPECT_EQ(sizes_sum(), 100u);
+
+  fed.add_shard();
+  EXPECT_EQ(fed.shard_count(), 5u);
+  EXPECT_EQ(sizes_sum(), 100u);
+  for (const auto& reg : regs) {
+    EXPECT_TRUE(fed.contains(reg.service_id));
+    // Renewal still works after migration: the lease's shard hint was
+    // rewritten when its registration moved to a new ring home.
+    EXPECT_TRUE(fed.renew_lease(reg.lease.id, 60 * kSecond).is_ok());
+  }
+
+  fed.remove_shard();
+  EXPECT_EQ(fed.shard_count(), 4u);
+  EXPECT_EQ(sizes_sum(), 100u);
+  for (const auto& reg : regs) {
+    EXPECT_TRUE(fed.contains(reg.service_id));
+    ASSERT_TRUE(fed.lookup_one(ServiceTemplate::by_id(reg.service_id)).is_ok());
+  }
+}
+
+TEST_F(FederationTest, CrossShardLookupMatchesSingleShard) {
+  RegistryFederation sharded("fed4", sched, nullptr, 100 * kMillisecond, 4);
+  RegistryFederation single("fed1", sched, nullptr, 100 * kMillisecond, 1);
+
+  // Identical population (same ids, names, types) in both registries.
+  std::vector<ServiceItem> items;
+  for (int i = 0; i < 60; ++i) {
+    items.push_back(make_item(
+        "svc-" + std::to_string(i),
+        i % 3 == 0 ? std::vector<std::string>{"Servicer", "SensorDataAccessor"}
+                   : std::vector<std::string>{"Servicer"}));
+  }
+  for (const auto& item : items) {
+    sharded.register_service(item, 60 * kSecond);
+    single.register_service(item, 60 * kSecond);
+  }
+
+  auto ids_of = [](const std::vector<ServiceItem>& found) {
+    std::vector<util::Uuid> ids;
+    for (const auto& it : found) ids.push_back(it.id);
+    return ids;
+  };
+
+  const ServiceTemplate queries[] = {
+      ServiceTemplate{},  // match-all: fans out to every shard
+      ServiceTemplate::by_type("SensorDataAccessor"),
+      ServiceTemplate::by_type("Servicer"),
+      ServiceTemplate::by_name("Servicer", "svc-17"),
+      ServiceTemplate::by_id(items[31].id),
+      ServiceTemplate::by_type("NoSuchType"),
+  };
+  for (const auto& tmpl : queries) {
+    EXPECT_EQ(ids_of(sharded.lookup(tmpl)), ids_of(single.lookup(tmpl)));
+  }
+  // max_matches truncation picks the same (name-sorted) prefix either way.
+  EXPECT_EQ(ids_of(sharded.lookup(ServiceTemplate::by_type("Servicer"), 7)),
+            ids_of(single.lookup(ServiceTemplate::by_type("Servicer"), 7)));
+}
+
+TEST_F(FederationTest, RenewBatchPartialDenial) {
+  RegistryFederation fed("fed", sched, nullptr, 100 * kMillisecond, 1);
+  auto a = fed.register_service(make_item("a"), 10 * kSecond);
+  auto b = fed.register_service(make_item("b"), 10 * kSecond);
+
+  std::vector<RenewItem> batch{{a.lease.id, 10 * kSecond},
+                               {util::new_uuid(), 10 * kSecond},  // unknown
+                               {b.lease.id, 10 * kSecond}};
+  const RenewOutcome outcome = fed.renew_batch(a.lease.shard, batch);
+  EXPECT_EQ(outcome.renewed, 2u);
+  ASSERT_EQ(outcome.denied.size(), 1u);
+  EXPECT_EQ(outcome.denied[0], batch[1].lease_id);
+}
+
+TEST_F(FederationTest, WireCodecRoundTripsAndRejectsTruncation) {
+  std::vector<RenewItem> items;
+  for (int i = 0; i < 9; ++i) {
+    // Mixed extensions exercise the delta-zigzag column both ways.
+    items.push_back({util::new_uuid(),
+                     (i % 2 == 0 ? 30 : 5 + i) * kSecond});
+  }
+  std::vector<std::uint8_t> wire;
+  wirefmt::encode_renew_request(items, wire);
+
+  std::vector<RenewItem> decoded;
+  ASSERT_TRUE(
+      wirefmt::decode_renew_request(wire.data(), wire.size(), decoded).is_ok());
+  ASSERT_EQ(decoded.size(), items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(decoded[i].lease_id, items[i].lease_id);
+    EXPECT_EQ(decoded[i].extension, items[i].extension);
+  }
+
+  // Every strict prefix must be rejected, never mis-decoded or overread.
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    std::vector<RenewItem> scratch;
+    EXPECT_FALSE(
+        wirefmt::decode_renew_request(wire.data(), cut, scratch).is_ok());
+  }
+
+  std::vector<util::Uuid> denied{items[0].lease_id, items[3].lease_id};
+  std::vector<std::uint8_t> rsp;
+  wirefmt::encode_renew_response(denied, rsp);
+  std::vector<util::Uuid> denied_back;
+  ASSERT_TRUE(
+      wirefmt::decode_renew_response(rsp.data(), rsp.size(), denied_back)
+          .is_ok());
+  EXPECT_EQ(denied_back, denied);
+  for (std::size_t cut = 0; cut < rsp.size(); ++cut) {
+    std::vector<util::Uuid> scratch;
+    EXPECT_FALSE(
+        wirefmt::decode_renew_response(rsp.data(), cut, scratch).is_ok());
+  }
+}
+
+TEST_F(FederationTest, ExpiryIndexReArmsRenewedLeases) {
+  ExpiryIndex idx;
+  const util::Uuid lease = util::new_uuid();
+  idx.arm(10, lease);
+
+  // At t=10 the lease has been renewed (true expiration now 20): drain must
+  // re-arm instead of expiring it.
+  int expired = 0;
+  idx.drain(
+      10, [](const util::Uuid&) { return util::SimTime{20}; },
+      [&](const util::Uuid&) { ++expired; });
+  EXPECT_EQ(expired, 0);
+
+  // At t=20 the resolver says the lease is truly due: exactly one expiry.
+  idx.drain(
+      20, [](const util::Uuid&) { return util::SimTime{20}; },
+      [&](const util::Uuid&) { ++expired; });
+  EXPECT_EQ(expired, 1);
+
+  // Entries for vanished leases resolve as kLeaseGone and drop silently.
+  idx.arm(30, util::new_uuid());
+  idx.drain(
+      40, [](const util::Uuid&) { return kLeaseGone; },
+      [&](const util::Uuid&) { ++expired; });
+  EXPECT_EQ(expired, 1);
+}
+
+// --- Batched lease renewal (PR 8) ---------------------------------------------------
+
+TEST(BatchedRenewal, DeniedLeaseLapsesBatchSurvives) {
+  util::Scheduler sched;
+  auto lus = std::make_shared<LookupService>("lus", sched);
+  LeaseRenewalManager lrm{sched, LeaseBatchConfig{true, 100 * kMillisecond}};
+
+  auto a = lus->register_service(make_item("a"), 2 * kSecond);
+  auto b = lus->register_service(make_item("b"), 2 * kSecond);
+  auto c = lus->register_service(make_item("c"), 2 * kSecond);
+  lrm.manage(a.lease, lus, 2 * kSecond);
+  lrm.manage(b.lease, lus, 2 * kSecond);
+  lrm.manage(c.lease, lus, 2 * kSecond);
+
+  // Yank b's lease at the registry while the LRM still tries to renew it:
+  // the next renewAll batch gets a partial denial.
+  ASSERT_TRUE(lus->cancel_lease(b.lease.id).is_ok());
+  sched.run_for(30 * kSecond);
+
+  EXPECT_TRUE(lus->contains(a.service_id));
+  EXPECT_FALSE(lus->contains(b.service_id));
+  EXPECT_TRUE(lus->contains(c.service_id));
+  EXPECT_EQ(lrm.failed_renewals(), 1u);
+  EXPECT_EQ(lrm.managed_count(), 2u);
+  EXPECT_GT(lrm.batches_sent(), 0u);
+}
+
+TEST(BatchedRenewal, StormSendsOneMessagePerShardPerWindow) {
+  util::Scheduler sched;
+  const std::size_t kShards = 4;
+  auto lus = std::make_shared<LookupService>(
+      "lus", sched, nullptr, 100 * kMillisecond, kShards);
+  LeaseRenewalManager lrm{sched, LeaseBatchConfig{true, 100 * kMillisecond}};
+
+  // 10k leases granted at t=0 with the same duration: every renewal falls
+  // due in the same window, so each round must collapse to one renewAll
+  // message per shard — not 10k individual messages.
+  const std::size_t kLeases = 10000;
+  for (std::size_t i = 0; i < kLeases; ++i) {
+    auto reg = lus->register_service(
+        make_item("s" + std::to_string(i)), 2 * kSecond);
+    lrm.manage(reg.lease, lus, 2 * kSecond);
+  }
+  ASSERT_EQ(lus->service_count(), kLeases);
+
+  // First renewal round fires at the 1s half-life (window-aligned).
+  sched.run_for(1050 * kMillisecond);
+  EXPECT_EQ(lrm.batches_sent(), kShards);
+
+  // Three more rounds at 2s, 3s, 4s: still exactly one message per shard
+  // per window, and nothing lapses.
+  sched.run_for(3 * kSecond);
+  EXPECT_EQ(lrm.batches_sent(), 4 * kShards);
+  EXPECT_EQ(lrm.failed_renewals(), 0u);
+  EXPECT_EQ(lus->service_count(), kLeases);
+  EXPECT_EQ(lus->expired_count(), 0u);
+}
+
+TEST(BatchedRenewal, DisabledBatchingFallsBackToIndividualTimers) {
+  util::Scheduler sched;
+  auto lus = std::make_shared<LookupService>("lus", sched);
+  LeaseRenewalManager lrm{sched, LeaseBatchConfig{false}};
+  std::vector<ServiceRegistration> regs;
+  for (int i = 0; i < 8; ++i) {
+    regs.push_back(
+        lus->register_service(make_item("s" + std::to_string(i)), 2 * kSecond));
+    lrm.manage(regs.back().lease, lus, 2 * kSecond);
+  }
+  sched.run_for(30 * kSecond);
+  for (const auto& reg : regs) EXPECT_TRUE(lus->contains(reg.service_id));
+  EXPECT_EQ(lrm.batches_sent(), 0u);  // legacy per-lease path
+  EXPECT_EQ(lrm.failed_renewals(), 0u);
+}
+
 }  // namespace
 }  // namespace sensorcer::registry
