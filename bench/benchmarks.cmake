@@ -25,3 +25,5 @@ sensorcer_add_bench(bench_observability)
 sensorcer_add_bench(bench_read_path)
 sensorcer_add_bench(bench_historian)
 sensorcer_add_bench(bench_flow)
+sensorcer_add_bench(bench_chaos)
+target_link_libraries(bench_chaos PRIVATE sensorcer_chaos)

@@ -21,7 +21,10 @@
 # bench_discovery (google-benchmark) sweeps federated-registry operations to
 # 1e6 entries — register/renew/lookup-by-id must stay near-flat (PERF-6) —
 # and BENCH_lease_churn.txt carries the batched-vs-individual renewal
-# message columns.
+# message columns. bench_chaos runs the seeded fault-injection sweep
+# (src/chaos/) — seeds × provider counts on a 12-node fabric — and
+# BENCH_chaos.txt carries the per-cell convergence/invariant table (CHAOS-1);
+# any cell with violations fails the run.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -32,7 +35,7 @@ cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target bench_read_path bench_exertion bench_lease_churn \
   bench_header_overhead bench_failover bench_historian bench_flow \
-  bench_discovery
+  bench_discovery bench_chaos
 
 echo "=== bench_read_path -> BENCH_read_path.json ==="
 "$BUILD_DIR/bench/bench_read_path" \
@@ -44,7 +47,8 @@ echo "=== bench_discovery -> BENCH_discovery.txt ==="
 "$BUILD_DIR/bench/bench_discovery" \
   ${FILTER:+--benchmark_filter="$FILTER"} | tee BENCH_discovery.txt
 
-for b in exertion lease_churn header_overhead failover historian flow; do
+for b in exertion lease_churn header_overhead failover historian flow \
+         chaos; do
   echo "=== bench_$b -> BENCH_$b.txt ==="
   "$BUILD_DIR/bench/bench_$b" | tee "BENCH_$b.txt"
 done

@@ -1,0 +1,119 @@
+#include "chaos/invariants.h"
+
+#include "util/strings.h"
+
+namespace sensorcer::chaos {
+
+void InvariantReport::violate(std::string invariant, std::string detail) {
+  violations.push_back({std::move(invariant), std::move(detail)});
+}
+
+std::string InvariantReport::render() const {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"converged", converged ? "yes" : "NO"});
+  rows.push_back({"exertions issued / done / failed",
+                  util::format("%llu / %llu / %llu",
+                               static_cast<unsigned long long>(exertions_issued),
+                               static_cast<unsigned long long>(exertions_done),
+                               static_cast<unsigned long long>(exertions_failed))});
+  rows.push_back({"double executions",
+                  std::to_string(double_executions)});
+  rows.push_back({"readings expected / stored",
+                  util::format("%llu / %llu",
+                               static_cast<unsigned long long>(readings_expected),
+                               static_cast<unsigned long long>(readings_stored))});
+  rows.push_back({"readings lost / duplicated",
+                  util::format("%llu / %llu",
+                               static_cast<unsigned long long>(readings_lost),
+                               static_cast<unsigned long long>(readings_duplicated))});
+  rows.push_back({"stale registrations", std::to_string(stale_registrations)});
+  rows.push_back({"degraded at quiesce", std::to_string(degraded)});
+  rows.push_back({"re-provisions / cascades / dedups",
+                  util::format("%llu / %llu / %llu",
+                               static_cast<unsigned long long>(reprovisions),
+                               static_cast<unsigned long long>(cascades),
+                               static_cast<unsigned long long>(placement_dedups))});
+  rows.push_back({"events applied / checks run",
+                  util::format("%zu / %zu", events_applied, checks_run)});
+  rows.push_back({"violations", std::to_string(violations.size())});
+  std::string out = util::render_table({"invariant", "value"}, rows);
+  for (const InvariantViolation& v : violations) {
+    out += util::format("  VIOLATION [%s] %s\n", v.invariant.c_str(),
+                        v.detail.c_str());
+  }
+  return out;
+}
+
+void ReadingTracker::observe(const std::string& sensor,
+                             const sensor::Reading& reading) {
+  auto [it, fresh] =
+      readings_[sensor].emplace(reading.timestamp, reading.value);
+  (void)it;
+  if (fresh) ++total_;
+}
+
+void ReadingTracker::audit(const hist::HistorianStore& store,
+                           InvariantReport& report) const {
+  report.readings_expected = total_;
+  for (const auto& [sensor, expected] : readings_) {
+    const hist::SeriesResult stored =
+        store.range(sensor, 0, sensor::kEndOfTime, expected.size() * 2 + 16);
+    report.readings_stored += stored.points.size();
+    std::map<util::SimTime, std::size_t> seen;
+    for (const hist::Point& p : stored.points) ++seen[p.timestamp];
+    for (const auto& [ts, n] : seen) {
+      if (n > 1) {
+        report.readings_duplicated += n - 1;
+        report.violate("conservation",
+                       util::format("%s@%lld stored %zu times",
+                                    sensor.c_str(),
+                                    static_cast<long long>(ts), n));
+      }
+    }
+    // Readings older than the oldest retained point aged out of the raw
+    // ring — retention policy, not loss.
+    const util::SimTime oldest_stored =
+        stored.points.empty() ? 0 : stored.points.front().timestamp;
+    for (const auto& [ts, value] : expected) {
+      (void)value;
+      if (!stored.points.empty() && ts < oldest_stored) continue;
+      if (!seen.contains(ts)) {
+        ++report.readings_lost;
+        if (report.readings_lost <= 8) {  // cap the violation spam
+          report.violate("conservation",
+                         util::format("%s@%lld recorded but never stored",
+                                      sensor.c_str(),
+                                      static_cast<long long>(ts)));
+        }
+      }
+    }
+  }
+  if (report.readings_lost > 8) {
+    report.violate("conservation",
+                   util::format("... and %llu more lost readings",
+                                static_cast<unsigned long long>(
+                                    report.readings_lost - 8)));
+  }
+}
+
+void ExecutionTracker::record(std::uint64_t seq, const std::string& instance) {
+  ++execs_[seq][instance];
+}
+
+void ExecutionTracker::audit(InvariantReport& report) const {
+  for (const auto& [seq, by_instance] : execs_) {
+    for (const auto& [instance, n] : by_instance) {
+      if (n > 1) {
+        ++report.double_executions;
+        report.violate(
+            "double-execution",
+            util::format("exertion seq %llu executed %llu times on %s",
+                         static_cast<unsigned long long>(seq),
+                         static_cast<unsigned long long>(n),
+                         instance.c_str()));
+      }
+    }
+  }
+}
+
+}  // namespace sensorcer::chaos

@@ -1,0 +1,99 @@
+#pragma once
+// Chaos invariants — what must hold no matter what the schedule did.
+//
+//   1. Convergence: after quiesce every planned instance is re-placed on a
+//      healthy node (or explicitly degraded while a dependency is gone).
+//   2. No double execution: each workload exertion id executes at most once
+//      (the wire pipeline is at-most-once per provider and every chaos task
+//      pins one provider).
+//   3. Reading conservation: every reading recorded by a live provider
+//      instance reaches the historian exactly once — node failures,
+//      partitions and failovers lose nothing and duplicate nothing.
+//   4. Leases renewed-or-lapsed: a registration is either kept alive by
+//      renewal or disappears once its lease runs out; crashed providers
+//      never linger.
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "hist/store.h"
+#include "sensor/reading.h"
+#include "util/sim_time.h"
+
+namespace sensorcer::chaos {
+
+struct InvariantViolation {
+  std::string invariant;  // "convergence", "double-execution", ...
+  std::string detail;
+};
+
+struct InvariantReport {
+  bool converged = false;
+  std::uint64_t exertions_issued = 0;
+  std::uint64_t exertions_done = 0;
+  std::uint64_t exertions_failed = 0;
+  std::uint64_t double_executions = 0;
+  std::uint64_t readings_expected = 0;
+  std::uint64_t readings_stored = 0;
+  std::uint64_t readings_lost = 0;
+  std::uint64_t readings_duplicated = 0;
+  std::size_t stale_registrations = 0;
+  std::size_t degraded = 0;
+  std::uint64_t reprovisions = 0;
+  std::uint64_t cascades = 0;
+  std::uint64_t placement_dedups = 0;
+  std::size_t events_applied = 0;
+  std::size_t checks_run = 0;
+  std::vector<InvariantViolation> violations;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  void violate(std::string invariant, std::string detail);
+  [[nodiscard]] std::string render() const;
+};
+
+/// Ground truth for reading conservation. Providers' reading taps feed
+/// observe(); audit() then compares the expected set against the historian.
+/// Keyed (sensor, timestamp) — exactly the historian's dedup key.
+class ReadingTracker {
+ public:
+  void observe(const std::string& sensor, const sensor::Reading& reading);
+
+  [[nodiscard]] std::uint64_t expected_count() const { return total_; }
+
+  /// Every observed reading must be retained by `store`, none twice.
+  /// Readings older than the store's retention for a sensor are exempt
+  /// (aging out is policy, not loss).
+  void audit(const hist::HistorianStore& store, InvariantReport& report) const;
+
+ private:
+  // sensor -> timestamp -> value of the reading the tap saw first.
+  std::map<std::string, std::map<util::SimTime, double>> readings_;
+  std::uint64_t total_ = 0;
+};
+
+/// Ground truth for at-most-once execution. The chaos workload stamps each
+/// task with a unique sequence number; the target provider's operation
+/// calls record() with its own identity when it runs. At-most-once is a
+/// per-provider property: re-execution on the *same* instance is a
+/// violation, while a substitution retry landing on a replacement instance
+/// (after the original timed out) is legal and tallied separately.
+class ExecutionTracker {
+ public:
+  void issued(std::uint64_t seq) { issued_.emplace(seq); }
+  void record(std::uint64_t seq, const std::string& instance);
+
+  [[nodiscard]] std::uint64_t issued_count() const { return issued_.size(); }
+
+  /// Flag every (seq, instance) executed more than once.
+  void audit(InvariantReport& report) const;
+
+ private:
+  std::set<std::uint64_t> issued_;
+  // seq -> executing instance identity -> executions
+  std::map<std::uint64_t, std::map<std::string, std::uint64_t>> execs_;
+};
+
+}  // namespace sensorcer::chaos

@@ -1,0 +1,114 @@
+#pragma once
+// ChaosOrchestrator — runs a seeded fault schedule against a live
+// core::Deployment on the virtual-time scheduler and audits the invariants
+// (see invariants.h) after every event and again at quiesce.
+//
+// The orchestrator provisions its own workload through the deployment's
+// provisioner — an ESP fleet feeding the historian, CSPs composed over
+// random ESPs (dependency edges registered), and Tasker workers exercised
+// by a periodic exertion workload — then replays the schedule: node kills
+// and restarts, management-plane partitions (the monitor's wire pings fail
+// while the node object stays alive — the split-brain fencing path), loss
+// bursts, lease storms, and killing the Jobber mid-fan-out. Everything is
+// deterministic in (config, seed).
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "chaos/invariants.h"
+#include "chaos/schedule.h"
+#include "core/deployment.h"
+#include "util/rng.h"
+
+namespace sensorcer::chaos {
+
+struct ChaosConfig {
+  std::uint64_t seed = 1;
+  /// ESP fleet size ("chaos-esp-1" ... "-N"), provisioned via Rio.
+  std::size_t providers = 100;
+  /// CSPs composed over random ESP components (required dependency edges).
+  std::size_t composites = 4;
+  std::size_t composite_width = 3;
+  /// Tasker workers the exertion workload targets.
+  std::size_t workers = 6;
+  util::SimDuration workload_period = 250 * util::kMillisecond;
+  /// Event script parameters; `nodes` and `seed` are filled in by setup().
+  ScheduleConfig schedule;
+  /// Lease granted to lease-storm registrations (half never renew).
+  util::SimDuration storm_lease = 600 * util::kMillisecond;
+  /// How long quiesce keeps polling for convergence before giving up.
+  util::SimDuration quiesce_timeout = 90 * util::kSecond;
+};
+
+class ChaosOrchestrator {
+ public:
+  ChaosOrchestrator(core::Deployment& deployment, ChaosConfig config);
+  ~ChaosOrchestrator();
+
+  /// Provision the chaos workload (ESPs, CSPs, workers), install the
+  /// conservation taps, generate the schedule, start the workload timer.
+  util::Status setup();
+
+  /// Replay the schedule, quiesce, audit. Deterministic for a given
+  /// (deployment config, chaos config) pair.
+  InvariantReport run();
+
+  [[nodiscard]] const std::vector<ChaosEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::string render_events() const {
+    return render_schedule(events_);
+  }
+
+ private:
+  void apply(const ChaosEvent& event, InvariantReport& report);
+  void workload_tick();
+  /// Cheap incremental checks after each event (full audit at quiesce).
+  void check(InvariantReport& report);
+  /// Heal everything, restart dead nodes, pump until the monitor converges
+  /// (or the timeout expires), let leases lapse and feeders flush.
+  void quiesce(InvariantReport& report);
+  void final_audit(InvariantReport& report);
+  void rejoin_node(const std::shared_ptr<rio::Cybernode>& node);
+  void revive_jobber();
+
+  core::Deployment& dep_;
+  ChaosConfig config_;
+  util::Rng rng_;
+  std::vector<ChaosEvent> events_;
+  // Shared with the taps/operations installed on provisioned instances, so
+  // replacement instances created after this orchestrator dies (the
+  // deployment may outlive it) never dangle.
+  std::shared_ptr<ReadingTracker> readings_;
+  std::shared_ptr<ExecutionTracker> execs_;
+  // (id, instance) of every instance the chaos factories created — initial
+  // placements and replacements alike — for the renewed-or-lapsed audit.
+  std::vector<std::pair<registry::ServiceId,
+                        std::weak_ptr<sorcer::ServiceProvider>>>
+      tracked_;
+
+  std::vector<std::string> esp_names_;
+  std::vector<std::string> csp_names_;
+  std::vector<std::string> worker_names_;
+
+  struct StormEntry {
+    std::shared_ptr<sorcer::ServiceProvider> service;
+    bool keeper = false;  // keeps renewing; non-keepers must lapse
+  };
+  std::vector<StormEntry> storm_;
+
+  std::set<std::size_t> partitioned_;  // node indices currently cut off
+  util::TimerId workload_timer_ = 0;
+  std::uint64_t probe_seed_ = 7000;
+  std::uint64_t seq_ = 0;
+  std::uint64_t done_ = 0;
+  std::uint64_t failed_ = 0;
+  bool jobber_down_ = false;
+  bool in_tick_ = false;  // bars re-entrant workload ticks (see .cpp)
+  bool set_up_ = false;
+};
+
+}  // namespace sensorcer::chaos

@@ -1,0 +1,210 @@
+#include "chaos/schedule.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace sensorcer::chaos {
+
+const char* chaos_action_name(ChaosAction action) {
+  switch (action) {
+    case ChaosAction::kKillNode: return "kill-node";
+    case ChaosAction::kRestartNode: return "restart-node";
+    case ChaosAction::kPartitionNode: return "partition-node";
+    case ChaosAction::kHealNode: return "heal-node";
+    case ChaosAction::kHealAll: return "heal-all";
+    case ChaosAction::kLossBurst: return "loss-burst";
+    case ChaosAction::kLossEnd: return "loss-end";
+    case ChaosAction::kLeaseStorm: return "lease-storm";
+    case ChaosAction::kKillJobber: return "kill-jobber";
+    case ChaosAction::kReviveJobber: return "revive-jobber";
+  }
+  return "?";
+}
+
+std::vector<ChaosEvent> make_schedule(const ScheduleConfig& config) {
+  util::Rng rng(config.seed);
+  std::vector<ChaosEvent> events;
+  if (config.nodes == 0 || config.duration <= 0) return events;
+
+  // Track the simulated fleet while generating so every event targets a
+  // state it can act on (restarts pick dead nodes, heals live partitions).
+  std::set<std::size_t> dead;
+  // Every kill schedules its own restart at a future time; the node stays in
+  // `dead` until that timestamp passes so later events see the replayed state.
+  std::map<std::size_t, util::SimTime> pending_restart;
+  std::set<std::size_t> partitioned;
+  bool loss_on = false;
+  bool jobber_dead = false;
+
+  const double weight_sum = config.w_kill + config.w_restart +
+                            config.w_partition + config.w_heal +
+                            config.w_loss + config.w_lease_storm +
+                            config.w_jobber;
+
+  const auto pick_from = [&rng](const std::set<std::size_t>& s) {
+    auto it = s.begin();
+    std::advance(it, static_cast<std::ptrdiff_t>(rng.below(s.size())));
+    return *it;
+  };
+
+  util::SimTime t = 0;
+  while (true) {
+    t += std::max<util::SimDuration>(
+        1, static_cast<util::SimDuration>(
+               rng.exponential(static_cast<double>(config.mean_gap))));
+    if (t > config.duration) break;
+
+    // Apply any auto-paired restarts whose time has come: those nodes are
+    // alive again from the schedule's point of view.
+    for (auto it = pending_restart.begin(); it != pending_restart.end();) {
+      if (it->second <= t) {
+        dead.erase(it->first);
+        it = pending_restart.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    double roll = rng.next_double() * weight_sum;
+    ChaosEvent ev;
+    ev.at = t;
+    const auto take = [&roll](double w) {
+      if (roll < w) return true;
+      roll -= w;
+      return false;
+    };
+
+    if (take(config.w_kill)) {
+      // Keep at least one node alive: the fleet churns, it never vanishes.
+      std::set<std::size_t> candidates;
+      for (std::size_t i = 0; i < config.nodes; ++i) {
+        if (!dead.contains(i)) candidates.insert(i);
+      }
+      if (candidates.size() <= 1) continue;
+      ev.action = ChaosAction::kKillNode;
+      ev.node = pick_from(candidates);
+      dead.insert(ev.node);
+      events.push_back(ev);
+      // Flap rather than die forever: the node is scheduled back within the
+      // ceiling, clamped so the schedule never ends with a node down.
+      ChaosEvent back;
+      back.at = std::min(
+          config.duration,
+          t + static_cast<util::SimDuration>(rng.uniform(
+                  static_cast<double>(config.mean_gap),
+                  static_cast<double>(config.flap_ceiling))));
+      back.action = ChaosAction::kRestartNode;
+      back.node = ev.node;
+      events.push_back(back);
+      pending_restart[ev.node] = back.at;
+    } else if (take(config.w_restart)) {
+      // Pull a pending restart forward: the node comes back now instead of at
+      // its scheduled flap time.
+      if (dead.empty()) continue;
+      ev.action = ChaosAction::kRestartNode;
+      ev.node = pick_from(dead);
+      const util::SimTime scheduled = pending_restart.at(ev.node);
+      events.erase(std::find_if(events.begin(), events.end(),
+                                [&](const ChaosEvent& e) {
+                                  return e.action == ChaosAction::kRestartNode &&
+                                         e.node == ev.node && e.at == scheduled;
+                                }));
+      pending_restart.erase(ev.node);
+      dead.erase(ev.node);
+      events.push_back(ev);
+    } else if (take(config.w_partition)) {
+      std::set<std::size_t> candidates;
+      for (std::size_t i = 0; i < config.nodes; ++i) {
+        if (!partitioned.contains(i)) candidates.insert(i);
+      }
+      if (candidates.empty()) continue;
+      ev.action = ChaosAction::kPartitionNode;
+      ev.node = pick_from(candidates);
+      partitioned.insert(ev.node);
+      events.push_back(ev);
+    } else if (take(config.w_heal)) {
+      if (partitioned.empty()) continue;
+      if (partitioned.size() > 1 && rng.chance(0.3)) {
+        ev.action = ChaosAction::kHealAll;
+        partitioned.clear();
+      } else {
+        ev.action = ChaosAction::kHealNode;
+        ev.node = pick_from(partitioned);
+        partitioned.erase(ev.node);
+      }
+      events.push_back(ev);
+    } else if (take(config.w_loss)) {
+      if (loss_on) continue;
+      ev.action = ChaosAction::kLossBurst;
+      ev.rate = config.loss_rate;
+      events.push_back(ev);
+      ChaosEvent end;
+      end.at = t + config.loss_burst;
+      end.action = ChaosAction::kLossEnd;
+      events.push_back(end);
+      // Bursts never overlap: generation treats the burst as atomic.
+      loss_on = false;
+      t = std::max(t, std::min(end.at, config.duration));
+    } else if (take(config.w_lease_storm)) {
+      ev.action = ChaosAction::kLeaseStorm;
+      ev.count = config.lease_storm_size;
+      events.push_back(ev);
+    } else {
+      if (jobber_dead) {
+        ev.action = ChaosAction::kReviveJobber;
+        jobber_dead = false;
+      } else {
+        ev.action = ChaosAction::kKillJobber;
+        jobber_dead = true;
+      }
+      events.push_back(ev);
+    }
+  }
+
+  // Leave the fabric whole at the end of the script; quiesce() also heals,
+  // but the schedule itself should not encode a permanently broken state.
+  if (jobber_dead) {
+    ChaosEvent revive;
+    revive.at = config.duration;
+    revive.action = ChaosAction::kReviveJobber;
+    events.push_back(revive);
+  }
+
+  std::stable_sort(events.begin(), events.end(),
+                   [](const ChaosEvent& a, const ChaosEvent& b) {
+                     return a.at < b.at;
+                   });
+  return events;
+}
+
+std::string render_schedule(const std::vector<ChaosEvent>& events) {
+  std::vector<std::vector<std::string>> rows;
+  for (const ChaosEvent& e : events) {
+    std::string detail;
+    switch (e.action) {
+      case ChaosAction::kKillNode:
+      case ChaosAction::kRestartNode:
+      case ChaosAction::kPartitionNode:
+      case ChaosAction::kHealNode:
+        detail = util::format("node %zu", e.node);
+        break;
+      case ChaosAction::kLossBurst:
+        detail = util::format("rate %.2f", e.rate);
+        break;
+      case ChaosAction::kLeaseStorm:
+        detail = util::format("%zu registrations", e.count);
+        break;
+      default:
+        break;
+    }
+    rows.push_back({util::format_duration(e.at),
+                    chaos_action_name(e.action), detail});
+  }
+  return util::render_table({"t", "action", "detail"}, rows);
+}
+
+}  // namespace sensorcer::chaos

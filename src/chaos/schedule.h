@@ -1,0 +1,76 @@
+#pragma once
+// Chaos schedules — scripted, seeded fault sequences for a live deployment.
+//
+// A schedule is a flat, pre-generated list of timed events (node kills and
+// restarts, management-plane partitions, loss bursts, lease storms, killing
+// the Jobber mid-fan-out). Generation is pure: the same seed and config
+// produce bit-identical schedules, so every chaos run — test, bench, CI
+// smoke — reproduces exactly on the virtual-time scheduler.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/sim_time.h"
+
+namespace sensorcer::chaos {
+
+enum class ChaosAction {
+  kKillNode,      // cybernode hard failure (hosted services crash)
+  kRestartNode,   // failed cybernode comes back empty
+  kPartitionNode, // sever management plane <-> cybernode connectivity
+  kHealNode,      // restore one partition
+  kHealAll,       // drop every partition
+  kLossBurst,     // raise fabric-wide message loss to `rate`
+  kLossEnd,       // loss back to zero
+  kLeaseStorm,    // burst of `count` short-lease registrations, half of
+                  // which immediately stop renewing (must lapse)
+  kKillJobber,    // crash + detach the Jobber rendezvous peer
+  kReviveJobber,  // re-attach and re-register the Jobber
+};
+
+const char* chaos_action_name(ChaosAction action);
+
+struct ChaosEvent {
+  util::SimTime at = 0;
+  ChaosAction action = ChaosAction::kKillNode;
+  std::size_t node = 0;   // cybernode index for node-targeted actions
+  double rate = 0.0;      // loss probability for kLossBurst
+  std::size_t count = 0;  // registrations for kLeaseStorm
+};
+
+struct ScheduleConfig {
+  std::uint64_t seed = 1;
+  /// Events are generated in (0, duration]; the run then quiesces.
+  util::SimDuration duration = 60 * util::kSecond;
+  /// Mean exponential gap between events.
+  util::SimDuration mean_gap = 2 * util::kSecond;
+  /// Cybernode fleet size events may target. At least one node is always
+  /// left alive so the deployment never loses its entire fleet at once.
+  std::size_t nodes = 0;
+  // Relative action weights (normalized internally).
+  double w_kill = 0.22;
+  double w_restart = 0.18;
+  double w_partition = 0.16;
+  double w_heal = 0.12;
+  double w_loss = 0.10;
+  double w_lease_storm = 0.12;
+  double w_jobber = 0.10;
+  double loss_rate = 0.25;
+  util::SimDuration loss_burst = 1500 * util::kMillisecond;
+  /// A killed node auto-restarts within [mean_gap, flap_ceiling] — nodes
+  /// flap rather than die forever, so capacity keeps churning.
+  util::SimDuration flap_ceiling = 8 * util::kSecond;
+  std::size_t lease_storm_size = 16;
+};
+
+/// Generate the event list: deterministic in config (seeded SplitMix64),
+/// sorted by time, internally consistent (restarts target killed nodes,
+/// heals target live partitions, loss bursts end, the Jobber revives).
+std::vector<ChaosEvent> make_schedule(const ScheduleConfig& config);
+
+/// Human-readable event table for logs and bench reports.
+std::string render_schedule(const std::vector<ChaosEvent>& events);
+
+}  // namespace sensorcer::chaos

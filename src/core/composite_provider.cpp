@@ -153,6 +153,22 @@ util::Status CompositeSensorProvider::set_expression(
   return status;
 }
 
+void CompositeSensorProvider::assume_state_from(
+    sorcer::ServiceProvider& predecessor) {
+  auto* csp = dynamic_cast<CompositeSensorProvider*>(&predecessor);
+  if (csp == nullptr) return;
+  // Adopt the composition verbatim (ids included — reads resolve by name,
+  // so a component that was itself re-provisioned rebinds transparently on
+  // the next collection) and re-attach the expression over the same
+  // variables. The plan cache starts cold in the replacement.
+  components_ = csp->components_;
+  next_variable_ = csp->next_variable_;
+  if (csp->computation_.has_expression()) {
+    (void)set_expression(csp->expression());
+  }
+  invalidate_cache(/*plan_too=*/true);
+}
+
 std::vector<std::optional<double>> CompositeSensorProvider::fan_out(
     const std::vector<PlanEntry>& plan, util::SimDuration* latency) {
   std::vector<std::shared_ptr<sorcer::Task>> tasks;

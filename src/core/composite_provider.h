@@ -101,6 +101,11 @@ class CompositeSensorProvider : public sorcer::ServiceProvider,
   util::Result<sensor::Reading> get_reading() override;
   [[nodiscard]] SensorInfo info() const override;
 
+  /// Failover hand-off: adopt the predecessor composite's composition and
+  /// expression (components are re-resolved by name, so a cascade restart
+  /// rebinds to whatever instances currently serve those names).
+  void assume_state_from(sorcer::ServiceProvider& predecessor) override;
+
   /// Modeled latency of the most recent component collection (federated job
   /// or direct fan-out; zero when the read was served from the freshness
   /// cache or coalesced onto another reader's flight). Charged on top of

@@ -114,6 +114,9 @@ class Deployment {
     return cybernodes_;
   }
   rio::ProvisionMonitor& monitor() { return *monitor_; }
+  /// The Jobber rendezvous peer, or null when with_jobber is off (the chaos
+  /// harness kills and revives it mid-fan-out).
+  sorcer::Jobber* jobber() { return jobber_.get(); }
   /// The historian, or null when with_historian is off.
   hist::Historian* historian() { return historian_.get(); }
   /// The flow manager, or null when with_flow is off.

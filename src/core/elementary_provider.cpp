@@ -73,6 +73,10 @@ void ElementarySensorProvider::set_location(const std::string& location) {
 }
 
 void ElementarySensorProvider::record(const sensor::Reading& reading) {
+  // A crashed process records nothing: a zombie instance (its registration
+  // lingering until the lease lapses) serving one last read must not grow a
+  // log its replacement already adopted, or tap/push readings nobody owns.
+  if (crashed()) return;
   log_.append(reading);
   if (feeder_) feeder_->offer(reading);
   for (const auto& [id, tap] : taps_) tap(reading);
@@ -102,6 +106,12 @@ hist::HistorianFeeder& ElementarySensorProvider::enable_history(
         provider_name(), scheduler_, accessor, config);
   }
   return *feeder_;
+}
+
+void ElementarySensorProvider::on_crashed() {
+  scheduler_.cancel(sample_timer_);
+  sample_timer_ = 0;
+  if (feeder_) feeder_->unbind();
 }
 
 void ElementarySensorProvider::assume_state_from(

@@ -86,6 +86,12 @@ class ElementarySensorProvider : public sorcer::ServiceProvider,
   /// re-provisioned sensor leaves no gap in recorded history.
   void assume_state_from(sorcer::ServiceProvider& predecessor) override;
 
+ protected:
+  /// A crashed ESP's process is gone: stop the sampling timer and the
+  /// historian push so the zombie (alive in memory until its registrations
+  /// lapse) cannot keep recording or double-pushing readings.
+  void on_crashed() override;
+
  private:
   void install_operations();
 

@@ -197,7 +197,17 @@ util::Result<hist::SeriesResult> SensorcerFacade::query_downsample(
 
 util::Status SensorcerFacade::compose_service(
     const std::string& composite, const std::vector<std::string>& children) {
-  return manager_.compose(composite, children);
+  util::Status composed = manager_.compose(composite, children);
+  if (composed.is_ok() && provisioner_ != nullptr) {
+    // A CSP needs its components: record required edges so the monitor
+    // cascade-restarts the composite when a re-provisioned child comes back
+    // under the same name (the CSP re-resolves components by name).
+    for (const std::string& child : children) {
+      (void)provisioner_->declare_dependency(composite, child,
+                                             rio::DependencyKind::kRequired);
+    }
+  }
+  return composed;
 }
 
 util::Status SensorcerFacade::add_expression(const std::string& composite,

@@ -92,7 +92,14 @@ util::Status SensorNetworkManager::compose(
     const std::string& composite, const std::vector<std::string>& children) {
   auto csp = find_composite(composite);
   if (!csp.is_ok()) return csp.status();
+  // Declarative: children already composed (e.g. adopted from a failed-over
+  // predecessor's state hand-off) are kept, not duplicated.
+  const std::vector<std::string> existing = csp.value()->component_names();
   for (const auto& child : children) {
+    if (std::find(existing.begin(), existing.end(), child) !=
+        existing.end()) {
+      continue;
+    }
     if (util::Status added = csp.value()->add_component(child);
         !added.is_ok()) {
       return added;

@@ -3,7 +3,8 @@
 namespace sensorcer::core {
 
 util::Status SensorServiceProvisioner::provision_composite(
-    const std::string& name, const rio::QosRequirement& qos) {
+    const std::string& name, const rio::QosRequirement& qos,
+    const std::vector<std::string>& depends_on) {
   rio::OperationalString opstring;
   opstring.name = name;
   rio::ServiceElement element;
@@ -12,11 +13,17 @@ util::Status SensorServiceProvisioner::provision_composite(
   element.planned = 1;
   element.factory = [this](const std::string& instance_name)
       -> std::shared_ptr<sorcer::ServiceProvider> {
-    return std::make_shared<CompositeSensorProvider>(
+    auto csp = std::make_shared<CompositeSensorProvider>(
         instance_name, accessor_, scheduler_, collection_);
+    if (instance_hook_) instance_hook_(csp);
+    return csp;
   };
   opstring.elements.push_back(std::move(element));
-  return monitor_.deploy(std::move(opstring));
+  util::Status deployed = monitor_.deploy(std::move(opstring));
+  for (const std::string& dep : depends_on) {
+    (void)monitor_.add_dependency(name, dep, rio::DependencyKind::kRequired);
+  }
+  return deployed;
 }
 
 util::Status SensorServiceProvisioner::provision_elementary(
@@ -41,10 +48,33 @@ util::Status SensorServiceProvisioner::provision_elementary(
         feeder.bind(lus, *history_lrm_);
       }
     }
+    if (instance_hook_) instance_hook_(esp);
     return esp;
   };
   opstring.elements.push_back(std::move(element));
-  return monitor_.deploy(std::move(opstring));
+  util::Status deployed = monitor_.deploy(std::move(opstring));
+  if (history_ && !historian_instance_.empty()) {
+    // The historian dying is survivable — the feeder buffers and replays —
+    // so the edge is optional: ESPs degrade, they do not restart.
+    for (const auto& svc : monitor_.deployed_instances(name)) {
+      (void)monitor_.add_dependency(svc->provider_name(), historian_instance_,
+                                    rio::DependencyKind::kOptional);
+    }
+  }
+  return deployed;
+}
+
+util::Status SensorServiceProvisioner::unprovision(const std::string& name) {
+  // Stop historian pushes before eviction: an undeployed ESP's feeder must
+  // not flush another batch while the registration lease lapses.
+  for (const auto& svc : monitor_.deployed_instances(name)) {
+    if (auto* esp = dynamic_cast<ElementarySensorProvider*>(svc.get())) {
+      if (auto* feeder = esp->history_feeder()) feeder->unbind();
+    }
+  }
+  // undeploy() drops the instances' dependency-graph nodes, so stale edges
+  // cannot cascade a re-provision of this opstring later.
+  return monitor_.undeploy(name);
 }
 
 }  // namespace sensorcer::core

@@ -4,8 +4,10 @@
 // the capable cybernode with operational specifications provided by the
 // requestor."
 
+#include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/composite_provider.h"
 #include "core/elementary_provider.h"
@@ -30,12 +32,18 @@ class SensorServiceProvisioner {
   /// Provision a new composite sensor service named `name` onto a cybernode
   /// satisfying `qos` (the paper's step 3: "Provisioned a new composite
   /// service on to the network"). The instance becomes discoverable after
-  /// the monitor's activation delay.
+  /// the monitor's activation delay. `depends_on` lists instance names the
+  /// composite requires (its future components): the monitor cascades a
+  /// restart of this CSP when one of them is re-provisioned.
   util::Status provision_composite(const std::string& name,
-                                   const rio::QosRequirement& qos);
+                                   const rio::QosRequirement& qos,
+                                   const std::vector<std::string>& depends_on = {});
 
   /// Provision an elementary sensor service around probes produced by
-  /// `probe_factory` (one per replica).
+  /// `probe_factory` (one per replica). With history enabled, every
+  /// instance gets an *optional* dependency edge onto the historian: the
+  /// historian dying degrades the ESPs (they buffer) but never restarts
+  /// them.
   util::Status provision_elementary(
       const std::string& name,
       std::function<sensor::ProbePtr(const std::string&)> probe_factory,
@@ -50,21 +58,41 @@ class SensorServiceProvisioner {
         rio::OperationalString{opstring_name, {std::move(element)}});
   }
 
-  /// Tear down a previously provisioned service.
-  util::Status unprovision(const std::string& name) {
-    return monitor_.undeploy(name);
+  /// Declare a dependency between two provisioned instances (see
+  /// rio::ProvisionMonitor::add_dependency).
+  util::Status declare_dependency(
+      const std::string& dependent, const std::string& dependency,
+      rio::DependencyKind kind = rio::DependencyKind::kRequired) {
+    return monitor_.add_dependency(dependent, dependency, kind);
   }
+
+  /// Tear down a previously provisioned service: stop its historian pushes,
+  /// drop its dependency edges, evict its instances.
+  util::Status unprovision(const std::string& name);
 
   /// Attach historian push to every ESP this provisioner instantiates —
   /// including replacements the monitor re-provisions after a node failure,
   /// which then backfill the historian from the adopted DataLog.
+  /// `historian_instance` names the deployed historian for the optional
+  /// dependency edge each history-fed ESP gets.
   void enable_history(hist::FeederConfig config,
                       std::weak_ptr<registry::LookupService> lus,
-                      registry::LeaseRenewalManager* lrm) {
+                      registry::LeaseRenewalManager* lrm,
+                      std::string historian_instance = "Historian") {
     history_ = true;
     history_feed_ = config;
     history_lus_ = std::move(lus);
     history_lrm_ = lrm;
+    historian_instance_ = std::move(historian_instance);
+  }
+
+  /// Observe every instance the provisioner's factories create — initial
+  /// placements and monitor re-provisions alike. The chaos harness uses
+  /// this to install reading taps on replacement ESPs.
+  void set_instance_hook(
+      std::function<void(const std::shared_ptr<sorcer::ServiceProvider>&)>
+          hook) {
+    instance_hook_ = std::move(hook);
   }
 
   [[nodiscard]] rio::ProvisionMonitor& monitor() { return monitor_; }
@@ -79,6 +107,9 @@ class SensorServiceProvisioner {
   hist::FeederConfig history_feed_;
   std::weak_ptr<registry::LookupService> history_lus_;
   registry::LeaseRenewalManager* history_lrm_ = nullptr;
+  std::string historian_instance_;
+  std::function<void(const std::shared_ptr<sorcer::ServiceProvider>&)>
+      instance_hook_;
 };
 
 }  // namespace sensorcer::core

@@ -127,6 +127,14 @@ util::Status FlowManager::create_flow(const FlowSpec& spec) {
         !deployed.is_ok()) {
       return deployed;
     }
+    // Losing a source sensor thins the stream but the relay keeps running
+    // on whatever still flows, so the edges are optional: the relay shows
+    // degraded until the monitor re-places the sensor (undeploying the
+    // relay drops its graph node and these edges with it).
+    for (const std::string& sensor : spec.sensors) {
+      (void)monitor_->add_dependency(flow.relay_name, sensor,
+                                     rio::DependencyKind::kOptional);
+    }
     auto lookups = accessor_.lookups();
     if (lookups.empty()) {
       (void)monitor_->undeploy(flow.opstring);

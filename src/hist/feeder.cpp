@@ -56,6 +56,7 @@ HistorianFeeder::HistorianFeeder(std::string sensor, util::Scheduler& scheduler,
 }
 
 HistorianFeeder::~HistorianFeeder() {
+  *alive_ = false;
   scheduler_.cancel(flush_timer_);
   if (pending_flush_timer_ != 0) scheduler_.cancel(pending_flush_timer_);
   unbind();
@@ -135,9 +136,30 @@ void HistorianFeeder::schedule_flush() {
   });
 }
 
+namespace {
+/// Wire flushes pump the scheduler, and the pump fires OTHER feeders' flush
+/// timers on this same stack — one nesting level per live feeder, and a
+/// churny run mints replacement feeders (each backfill schedules a flush)
+/// faster than the stack unwinds. The per-feeder flushing_ guard cannot see
+/// across objects, so a thread-local depth caps the nesting; a skipped
+/// feeder's readings stay pending and go out on its periodic timer (or the
+/// final quiesce drain) at a shallower depth.
+constexpr int kMaxNestedFlushes = 8;
+thread_local int g_flush_depth = 0;
+
+struct FlushDepthGuard {
+  FlushDepthGuard() { ++g_flush_depth; }
+  ~FlushDepthGuard() { --g_flush_depth; }
+};
+}  // namespace
+
 std::size_t HistorianFeeder::flush() {
   if (flushing_ || !bound_ || pending_.empty()) return 0;
+  if (g_flush_depth >= kMaxNestedFlushes) return 0;
+  FlushDepthGuard depth_guard;
   flushing_ = true;
+  // Local copy: outlives `this` if the exert below deletes the feeder.
+  const std::shared_ptr<const bool> alive = alive_;
   // Snapshot the pending window: readings offered while the batch pumps the
   // fabric land behind it, and failed chunks re-queue at the front so
   // ordering survives a partial failure.
@@ -188,6 +210,12 @@ std::size_t HistorianFeeder::flush() {
 
   std::size_t total = 0;
   std::vector<sensor::Reading> requeue;
+  if (!*alive) {
+    // The pump above destroyed this feeder (its provider was fenced or
+    // undeployed mid-flight). `this` is gone; the un-acked window goes with
+    // it — the replacement provider's backfill() replays the survivors.
+    return 0;
+  }
   for (std::size_t i = 0; i < chunks.size(); ++i) {
     const auto [offset, n] = ranges[i];
     if (chunks[i]->status() == sorcer::ExertStatus::kDone) {

@@ -111,6 +111,12 @@ class HistorianFeeder {
   std::uint64_t pushed_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t failed_ = 0;
+
+  /// Liveness token for flush(): exerting a batch pumps the scheduler, and a
+  /// nested event (the provision monitor fencing this feeder's provider) can
+  /// destroy the whole provider — feeder included — under the in-flight
+  /// flush. The on-stack frame re-checks the token before touching members.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace sensorcer::hist

@@ -183,6 +183,24 @@ std::string render_federation_health(const Snapshot& snap) {
   rows.push_back({"provisioning", "provisions / re-provisions",
                   std::to_string(snap.counter_or("rio.provisions")) + " / " +
                       std::to_string(snap.counter_or("rio.reprovisions"))});
+  rows.push_back(
+      {"provisioning", "failed placements / cascade restarts",
+       std::to_string(snap.counter_or("rio.failed_placements")) + " / " +
+           std::to_string(snap.counter_or("rio.cascades"))});
+  rows.push_back(
+      {"provisioning", "placement dedups / degrade events",
+       std::to_string(snap.counter_or("rio.placement_dedup")) + " / " +
+           std::to_string(snap.counter_or("rio.degrade_events"))});
+  rows.push_back(
+      {"provisioning", "dependency edges / degraded / unplaced",
+       std::to_string(static_cast<std::uint64_t>(
+           snap.gauge_or("rio.dep_edges"))) +
+           " / " +
+           std::to_string(
+               static_cast<std::uint64_t>(snap.gauge_or("rio.degraded"))) +
+           " / " +
+           std::to_string(
+               static_cast<std::uint64_t>(snap.gauge_or("rio.unplaced")))});
   rows.push_back({"network", "messages sent / dropped",
                   std::to_string(snap.counter_or("simnet.messages_sent")) +
                       " / " +

@@ -1,0 +1,286 @@
+#include "rio/depgraph.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "util/strings.h"
+
+namespace sensorcer::rio {
+
+const char* dependency_kind_name(DependencyKind kind) {
+  switch (kind) {
+    case DependencyKind::kRequired: return "required";
+    case DependencyKind::kOptional: return "optional";
+  }
+  return "?";
+}
+
+bool DependencyGraph::reaches(const std::string& from,
+                              const std::string& to) const {
+  std::deque<std::string> frontier{from};
+  std::set<std::string> seen{from};
+  while (!frontier.empty()) {
+    const std::string cur = std::move(frontier.front());
+    frontier.pop_front();
+    if (cur == to) return true;
+    auto it = nodes_.find(cur);
+    if (it == nodes_.end()) continue;
+    for (const auto& [dep, kind] : it->second.dependencies) {
+      if (seen.insert(dep).second) frontier.push_back(dep);
+    }
+  }
+  return false;
+}
+
+util::Status DependencyGraph::add(const std::string& dependent,
+                                  const std::string& dependency,
+                                  DependencyKind kind) {
+  if (dependent == dependency) {
+    return {util::ErrorCode::kInvalidArgument,
+            "'" + dependent + "' cannot depend on itself"};
+  }
+  // A cycle exists iff the dependency already (transitively) depends on the
+  // dependent.
+  if (reaches(dependency, dependent)) {
+    return {util::ErrorCode::kInvalidArgument,
+            "edge '" + dependent + "' -> '" + dependency +
+                "' would close a dependency cycle"};
+  }
+  auto& out = nodes_[dependent].dependencies;
+  auto existing = std::find_if(out.begin(), out.end(), [&](const auto& e) {
+    return e.first == dependency;
+  });
+  if (existing != out.end()) {
+    existing->second = kind;
+  } else {
+    out.emplace_back(dependency, kind);
+  }
+  auto& in = nodes_[dependency].dependents;
+  auto back = std::find_if(in.begin(), in.end(), [&](const auto& e) {
+    return e.first == dependent;
+  });
+  if (back != in.end()) {
+    back->second = kind;
+  } else {
+    in.emplace_back(dependent, kind);
+  }
+  return util::Status::ok();
+}
+
+void DependencyGraph::drop_empty(const std::string& name) {
+  auto it = nodes_.find(name);
+  if (it != nodes_.end() && it->second.dependencies.empty() &&
+      it->second.dependents.empty()) {
+    nodes_.erase(it);
+  }
+}
+
+std::size_t DependencyGraph::remove_node(const std::string& name) {
+  auto it = nodes_.find(name);
+  if (it == nodes_.end()) return 0;
+  std::size_t removed = 0;
+  for (const auto& [dep, kind] : it->second.dependencies) {
+    auto& in = nodes_[dep].dependents;
+    removed += std::erase_if(in, [&](const auto& e) { return e.first == name; });
+  }
+  for (const auto& [dep, kind] : it->second.dependents) {
+    auto& out = nodes_[dep].dependencies;
+    removed +=
+        std::erase_if(out, [&](const auto& e) { return e.first == name; });
+  }
+  nodes_.erase(name);
+  // Counterparts left with no edges disappear too.
+  for (auto n = nodes_.begin(); n != nodes_.end();) {
+    if (n->second.dependencies.empty() && n->second.dependents.empty()) {
+      n = nodes_.erase(n);
+    } else {
+      ++n;
+    }
+  }
+  return removed;
+}
+
+std::size_t DependencyGraph::remove_dependencies_of(
+    const std::string& dependent) {
+  auto it = nodes_.find(dependent);
+  if (it == nodes_.end()) return 0;
+  std::size_t removed = it->second.dependencies.size();
+  for (const auto& [dep, kind] : it->second.dependencies) {
+    auto& in = nodes_[dep].dependents;
+    std::erase_if(in, [&](const auto& e) { return e.first == dependent; });
+    drop_empty(dep);
+  }
+  it->second.dependencies.clear();
+  drop_empty(dependent);
+  return removed;
+}
+
+bool DependencyGraph::has_edge(const std::string& dependent,
+                               const std::string& dependency) const {
+  auto it = nodes_.find(dependent);
+  if (it == nodes_.end()) return false;
+  return std::any_of(
+      it->second.dependencies.begin(), it->second.dependencies.end(),
+      [&](const auto& e) { return e.first == dependency; });
+}
+
+std::vector<std::string> DependencyGraph::dependents_of(
+    const std::string& name) const {
+  std::vector<std::string> out;
+  auto it = nodes_.find(name);
+  if (it == nodes_.end()) return out;
+  out.reserve(it->second.dependents.size());
+  for (const auto& [dep, kind] : it->second.dependents) out.push_back(dep);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<DependencyEdge> DependencyGraph::dependencies_of(
+    const std::string& name) const {
+  std::vector<DependencyEdge> out;
+  auto it = nodes_.find(name);
+  if (it == nodes_.end()) return out;
+  for (const auto& [dep, kind] : it->second.dependencies) {
+    out.push_back(DependencyEdge{name, dep, kind});
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.dependency < b.dependency;
+  });
+  return out;
+}
+
+std::vector<std::string> DependencyGraph::required_cascade(
+    const std::vector<std::string>& dead) const {
+  // BFS the reverse (dependent) edges restricted to required kind.
+  std::set<std::string> dead_set(dead.begin(), dead.end());
+  std::set<std::string> tainted;
+  std::deque<std::string> frontier(dead.begin(), dead.end());
+  std::set<std::string> visited = dead_set;
+  while (!frontier.empty()) {
+    const std::string cur = std::move(frontier.front());
+    frontier.pop_front();
+    auto it = nodes_.find(cur);
+    if (it == nodes_.end()) continue;
+    for (const auto& [dep, kind] : it->second.dependents) {
+      if (kind != DependencyKind::kRequired) continue;
+      if (!dead_set.contains(dep)) tainted.insert(dep);
+      if (visited.insert(dep).second) frontier.push_back(dep);
+    }
+  }
+  // Kahn's algorithm over the subgraph induced by the tainted set: a node
+  // is ready once none of its tainted dependencies remain unordered. The
+  // ready set iterates in name order, so the result is deterministic.
+  std::vector<std::string> order;
+  std::set<std::string> remaining = tainted;
+  while (!remaining.empty()) {
+    bool progressed = false;
+    for (auto it = remaining.begin(); it != remaining.end();) {
+      auto node = nodes_.find(*it);
+      bool ready = true;
+      if (node != nodes_.end()) {
+        for (const auto& [dep, kind] : node->second.dependencies) {
+          if (remaining.contains(dep) && dep != *it) {
+            ready = false;
+            break;
+          }
+        }
+      }
+      if (ready) {
+        order.push_back(*it);
+        it = remaining.erase(it);
+        progressed = true;
+      } else {
+        ++it;
+      }
+    }
+    // The graph is acyclic by construction; this is belt-and-braces against
+    // future invariants breaking, not a reachable path.
+    if (!progressed) {
+      order.insert(order.end(), remaining.begin(), remaining.end());
+      break;
+    }
+  }
+  return order;
+}
+
+std::vector<std::string> DependencyGraph::topo_order(
+    const std::vector<std::string>& names) const {
+  // Same Kahn loop as required_cascade, over the caller's set: a name is
+  // ready once none of its in-set dependencies remain unordered. Unknown
+  // names have no edges and come out first (in name order).
+  std::vector<std::string> order;
+  std::set<std::string> remaining(names.begin(), names.end());
+  while (!remaining.empty()) {
+    bool progressed = false;
+    for (auto it = remaining.begin(); it != remaining.end();) {
+      auto node = nodes_.find(*it);
+      bool ready = true;
+      if (node != nodes_.end()) {
+        for (const auto& [dep, kind] : node->second.dependencies) {
+          if (remaining.contains(dep) && dep != *it) {
+            ready = false;
+            break;
+          }
+        }
+      }
+      if (ready) {
+        order.push_back(*it);
+        it = remaining.erase(it);
+        progressed = true;
+      } else {
+        ++it;
+      }
+    }
+    if (!progressed) {  // unreachable while the graph stays acyclic
+      order.insert(order.end(), remaining.begin(), remaining.end());
+      break;
+    }
+  }
+  return order;
+}
+
+std::vector<std::string> DependencyGraph::optional_dependents(
+    const std::vector<std::string>& dead) const {
+  std::set<std::string> dead_set(dead.begin(), dead.end());
+  std::set<std::string> out;
+  for (const auto& name : dead) {
+    auto it = nodes_.find(name);
+    if (it == nodes_.end()) continue;
+    for (const auto& [dep, kind] : it->second.dependents) {
+      if (kind == DependencyKind::kOptional && !dead_set.contains(dep)) {
+        out.insert(dep);
+      }
+    }
+  }
+  return {out.begin(), out.end()};
+}
+
+std::size_t DependencyGraph::edge_count() const {
+  std::size_t n = 0;
+  for (const auto& [name, node] : nodes_) n += node.dependencies.size();
+  return n;
+}
+
+std::size_t DependencyGraph::node_count() const { return nodes_.size(); }
+
+std::vector<DependencyEdge> DependencyGraph::edges() const {
+  std::vector<DependencyEdge> out;
+  for (const auto& [name, node] : nodes_) {
+    for (const auto& [dep, kind] : node.dependencies) {
+      out.push_back(DependencyEdge{name, dep, kind});
+    }
+  }
+  return out;
+}
+
+std::string DependencyGraph::render() const {
+  std::vector<std::vector<std::string>> rows;
+  for (const DependencyEdge& e : edges()) {
+    rows.push_back({e.dependent, e.dependency,
+                    std::string(dependency_kind_name(e.kind))});
+  }
+  return util::render_table({"dependent", "dependency", "kind"}, rows);
+}
+
+}  // namespace sensorcer::rio

@@ -1,0 +1,111 @@
+#pragma once
+// Dependency graph over provisioned instances — the resource chains of
+// temoto2's RMP brought to Rio. Deployed instances are graph nodes (keyed
+// by instance name, which survives re-provisioning); a directed edge
+// A -> B means "A depends on B". The provision monitor registers edges at
+// provision time (a CSP on its component ESPs, a history-fed ESP on its
+// historian, flow relays on their sink providers) and cascades along them
+// in poll_once: when a required dependency dies, its dependents are
+// re-provisioned in topological order; an optional dependency's death only
+// degrades its dependents (they keep running and recover when the
+// dependency returns).
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sensorcer::rio {
+
+/// How hard a dependency edge binds.
+enum class DependencyKind {
+  /// Dependent cannot run correctly without the dependency: its death
+  /// cascades a re-provision of the dependent (after the dependency itself
+  /// has been re-placed).
+  kRequired,
+  /// Dependent degrades gracefully (buffers, serves stale data) while the
+  /// dependency is gone; it is marked degraded but never restarted.
+  kOptional,
+};
+
+const char* dependency_kind_name(DependencyKind kind);
+
+/// One directed edge: `dependent` depends on `dependency`.
+struct DependencyEdge {
+  std::string dependent;
+  std::string dependency;
+  DependencyKind kind = DependencyKind::kRequired;
+};
+
+class DependencyGraph {
+ public:
+  /// Register an edge. Idempotent for an identical edge; re-adding with a
+  /// different kind updates it. Fails with kInvalidArgument when the edge
+  /// would close a dependency cycle.
+  util::Status add(const std::string& dependent, const std::string& dependency,
+                   DependencyKind kind = DependencyKind::kRequired);
+
+  /// Drop every edge touching `name` (instance torn down). Returns the
+  /// number of edges removed.
+  std::size_t remove_node(const std::string& name);
+
+  /// Drop the edges declared by `dependent` (its dependencies), keeping
+  /// edges where it is the dependency of others.
+  std::size_t remove_dependencies_of(const std::string& dependent);
+
+  [[nodiscard]] bool has_edge(const std::string& dependent,
+                              const std::string& dependency) const;
+
+  /// Direct dependents of `name` (who depends on it).
+  [[nodiscard]] std::vector<std::string> dependents_of(
+      const std::string& name) const;
+
+  /// Direct dependencies of `name`, optionally restricted by kind.
+  [[nodiscard]] std::vector<DependencyEdge> dependencies_of(
+      const std::string& name) const;
+
+  /// Transitive dependents of the `dead` set reachable over *required*
+  /// edges, excluding the dead set itself, in topological order
+  /// (dependencies before their dependents) — the cascade re-provision
+  /// order. Deterministic: ties broken by name.
+  [[nodiscard]] std::vector<std::string> required_cascade(
+      const std::vector<std::string>& dead) const;
+
+  /// `names` reordered so dependencies come before their dependents (names
+  /// unknown to the graph are unconstrained). Deterministic.
+  [[nodiscard]] std::vector<std::string> topo_order(
+      const std::vector<std::string>& names) const;
+
+  /// Direct dependents reaching any of `dead` over an *optional* edge —
+  /// the gracefully-degraded set.
+  [[nodiscard]] std::vector<std::string> optional_dependents(
+      const std::vector<std::string>& dead) const;
+
+  [[nodiscard]] std::size_t edge_count() const;
+  [[nodiscard]] std::size_t node_count() const;
+  [[nodiscard]] std::vector<DependencyEdge> edges() const;
+
+  /// Human-readable edge list for ops tooling / browser panes.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Node {
+    /// Outgoing edges: what this node depends on.
+    std::vector<std::pair<std::string, DependencyKind>> dependencies;
+    /// Incoming edges: who depends on this node (kind mirrors the edge).
+    std::vector<std::pair<std::string, DependencyKind>> dependents;
+  };
+
+  /// True when `from` can reach `to` following dependency (outgoing) edges.
+  [[nodiscard]] bool reaches(const std::string& from,
+                             const std::string& to) const;
+  void drop_empty(const std::string& name);
+
+  // Sorted map keeps every traversal deterministic.
+  std::map<std::string, Node> nodes_;
+};
+
+}  // namespace sensorcer::rio

@@ -4,13 +4,25 @@
 // instances whose cybernode failed ("fault tolerance achieved by
 // dynamically allocating the service to a different compute node, if the
 // original node fails", §IV.C).
+//
+// Deployed instances form a dependency graph (see rio/depgraph.h): when a
+// dependency dies, poll_once cascades along required edges in topological
+// order — the dependency is re-placed first, then each dependent is
+// restarted with state hand-off — while optional edges merely mark their
+// dependents degraded until the dependency returns. Identical in-flight
+// placement requests within one sweep are deduplicated: a fan-out of N
+// dependents needing the same dead dependency issues one placement query.
 
+#include <cstdint>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "registry/lease_renewal.h"
 #include "rio/cybernode.h"
+#include "rio/depgraph.h"
 #include "rio/opstring.h"
 #include "sorcer/accessor.h"
 #include "util/scheduler.h"
@@ -46,25 +58,59 @@ class ProvisionMonitor : public sorcer::ServiceProvider {
   /// stay deployed and will be retried by the poll loop).
   util::Status deploy(OperationalString opstring);
 
-  /// Tear an operational string down: evict and deregister all instances.
+  /// Tear an operational string down: evict and deregister all instances,
+  /// and drop their dependency-graph nodes so stale edges cannot cascade a
+  /// re-provision of an undeployed opstring.
   util::Status undeploy(const std::string& opstring_name);
 
   /// Instances currently deployed for an opstring (all opstrings when "").
   [[nodiscard]] std::vector<std::shared_ptr<sorcer::ServiceProvider>>
   deployed_instances(const std::string& opstring_name = "") const;
 
+  // --- dependencies -----------------------------------------------------------
+
+  /// Declare that deployed instance `dependent` depends on instance
+  /// `dependency`. Names are instance names (which survive re-provisioning);
+  /// neither side has to be deployed by this monitor — foreign names simply
+  /// never trigger a cascade. Fails when the edge would close a cycle.
+  util::Status add_dependency(const std::string& dependent,
+                              const std::string& dependency,
+                              DependencyKind kind = DependencyKind::kRequired);
+
+  [[nodiscard]] const DependencyGraph& dependencies() const { return graph_; }
+  [[nodiscard]] DependencyGraph& dependencies() { return graph_; }
+
   // --- monitoring --------------------------------------------------------------
 
-  /// One monitoring pass: replace instances whose cybernode died. Runs
-  /// automatically every poll_period; exposed for deterministic tests.
+  /// One monitoring pass: replace instances whose cybernode died, cascade
+  /// along dependency edges, recompute the degraded set. Runs automatically
+  /// every poll_period; exposed for deterministic tests.
   void poll_once();
 
-  [[nodiscard]] std::uint64_t provision_count() const { return provisions_; }
-  [[nodiscard]] std::uint64_t reprovision_count() const {
-    return reprovisions_;
+  [[nodiscard]] std::uint64_t provision_count() const;
+  [[nodiscard]] std::uint64_t reprovision_count() const;
+  [[nodiscard]] std::uint64_t failed_placements() const;
+  /// Dependents restarted because a required dependency died.
+  [[nodiscard]] std::uint64_t cascade_count() const;
+  /// Placement requests answered from the per-sweep single-flight cache.
+  [[nodiscard]] std::uint64_t placement_dedup_count() const;
+
+  /// Instances currently degraded: their dependency (required, awaiting
+  /// capacity, or optional) is gone and has not been re-placed yet. The set
+  /// is recomputed every poll, so it self-heals.
+  [[nodiscard]] std::vector<std::string> degraded_instances() const;
+  [[nodiscard]] bool is_degraded(const std::string& instance) const {
+    return degraded_.contains(instance);
   }
-  [[nodiscard]] std::uint64_t failed_placements() const {
-    return failed_placements_;
+
+  /// Deployment records whose node is gone (kept for retry — capacity may
+  /// return). Cheap bookkeeping check, no wire pings.
+  [[nodiscard]] std::size_t unplaced_count() const;
+
+  /// True when every deployed instance sits on a live node that still hosts
+  /// it and nothing is degraded — the chaos harness's convergence check.
+  [[nodiscard]] bool converged() const {
+    return unplaced_count() == 0 && degraded_.empty();
   }
 
   /// Cybernodes currently discoverable through the accessor.
@@ -92,6 +138,16 @@ class ProvisionMonitor : public sorcer::ServiceProvider {
   void register_instance(
       const std::shared_ptr<sorcer::ServiceProvider>& service);
 
+  /// Re-provision one lost deployment, at most once per sweep: repeated
+  /// requests for the same instance (the dependency shared by N dependents)
+  /// return the first placement's outcome from the single-flight cache.
+  util::Status ensure_placed(const Deployment& d);
+  /// Restart a live dependent whose required dependency died: evict, place
+  /// afresh, hand state over. Rolls back onto the old node on failure.
+  bool restart_dependent(const Deployment& d);
+  [[nodiscard]] const OperationalString* find_opstring(
+      const std::string& name) const;
+
   sorcer::ServiceAccessor& accessor_;
   registry::LeaseRenewalManager& lrm_;
   util::Scheduler& scheduler_;
@@ -101,9 +157,24 @@ class ProvisionMonitor : public sorcer::ServiceProvider {
 
   std::vector<OperationalString> opstrings_;
   std::vector<Deployment> deployments_;
-  std::uint64_t provisions_ = 0;
-  std::uint64_t reprovisions_ = 0;
-  std::uint64_t failed_placements_ = 0;
+  DependencyGraph graph_;
+  std::set<std::string> degraded_;
+
+  // Per-sweep state. `sweep_outcome_` is the single-flight placement cache;
+  // `undeployed_in_sweep_` records opstrings undeployed while a wire ping
+  // was pumping the scheduler, so an in-flight re-provision can abort
+  // instead of resurrecting a torn-down opstring.
+  std::map<std::string, util::Status> sweep_outcome_;
+  std::set<std::string> undeployed_in_sweep_;
+  std::map<const Cybernode*, bool> health_cache_;
+
+  // Counters live on the process-global obs registry; per-monitor views are
+  // deltas against the values captured at construction.
+  std::uint64_t provisions_base_ = 0;
+  std::uint64_t reprovisions_base_ = 0;
+  std::uint64_t failed_placements_base_ = 0;
+  std::uint64_t cascades_base_ = 0;
+  std::uint64_t dedup_base_ = 0;
 };
 
 }  // namespace sensorcer::rio

@@ -265,11 +265,30 @@ std::string_view PathInternTable::lookup(std::uint32_t id) const {
   return by_id_[id];
 }
 
+void PathInternTable::reset() {
+  // Arena storage stays put (outstanding views may still point into it);
+  // only the assignments are forgotten, so the next encode starts a fresh
+  // definition stream under a new epoch.
+  ids_.clear();
+  by_id_.clear();
+  ++epoch_;
+}
+
+PathInternTable::Adopt PathInternTable::adopt_epoch(std::uint32_t epoch) {
+  if (epoch == epoch_) return Adopt::kCurrent;
+  if (epoch < epoch_) return Adopt::kStale;
+  ids_.clear();
+  by_id_.clear();
+  epoch_ = epoch;
+  return Adopt::kAdopted;
+}
+
 // --- flat codec --------------------------------------------------------------
 
 void encode_context(const ServiceContext& ctx, PathInternTable& interner,
                     WireBuffer& out) {
   out.clear();
+  put_varint(out, interner.epoch());
   put_varint(out, ctx.name().size());
   put_bytes(out, ctx.name().data(), ctx.name().size());
   put_varint(out, ctx.size());
@@ -291,6 +310,13 @@ void encode_context(const ServiceContext& ctx, PathInternTable& interner,
 util::Status decode_context(const std::uint8_t* data, std::size_t size,
                             PathInternTable& interner, ServiceContext& into) {
   Reader r{data, data + size};
+  std::uint64_t epoch = 0;
+  if (!r.varint(epoch)) return truncated();
+  if (interner.adopt_epoch(static_cast<std::uint32_t>(epoch)) ==
+      PathInternTable::Adopt::kStale) {
+    return {util::ErrorCode::kCodecDesync,
+            "stale intern epoch " + std::to_string(epoch)};
+  }
   std::uint64_t name_len = 0;
   std::string_view name;
   if (!r.varint(name_len) || !r.view(name_len, name)) return truncated();
@@ -311,7 +337,9 @@ util::Status decode_context(const std::uint8_t* data, std::size_t size,
       // Bounds-check the id itself: the empty path is a legal intern entry,
       // so an empty lookup() result cannot signal "unknown".
       if (id >= interner.size()) {
-        return {util::ErrorCode::kInvalidArgument,
+        // The message that carried this id's definition was dropped by the
+        // fabric; the caller resets the stream (see PathInternTable::reset).
+        return {util::ErrorCode::kCodecDesync,
                 "unknown interned path id " + std::to_string(id)};
       }
       path = interner.lookup(id);

@@ -98,6 +98,21 @@ class PathInternTable {
   /// Decoder side: the interned path, or empty view when unknown.
   [[nodiscard]] std::string_view lookup(std::uint32_t id) const;
 
+  /// Loss recovery, encoder side: definitions ride only the first message
+  /// that uses a path, so a dropped message strands the decoder behind this
+  /// table forever. reset() forgets every assignment and advances the
+  /// stream epoch — the next encode re-defines all paths inline and the
+  /// decoder adopts the fresh stream by its higher epoch.
+  void reset();
+  [[nodiscard]] std::uint32_t epoch() const { return epoch_; }
+
+  /// Decoder side: align with the epoch stamped on an incoming encoding.
+  /// A newer epoch clears learned mappings (the encoder restarted the
+  /// stream); an older one marks a stale in-flight message whose ids no
+  /// longer mean anything.
+  enum class Adopt { kCurrent, kAdopted, kStale };
+  Adopt adopt_epoch(std::uint32_t epoch);
+
   [[nodiscard]] std::size_t size() const { return by_id_.size(); }
   [[nodiscard]] const ContextArena& arena() const { return arena_; }
 
@@ -105,6 +120,7 @@ class PathInternTable {
   ContextArena arena_;
   std::unordered_map<std::string_view, std::uint32_t> ids_;
   std::vector<std::string_view> by_id_;
+  std::uint32_t epoch_ = 0;
 };
 
 /// Flat binary codec. encode appends to `out` (cleared first); decode

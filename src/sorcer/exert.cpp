@@ -46,15 +46,20 @@ util::Result<ExertionPtr> exert_impl(const ExertionPtr& exertion,
       }
       auto result =
           invoke_servicer(accessor, resolved.value().servicer, exertion, txn);
+      const util::ErrorCode code = task->error().code();
+      // An intern-stream desync is repaired by the failure itself (the
+      // invoker resets the stream when it processes the error), so the
+      // retry goes back to the SAME provider rather than excluding it.
+      const bool desync = code == util::ErrorCode::kCodecDesync;
       const bool substitutable =
           task->status() == ExertStatus::kFailed &&
-          (task->error().code() == util::ErrorCode::kUnavailable ||
-           task->error().code() == util::ErrorCode::kTimeout);
+          (code == util::ErrorCode::kUnavailable ||
+           code == util::ErrorCode::kTimeout || desync);
       if (!substitutable || attempt + 1 == kMaxAttempts) {
         return result;
       }
       exert_metrics().substitutions.add(1);
-      tried.push_back(resolved.value().id);
+      if (!desync) tried.push_back(resolved.value().id);
       task->reset();
     }
     return util::Result<ExertionPtr>(exertion);  // unreachable
@@ -137,13 +142,17 @@ void settle_flight(Flight& f, ServiceAccessor& accessor,
   f.result_ok = f.call.result().is_ok();
   if (f.exertion->kind() == Exertion::Kind::kTask) {
     auto task = std::static_pointer_cast<Task>(f.exertion);
+    const util::ErrorCode code = task->error().code();
+    // A desync retry goes back to the same provider (the failed call
+    // already reset the intern stream) instead of excluding it.
+    const bool desync = code == util::ErrorCode::kCodecDesync;
     const bool substitutable =
         task->status() == ExertStatus::kFailed &&
-        (task->error().code() == util::ErrorCode::kUnavailable ||
-         task->error().code() == util::ErrorCode::kTimeout);
+        (code == util::ErrorCode::kUnavailable ||
+         code == util::ErrorCode::kTimeout || desync);
     if (substitutable && f.attempts < f.max_attempts) {
       exert_metrics().substitutions.add(1);
-      f.tried.push_back(f.last_provider);
+      if (!desync) f.tried.push_back(f.last_provider);
       task->reset();
       launch_flight(f, accessor, txn);
       return;

@@ -243,8 +243,12 @@ PendingCall RemoteInvoker::begin_invoke(
   req.destination = provider->network_address();
   req.topic = wire::kRequestTopic;
   req.payload_bytes = payload->size() + wire::kFlatRequestEnvelopeBytes;
-  req.body = wire::Request{call.call_id_, addr_, exertion, txn,
-                           std::move(payload)};
+  wire::Request body{call.call_id_, addr_, exertion, txn, std::move(payload)};
+  // Re-armed on every failed decode, so a lost flagged request just means
+  // the next retry carries the flag again.
+  body.reset_reply_interning =
+      reply_reset_.erase(provider->network_address()) > 0;
+  req.body = std::move(body);
   req.protocol = simnet::Protocol::kTcp;
 
   if (util::Status sent = net_.send(req); !sent.is_ok()) {
@@ -279,6 +283,12 @@ void RemoteInvoker::finish_call(PendingCall& call, const Arrival* arrival) {
     }
     invoke_metrics().rtt_us.observe(static_cast<double>(call.elapsed_));
     util::Status transport_status = arrival->status;
+    if (transport_status.code() == util::ErrorCode::kCodecDesync) {
+      // The provider lost our request-intern stream (the message that
+      // carried its definitions was dropped): restart the stream so the
+      // retry re-defines every path inline.
+      codec_.encode[arrival->from].reset();
+    }
     if (transport_status.is_ok() && arrival->payload) {
       // Unmarshal the provider's response context back into the exertion —
       // the requestor-side half of the real codec work the payload_bytes
@@ -288,9 +298,17 @@ void RemoteInvoker::finish_call(PendingCall& call, const Arrival* arrival) {
           decode_context(arrival->payload->data(), arrival->payload->size(),
                          codec_.decode[arrival->from],
                          call.exertion_->context());
+      if (transport_status.code() == util::ErrorCode::kCodecDesync) {
+        // Our side of the response stream is broken; the next request tells
+        // the provider to restart it.
+        reply_reset_.insert(arrival->from);
+      }
     }
     if (!transport_status.is_ok()) {
       call.span_.set_ok(false);
+      // Mark the exertion too: the retry/substitution machinery keys off
+      // the task's error code, not just the call result.
+      call.exertion_->set_error(transport_status);
       call.result_.emplace(transport_status);
     } else {
       call.span_.set_ok(call.exertion_->status() != ExertStatus::kFailed);

@@ -93,6 +93,10 @@ struct Request {
   ExertionPtr exertion;
   registry::Transaction* txn = nullptr;
   BufferPool::Handle payload;
+  /// Loss recovery: the requestor failed to decode an earlier response
+  /// (a definition-bearing message was dropped) — the provider must reset
+  /// its response-intern table for reply_to before encoding.
+  bool reset_reply_interning = false;
 };
 
 /// Response body. `transport_status` reports dispatch-layer failures only;
@@ -264,6 +268,10 @@ class RemoteInvoker {
   std::unordered_set<std::uint64_t> pending_;
   std::unordered_map<std::uint64_t, Arrival> done_;
   WireCodecState codec_;
+  // Providers whose response-intern stream we could not decode (a
+  // definition-bearing response was lost): the next request to each carries
+  // reset_reply_interning so the provider restarts its side.
+  std::unordered_set<simnet::Address> reply_reset_;
   // In-process calls run invoke() concurrently from pool threads (the wire
   // path is scheduler-thread only), so the recycling pool takes a mutex.
   std::mutex call_pool_mu_;

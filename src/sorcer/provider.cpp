@@ -106,6 +106,13 @@ void ServiceProvider::handle_network_message(const simnet::Message& msg) {
   const auto* req = std::any_cast<wire::Request>(&msg.body);
   if (req == nullptr || !req->exertion) return;
 
+  if (req->reset_reply_interning) {
+    // The requestor could not decode an earlier response (a definition
+    // message was lost): restart the response-intern stream so this reply
+    // re-defines every path inline.
+    codec_->encode[req->reply_to].reset();
+  }
+
   util::Scheduler& sched = net_->scheduler();
   const util::SimTime started = sched.now();
   const util::SimDuration accrued_before = req->exertion->latency();
@@ -209,6 +216,10 @@ void ServiceProvider::crash() {
     if (j.lrm != nullptr) j.lrm->release(j.lease_id);
   }
   joined_.clear();
+  if (!crashed_) {
+    crashed_ = true;
+    on_crashed();
+  }
 }
 
 util::Result<ExertionPtr> ServiceProvider::service(

@@ -69,8 +69,13 @@ class ServiceProvider : public Servicer,
   void leave();
 
   /// Stop renewing but do not cancel: simulates a crashed provider whose
-  /// registrations linger until their leases expire (§IV.B).
+  /// registrations linger until their leases expire (§IV.B). Subclasses
+  /// with autonomous activity (sampling timers, push feeders) stop it via
+  /// the on_crashed() hook — a crashed process does no further work.
   void crash();
+
+  /// True once crash() ran (the provider is a zombie awaiting lease lapse).
+  [[nodiscard]] bool crashed() const { return crashed_; }
 
   [[nodiscard]] bool is_joined() const { return !joined_.empty(); }
 
@@ -105,8 +110,16 @@ class ServiceProvider : public Servicer,
 
  protected:
   /// Per-provider invocation lock; subclasses coordinating their own state
-  /// with operations may lock it too.
-  std::mutex& invoke_mutex() { return mu_; }
+  /// with operations may lock it too. Recursive because an operation that
+  /// pumps the virtual-time scheduler (a composite's wire fan-out waiting on
+  /// components) can have a queued request for this same provider dispatched
+  /// on its own stack — that nested dispatch must not self-deadlock.
+  std::recursive_mutex& invoke_mutex() { return mu_; }
+
+  /// Called once from crash(): stop autonomous activity (timers, feeders).
+  /// A crashed provider's registrations linger until the leases lapse, but
+  /// the process behind them is gone — it must not keep sampling or pushing.
+  virtual void on_crashed() {}
 
   /// Extra modeled latency charged to a task after `selector` ran, on top of
   /// the operation's static service time. Composite providers override this
@@ -139,7 +152,8 @@ class ServiceProvider : public Servicer,
   registry::Entry attributes_;
   std::map<std::string, OpRecord> operations_;
   std::vector<Joined> joined_;
-  std::mutex mu_;
+  bool crashed_ = false;
+  std::recursive_mutex mu_;
   std::uint64_t invocations_ = 0;
   simnet::Network* net_ = nullptr;
   simnet::Address net_addr_;

@@ -18,6 +18,18 @@ std::string format_duration(SimDuration d) {
   return buf;
 }
 
+Scheduler::~Scheduler() {
+  // A queued callback can own the last reference to an object (a provider
+  // captured by an in-flight wire delivery, say) whose destructor calls
+  // cancel() back into this scheduler. Unlink each node before destroying
+  // its event so those re-entrant calls see a consistent map instead of one
+  // mid-destruction.
+  while (!queue_.empty()) {
+    auto node = queue_.extract(queue_.begin());
+    (void)node;  // the event (and its captures) dies here, queue_ intact
+  }
+}
+
 TimerId Scheduler::schedule_at(SimTime when, std::function<void()> fn) {
   const TimerId id = next_id_++;
   queue_.emplace(Key{std::max(when, now_), seq_++}, Event{id, std::move(fn), 0});

@@ -23,6 +23,8 @@ inline constexpr SimTime kNever = INT64_MAX;
 
 class Scheduler {
  public:
+  ~Scheduler();
+
   /// Current virtual time.
   [[nodiscard]] SimTime now() const { return now_; }
 

@@ -12,6 +12,7 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kTimeout: return "TIMEOUT";
     case ErrorCode::kAborted: return "ABORTED";
     case ErrorCode::kCapacity: return "CAPACITY";
+    case ErrorCode::kCodecDesync: return "CODEC_DESYNC";
     case ErrorCode::kInternal: return "INTERNAL";
   }
   return "UNKNOWN";

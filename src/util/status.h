@@ -21,6 +21,7 @@ enum class ErrorCode {
   kTimeout,
   kAborted,         // transaction aborted
   kCapacity,        // QoS not satisfiable / cybernode full
+  kCodecDesync,     // interned wire stream lost a definition message
   kInternal,
 };
 

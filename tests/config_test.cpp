@@ -137,10 +137,12 @@ TEST(ConfigFailover, SnapshotRestoresReprovisionedComposite) {
   for (const auto& node : lab.cybernodes()) {
     if (node->hosted_count() > 0) node->fail();
   }
-  lab.pump(10 * kSecond);  // reprovisioned, but empty
+  lab.pump(10 * kSecond);  // reprovisioned; state hand-off keeps the wiring
   auto info = lab.facade().service_information("Watch");
   ASSERT_TRUE(info.is_ok());
-  EXPECT_TRUE(info.value().contained.empty());
+  EXPECT_EQ(info.value().contained.size(), 2u);
+  // Applying the saved description on top must be idempotent: the adopted
+  // composition is kept, not duplicated or rejected.
 
   auto parsed = parse_description(saved);
   ASSERT_TRUE(parsed.is_ok());

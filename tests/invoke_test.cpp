@@ -565,7 +565,39 @@ TEST(CodecTest, UnknownInternIdIsRejected) {
   EXPECT_EQ(sorcer::decode_context(warm.data(), warm.size(), fresh_decoder,
                                    decoded)
                 .code(),
-            util::ErrorCode::kInvalidArgument);
+            util::ErrorCode::kCodecDesync);
+}
+
+TEST(CodecTest, EncoderResetRecoversALostDefinitionStream) {
+  const sorcer::ServiceContext ctx = codec_sample_context();
+  sorcer::PathInternTable encoder;
+  sorcer::WireBuffer cold, warm, recovered;
+  sorcer::encode_context(ctx, encoder, cold);  // defines every path — "lost"
+  sorcer::encode_context(ctx, encoder, warm);  // bare ids only
+
+  sorcer::PathInternTable decoder;  // never saw `cold`
+  sorcer::ServiceContext decoded;
+  ASSERT_EQ(
+      sorcer::decode_context(warm.data(), warm.size(), decoder, decoded)
+          .code(),
+      util::ErrorCode::kCodecDesync);
+
+  // The loss-recovery path: the encoder resets its stream, the next
+  // encoding re-defines every path inline under a higher epoch, and the
+  // stranded decoder adopts it.
+  encoder.reset();
+  sorcer::encode_context(ctx, encoder, recovered);
+  ASSERT_TRUE(sorcer::decode_context(recovered.data(), recovered.size(),
+                                     decoder, decoded)
+                  .is_ok());
+  EXPECT_EQ(decoded.size(), ctx.size());
+
+  // A stale pre-reset encoding arriving late must be rejected, not decoded
+  // against the new stream's mappings.
+  EXPECT_EQ(
+      sorcer::decode_context(warm.data(), warm.size(), decoder, decoded)
+          .code(),
+      util::ErrorCode::kCodecDesync);
 }
 
 TEST(CodecTest, TruncatedEncodingIsRejectedNotCrashed) {

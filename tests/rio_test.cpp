@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "registry/lease_renewal.h"
 #include "rio/monitor.h"
 #include "sorcer/exert.h"
@@ -284,6 +286,273 @@ TEST_F(MonitorTest, ProvisionedServiceIsInvocable) {
       "t", sorcer::Signature{sorcer::type::kTasker, "noop", "svc"});
   (void)sorcer::exert(task, accessor);
   EXPECT_EQ(task->status(), sorcer::ExertStatus::kDone);
+}
+
+// --- DependencyGraph ---------------------------------------------------------------
+
+TEST(DepGraph, AddAndQueryEdges) {
+  DependencyGraph g;
+  ASSERT_TRUE(g.add("csp", "esp-1").is_ok());
+  ASSERT_TRUE(g.add("csp", "esp-2").is_ok());
+  ASSERT_TRUE(g.add("esp-1", "hist", DependencyKind::kOptional).is_ok());
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_TRUE(g.has_edge("csp", "esp-1"));
+  EXPECT_FALSE(g.has_edge("esp-1", "csp"));
+  EXPECT_EQ(g.dependents_of("esp-1"), (std::vector<std::string>{"csp"}));
+  ASSERT_EQ(g.dependencies_of("csp").size(), 2u);
+
+  // Idempotent re-add; re-adding with a new kind updates in place.
+  ASSERT_TRUE(g.add("csp", "esp-1").is_ok());
+  EXPECT_EQ(g.edge_count(), 3u);
+  ASSERT_TRUE(g.add("esp-1", "hist", DependencyKind::kRequired).is_ok());
+  EXPECT_EQ(g.dependencies_of("esp-1")[0].kind, DependencyKind::kRequired);
+  EXPECT_NE(g.render().find("csp"), std::string::npos);
+}
+
+TEST(DepGraph, RejectsCycles) {
+  DependencyGraph g;
+  EXPECT_FALSE(g.add("a", "a").is_ok());
+  ASSERT_TRUE(g.add("a", "b").is_ok());
+  ASSERT_TRUE(g.add("b", "c").is_ok());
+  EXPECT_EQ(g.add("c", "a").code(), util::ErrorCode::kInvalidArgument);
+  EXPECT_FALSE(g.has_edge("c", "a"));
+}
+
+TEST(DepGraph, RequiredCascadeIsTopologicalAndSkipsOptional) {
+  DependencyGraph g;
+  ASSERT_TRUE(g.add("mid", "base").is_ok());
+  ASSERT_TRUE(g.add("top", "mid").is_ok());
+  ASSERT_TRUE(g.add("side", "base", DependencyKind::kOptional).is_ok());
+  // Dependencies before dependents, the dead set itself excluded, and the
+  // optional dependent left alone.
+  EXPECT_EQ(g.required_cascade({"base"}),
+            (std::vector<std::string>{"mid", "top"}));
+  EXPECT_EQ(g.optional_dependents({"base"}),
+            (std::vector<std::string>{"side"}));
+}
+
+TEST(DepGraph, TopoOrderReordersNames) {
+  DependencyGraph g;
+  ASSERT_TRUE(g.add("mid", "base").is_ok());
+  ASSERT_TRUE(g.add("top", "mid").is_ok());
+  EXPECT_EQ(g.topo_order({"top", "base", "mid"}),
+            (std::vector<std::string>{"base", "mid", "top"}));
+  // Names the graph has never seen are unconstrained but preserved.
+  auto order = g.topo_order({"top", "stranger", "base"});
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_LT(std::find(order.begin(), order.end(), "base") - order.begin(),
+            std::find(order.begin(), order.end(), "top") - order.begin());
+}
+
+TEST(DepGraph, RemoveNodeDropsAllTouchingEdges) {
+  DependencyGraph g;
+  ASSERT_TRUE(g.add("csp", "esp").is_ok());
+  ASSERT_TRUE(g.add("esp", "hist", DependencyKind::kOptional).is_ok());
+  EXPECT_EQ(g.remove_node("esp"), 2u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_TRUE(g.required_cascade({"esp"}).empty());
+}
+
+// --- monitor dependency cascades ---------------------------------------------------
+
+class MonitorCascadeTest : public MonitorTest {
+ protected:
+  /// Deploy a single-instance opstring whose factory records every
+  /// instantiation (initial placements and replacements alike).
+  void deploy_recording(const std::string& name,
+                        QosRequirement qos = {0.5, 64.0}) {
+    OperationalString os;
+    os.name = name;
+    ServiceElement element;
+    element.name = name;
+    element.planned = 1;
+    element.qos = qos;
+    element.factory = [this](const std::string& instance_name) {
+      created.push_back(instance_name);
+      return make_service(instance_name);
+    };
+    os.elements.push_back(std::move(element));
+    ASSERT_TRUE(monitor->deploy(std::move(os)).is_ok());
+  }
+
+  Cybernode* host_of(const std::string& instance) {
+    for (const auto& node : nodes) {
+      for (const auto& svc : node->hosted()) {
+        if (svc->provider_name() == instance) return node.get();
+      }
+    }
+    return nullptr;
+  }
+
+  std::vector<std::string> created;
+};
+
+TEST_F(MonitorCascadeTest, RequiredCascadeRestartsDependentsInTopoOrder) {
+  deploy_recording("base");
+  deploy_recording("mid");
+  deploy_recording("top");
+  ASSERT_TRUE(monitor->add_dependency("mid", "base").is_ok());
+  ASSERT_TRUE(monitor->add_dependency("top", "mid").is_ok());
+  sched.run_for(kSecond);
+  ASSERT_TRUE(monitor->converged());
+
+  Cybernode* host = host_of("base");
+  ASSERT_NE(host, nullptr);
+  created.clear();
+  host->fail();
+  sched.run_for(2 * kSecond);
+
+  // The dependency is re-placed first, then its dependents restart in
+  // topological order with state hand-off.
+  EXPECT_EQ(created, (std::vector<std::string>{"base", "mid", "top"}));
+  EXPECT_EQ(monitor->cascade_count(), 2u);
+  EXPECT_EQ(monitor->reprovision_count(), 3u);
+  EXPECT_TRUE(discoverable("base"));
+  EXPECT_TRUE(discoverable("mid"));
+  EXPECT_TRUE(discoverable("top"));
+  sched.run_for(5 * kSecond);  // superseded zombies age out
+  EXPECT_TRUE(monitor->converged());
+}
+
+TEST_F(MonitorCascadeTest, SharedDeadDependencyIsPlacedSingleFlight) {
+  deploy_recording("base");
+  deploy_recording("d1");
+  deploy_recording("d2");
+  ASSERT_TRUE(monitor->add_dependency("d1", "base").is_ok());
+  ASSERT_TRUE(monitor->add_dependency("d2", "base").is_ok());
+  sched.run_for(kSecond);
+
+  Cybernode* host = host_of("base");
+  ASSERT_NE(host, nullptr);
+  created.clear();
+  host->fail();
+  sched.run_for(2 * kSecond);
+
+  // One placement for the shared dependency; both dependents' checks hit
+  // the single-flight cache.
+  EXPECT_EQ(std::count(created.begin(), created.end(), "base"), 1);
+  EXPECT_GE(monitor->placement_dedup_count(), 2u);
+  EXPECT_EQ(monitor->cascade_count(), 2u);
+}
+
+TEST_F(MonitorCascadeTest, NoEligibleNodeDegradesDependentAndRetries) {
+  // "pinned" can only run on an edge-labeled node; exactly one exists.
+  auto edge_node = std::make_shared<Cybernode>(
+      "edge-node", QosCapability{2.0, 1024.0, "x86_64", {"edge"}});
+  (void)edge_node->join(lus, lrm, 3600 * kSecond);
+
+  deploy_recording("pinned", QosRequirement{0.5, 64.0, "", {"edge"}});
+  deploy_recording("consumer");
+  ASSERT_TRUE(monitor->add_dependency("consumer", "pinned").is_ok());
+  sched.run_for(kSecond);
+  ASSERT_TRUE(discoverable("pinned"));
+
+  edge_node->fail();
+  sched.run_for(3 * kSecond);
+
+  // No node satisfies the QoS: the dependent degrades instead of the
+  // monitor crashing or dropping the record, and the placement keeps
+  // retrying.
+  EXPECT_TRUE(monitor->is_degraded("consumer"));
+  EXPECT_TRUE(discoverable("consumer"));
+  EXPECT_FALSE(monitor->converged());
+  EXPECT_GE(monitor->failed_placements(), 1u);
+
+  // Capacity returns: the retry places the instance, the cascade restarts
+  // the dependent, and the degraded set self-heals.
+  edge_node->restart();
+  (void)edge_node->join(lus, lrm, 3600 * kSecond);
+  sched.run_for(3 * kSecond);
+  EXPECT_TRUE(discoverable("pinned"));
+  EXPECT_FALSE(monitor->is_degraded("consumer"));
+  sched.run_for(5 * kSecond);
+  EXPECT_TRUE(monitor->converged());
+}
+
+TEST_F(MonitorCascadeTest, UndeployDropsDependencyEdges) {
+  deploy_recording("base");
+  deploy_recording("dep");
+  ASSERT_TRUE(monitor->add_dependency("dep", "base").is_ok());
+  EXPECT_EQ(monitor->dependencies().edge_count(), 1u);
+  sched.run_for(kSecond);
+
+  ASSERT_TRUE(monitor->undeploy("dep").is_ok());
+  EXPECT_EQ(monitor->dependencies().edge_count(), 0u);
+
+  // With the edge gone, losing "base" re-provisions it without cascading
+  // into the undeployed instance.
+  Cybernode* host = host_of("base");
+  ASSERT_NE(host, nullptr);
+  host->fail();
+  sched.run_for(2 * kSecond);
+  EXPECT_EQ(monitor->cascade_count(), 0u);
+  EXPECT_TRUE(discoverable("base"));
+}
+
+TEST_F(MonitorCascadeTest, UndeployRacingInFlightReprovisionAborts) {
+  // The replacement factory undeploys its own opstring — the same shape as
+  // an operator undeploy landing while a wire ping pumps the scheduler
+  // mid-sweep. The freshly placed instance must be torn straight back down.
+  OperationalString os;
+  os.name = "victim";
+  ServiceElement element;
+  element.name = "victim";
+  element.planned = 1;
+  element.qos = QosRequirement{0.5, 64.0};
+  bool first = true;
+  element.factory = [this, &first](const std::string& instance_name) {
+    if (!first) (void)monitor->undeploy("victim");
+    first = false;
+    return make_service(instance_name);
+  };
+  os.elements.push_back(std::move(element));
+  ASSERT_TRUE(monitor->deploy(std::move(os)).is_ok());
+  sched.run_for(kSecond);
+  ASSERT_TRUE(discoverable("victim"));
+
+  Cybernode* host = host_of("victim");
+  ASSERT_NE(host, nullptr);
+  host->fail();
+  sched.run_for(5 * kSecond);
+
+  // Not resurrected, not leaked: no deployment record, no hosted instance,
+  // no registration (the aborted replacement must not activate either).
+  EXPECT_TRUE(monitor->deployed_instances("victim").empty());
+  EXPECT_FALSE(discoverable("victim"));
+  for (const auto& node : nodes) {
+    for (const auto& svc : node->hosted()) {
+      EXPECT_NE(svc->provider_name(), "victim");
+    }
+  }
+  EXPECT_TRUE(monitor->converged());
+}
+
+TEST_F(MonitorCascadeTest, ReentrantPollIsBarred) {
+  // A replacement factory that pumps poll_once re-entrantly (wire pings do
+  // exactly this when the poll timer fires during a ping's virtual wait)
+  // must not double-place the instance.
+  OperationalString os;
+  os.name = "svc";
+  ServiceElement element;
+  element.name = "svc";
+  element.planned = 1;
+  element.qos = QosRequirement{0.5, 64.0};
+  element.factory = [this](const std::string& instance_name) {
+    monitor->poll_once();  // nested sweep: must be a no-op
+    return make_service(instance_name);
+  };
+  os.elements.push_back(std::move(element));
+  ASSERT_TRUE(monitor->deploy(std::move(os)).is_ok());
+  sched.run_for(kSecond);
+
+  Cybernode* host = host_of("svc");
+  ASSERT_NE(host, nullptr);
+  host->fail();
+  sched.run_for(3 * kSecond);
+
+  EXPECT_EQ(monitor->deployed_instances("svc").size(), 1u);
+  EXPECT_EQ(monitor->reprovision_count(), 1u);
+  EXPECT_TRUE(discoverable("svc"));
 }
 
 // --- parameterized: placement never exceeds node capacity -------------------------------
