@@ -11,18 +11,31 @@
 // K appendBatch chunks leave as one scatter-gather batch, so K fabric
 // round-trips overlap in virtual time instead of serializing.
 //
-// `bench_historian smoke` runs a seconds-scale subset (CI under ASan).
+// The compression section (ISSUE 10) measures Gorilla-sealed retention per
+// byte against the flat 32-byte encoding — the acceptance bound is ≥5x on a
+// steady quantized signal, asserted in smoke and full runs alike — plus the
+// tier demotion path holding the full history queryable past raw capacity.
+// The concurrent-query section drives a dashboard-style sweep through the
+// read executor while an appender keeps writing (completion asserted, no
+// wall-clock bounds: it must simply never deadlock or lose a query).
+//
+// `bench_historian smoke` runs a seconds-scale subset (CI under ASan/TSan).
 
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <future>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/deployment.h"
+#include "hist/read_executor.h"
 #include "hist/series.h"
 #include "hist/store.h"
+#include "obs/metrics.h"
+#include "util/rng.h"
 #include "util/strings.h"
 
 using namespace sensorcer;
@@ -97,9 +110,10 @@ void bench_ingest(bool smoke) {
 }
 
 void bench_queries(bool smoke) {
-  std::puts("Wide range-aggregate latency, raw scan vs rollup rings");
+  std::puts("Wide range-aggregate latency, raw path vs rollup rings");
   std::puts("(query = stats over the full retained span; rollup answers from");
-  std::puts("the 60s ring, raw walks every retained reading):");
+  std::puts("the 60s ring, the raw path sums sealed-block footers and only");
+  std::puts("walks the open active block):");
   std::vector<std::size_t> sizes =
       smoke ? std::vector<std::size_t>{10'000}
             : std::vector<std::size_t>{10'000, 100'000, 1'000'000};
@@ -136,8 +150,10 @@ void bench_queries(bool smoke) {
                                 "rollup us/query", "speedup"},
                                rows)
                 .c_str());
-  std::puts("Expected shape: raw cost grows linearly with retained readings;");
-  std::puts("rollup cost stays flat (O(buckets)), crossing 50x by 10^5.");
+  std::puts("Expected shape: both paths stay ~flat. Sealed-block footer");
+  std::puts("aggregates collapsed the old linear raw scan (6.4ms/query at");
+  std::puts("10^6 pre-compression) to O(blocks); the rollup rings' O(buckets)");
+  std::puts("win now only shows on windows slicing into block interiors.");
 }
 
 void bench_downsample(bool smoke) {
@@ -224,6 +240,195 @@ void bench_pipelined_ingest(bool smoke) {
   std::puts("round-trip window) while the serial cost grows linearly.");
 }
 
+void bench_compression(bool smoke) {
+  std::puts("Sealed-block compression (Gorilla dod timestamps + XOR values):");
+  std::puts("retention per byte vs the flat 32-byte reading encoding; the");
+  std::puts("steady row is the acceptance bound (>=5x, asserted).");
+  const std::size_t total = smoke ? 50'000 : 1'000'000;
+
+  struct Pattern {
+    const char* name;
+    bool assert_5x;
+  };
+  const Pattern patterns[] = {
+      {"constant", true}, {"steady (quantized sine)", true},
+      {"random walk", false}};
+  util::Rng rng(7);
+  std::vector<std::vector<std::string>> rows;
+  for (const Pattern& pattern : patterns) {
+    hist::SeriesConfig config;
+    config.raw_capacity = total;
+    config.rings = {};  // isolate the sealed chain
+    hist::SensorSeries series(config);
+    double walk = 20.0;
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < total; ++i) {
+      double v = 21.5;
+      if (std::strncmp(pattern.name, "steady", 6) == 0) {
+        // A real sensor: fixed cadence, value quantized to 1/8 units.
+        v = 20.0 + std::round(std::sin(static_cast<double>(i) * 0.01) * 8.0) / 8.0;
+      } else if (std::strncmp(pattern.name, "random", 6) == 0) {
+        walk += rng.next_double() - 0.5;  // full-mantissa worst case
+        v = walk;
+      }
+      series.append(
+          {static_cast<util::SimTime>(i) * kDt, v, sensor::Quality::kGood, 0});
+    }
+    const double ingest_secs = seconds_since(t0);
+    const auto counters = series.counters();
+    const auto fp = series.footprint();
+    const std::size_t flat = counters.sealed_readings * sizeof(sensor::Reading);
+    const double ratio =
+        fp.sealed_bytes == 0
+            ? 0.0
+            : static_cast<double>(flat) / static_cast<double>(fp.sealed_bytes);
+    const double bits = fp.sealed_bytes == 0
+                            ? 0.0
+                            : static_cast<double>(fp.sealed_bytes) * 8.0 /
+                                  static_cast<double>(counters.sealed_readings);
+
+    // Equivalence: the compressed chain answers exactly like flat storage.
+    const auto span = static_cast<util::SimTime>(total) * kDt;
+    const auto stats = series.stats(0, span, 0);
+    if (stats.stats.count != total) {
+      std::printf("FAIL: %s sealed-chain count %llu != %zu appended\n",
+                  pattern.name,
+                  static_cast<unsigned long long>(stats.stats.count), total);
+      std::exit(1);
+    }
+    if (pattern.assert_5x && ratio < 5.0) {
+      std::printf("FAIL: %s compressed only %.1fx (acceptance bound is 5x)\n",
+                  pattern.name, ratio);
+      std::exit(1);
+    }
+    rows.push_back({pattern.name, std::to_string(counters.sealed_readings),
+                    std::to_string(fp.sealed_bytes),
+                    util::format("%.1f", bits), util::format("%.1fx", ratio),
+                    util::format("%.2f", static_cast<double>(total) /
+                                             ingest_secs / 1e6)});
+  }
+  std::puts(util::render_table({"pattern", "sealed readings", "sealed bytes",
+                                "bits/reading", "vs flat 32B", "Mappends/s"},
+                               rows)
+                .c_str());
+
+  // Tier demotion: raw capacity for a quarter of the span; the rest must
+  // survive as 1s/60s buckets and the whole history stays queryable.
+  {
+    hist::SeriesConfig config;
+    config.raw_capacity = total / 4;
+    config.rings = {};
+    hist::SensorSeries series(config);
+    for (std::size_t i = 0; i < total; ++i) {
+      series.append({static_cast<util::SimTime>(i) * kDt,
+                     20.0 + std::sin(static_cast<double>(i) * 0.01),
+                     sensor::Quality::kGood, 0});
+    }
+    const auto counters = series.counters();
+    const auto deep = series.deep_stats(
+        0, static_cast<util::SimTime>(total) * kDt, 60 * util::kSecond);
+    if (deep.stats.count != total || counters.tier_evicted != 0) {
+      std::printf("FAIL: tiered history dropped readings (count=%llu/%zu, "
+                  "tier_evicted=%llu)\n",
+                  static_cast<unsigned long long>(deep.stats.count), total,
+                  static_cast<unsigned long long>(counters.tier_evicted));
+      std::exit(1);
+    }
+    const auto fp = series.footprint();
+    std::printf("Tiered retention: %zu readings held in %zu bytes "
+                "(raw would take %zu) — %.1fx the span per byte, "
+                "%llu blocks demoted, full-history count intact.\n\n",
+                total, fp.total(), total * sizeof(sensor::Reading),
+                static_cast<double>(total * sizeof(sensor::Reading)) /
+                    static_cast<double>(fp.total()),
+                static_cast<unsigned long long>(counters.blocks_demoted));
+  }
+}
+
+void bench_concurrent_queries(bool smoke) {
+  std::puts("Concurrent dashboard sweep through the read executor");
+  std::puts("(queries run on executor workers while an appender keeps");
+  std::puts("writing; bounded queue sheds overflow to the caller — the");
+  std::puts("assertion is completion, never wall-clock):");
+  const std::size_t queries = smoke ? 200 : 1'000;
+  const std::size_t preload = smoke ? 20'000 : 200'000;
+
+  hist::HistorianConfig config;
+  config.series.raw_capacity = preload / 4;
+  config.series.block_readings = 512;
+  config.series.rings = {{60 * util::kSecond, 4096}};
+  config.max_bytes = 0;
+  hist::HistorianStore store(config);
+  std::vector<sensor::Reading> batch;
+  for (std::size_t i = 0; i < preload; ++i) {
+    batch.push_back(reading_at(i));
+    if (batch.size() == 1024 || i + 1 == preload) {
+      store.append("dash", batch);
+      batch.clear();
+    }
+  }
+
+  hist::ReadExecutor exec(hist::ReadExecutor::Config{4, 64});
+  const auto served_before = obs::metrics().counter("hist.reads_served").value();
+  std::thread appender([&store, preload, queries] {
+    for (std::size_t i = 0; i < queries * 20; ++i) {
+      store.append("dash", {reading_at(preload + i)});
+    }
+  });
+  const auto span = static_cast<util::SimTime>(preload) * kDt;
+  const auto t0 = Clock::now();
+  std::vector<std::future<std::uint64_t>> results;
+  results.reserve(queries);
+  for (std::size_t q = 0; q < queries; ++q) {
+    const util::SimTime from =
+        static_cast<util::SimTime>(q % 7) * (span / 7);
+    results.push_back(exec.submit([&store, from, span, q]() -> std::uint64_t {
+      switch (q % 3) {
+        case 0:
+          return store.stats("dash", from, span, 60 * util::kSecond).stats.count;
+        case 1:
+          return store.downsample("dash", from, span, 64).points.size();
+        default:
+          return store.deep_stats("dash", 0, span, 60 * util::kSecond)
+              .stats.count;
+      }
+    }));
+  }
+  std::uint64_t completed = 0;
+  std::uint64_t nonempty = 0;
+  for (auto& fut : results) {
+    const std::uint64_t n = fut.get();
+    ++completed;
+    if (n > 0) ++nonempty;
+  }
+  const double secs = seconds_since(t0);
+  appender.join();
+
+  if (completed != queries || nonempty != queries) {
+    std::printf("FAIL: %llu/%zu queries completed, %llu nonempty\n",
+                static_cast<unsigned long long>(completed), queries,
+                static_cast<unsigned long long>(nonempty));
+    std::exit(1);
+  }
+  const auto served_delta =
+      obs::metrics().counter("hist.reads_served").value() - served_before;
+  if (served_delta + exec.inline_runs() < queries) {
+    std::puts("FAIL: executor lost queries (served + inline < submitted)");
+    std::exit(1);
+  }
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({std::to_string(queries), std::to_string(exec.threads()),
+                  std::to_string(served_delta),
+                  std::to_string(exec.inline_runs()),
+                  util::format("%.0f", static_cast<double>(queries) / secs),
+                  util::format("%.1f", secs * 1e6 /
+                                           static_cast<double>(queries))});
+  std::puts(util::render_table({"queries", "workers", "served on workers",
+                                "shed inline", "queries/s", "us/query"},
+                               rows)
+                .c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -234,5 +439,7 @@ int main(int argc, char** argv) {
   bench_queries(smoke);
   bench_downsample(smoke);
   bench_pipelined_ingest(smoke);
+  bench_compression(smoke);
+  bench_concurrent_queries(smoke);
   return 0;
 }

@@ -16,7 +16,10 @@
 # vs overlapped parallel push vs pull on the fabric) plus the PERF-5
 # marshalling micro-table (legacy string envelope vs flat interned codec:
 # ns/call, bytes/call, allocs/call — the fan-out row is a hard regression
-# gate), and BENCH_historian.txt the pipelined feeder-ingest delta. BENCH_flow.txt sweeps the streaming
+# gate), and BENCH_historian.txt the pipelined feeder-ingest delta plus the
+# PERF-7 compressed-retention tables: Gorilla sealed-block ratio per signal
+# shape (the steady row is a hard >=5x gate), tiered retention per byte, and
+# the concurrent read-executor sweep. BENCH_flow.txt sweeps the streaming
 # dataflow's stage reduction and sensor count, edge-fused vs central relay.
 # bench_discovery (google-benchmark) sweeps federated-registry operations to
 # 1e6 entries — register/renew/lookup-by-id must stay near-flat (PERF-6) —

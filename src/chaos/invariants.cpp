@@ -22,6 +22,7 @@ std::string InvariantReport::render() const {
                   util::format("%llu / %llu",
                                static_cast<unsigned long long>(readings_expected),
                                static_cast<unsigned long long>(readings_stored))});
+  rows.push_back({"readings tiered", std::to_string(readings_tiered)});
   rows.push_back({"readings lost / duplicated",
                   util::format("%llu / %llu",
                                static_cast<unsigned long long>(readings_lost),
@@ -46,8 +47,9 @@ std::string InvariantReport::render() const {
 
 void ReadingTracker::observe(const std::string& sensor,
                              const sensor::Reading& reading) {
-  auto [it, fresh] =
-      readings_[sensor].emplace(reading.timestamp, reading.value);
+  auto [it, fresh] = readings_[sensor].emplace(
+      reading.timestamp,
+      Observed{reading.value, reading.quality == sensor::Quality::kBad});
   (void)it;
   if (fresh) ++total_;
 }
@@ -55,7 +57,9 @@ void ReadingTracker::observe(const std::string& sensor,
 void ReadingTracker::audit(const hist::HistorianStore& store,
                            InvariantReport& report) const {
   report.readings_expected = total_;
+  const util::SimDuration cold_res = store.config().series.cold_resolution;
   for (const auto& [sensor, expected] : readings_) {
+    const hist::SensorSeries::Retention ret = store.retention(sensor);
     const hist::SeriesResult stored =
         store.range(sensor, 0, sensor::kEndOfTime, expected.size() * 2 + 16);
     report.readings_stored += stored.points.size();
@@ -70,13 +74,13 @@ void ReadingTracker::audit(const hist::HistorianStore& store,
                                     static_cast<long long>(ts), n));
       }
     }
-    // Readings older than the oldest retained point aged out of the raw
-    // ring — retention policy, not loss.
-    const util::SimTime oldest_stored =
-        stored.points.empty() ? 0 : stored.points.front().timestamp;
-    for (const auto& [ts, value] : expected) {
-      (void)value;
-      if (!stored.points.empty() && ts < oldest_stored) continue;
+    // Raw-tier conservation: every observed reading at/after the exact
+    // raw boundary must come back one-for-one. (With no retention info
+    // the segment is gone entirely; everything observed counts as lost.)
+    const util::SimTime raw_from = ret.raw_from;
+    for (const auto& [ts, obs] : expected) {
+      (void)obs;
+      if (raw_from >= 0 && ts < raw_from) continue;
       if (!seen.contains(ts)) {
         ++report.readings_lost;
         if (report.readings_lost <= 8) {  // cap the violation spam
@@ -84,6 +88,41 @@ void ReadingTracker::audit(const hist::HistorianStore& store,
                          util::format("%s@%lld recorded but never stored",
                                       sensor.c_str(),
                                       static_cast<long long>(ts)));
+        }
+      }
+    }
+    // Tier conservation: readings demoted out of the raw tier survive as
+    // rollup buckets in [tier_from, raw_from). The tiered count must match
+    // the non-bad observations there — demotion drops kBad by design and
+    // anything before tier_from aged past the cold tier.
+    const util::SimTime tier_hi =
+        raw_from >= 0 ? raw_from : sensor::kEndOfTime;
+    if (ret.tier_from >= 0 && ret.tier_from < tier_hi) {
+      std::uint64_t tier_expected = 0;
+      for (auto it = expected.lower_bound(ret.tier_from);
+           it != expected.end() && it->first < tier_hi; ++it) {
+        if (!it->second.bad) ++tier_expected;
+      }
+      if (tier_expected > 0) {
+        const hist::StatsResult tiered =
+            store.deep_stats(sensor, 0, tier_hi, cold_res);
+        report.readings_tiered += tiered.stats.count;
+        if (tiered.stats.count != tier_expected) {
+          const bool loss = tiered.stats.count < tier_expected;
+          if (loss) {
+            report.readings_lost += tier_expected - tiered.stats.count;
+          } else {
+            report.readings_duplicated += tiered.stats.count - tier_expected;
+          }
+          report.violate(
+              "conservation",
+              util::format("%s tier count %llu != %llu observed in "
+                           "[%lld, %lld)",
+                           sensor.c_str(),
+                           static_cast<unsigned long long>(tiered.stats.count),
+                           static_cast<unsigned long long>(tier_expected),
+                           static_cast<long long>(ret.tier_from),
+                           static_cast<long long>(tier_hi)));
         }
       }
     }

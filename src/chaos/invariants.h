@@ -8,7 +8,12 @@
 //      pins one provider).
 //   3. Reading conservation: every reading recorded by a live provider
 //      instance reaches the historian exactly once — node failures,
-//      partitions and failovers lose nothing and duplicate nothing.
+//      partitions and failovers lose nothing and duplicate nothing. The
+//      audit follows readings through the whole retention ladder: raw
+//      (active + sealed blocks) readings must be individually retrievable,
+//      while readings demoted into tier buckets must still be *counted*
+//      by the rollup representation (aging out past the cold tier is
+//      policy, not loss).
 //   4. Leases renewed-or-lapsed: a registration is either kept alive by
 //      renewal or disappears once its lease runs out; crashed providers
 //      never linger.
@@ -38,6 +43,7 @@ struct InvariantReport {
   std::uint64_t double_executions = 0;
   std::uint64_t readings_expected = 0;
   std::uint64_t readings_stored = 0;
+  std::uint64_t readings_tiered = 0;  // surviving as rollup buckets only
   std::uint64_t readings_lost = 0;
   std::uint64_t readings_duplicated = 0;
   std::size_t stale_registrations = 0;
@@ -63,14 +69,23 @@ class ReadingTracker {
 
   [[nodiscard]] std::uint64_t expected_count() const { return total_; }
 
-  /// Every observed reading must be retained by `store`, none twice.
-  /// Readings older than the store's retention for a sensor are exempt
-  /// (aging out is policy, not loss).
+  /// Every observed reading must be conserved by `store`, none twice:
+  ///   - at/after the segment's raw_from boundary it must come back
+  ///     one-for-one from a range query;
+  ///   - in [tier_from, raw_from) it was demoted into rollup buckets, so
+  ///     the tiered deep-stats count must equal the number of non-bad
+  ///     readings observed there (bad readings are dropped on demotion by
+  ///     design);
+  ///   - before tier_from it aged past the cold tier — policy, not loss.
   void audit(const hist::HistorianStore& store, InvariantReport& report) const;
 
  private:
-  // sensor -> timestamp -> value of the reading the tap saw first.
-  std::map<std::string, std::map<util::SimTime, double>> readings_;
+  struct Observed {
+    double value = 0.0;
+    bool bad = false;  // kBad readings are excluded from tier buckets
+  };
+  // sensor -> timestamp -> the reading the tap saw first.
+  std::map<std::string, std::map<util::SimTime, Observed>> readings_;
   std::uint64_t total_ = 0;
 };
 

@@ -195,6 +195,46 @@ util::Result<hist::SeriesResult> SensorcerFacade::query_downsample(
   return parse_series(done.value()->context());
 }
 
+std::vector<util::Result<hist::SeriesResult>>
+SensorcerFacade::query_downsample_many(const std::vector<std::string>& sensors,
+                                       util::SimTime from, util::SimTime to,
+                                       std::size_t points) {
+  facade_requests().add(1);
+  obs::Span span = obs::tracer().start_span(
+      util::format("facade.histDownsampleMany[%zu]", sensors.size()));
+  obs::ContextGuard guard(span.context());
+  std::vector<sorcer::ExertionPtr> batch;
+  batch.reserve(sensors.size());
+  for (const std::string& sensor : sensors) {
+    auto task = sorcer::Task::make(
+        "facade.hist:" + sensor,
+        sorcer::Signature{kDataCollectionType, op::kHistDownsample, ""});
+    sorcer::ServiceContext& ctx = task->context();
+    ctx.put(path::kHistSensor, sensor, sorcer::PathDirection::kIn);
+    ctx.put(path::kHistFrom, static_cast<std::int64_t>(from),
+            sorcer::PathDirection::kIn);
+    ctx.put(path::kHistTo, static_cast<std::int64_t>(to),
+            sorcer::PathDirection::kIn);
+    ctx.put(path::kHistPoints, static_cast<std::int64_t>(points),
+            sorcer::PathDirection::kIn);
+    batch.push_back(std::move(task));
+  }
+  (void)sorcer::exert_all(batch, accessor_);
+  std::vector<util::Result<hist::SeriesResult>> out;
+  out.reserve(batch.size());
+  bool all_ok = true;
+  for (const auto& task : batch) {
+    if (task->status() != sorcer::ExertStatus::kDone) {
+      out.emplace_back(task->error());
+      all_ok = false;
+      continue;
+    }
+    out.emplace_back(parse_series(task->context()));
+  }
+  span.set_ok(all_ok);
+  return out;
+}
+
 util::Status SensorcerFacade::compose_service(
     const std::string& composite, const std::vector<std::string>& children) {
   util::Status composed = manager_.compose(composite, children);

@@ -157,9 +157,29 @@ std::string render_federation_health(const Snapshot& snap) {
                   std::to_string(snap.counter_or("hist.evicted")) + " / " +
                       std::to_string(snap.counter_or("hist.series_evicted"))});
   rows.push_back(
-      {"historian", "queries rollup / raw",
+      {"historian", "queries rollup / tiered / raw",
        std::to_string(snap.counter_or("hist.query_rollup")) + " / " +
+           std::to_string(snap.counter_or("hist.query_tiered")) + " / " +
            std::to_string(snap.counter_or("hist.query_raw"))});
+  // Compressed retention (PR 10): sealed-chain compression, the
+  // storage-class byte split and the read executor's admission queue.
+  rows.push_back(
+      {"historian", "compression ratio / sealed blocks",
+       util::format("%.1fx", snap.gauge_or("hist.compression_ratio")) + " / " +
+           util::format("%.0f", snap.gauge_or("hist.sealed_blocks"))});
+  rows.push_back(
+      {"historian", "bytes raw / sealed / tiered",
+       util::format("%.0f / %.0f / %.0f",
+                    snap.gauge_or("hist.bytes_uncompressed"),
+                    snap.gauge_or("hist.bytes_sealed"),
+                    snap.gauge_or("hist.bytes_tiered"))});
+  rows.push_back(
+      {"historian", "read queue depth / served / inline",
+       util::format("%.0f", snap.gauge_or("hist.read_queue_depth")) + " / " +
+           std::to_string(snap.counter_or("hist.reads_served")) + " / " +
+           std::to_string(snap.counter_or("hist.read_inline"))});
+  rows.push_back({"historian", "read wait",
+                  latency_row(snap, "hist.read_wait_us")});
   rows.push_back({"historian", "feeder pushed / dropped",
                   std::to_string(snap.counter_or("hist.feeder_pushed")) +
                       " / " +

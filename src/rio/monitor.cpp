@@ -172,13 +172,19 @@ util::Status ProvisionMonitor::place(const std::string& opstring_name,
     rio_metrics().failed_placements.add(1);
     return node.status();
   }
-  std::shared_ptr<sorcer::ServiceProvider> service =
-      element.factory(instance_name);
+  // The factory may re-enter the monitor (wire pings pump the scheduler;
+  // an undeploy can land mid-call) and destroy the element this reference
+  // points into — including the std::function closure that is currently
+  // executing. Copy everything that must outlive the call.
+  const auto factory = element.factory;
+  const std::string element_name = element.name;
+  const QosRequirement qos = element.qos;
+  std::shared_ptr<sorcer::ServiceProvider> service = factory(instance_name);
   if (!service) {
     return {util::ErrorCode::kInternal,
-            "factory for '" + element.name + "' returned null"};
+            "factory for '" + element_name + "' returned null"};
   }
-  if (util::Status hosted = node.value()->host(service, element.qos);
+  if (util::Status hosted = node.value()->host(service, qos);
       !hosted.is_ok()) {
     rio_metrics().failed_placements.add(1);
     return hosted;

@@ -9,11 +9,65 @@
 #include "chaos/orchestrator.h"
 #include "chaos/schedule.h"
 #include "core/deployment.h"
+#include "hist/store.h"
 
 namespace sensorcer::chaos {
 namespace {
 
 using util::kSecond;
+
+// --- conservation audit through the retention ladder ------------------------------
+
+TEST(ReadingTracker, AuditFollowsReadingsThroughTierDemotion) {
+  // Tiny raw tier: most of the observed history is demoted into rollup
+  // buckets; conservation must hold through the whole ladder, not just the
+  // individually-retrievable raw tail.
+  hist::HistorianConfig config;
+  config.series.raw_capacity = 128;
+  config.series.block_readings = 32;
+  config.series.rings = {};
+  config.max_bytes = 0;
+  hist::HistorianStore store(config);
+
+  ReadingTracker tracker;
+  std::vector<sensor::Reading> batch;
+  for (int i = 0; i < 1500; ++i) {
+    const sensor::Reading r{static_cast<util::SimTime>(i) * kSecond,
+                            static_cast<double>(i % 40),
+                            i % 13 == 5 ? sensor::Quality::kBad
+                                        : sensor::Quality::kGood,
+                            0};
+    tracker.observe("chaos-esp-tiered", r);
+    batch.push_back(r);
+  }
+  store.append("chaos-esp-tiered", batch);
+  ASSERT_GT(store.stats_snapshot().blocks_demoted, 0u)
+      << "the raw tier must have overflowed into tiers for this test to bite";
+
+  InvariantReport report;
+  tracker.audit(store, report);
+  EXPECT_EQ(report.readings_lost, 0u) << report.render();
+  EXPECT_EQ(report.readings_duplicated, 0u) << report.render();
+  EXPECT_TRUE(report.ok()) << report.render();
+  EXPECT_GT(report.readings_tiered, 0u)
+      << "demoted readings must be accounted by the tier audit";
+  EXPECT_EQ(report.readings_expected, 1500u);
+}
+
+TEST(ReadingTracker, AuditFlagsReadingsTheHistorianNeverStored) {
+  hist::HistorianStore store;
+  ReadingTracker tracker;
+  const sensor::Reading stored{kSecond, 1.0, sensor::Quality::kGood, 0};
+  const sensor::Reading vanished{2 * kSecond, 2.0, sensor::Quality::kGood, 0};
+  tracker.observe("s", stored);
+  tracker.observe("s", vanished);
+  store.append("s", {stored});
+
+  InvariantReport report;
+  tracker.audit(store, report);
+  EXPECT_EQ(report.readings_lost, 1u);
+  EXPECT_FALSE(report.ok());
+}
 
 // --- schedule generation ----------------------------------------------------------
 

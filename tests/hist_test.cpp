@@ -7,11 +7,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <future>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "core/deployment.h"
 #include "hist/historian.h"
+#include "hist/read_executor.h"
 #include "hist/rollup.h"
 #include "hist/series.h"
 #include "hist/store.h"
@@ -250,6 +254,239 @@ TEST(SensorSeries, DownsampleCapsPoints) {
   EXPECT_EQ(range.source, "raw");
 }
 
+// --- sealed chain / tiering (PR 10) ---------------------------------------------------------
+
+TEST(SensorSeries, SealedChainQueriesMatchUncompressedOracle) {
+  // Small blocks force a long sealed chain; the raw tier keeps everything,
+  // so every query must be value-identical to brute force over the
+  // uncompressed readings.
+  SeriesConfig config;
+  config.raw_capacity = 100000;
+  config.block_readings = 64;
+  config.rings = {};  // no rollup rings: every query walks the chain
+  SensorSeries series(config);
+
+  util::Rng rng(2024);
+  std::vector<Reading> all;
+  util::SimTime t = 0;
+  for (int i = 0; i < 2000; ++i) {
+    t += rng.between(1000, 2 * 1000 * 1000);
+    const double roll = rng.next_double();
+    const Quality q = roll < 0.1    ? Quality::kBad
+                      : roll < 0.2  ? Quality::kSuspect
+                                    : Quality::kGood;
+    const Reading r = make_reading(t, rng.next_double() * 50.0, q);
+    ASSERT_NE(series.append(r), SensorSeries::Append::kDuplicate);
+    all.push_back(r);
+  }
+  const auto counters = series.counters();
+  EXPECT_GT(counters.blocks_sealed, 20u);
+  EXPECT_EQ(counters.blocks_demoted, 0u);
+  EXPECT_EQ(series.raw_evicted(), 0u);
+
+  for (int trial = 0; trial < 40; ++trial) {
+    const util::SimTime from = rng.between(0, t);
+    const util::SimTime to = from + rng.between(0, t - from);
+
+    // range(): every retained reading, bad ones included, oldest first.
+    const auto got_range = series.range(from, to, all.size() + 1);
+    std::vector<Reading> want_range;
+    for (const auto& r : all) {
+      if (r.timestamp >= from && r.timestamp < to) want_range.push_back(r);
+    }
+    ASSERT_EQ(got_range.points.size(), want_range.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < want_range.size(); ++i) {
+      EXPECT_EQ(got_range.points[i].timestamp, want_range[i].timestamp);
+      EXPECT_DOUBLE_EQ(got_range.points[i].value, want_range[i].value);
+    }
+
+    // stats() on the exact path (footer fast path + partial-block decode).
+    const auto got = series.stats(from, to, 0);
+    AggregateStats want;
+    for (const auto& r : all) {
+      if (r.quality != Quality::kBad && r.timestamp >= from &&
+          r.timestamp < to) {
+        want.add_sample(r.timestamp, r.value);
+      }
+    }
+    ASSERT_EQ(got.stats.count, want.count) << "trial " << trial;
+    EXPECT_EQ(got.source, "raw");
+    if (want.count > 0) {
+      EXPECT_DOUBLE_EQ(got.stats.min, want.min);
+      EXPECT_DOUBLE_EQ(got.stats.max, want.max);
+      EXPECT_NEAR(got.stats.sum, want.sum, 1e-6 * std::abs(want.sum) + 1e-9);
+      EXPECT_DOUBLE_EQ(got.stats.last, want.last);
+    }
+  }
+
+  // Compressed retention really is smaller than what it replaced.
+  const auto fp = series.footprint();
+  EXPECT_GT(fp.sealed_bytes, 0u);
+  EXPECT_LT(fp.sealed_bytes,
+            counters.sealed_readings * sizeof(Reading) / 2);
+}
+
+TEST(SensorSeries, RawOverflowDemotesIntoTiersInsteadOfDropping) {
+  SeriesConfig config;
+  config.raw_capacity = 256;
+  config.block_readings = 64;
+  config.rings = {};
+  SensorSeries series(config);
+
+  // 2000 readings at 0.5s cadence; raw keeps ~256, the rest must survive
+  // as 1s/60s tier buckets.
+  std::vector<Reading> all;
+  std::uint64_t good = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const Quality q = i % 10 == 3 ? Quality::kBad : Quality::kGood;
+    const Reading r =
+        make_reading(static_cast<util::SimTime>(i) * kSecond / 2,
+                     static_cast<double>(i % 100), q);
+    series.append(r);
+    all.push_back(r);
+    if (q != Quality::kBad) ++good;
+  }
+  const auto counters = series.counters();
+  EXPECT_GT(counters.blocks_demoted, 0u);
+  EXPECT_EQ(counters.tier_evicted, 0u) << "tiers must absorb, not drop";
+  EXPECT_GT(counters.tier_blocks, 0u);
+
+  const auto ret = series.retention();
+  ASSERT_GE(ret.raw_from, 0);
+  ASSERT_GE(ret.tier_from, 0);
+  EXPECT_LT(ret.tier_from, ret.raw_from);
+  EXPECT_EQ(ret.tier_from, 0) << "oldest reading still represented";
+
+  // The full-history deep aggregate sees every non-bad reading ever
+  // appended: raw readings exactly, demoted ones through their buckets.
+  const auto deep = series.deep_stats(0, sensor::kEndOfTime, 60 * kSecond);
+  EXPECT_EQ(deep.source, "tiered");
+  EXPECT_EQ(deep.stats.count, good);
+  AggregateStats want;
+  for (const auto& r : all) {
+    if (r.quality != Quality::kBad) want.add_sample(r.timestamp, r.value);
+  }
+  EXPECT_DOUBLE_EQ(deep.stats.min, want.min);
+  EXPECT_DOUBLE_EQ(deep.stats.max, want.max);
+  EXPECT_NEAR(deep.stats.sum, want.sum, 1e-6 * std::abs(want.sum));
+  EXPECT_DOUBLE_EQ(deep.stats.last, want.last);
+
+  // range() serves the raw tier only — exactly [raw_from, end).
+  const auto range = series.range(0, sensor::kEndOfTime, 100000);
+  ASSERT_FALSE(range.points.empty());
+  EXPECT_EQ(range.points.front().timestamp, ret.raw_from);
+}
+
+TEST(SensorSeries, ShedColdestFreesTiersBeforeSealedBlocks) {
+  SeriesConfig config;
+  config.raw_capacity = 256;
+  config.block_readings = 64;
+  config.rings = {};
+  SensorSeries series(config);
+  for (int i = 0; i < 2000; ++i) {
+    series.append(make_reading(static_cast<util::SimTime>(i) * kSecond,
+                               static_cast<double>(i)));
+  }
+  ASSERT_GT(series.footprint().tier_bytes, 0u);
+  ASSERT_GT(series.footprint().sealed_bytes, 0u);
+
+  // Shedding drains the cheap-to-lose tiers to zero before it touches a
+  // single sealed (individually retrievable) block.
+  while (series.footprint().tier_bytes > 0) {
+    const std::size_t sealed_before = series.footprint().sealed_bytes;
+    ASSERT_GT(series.shed_coldest(), 0u);
+    EXPECT_EQ(series.footprint().sealed_bytes, sealed_before);
+  }
+  // Then sealed blocks go, oldest first.
+  const std::size_t sealed_before = series.footprint().sealed_bytes;
+  ASSERT_GT(series.shed_coldest(), 0u);
+  EXPECT_LT(series.footprint().sealed_bytes, sealed_before);
+  // Fully drained: only the active block remains; nothing left to shed.
+  while (series.shed_coldest() > 0) {
+  }
+  EXPECT_EQ(series.footprint().sealed_bytes, 0u);
+  EXPECT_EQ(series.footprint().tier_bytes, 0u);
+}
+
+// --- read executor --------------------------------------------------------------------------
+
+TEST(ReadExecutor, BoundedQueueShedsOverflowToCaller) {
+  ReadExecutor exec(ReadExecutor::Config{1, 1});
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  // Occupy the single worker (wait for it to actually dequeue: queue depth
+  // counts admitted-not-yet-started queries)...
+  auto blocked = exec.submit([opened] { opened.wait(); return 1; });
+  while (exec.depth() != 0) std::this_thread::yield();
+  // ...fill the queue to capacity...
+  auto queued = exec.submit([opened] { opened.wait(); return 2; });
+  // ...and overflow: the third query must run inline, right now, without
+  // waiting on the stuck worker (shed-to-caller keeps overload deadlock-free).
+  auto inline_fut = exec.submit([] { return 3; });
+  EXPECT_EQ(inline_fut.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(inline_fut.get(), 3);
+  EXPECT_GE(exec.inline_runs(), 1u);
+
+  gate.set_value();
+  EXPECT_EQ(blocked.get(), 1);
+  EXPECT_EQ(queued.get(), 2);
+  EXPECT_EQ(exec.depth(), 0u);
+  EXPECT_GE(exec.served(), 2u);
+}
+
+TEST(SensorSeries, ConcurrentReadersNeverBlockOrTearWhileAppending) {
+  // Readers race a live appender across seal and demotion boundaries; under
+  // TSan this is the historian's reader/appender coordination proof.
+  SeriesConfig config;
+  config.raw_capacity = 512;
+  config.block_readings = 64;
+  config.rings = {{1 * kSecond, 64}};
+  SensorSeries series(config);
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> queries{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&series, &done, &queries, r] {
+      util::Rng rng(static_cast<std::uint64_t>(r) + 1);
+      while (!done.load(std::memory_order_relaxed)) {
+        const util::SimTime hi = series.last_timestamp();
+        if (hi < 0) continue;
+        const util::SimTime from = rng.between(0, hi);
+        (void)series.stats(from, hi + 1, 0);
+        // Every reading a racing range returns must lie in the window and
+        // stay strictly ordered — a torn read would break both.
+        const auto range = series.range(from, hi + 1, 100000);
+        for (std::size_t i = 0; i < range.points.size(); ++i) {
+          EXPECT_GE(range.points[i].timestamp, from);
+          EXPECT_LE(range.points[i].timestamp, hi);
+          if (i > 0) {
+            EXPECT_LT(range.points[i - 1].timestamp,
+                      range.points[i].timestamp);
+          }
+        }
+        (void)series.downsample(0, hi + 1, 32);
+        (void)series.deep_stats(0, hi + 1, 60 * kSecond);
+        queries.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int i = 0; i < 20000; ++i) {
+    series.append(make_reading(static_cast<util::SimTime>(i) * 100'000,
+                               static_cast<double>(i % 50),
+                               i % 17 == 0 ? Quality::kBad : Quality::kGood));
+  }
+  // Let slow-starting readers overlap the full history before stopping.
+  while (queries.load(std::memory_order_relaxed) < 8) {
+    std::this_thread::yield();
+  }
+  done.store(true);
+  for (auto& th : readers) th.join();
+  EXPECT_GT(queries.load(), 0u);
+  EXPECT_EQ(series.appended(), 20000u);
+}
+
 // --- HistorianStore -------------------------------------------------------------------------
 
 TEST(HistorianStore, CountsAppendsDuplicatesAndQueries) {
@@ -304,6 +541,82 @@ TEST(HistorianStore, ByteBudgetEvictsLeastRecentlyAppendedSeries) {
   EXPECT_EQ(store.last_timestamp("a"), 2);
 }
 
+TEST(HistorianStore, ByteAccountingSplitsStorageClasses) {
+  HistorianConfig config;
+  config.series.raw_capacity = 256;
+  config.series.block_readings = 64;
+  config.series.rings = {{1 * kSecond, 32}};
+  config.max_bytes = 0;
+  HistorianStore store(config);
+  std::vector<Reading> batch;
+  for (int i = 0; i < 3000; ++i) {
+    batch.push_back(make_reading(static_cast<util::SimTime>(i) * kSecond,
+                                 static_cast<double>(i % 100)));
+  }
+  store.append("a", batch);
+  store.append("b", batch);
+
+  const auto snap = store.stats_snapshot();
+  EXPECT_GT(snap.bytes_uncompressed, 0u);
+  EXPECT_GT(snap.bytes_sealed, 0u);
+  EXPECT_GT(snap.bytes_tiered, 0u);
+  // The legacy total is exactly the storage-class split, nothing hidden.
+  EXPECT_EQ(snap.bytes,
+            snap.bytes_uncompressed + snap.bytes_sealed + snap.bytes_tiered);
+  EXPECT_GT(snap.sealed_blocks, 0u);
+  EXPECT_GT(snap.tier_blocks, 0u);
+  EXPECT_GT(snap.blocks_sealed, snap.sealed_blocks)
+      << "demotion must have consumed some sealed blocks";
+  EXPECT_GT(snap.blocks_demoted, 0u);
+  EXPECT_EQ(snap.tier_evicted, 0u);
+  // Sealed storage carries more history per byte than the flat encoding.
+  EXPECT_GE(snap.compression_ratio, 2.0);
+  EXPECT_NEAR(snap.compression_ratio,
+              static_cast<double>(snap.sealed_readings * sizeof(Reading)) /
+                  static_cast<double>(snap.bytes_sealed),
+              1e-9)
+      << "ratio must be sealed readings' flat bytes over sealed bytes";
+}
+
+TEST(HistorianStore, BudgetEvictionShedsCompressedTiersBeforeSegments) {
+  HistorianConfig config;
+  config.series.raw_capacity = 128;
+  config.series.block_readings = 32;
+  config.series.rings = {};
+  config.shards = 1;
+  config.max_bytes = 0;
+  HistorianStore probe(config);
+  std::vector<Reading> batch;
+  for (int i = 0; i < 1200; ++i) {
+    batch.push_back(make_reading(static_cast<util::SimTime>(i) * kSecond,
+                                 static_cast<double>(i)));
+  }
+  probe.append("x", batch);
+  const auto full = probe.stats_snapshot();
+  ASSERT_GT(full.bytes_sealed + full.bytes_tiered, 0u);
+
+  // Budget for one full segment plus a little: the second sensor forces
+  // shedding, which must drain the first's cold storage before any whole
+  // segment is evicted.
+  config.max_bytes = full.bytes + full.bytes / 4;
+  HistorianStore store(config);
+  store.append("a", batch);
+  std::vector<Reading> batch2;
+  for (int i = 0; i < 1200; ++i) {
+    batch2.push_back(make_reading(static_cast<util::SimTime>(i) * kSecond,
+                                  static_cast<double>(i) + 0.5));
+  }
+  store.append("b", batch2);
+
+  const auto snap = store.stats_snapshot();
+  EXPECT_LE(snap.bytes, config.max_bytes);
+  EXPECT_EQ(snap.evicted_series, 0u)
+      << "shedding compressed tiers must spare whole segments";
+  EXPECT_EQ(snap.series_count, 2u);
+  EXPECT_GE(store.last_timestamp("a"), 0) << "raw hot data must survive";
+  EXPECT_GE(store.last_timestamp("b"), 0);
+}
+
 // --- Historian provider ---------------------------------------------------------------------
 
 TEST(Historian, DecodeBatchMapsQualities) {
@@ -350,6 +663,38 @@ TEST(HistorianDeployment, SampledReadingsReachTheHistorianAndTheFacade) {
       lab.facade().query_range("Fern-Sensor", 0, lab.now(), 1024);
   ASSERT_TRUE(range.is_ok());
   EXPECT_EQ(range.value().points.size(), stats.value().stats.count);
+}
+
+TEST(HistorianDeployment, DashboardFanOutServesQueriesOffTheReadExecutor) {
+  core::DeploymentConfig config;
+  config.history_feed.flush_period = 2 * kSecond;
+  core::Deployment lab(config);
+  lab.add_temperature_sensor("Oak-Sensor", 20.0);
+  lab.add_temperature_sensor("Elm-Sensor", 22.0);
+  lab.pump(30 * kSecond);
+
+  ASSERT_NE(lab.historian(), nullptr);
+  ASSERT_NE(lab.historian()->read_executor(), nullptr)
+      << "default config must deploy the read executor";
+  const auto served_before = counter("hist.reads_served");
+
+  // One dashboard page: downsample every sensor in a single scatter-gather
+  // batch, positional results.
+  const auto page = lab.facade().query_downsample_many(
+      {"Oak-Sensor", "Elm-Sensor", "no-such-sensor"}, 0, lab.now(), 16);
+  ASSERT_EQ(page.size(), 3u);
+  ASSERT_TRUE(page[0].is_ok());
+  ASSERT_TRUE(page[1].is_ok());
+  EXPECT_GT(page[0].value().points.size(), 0u);
+  EXPECT_LE(page[0].value().points.size(), 16u);
+  EXPECT_GT(page[1].value().points.size(), 0u);
+  // Unknown sensors answer an empty series, not a batch failure.
+  ASSERT_TRUE(page[2].is_ok());
+  EXPECT_TRUE(page[2].value().points.empty());
+
+  // The queries were served by executor workers, visibly in obs metrics.
+  EXPECT_GT(counter("hist.reads_served"), served_before);
+  EXPECT_EQ(lab.historian()->read_executor()->depth(), 0u);
 }
 
 TEST(HistorianDeployment, WireModeIngestionIsByteAccounted) {
